@@ -1,0 +1,9 @@
+"""Small shared utilities for the benchmark modules."""
+
+from __future__ import annotations
+
+
+def emit(text: str) -> None:
+    """Print a benchmark table (visible with ``pytest -s`` and in captured output)."""
+    print()
+    print(text)

@@ -1,0 +1,55 @@
+"""E2 — Theorem 4: randomized maximal matching, edge-averaged O(1) vs worst case O(log n).
+
+The sweep grows ``n`` on sparse random graphs and reports the edge-averaged,
+node-averaged and worst-case complexity of the randomized matching algorithm.
+The paper's prediction: the edge-averaged column stays flat while the
+worst-case column grows (logarithmically) with ``n``, and the node-averaged
+column sits in between (Theorem 17 lower-bounds it).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.algorithms.matching import RandomizedMaximalMatching
+from repro.analysis import format_sweep, sweep
+from repro.core import problems
+
+from _bench_utils import emit
+
+SIZES = [100, 200, 400, 800]
+
+
+def run_e2():
+    return sweep(
+        parameter="n",
+        values=SIZES,
+        graph_factory=lambda n: nx.random_regular_graph(4, n, seed=23),
+        algorithms={
+            "randomized-matching": (
+                lambda net: RandomizedMaximalMatching(),
+                lambda net: problems.MAXIMAL_MATCHING,
+            ),
+        },
+        trials=3,
+        seed=2,
+    )
+
+
+def test_e2_edge_average_flat_worst_case_grows(run_experiment):
+    points = run_experiment(run_e2)
+    emit(format_sweep(points, title="E2: randomized maximal matching vs n (Theorem 4)"))
+
+    edge_averages = [p.measurement.edge_averaged for p in points]
+    worst_cases = [p.measurement.worst_case for p in points]
+    node_averages = [p.measurement.node_averaged for p in points]
+
+    # Edge-averaged complexity is O(1): flat across an 8x growth in n.  (The
+    # constant is governed by the 1/(4(d_u+d_v)) marking rate, not by n.)
+    assert max(edge_averages) <= 40.0
+    assert max(edge_averages) <= 2.0 * min(edge_averages) + 5.0
+    # The worst case exceeds the edge average (and tends to grow with n).
+    assert worst_cases[-1] > edge_averages[-1]
+    # Node-averaged (which waits for all incident edges) dominates edge-averaged.
+    for node_avg, edge_avg in zip(node_averages, edge_averages):
+        assert node_avg >= edge_avg - 1e-9

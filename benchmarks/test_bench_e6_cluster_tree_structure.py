@@ -1,0 +1,69 @@
+"""E6 — Figure 1 / Observations 7–10: structure of the cluster tree skeletons CT_k.
+
+Regenerates the structural table behind Figure 1: for k = 0..3, the number of
+skeleton nodes, internal nodes and leaves, the number of directed labelled
+edges, and the maximum depth — plus a check of the out-label multiplicities
+of Observation 9 (every internal node has 2·β^i outgoing edges for every
+i ≤ k; every leaf for exactly one exponent).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.lowerbound.cluster_tree import ClusterTreeSkeleton
+
+from _bench_utils import emit
+
+KS = [0, 1, 2, 3, 4]
+
+
+def run_e6():
+    rows = []
+    for k in KS:
+        skeleton = ClusterTreeSkeleton(k)
+        skeleton.validate()
+        summary = skeleton.summary()
+        internal_label_sets = {
+            tuple(sorted(skeleton.out_label_counts(v).items()))
+            for v in skeleton.internal_nodes()
+        }
+        leaf_label_sets = {
+            tuple(sorted(skeleton.out_label_counts(v).items())) for v in skeleton.leaves()
+        }
+        summary["internal_label_patterns"] = len(internal_label_sets)
+        summary["leaf_label_patterns"] = len(leaf_label_sets)
+        rows.append(summary)
+    return rows
+
+
+def test_e6_cluster_tree_structure(run_experiment):
+    rows = run_experiment(run_e6)
+    emit(
+        format_table(
+            rows,
+            columns=[
+                "k",
+                "nodes",
+                "internal",
+                "leaves",
+                "directed_edges",
+                "max_depth",
+                "internal_label_patterns",
+                "leaf_label_patterns",
+            ],
+            title="E6: cluster tree skeletons CT_k (Figure 1)",
+        )
+    )
+    by_k = {row["k"]: row for row in rows}
+    # Figure 1 sizes: CT_0 has 2 nodes, CT_1 has 4, CT_2 has 10.
+    assert by_k[0]["nodes"] == 2
+    assert by_k[1]["nodes"] == 4
+    assert by_k[2]["nodes"] == 10
+    # Observation 9: all internal nodes share one outgoing-label pattern,
+    # leaves use exactly (k+1) distinct single-exponent patterns for k >= 1.
+    for k in KS:
+        assert by_k[k]["internal_label_patterns"] == 1
+        assert by_k[k]["leaf_label_patterns"] <= k + 2
+    # The skeleton grows monotonically with k.
+    sizes = [by_k[k]["nodes"] for k in KS]
+    assert sizes == sorted(sizes)

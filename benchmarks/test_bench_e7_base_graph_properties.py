@@ -1,0 +1,78 @@
+"""E7 — Lemma 13 / Corollary 15: properties of the base graphs G_k.
+
+Regenerates the quantitative facts Lemma 13 states about the base graph: the
+cluster sizes ``2 β^{k+1} (β/2)^{k+1-d}``, the maximum degree bound
+``2 β^{k+1}``, the total node count ``O(β^{2k+2})``, and the per-cluster
+independence-number bound ``|S(v)| / β^{ψ(v)}``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.lowerbound.analysis import cluster_reports, max_covered_fraction_of_s0
+from repro.lowerbound.base_graph import build_base_graph
+
+from _bench_utils import emit
+
+PARAMETERS = [(0, 4), (0, 8), (1, 4), (1, 6)]
+
+
+def run_e7():
+    rows = []
+    for k, beta in PARAMETERS:
+        gk = build_base_graph(k, beta)
+        gk.validate_degrees()
+        reports = cluster_reports(gk, attempts=2)
+        max_degree = max(dict(gk.graph.degree()).values())
+        violations = sum(
+            1
+            for report in reports
+            if report.independence_upper_bound is not None
+            and report.greedy_independent_set > report.independence_upper_bound
+        )
+        rows.append(
+            {
+                "k": k,
+                "beta": beta,
+                "n": gk.n,
+                "m": gk.graph.number_of_edges(),
+                "max_degree": max_degree,
+                "degree_bound": gk.max_degree_bound(),
+                "n_bound": 8 * beta ** (2 * k + 2),
+                "s0_size": len(gk.special_cluster(0)),
+                "alpha_violations": violations,
+                "covered_fraction_bound": round(max_covered_fraction_of_s0(gk), 3),
+            }
+        )
+    return rows
+
+
+def test_e7_base_graph_matches_lemma13(run_experiment):
+    rows = run_experiment(run_e7)
+    emit(
+        format_table(
+            rows,
+            columns=[
+                "k",
+                "beta",
+                "n",
+                "m",
+                "max_degree",
+                "degree_bound",
+                "n_bound",
+                "s0_size",
+                "alpha_violations",
+                "covered_fraction_bound",
+            ],
+            title="E7: base graph G_k structural properties (Lemma 13)",
+        )
+    )
+    for row in rows:
+        # Degree bound of Lemma 13.
+        assert row["max_degree"] <= row["degree_bound"]
+        # Total size O(β^{2k+2}).
+        assert row["n"] <= row["n_bound"]
+        # Independence bounds hold in every cluster.
+        assert row["alpha_violations"] == 0
+        # S(c0) is the dominant cluster.
+        assert row["s0_size"] >= row["n"] / 4

@@ -1,0 +1,13 @@
+"""Repository-level pytest configuration.
+
+Makes the ``src`` layout importable even when the package has not been
+installed (e.g. in constrained environments without an editable install), and
+registers the shared fixtures used by both the tests and the benchmarks.
+"""
+
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

@@ -1,0 +1,5 @@
+"""Distributed algorithms for the problems studied in the paper."""
+
+from repro.algorithms import coloring, matching, mis, orientation, ruling_set
+
+__all__ = ["mis", "ruling_set", "matching", "coloring", "orientation"]

@@ -1,0 +1,17 @@
+"""Vertex colouring algorithms and colour-reduction primitives."""
+
+from repro.algorithms.coloring.cole_vishkin import (
+    FINAL_COLOR_BOUND,
+    colors_after_step,
+    cv_rounds_needed,
+    cv_step,
+)
+from repro.algorithms.coloring.random_coloring import RandomizedColoring
+
+__all__ = [
+    "RandomizedColoring",
+    "cv_step",
+    "cv_rounds_needed",
+    "colors_after_step",
+    "FINAL_COLOR_BOUND",
+]

@@ -1,0 +1,56 @@
+"""Randomized ``(degree + 1)``-list colouring with O(1) node-averaged complexity.
+
+Section 1.2 of the paper observes (crediting [Lub93, Joh99, BT19]) that the
+classic "try a random free colour" algorithm colours every node with constant
+probability per attempt, so the randomized node-averaged complexity of
+``(Δ+1)``-colouring is ``O(1)``.  This module implements that algorithm:
+
+* every node uses the palette ``{0, …, deg(v)}``,
+* in each phase an uncoloured node picks a uniformly random colour from the
+  palette colours not already taken by permanently coloured neighbours,
+* it keeps the colour if no neighbour (coloured or simultaneously trying)
+  chose the same colour this phase, and commits it.
+
+Each phase is two communication rounds (tentative colours, confirmations).
+"""
+
+from __future__ import annotations
+
+from repro.local.coroutine import CoroutineAlgorithm
+from repro.local.node import NodeRuntime
+
+__all__ = ["RandomizedColoring"]
+
+
+class RandomizedColoring(CoroutineAlgorithm):
+    """Randomized ``(degree+1)``-colouring; node outputs are colour integers."""
+
+    name = "randomized-coloring"
+    randomized = True
+    uses_identifiers = False
+
+    def run(self, node: NodeRuntime):
+        if node.degree == 0:
+            node.commit(0)
+            return
+
+        palette = set(range(node.degree + 1))
+        taken = set()
+
+        while not node.has_committed:
+            available = sorted(palette - taken)
+            # The palette has degree+1 colours and at most degree neighbours can
+            # occupy colours, so `available` is never empty.
+            tentative = available[node.rng.randrange(len(available))]
+            inbox = yield {u: ("try", tentative) for u in node.neighbors}
+            conflict = any(
+                kind == "try" and colour == tentative for kind, colour in inbox.values()
+            )
+            if not conflict:
+                node.commit(tentative)
+
+            final = ("fix", tentative) if node.has_committed else ("none", None)
+            inbox = yield {u: final for u in node.neighbors}
+            for kind, colour in inbox.values():
+                if kind == "fix":
+                    taken.add(colour)

@@ -1,0 +1,17 @@
+"""Maximal matching algorithms (Theorems 4 and 5)."""
+
+from repro.algorithms.matching.deterministic import DeterministicMaximalMatching
+from repro.algorithms.matching.randomized import RandomizedMaximalMatching
+from repro.algorithms.matching.sequential import (
+    maximum_matching_size,
+    random_order_matching,
+    sequential_greedy_matching,
+)
+
+__all__ = [
+    "RandomizedMaximalMatching",
+    "DeterministicMaximalMatching",
+    "sequential_greedy_matching",
+    "random_order_matching",
+    "maximum_matching_size",
+]

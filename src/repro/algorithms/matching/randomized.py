@@ -1,0 +1,104 @@
+"""Randomized maximal matching with edge-averaged complexity O(1) (Theorem 4).
+
+Each iteration works on the graph induced by the still-undecided edges:
+
+1. endpoints exchange their current degrees (number of undecided incident
+   edges) and identifiers;
+2. the lower-identifier endpoint of each undecided edge ``e = {u, v}`` marks
+   ``e`` with probability ``1 / (4 (d_u + d_v))`` and tells the other
+   endpoint;
+3. a marked edge with no other marked edge incident to either endpoint joins
+   the matching; both its endpoints become matched and immediately commit all
+   their other undecided edges as "not in the matching";
+4. newly matched nodes announce themselves so their neighbours can commit the
+   shared edges as "not in the matching" too, and retire.
+
+Theorem 4 (and the classical Israeli–Itai analysis) shows each iteration
+removes a constant fraction of the undecided edges in expectation: at least
+half of the edges touch a "good" node (one with at least a third of its
+neighbours of no larger degree), and each good node is matched with constant
+probability.  Hence the edge-averaged complexity is O(1) while the worst case
+is O(log n) w.h.p. — whereas the node-averaged complexity of maximal matching
+is Ω(min{log Δ / log log Δ, √(log n / log log n)}) by Theorem 17.
+
+Each iteration costs four communication rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.local.coroutine import CoroutineAlgorithm
+from repro.local.node import NodeRuntime
+
+__all__ = ["RandomizedMaximalMatching"]
+
+
+class RandomizedMaximalMatching(CoroutineAlgorithm):
+    """Theorem 4: Luby/Israeli–Itai style randomized maximal matching."""
+
+    name = "randomized-maximal-matching"
+    randomized = True
+    uses_identifiers = True  # used to designate the marking endpoint of an edge
+
+    def __init__(self, marking_factor: float = 4.0) -> None:
+        """``marking_factor`` is the constant in the 1/(factor·(d_u+d_v)) marking rate."""
+        if marking_factor <= 0:
+            raise ValueError("marking_factor must be positive")
+        self.marking_factor = marking_factor
+
+    def run(self, node: NodeRuntime):
+        undecided: Set[int] = set(node.neighbors)
+        matched = False
+
+        while undecided:
+            # Round 1: exchange (degree in the undecided graph, identifier).
+            my_degree = len(undecided)
+            inbox = yield {u: (my_degree, node.identifier) for u in undecided}
+            info: Dict[int, tuple] = {u: p for u, p in inbox.items() if u in undecided}
+
+            # Round 2: the smaller-identifier endpoint marks each edge.
+            marks: Dict[int, bool] = {}
+            outbox: Dict[int, object] = {}
+            for u, (their_degree, their_id) in info.items():
+                if node.identifier < their_id:
+                    probability = 1.0 / (self.marking_factor * (my_degree + their_degree))
+                    marks[u] = node.rng.random() < probability
+                    outbox[u] = ("mark", marks[u])
+                else:
+                    outbox[u] = ("mark", None)
+            inbox = yield outbox
+            for u, (_, mark) in inbox.items():
+                if u in info and mark is not None:
+                    marks[u] = mark
+
+            # Round 3: an isolated marked edge joins the matching.
+            marked_count = sum(1 for flag in marks.values() if flag)
+            outbox = {
+                u: ("others", marked_count - (1 if marks.get(u) else 0)) for u in info
+            }
+            inbox = yield outbox
+            partner = None
+            for u, (_, their_other_marks) in inbox.items():
+                if u not in info or not marks.get(u):
+                    continue
+                my_other_marks = marked_count - 1
+                if my_other_marks == 0 and their_other_marks == 0:
+                    partner = u
+                    break
+            if partner is not None:
+                matched = True
+                node.commit_edge(partner, True)
+                undecided.discard(partner)
+                for u in list(undecided):
+                    node.commit_edge(u, False)
+
+            # Round 4: matched nodes announce themselves and retire; everyone
+            # else records the edges decided by a newly matched neighbour.
+            inbox = yield {u: ("matched", matched) for u in undecided}
+            for u, (_, neighbor_matched) in inbox.items():
+                if neighbor_matched and u in undecided:
+                    node.commit_edge(u, False)
+                    undecided.discard(u)
+            if matched:
+                return

@@ -1,0 +1,21 @@
+"""Maximal independent set algorithms."""
+
+from repro.algorithms.mis.ghaffari import GhaffariMIS
+from repro.algorithms.mis.local_minimum import LocalMinimumMIS
+from repro.algorithms.mis.luby import LubyMIS
+from repro.algorithms.mis.sequential import (
+    exact_maximum_independent_set,
+    greedy_independent_set_lower_bound,
+    random_order_mis,
+    sequential_greedy_mis,
+)
+
+__all__ = [
+    "LubyMIS",
+    "GhaffariMIS",
+    "LocalMinimumMIS",
+    "sequential_greedy_mis",
+    "random_order_mis",
+    "greedy_independent_set_lower_bound",
+    "exact_maximum_independent_set",
+]

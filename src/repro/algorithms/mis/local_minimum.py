@@ -1,0 +1,47 @@
+"""Deterministic MIS by iterated local minima of identifiers.
+
+In every phase each undecided node whose identifier is smaller than the
+identifiers of all its undecided neighbours joins the MIS, and its neighbours
+drop out.  This is the textbook deterministic greedy MIS:
+
+* it is always correct (the joined set is independent and maximal),
+* its worst-case round complexity can be Θ(n) (an increasing identifier path
+  decides one node per phase), which is why the paper's deterministic results
+  rely on colour-reduction machinery instead,
+* with uniformly random identifiers it decides most nodes within a few
+  phases, making it a convenient deterministic *post-processing* step for
+  the small residual instances that appear at the end of Theorem 3's ruling
+  set algorithm (our stand-in for the ``O(Δ + log* n)`` MIS of [BEK15]).
+
+Two communication rounds per phase (identifier exchange, join announcement).
+"""
+
+from __future__ import annotations
+
+from repro.local.coroutine import CoroutineAlgorithm
+from repro.local.node import NodeRuntime
+
+__all__ = ["LocalMinimumMIS"]
+
+
+class LocalMinimumMIS(CoroutineAlgorithm):
+    """Deterministic MIS: local identifier minima join, neighbours retire."""
+
+    name = "local-minimum-mis"
+    randomized = False
+    uses_identifiers = True
+
+    def run(self, node: NodeRuntime):
+        if node.degree == 0:
+            node.commit(True)
+            return
+
+        while not node.has_committed:
+            inbox = yield {u: node.identifier for u in node.neighbors}
+            if all(node.identifier < other for other in inbox.values()):
+                node.commit(True)
+
+            joined = node.has_committed
+            inbox = yield {u: joined for u in node.neighbors}
+            if not node.has_committed and any(inbox.values()):
+                node.commit(False)

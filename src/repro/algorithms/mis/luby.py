@@ -1,0 +1,52 @@
+"""Luby's randomized maximal independent set algorithm (random-priority variant).
+
+Each phase, every undecided node draws a fresh uniformly random priority and
+joins the MIS if its priority beats every undecided neighbour's priority;
+neighbours of joiners are removed.  Luby's analysis shows that each phase
+removes a constant fraction of the *edges* in expectation, which is the basis
+of the paper's observation that Luby's algorithm has edge-averaged complexity
+``O(1)`` (under the "at least one endpoint decided" convention) and
+node-averaged complexity ``O(1)`` on constant-degree graphs — but, by
+Theorem 16, **not** ``O(1)`` node-averaged complexity in general.
+
+Each phase costs two communication rounds:
+
+1. exchange priorities; local maxima commit ``True`` (they join the MIS);
+2. joiners announce themselves; their neighbours commit ``False``.
+
+Undecided nodes recognise decided neighbours by their silence in the next
+phase, so no extra bookkeeping round is needed.
+"""
+
+from __future__ import annotations
+
+from repro.local.coroutine import CoroutineAlgorithm
+from repro.local.node import NodeRuntime
+
+__all__ = ["LubyMIS"]
+
+
+class LubyMIS(CoroutineAlgorithm):
+    """Luby's MIS with random priorities (commits a boolean per node)."""
+
+    name = "luby-mis"
+    randomized = True
+    uses_identifiers = True  # only for tie breaking
+
+    def run(self, node: NodeRuntime):
+        if node.degree == 0:
+            node.commit(True)
+            return
+
+        while not node.has_committed:
+            priority = (node.rng.random(), node.identifier)
+            inbox = yield {u: priority for u in node.neighbors}
+            # Neighbours that are still undecided sent a priority this round;
+            # decided neighbours are silent and are ignored.
+            if all(priority > other for other in inbox.values()):
+                node.commit(True)
+
+            joined = node.has_committed
+            inbox = yield {u: joined for u in node.neighbors}
+            if not node.has_committed and any(inbox.values()):
+                node.commit(False)

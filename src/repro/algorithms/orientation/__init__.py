@@ -1,0 +1,11 @@
+"""Sinkless orientation algorithms (Theorem 6 and the randomized baseline)."""
+
+from repro.algorithms.orientation.deterministic import DeterministicSinklessOrientation
+from repro.algorithms.orientation.protocol import orientation_phases
+from repro.algorithms.orientation.randomized import RandomizedSinklessOrientation
+
+__all__ = [
+    "RandomizedSinklessOrientation",
+    "DeterministicSinklessOrientation",
+    "orientation_phases",
+]

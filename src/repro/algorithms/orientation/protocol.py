@@ -1,0 +1,237 @@
+"""Shared request/grant protocol for sinkless-orientation algorithms.
+
+Both the randomized and the deterministic sinkless-orientation algorithms in
+this package secure out-edges through the same two-round *consent* protocol;
+only the policy an unsatisfied node uses to choose which edge to request
+differs.  The protocol is designed so that an edge is only ever oriented
+towards a node that can afford it, which keeps every execution sink-free.
+
+**Phase structure** (two rounds per phase):
+
+Round 1 (requests).  Every node sends, over each of its unoriented edges, its
+status ``(satisfied?, #unoriented, identifier, requested?, wave?, stream)``
+where ``requested`` marks the single edge an unsatisfied node asks to have
+oriented away from itself.
+
+Round 2 (answers).  Every node answers the requests it received and then both
+endpoints of every edge evaluate the same deterministic function of the
+exchanged messages, so they always commit the same orientation:
+
+* a satisfied node (one with an out-edge, or exempt by degree) grants every
+  request;
+* an unsatisfied node grants greedily, smallest requester identifier first,
+  but always keeps a safety margin: two unoriented edges, or one if that one
+  leads to a satisfied neighbour (such an edge is a guaranteed fallback,
+  because satisfied neighbours grant everything);
+* mutual requests on the same edge are conceded by the endpoint with the
+  larger ``(count, identifier)``, within the same safety margin;
+* granted request → the edge points from the requester to the granter;
+* an unoriented edge whose endpoints are both satisfied and neither of which
+  requested it points to the smaller-identifier endpoint, so every edge is
+  eventually oriented.
+
+**Ring resolution.**  The only configuration in which no request can be
+granted is a cycle of unsatisfied nodes that each hold exactly two unoriented
+edges (both on the cycle): everyone's safety margin forbids every grant.  The
+protocol resolves such cycles exactly, without ever risking a sink:
+
+1. A node that detects the stuck pattern (unsatisfied, no satisfied
+   neighbour, exactly two unoriented edges, requests repeatedly denied)
+   enters *ring mode* and starts forwarding directional min-identifier
+   streams: on each of its two ring edges it sends the smallest identifier
+   received from the *other* edge (with a hop count), injecting its own.
+2. The unique node whose own identifier comes back to it has seen its
+   identifier survive a full tour of the cycle, so it is the global minimum
+   of the cycle — a correctly elected leader.  False minima never confirm.
+3. The leader starts a *wave*: it requests one of its ring edges with a wave
+   flag.  A wave request is always granted (the granter keeps its one other
+   ring edge), and granting a wave while unsatisfied passes the wave on: the
+   granter requests its remaining ring edge with the wave flag next phase.
+   The wave travels once around the cycle, orienting it consistently, and
+   terminates at the (by then satisfied) leader.
+
+Because only one leader per stuck cycle can ever confirm, there is exactly
+one wave per cycle and no two waves can collide, so the safety margin is
+never violated and the protocol terminates on every input it can reach.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set, Tuple
+
+from repro.local.node import NodeRuntime
+
+__all__ = ["orientation_phases"]
+
+#: Chooses which unoriented edge an unsatisfied node requests this phase.
+#: Receives (node, unoriented neighbours, neighbour-satisfied map).
+RequestChooser = Callable[[NodeRuntime, Set[int], Dict[int, bool]], int]
+
+#: Phases of consecutive denials before a node considers itself stuck.
+_RING_PATIENCE = 3
+
+Stream = Optional[Tuple[int, int]]  # (smallest identifier seen, hop count)
+
+
+def orientation_phases(
+    node: NodeRuntime,
+    unoriented: Set[int],
+    secured: bool,
+    choose_request: RequestChooser,
+):
+    """Generator implementing the request/grant phases (two rounds each).
+
+    Args:
+        node: the executing node.
+        unoriented: incident edges (by neighbour vertex) that still need an
+            orientation; mutated in place as edges get committed.
+        secured: whether the node already has an outgoing edge or is exempt.
+        choose_request: policy picking the requested edge for an unsatisfied
+            node (randomized or deterministic).
+    """
+    neighbor_secured: Dict[int, bool] = {}
+    denied_streak = 0
+    streams: Dict[int, Stream] = {}
+    wave_holder = False
+
+    while unoriented:
+        count = len(unoriented)
+        fallbacks = sum(1 for u in unoriented if neighbor_secured.get(u))
+        ring_mode = (
+            not secured
+            and not wave_holder
+            and fallbacks == 0
+            and count == 2
+            and denied_streak >= _RING_PATIENCE
+        )
+
+        # ---------------- choose this phase's request --------------------
+        request_target: Optional[int] = None
+        wave_request = False
+        if not secured:
+            if wave_holder:
+                # A wave holder forwards the wave over its remaining ring edge.
+                request_target = min(unoriented)
+                wave_request = True
+            else:
+                request_target = choose_request(node, unoriented, neighbor_secured)
+
+        leader = False
+        if ring_mode:
+            leader = any(
+                stream is not None and stream[0] == node.identifier
+                for stream in streams.values()
+            )
+            if leader:
+                # Leadership confirmed: start the wave on the edge the
+                # confirmation arrived from (any ring edge works).
+                confirm_from = [
+                    u for u, s in streams.items() if s is not None and s[0] == node.identifier
+                ]
+                request_target = min(confirm_from)
+                wave_request = True
+                wave_holder = True
+
+        # ---------------- Round 1: statuses, requests, streams -----------
+        outbox: Dict[int, tuple] = {}
+        ring_edges = sorted(unoriented) if ring_mode else []
+        for u in unoriented:
+            stream_out: Stream = None
+            if ring_mode and len(ring_edges) == 2:
+                other = ring_edges[0] if u == ring_edges[1] else ring_edges[1]
+                incoming = streams.get(other)
+                if incoming is None or node.identifier <= incoming[0]:
+                    stream_out = (node.identifier, 0)
+                else:
+                    stream_out = (incoming[0], incoming[1] + 1)
+            outbox[u] = (
+                "req",
+                secured,
+                count,
+                node.identifier,
+                request_target == u,
+                wave_request and request_target == u,
+                stream_out,
+            )
+        inbox = yield outbox
+        statuses: Dict[int, tuple] = {
+            u: msg for u, msg in inbox.items() if u in unoriented and msg[0] == "req"
+        }
+        for u, msg in statuses.items():
+            neighbor_secured[u] = msg[1]
+            streams[u] = msg[6]
+
+        # ---------------- grant decisions --------------------------------
+        requesters = sorted(
+            (msg[3], u) for u, msg in statuses.items() if msg[4]
+        )
+        grants: Set[int] = set()
+        wave_granted: Optional[int] = None
+        if secured:
+            budget = count
+        else:
+            budget = max(0, count - max(1, 2 - fallbacks))
+        for their_id, u in requesters:
+            msg = statuses[u]
+            their_count, is_wave = msg[2], msg[5]
+            if is_wave and (secured or count - len(grants) >= 2):
+                # Wave requests are always honoured while the safety margin
+                # (one remaining edge) can be preserved.
+                grants.add(u)
+                if not secured:
+                    wave_granted = u
+                if budget > 0:
+                    budget -= 1
+                continue
+            if budget <= 0:
+                continue
+            if request_target == u:
+                # Mutual request: the endpoint with the larger (count, id)
+                # concedes; the other one keeps the edge as its out-edge.
+                if (count, node.identifier) <= (their_count, their_id):
+                    continue
+            grants.add(u)
+            budget -= 1
+
+        # ---------------- Round 2: answers -------------------------------
+        inbox = yield {
+            u: ("ans", u in grants, secured, node.identifier) for u in unoriented
+        }
+        answers = {u: msg for u, msg in inbox.items() if u in unoriented and msg[0] == "ans"}
+
+        request_granted = False
+        for u in list(unoriented):
+            head: Optional[int] = None
+            answer = answers.get(u)
+            granted_to_me = answer is not None and answer[1]
+            if u in grants:
+                head = node.vertex  # I granted: the edge points towards me.
+            elif granted_to_me and request_target == u:
+                head = u  # my request was granted: the edge leaves me.
+                secured = True
+                request_granted = True
+            elif answer is not None:
+                _, _, their_secured_now, their_id = answer
+                status = statuses.get(u)
+                they_requested = bool(status[4]) if status else False
+                if secured and their_secured_now and not they_requested and request_target != u:
+                    # Leftover edge between two satisfied nodes.
+                    head = node.vertex if node.identifier < their_id else u
+            if head is None:
+                continue
+            node.commit_edge(u, head)
+            unoriented.discard(u)
+            streams.pop(u, None)
+            if head == u:
+                secured = True
+
+        if wave_granted is not None and not secured:
+            # Granting a wave while unsatisfied passes the wave on.
+            wave_holder = True
+        if secured:
+            wave_holder = False
+
+        if secured or request_target is None or request_granted:
+            denied_streak = 0
+        else:
+            denied_streak += 1

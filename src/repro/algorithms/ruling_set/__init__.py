@@ -1,0 +1,6 @@
+"""Ruling set algorithms (Theorems 2 and 3)."""
+
+from repro.algorithms.ruling_set.deterministic import DeterministicRulingSet
+from repro.algorithms.ruling_set.randomized import RandomizedTwoTwoRulingSet
+
+__all__ = ["RandomizedTwoTwoRulingSet", "DeterministicRulingSet"]

@@ -1,0 +1,84 @@
+"""Randomized (2, 2)-ruling set with node-averaged complexity O(1) (Theorem 2).
+
+The algorithm iterates the following constant-round procedure on the graph
+induced by the still-undecided nodes:
+
+1. every node marks itself with probability ``1 / (deg(v) + 1)`` (degrees in
+   the current, shrinking graph);
+2. a marked node joins the ruling set ``S`` if it has no marked *higher
+   priority* neighbour, where ``w`` has higher priority than ``v`` if
+   ``deg(w) > deg(v)``, or ``deg(w) = deg(v)`` and ``ID(w) > ID(v)``;
+3. every node within distance 2 of a new ``S``-node is deleted (it commits
+   "not in the ruling set") and the procedure recurses on the rest.
+
+Theorem 2 shows that each iteration deletes a constant fraction of the nodes
+in expectation (at least half the nodes are "good" and each good node is
+deleted with constant probability), so the node-averaged complexity is O(1) —
+in sharp contrast with the Ω(min{log Δ / log log Δ, √(log n / log log n)})
+node-averaged lower bound for MIS (Theorem 16), even though a (2,2)-ruling
+set is only a minimal relaxation of MIS ( = (2,1)-ruling set).
+
+Each iteration costs four communication rounds: degree exchange, mark
+exchange, join announcement, and one more round of "S is nearby" propagation.
+"""
+
+from __future__ import annotations
+
+from repro.local.coroutine import CoroutineAlgorithm
+from repro.local.node import NodeRuntime
+
+__all__ = ["RandomizedTwoTwoRulingSet"]
+
+
+class RandomizedTwoTwoRulingSet(CoroutineAlgorithm):
+    """Theorem 2: randomized (2,2)-ruling set, node outputs are membership flags."""
+
+    name = "randomized-(2,2)-ruling-set"
+    randomized = True
+    uses_identifiers = True  # used only to break priority ties
+
+    def run(self, node: NodeRuntime):
+        if node.degree == 0:
+            node.commit(True)
+            return
+
+        while not node.has_committed:
+            # Round 1: discover which neighbours are still undecided and learn
+            # their current degrees (degree = number of undecided neighbours).
+            inbox = yield {u: "active" for u in node.neighbors}
+            active_neighbors = set(inbox)
+            degree = len(active_neighbors)
+            if degree == 0:
+                # Isolated in the residual graph: no undecided neighbour can
+                # cover this node, so it must join the ruling set itself.
+                node.commit(True)
+                return
+
+            # Round 2: mark with probability 1/(deg+1) and exchange
+            # (degree, identifier, marked) triples for the priority rule.
+            marked = node.rng.random() < 1.0 / (degree + 1)
+            inbox = yield {u: (degree, node.identifier, marked) for u in active_neighbors}
+            joins = False
+            if marked:
+                my_priority = (degree, node.identifier)
+                joins = not any(
+                    m and (d, i) > my_priority for d, i, m in inbox.values()
+                )
+            if joins:
+                node.commit(True)
+
+            # Round 3: announce membership; distance-1 nodes learn about S.
+            inbox = yield {u: joins for u in active_neighbors}
+            near_one = joins or any(inbox.values())
+
+            # Round 4: propagate one more hop; distance-2 nodes learn about S.
+            inbox = yield {u: near_one for u in active_neighbors}
+            near_two = near_one or any(inbox.values())
+
+            # Everyone within distance 2 of S retires; survivors re-announce
+            # themselves at the start of the next iteration, which keeps the
+            # residual graph consistent without an extra round.
+            if near_two and not node.has_committed:
+                node.commit(False)
+            if node.has_committed:
+                return

@@ -1,0 +1,6 @@
+"""Experiment sweeps and table rendering for the benchmark harness."""
+
+from repro.analysis.sweep import SweepPoint, network_from, sweep
+from repro.analysis.tables import format_sweep, format_table
+
+__all__ = ["sweep", "SweepPoint", "network_from", "format_table", "format_sweep"]

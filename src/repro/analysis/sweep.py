@@ -1,0 +1,110 @@
+"""Parameter sweeps for the benchmark harness.
+
+A sweep runs one or more algorithms over a family of networks (e.g. growing
+``n`` or growing ``Δ``), measures every averaged-complexity notion for each
+combination, and returns the rows that the benchmark scripts print and that
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.experiment import run_trials
+from repro.core.metrics import ComplexityMeasurement, measure
+from repro.core.problems import ProblemSpec
+from repro.local.algorithm import NodeAlgorithm
+from repro.local.network import Network
+from repro.local.runner import Runner
+
+__all__ = ["SweepPoint", "sweep", "network_from"]
+
+AlgorithmFactory = Callable[[Network], NodeAlgorithm]
+ProblemFactory = Callable[[Network], ProblemSpec]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (parameter value, algorithm) measurement of a sweep."""
+
+    parameter: str
+    value: object
+    measurement: ComplexityMeasurement
+
+    def as_row(self) -> Dict[str, object]:
+        row = {"parameter": self.parameter, "value": self.value}
+        row.update(self.measurement.as_dict())
+        return row
+
+
+def network_from(graph: nx.Graph, seed: int = 0, id_scheme: str = "permuted") -> Network:
+    """Wrap a graph into a network with the benchmark's default ID scheme."""
+    return Network.from_graph(graph, id_scheme=id_scheme, rng=random.Random(seed))
+
+
+def sweep(
+    parameter: str,
+    values: Sequence[object],
+    graph_factory: Callable[[object], nx.Graph],
+    algorithms: Dict[str, Tuple[AlgorithmFactory, ProblemFactory]],
+    trials: int = 3,
+    seed: int = 0,
+    max_rounds: int = 20_000,
+    validate: bool = True,
+) -> List[SweepPoint]:
+    """Run a one-dimensional parameter sweep.
+
+    Args:
+        parameter: name of the swept parameter (for reporting).
+        values: the parameter values.
+        graph_factory: builds the workload graph for a parameter value.
+        algorithms: mapping from a display name to a pair
+            ``(algorithm_factory, problem_factory)``; both factories receive
+            the constructed :class:`Network` so that algorithms can consume
+            global knowledge such as Δ or the identifier bit length.
+        trials: independent executions per (value, algorithm) pair.
+        seed: base randomness.
+        max_rounds: round cap of the runner.
+        validate: assert solution validity on every trial.
+
+    Returns:
+        One :class:`SweepPoint` per (value, algorithm) combination, in order.
+    """
+    points: List[SweepPoint] = []
+    runner = Runner(max_rounds=max_rounds)
+    for index, value in enumerate(values):
+        graph = graph_factory(value)
+        network = network_from(graph, seed=seed + index)
+        for name, (algorithm_factory, problem_factory) in algorithms.items():
+            problem = problem_factory(network)
+            traces = run_trials(
+                lambda: algorithm_factory(network),
+                network,
+                problem,
+                trials=trials,
+                seed=seed + 1000 * index,
+                runner=runner,
+                validate=validate,
+            )
+            measurement = measure(traces)
+            # Attach the display name chosen by the caller rather than the
+            # algorithm's own name, so that two configurations of the same
+            # algorithm can be compared in one sweep.
+            measurement = ComplexityMeasurement(
+                algorithm=name,
+                problem=measurement.problem,
+                n=measurement.n,
+                m=measurement.m,
+                trials=measurement.trials,
+                node_averaged=measurement.node_averaged,
+                edge_averaged=measurement.edge_averaged,
+                node_expected=measurement.node_expected,
+                edge_expected=measurement.edge_expected,
+                worst_case=measurement.worst_case,
+            )
+            points.append(SweepPoint(parameter=parameter, value=value, measurement=measurement))
+    return points

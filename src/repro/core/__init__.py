@@ -1,0 +1,5 @@
+"""Core measurement framework: problems, traces, metrics, experiments."""
+
+from repro.core import experiment, metrics, problems, trace
+
+__all__ = ["problems", "metrics", "trace", "experiment"]

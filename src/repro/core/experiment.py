@@ -1,0 +1,86 @@
+"""Trial running and aggregation helpers.
+
+Randomized averaged complexities are expectations, so a single execution is a
+noisy estimate.  The helpers here run an algorithm several times (with
+different seeds) on the same network, validate every produced solution, and
+aggregate the traces into a :class:`~repro.core.metrics.ComplexityMeasurement`.
+
+The functions take an *algorithm factory* (a zero-argument callable returning
+a fresh :class:`~repro.local.algorithm.NodeAlgorithm`) rather than an
+algorithm instance, so that algorithms are free to keep per-execution
+configuration on ``self`` without leaking state across trials.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.core.metrics import ComplexityMeasurement, measure
+from repro.core.problems import ProblemSpec
+from repro.core.trace import ExecutionTrace
+from repro.local.algorithm import NodeAlgorithm
+from repro.local.network import Network
+from repro.local.runner import Runner
+
+__all__ = ["run_trials", "evaluate"]
+
+AlgorithmFactory = Callable[[], NodeAlgorithm]
+
+
+def run_trials(
+    algorithm_factory: AlgorithmFactory,
+    network: Network,
+    problem: ProblemSpec,
+    trials: int = 5,
+    seed: int = 0,
+    runner: Optional[Runner] = None,
+    validate: bool = True,
+) -> List[ExecutionTrace]:
+    """Run ``trials`` independent executions and return their traces.
+
+    Args:
+        algorithm_factory: builds a fresh algorithm instance per trial.
+        network: the communication graph.
+        problem: problem specification used for termination, completion-time
+            semantics, and (optionally) validation.
+        trials: number of independent executions.
+        seed: base seed; trial ``i`` uses ``seed + i``.
+        runner: runner to use (a default strict runner when omitted).
+        validate: assert that every trial produced a valid solution.
+
+    Returns:
+        One :class:`ExecutionTrace` per trial.
+    """
+    if trials < 1:
+        raise ValueError("trials must be at least 1")
+    active_runner = runner or Runner()
+    traces: List[ExecutionTrace] = []
+    for i in range(trials):
+        algorithm = algorithm_factory()
+        trace = active_runner.run(algorithm, network, problem, seed=seed + i)
+        if validate:
+            trace.require_valid()
+        traces.append(trace)
+    return traces
+
+
+def evaluate(
+    algorithm_factory: AlgorithmFactory,
+    network: Network,
+    problem: ProblemSpec,
+    trials: int = 5,
+    seed: int = 0,
+    runner: Optional[Runner] = None,
+    validate: bool = True,
+) -> ComplexityMeasurement:
+    """Run trials and aggregate them into a single complexity measurement."""
+    traces = run_trials(
+        algorithm_factory,
+        network,
+        problem,
+        trials=trials,
+        seed=seed,
+        runner=runner,
+        validate=validate,
+    )
+    return measure(traces)

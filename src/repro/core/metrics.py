@@ -1,0 +1,240 @@
+"""Averaged complexity measures (Definition 1 and Appendix A of the paper).
+
+Given one or several :class:`~repro.core.trace.ExecutionTrace` objects
+(several traces of the same algorithm on the same graph correspond to the
+expectation over the algorithm's randomness), this module computes:
+
+* the **node-averaged complexity** ``AVG_V`` — average over nodes of the
+  expected completion time,
+* the **edge-averaged complexity** ``AVG_E`` — average over edges of the
+  expected completion time,
+* the **weighted** node/edge-averaged complexities ``AVG^w`` of Appendix A,
+* the **node/edge expected complexity** ``EXP`` of Appendix A — the maximum
+  over nodes/edges of the expected completion time,
+* the **worst-case complexity** — maximum completion time over everything.
+
+The paper's chain of inequalities (Appendix A)
+
+    ``AVG_V(P) ≤ AVG^w_V(P) ≤ EXP_V(P) ≤ WORST_V(P)``
+
+holds per graph for the worst-case weight distribution; the helper
+:func:`complexity_hierarchy` reports all four measured quantities so the
+benchmarks can verify the chain empirically (with the weighted value computed
+for a caller-supplied or worst-case-per-node weighting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.trace import ExecutionTrace
+
+__all__ = [
+    "node_averaged_complexity",
+    "edge_averaged_complexity",
+    "worst_case_complexity",
+    "weighted_node_averaged_complexity",
+    "weighted_edge_averaged_complexity",
+    "node_expected_complexity",
+    "edge_expected_complexity",
+    "ComplexityMeasurement",
+    "measure",
+    "complexity_hierarchy",
+]
+
+Edge = Tuple[int, int]
+
+
+def _as_list(traces: "ExecutionTrace | Iterable[ExecutionTrace]") -> List[ExecutionTrace]:
+    if isinstance(traces, ExecutionTrace):
+        return [traces]
+    traces = list(traces)
+    if not traces:
+        raise ValueError("at least one execution trace is required")
+    first = traces[0]
+    for t in traces[1:]:
+        if t.network is not first.network and t.network.n != first.network.n:
+            raise ValueError("all traces must come from executions on the same network")
+    return traces
+
+
+def _expected_node_times(traces: List[ExecutionTrace]) -> List[float]:
+    n = traces[0].network.n
+    sums = [0.0] * n
+    for trace in traces:
+        for v, t in enumerate(trace.node_completion_times()):
+            sums[v] += t
+    return [s / len(traces) for s in sums]
+
+
+def _expected_edge_times(traces: List[ExecutionTrace]) -> List[float]:
+    m = traces[0].network.m
+    sums = [0.0] * m
+    for trace in traces:
+        for i, t in enumerate(trace.edge_completion_times()):
+            sums[i] += t
+    return [s / len(traces) for s in sums]
+
+
+# ---------------------------------------------------------------------- #
+# Definition 1
+# ---------------------------------------------------------------------- #
+
+
+def node_averaged_complexity(traces: "ExecutionTrace | Iterable[ExecutionTrace]") -> float:
+    """``AVG_V``: average over nodes of the expected completion time."""
+    ts = _as_list(traces)
+    expected = _expected_node_times(ts)
+    if not expected:
+        return 0.0
+    return mean(expected)
+
+
+def edge_averaged_complexity(traces: "ExecutionTrace | Iterable[ExecutionTrace]") -> float:
+    """``AVG_E``: average over edges of the expected completion time."""
+    ts = _as_list(traces)
+    expected = _expected_edge_times(ts)
+    if not expected:
+        return 0.0
+    return mean(expected)
+
+
+def worst_case_complexity(traces: "ExecutionTrace | Iterable[ExecutionTrace]") -> int:
+    """Maximum completion time over all trials, nodes and edges."""
+    ts = _as_list(traces)
+    return max(trace.worst_case_rounds() for trace in ts)
+
+
+# ---------------------------------------------------------------------- #
+# Appendix A notions
+# ---------------------------------------------------------------------- #
+
+
+def weighted_node_averaged_complexity(
+    traces: "ExecutionTrace | Iterable[ExecutionTrace]",
+    weights: Optional[Mapping[int, float]] = None,
+) -> float:
+    """``AVG^w_V``: weighted average of expected node completion times.
+
+    When ``weights`` is omitted the *worst-case* weight distribution is used:
+    all weight is placed on the slowest node, which makes the weighted value
+    coincide with the node expected complexity (the supremum over weight
+    distributions, as in Appendix A).
+    """
+    ts = _as_list(traces)
+    expected = _expected_node_times(ts)
+    if not expected:
+        return 0.0
+    if weights is None:
+        return max(expected)
+    total = sum(weights.get(v, 0.0) for v in range(len(expected)))
+    if total <= 0:
+        raise ValueError("weights must have positive total mass")
+    return sum(weights.get(v, 0.0) * expected[v] for v in range(len(expected))) / total
+
+
+def weighted_edge_averaged_complexity(
+    traces: "ExecutionTrace | Iterable[ExecutionTrace]",
+    weights: Optional[Mapping[Edge, float]] = None,
+) -> float:
+    """``AVG^w_E``: weighted average of expected edge completion times."""
+    ts = _as_list(traces)
+    expected = _expected_edge_times(ts)
+    if not expected:
+        return 0.0
+    edges = list(ts[0].network.edges)
+    if weights is None:
+        return max(expected)
+    total = sum(weights.get(e, 0.0) for e in edges)
+    if total <= 0:
+        raise ValueError("weights must have positive total mass")
+    return sum(weights.get(e, 0.0) * expected[i] for i, e in enumerate(edges)) / total
+
+
+def node_expected_complexity(traces: "ExecutionTrace | Iterable[ExecutionTrace]") -> float:
+    """``EXP_V``: maximum over nodes of the expected completion time."""
+    ts = _as_list(traces)
+    expected = _expected_node_times(ts)
+    return max(expected) if expected else 0.0
+
+
+def edge_expected_complexity(traces: "ExecutionTrace | Iterable[ExecutionTrace]") -> float:
+    """``EXP_E``: maximum over edges of the expected completion time."""
+    ts = _as_list(traces)
+    expected = _expected_edge_times(ts)
+    return max(expected) if expected else 0.0
+
+
+# ---------------------------------------------------------------------- #
+# Bundled measurement
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ComplexityMeasurement:
+    """All complexity measures of one algorithm on one graph (over trials)."""
+
+    algorithm: str
+    problem: str
+    n: int
+    m: int
+    trials: int
+    node_averaged: float
+    edge_averaged: float
+    node_expected: float
+    edge_expected: float
+    worst_case: int
+
+    def as_dict(self) -> Dict[str, object]:
+        """Dictionary form, convenient for table rendering."""
+        return {
+            "algorithm": self.algorithm,
+            "problem": self.problem,
+            "n": self.n,
+            "m": self.m,
+            "trials": self.trials,
+            "node_averaged": round(self.node_averaged, 3),
+            "edge_averaged": round(self.edge_averaged, 3),
+            "node_expected": round(self.node_expected, 3),
+            "edge_expected": round(self.edge_expected, 3),
+            "worst_case": self.worst_case,
+        }
+
+
+def measure(traces: "ExecutionTrace | Iterable[ExecutionTrace]") -> ComplexityMeasurement:
+    """Compute every complexity measure for a collection of traces."""
+    ts = _as_list(traces)
+    first = ts[0]
+    return ComplexityMeasurement(
+        algorithm=first.algorithm_name,
+        problem=first.problem.name,
+        n=first.network.n,
+        m=first.network.m,
+        trials=len(ts),
+        node_averaged=node_averaged_complexity(ts),
+        edge_averaged=edge_averaged_complexity(ts),
+        node_expected=node_expected_complexity(ts),
+        edge_expected=edge_expected_complexity(ts),
+        worst_case=worst_case_complexity(ts),
+    )
+
+
+def complexity_hierarchy(
+    traces: "ExecutionTrace | Iterable[ExecutionTrace]",
+    node_weights: Optional[Mapping[int, float]] = None,
+) -> Dict[str, float]:
+    """The Appendix A chain ``AVG_V ≤ AVG^w_V ≤ EXP_V ≤ WORST_V`` for node measures.
+
+    Returns a dictionary with keys ``avg``, ``weighted_avg``, ``expected`` and
+    ``worst``; with the default (worst-case) weighting, ``weighted_avg`` equals
+    ``expected`` and the chain is guaranteed to be monotone.
+    """
+    ts = _as_list(traces)
+    return {
+        "avg": node_averaged_complexity(ts),
+        "weighted_avg": weighted_node_averaged_complexity(ts, node_weights),
+        "expected": node_expected_complexity(ts),
+        "worst": float(worst_case_complexity(ts)),
+    }

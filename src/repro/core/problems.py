@@ -1,0 +1,346 @@
+"""Graph problem specifications and validity checkers.
+
+A :class:`ProblemSpec` declares which entities of the graph carry outputs
+(nodes, edges, or both) and how to check a complete output assignment for
+validity.  The declaration of *which* entities carry outputs matters beyond
+validation: the paper's Definition 1 ties the completion time of a node to
+the commitment of its own output **and** of the outputs of its incident
+edges (and symmetrically for edges), so the averaged-complexity computation
+in :mod:`repro.core.trace` consults the problem spec.
+
+The concrete problems of the paper are provided as module-level constants /
+factories:
+
+* :data:`MIS` — maximal independent set (node outputs ``True``/``False``).
+* :func:`ruling_set` — ``(α, β)``-ruling sets (node outputs).
+* :data:`MAXIMAL_MATCHING` — maximal matching (edge outputs ``True``/``False``).
+* :func:`coloring` — proper vertex colouring with a bound on the palette.
+* :data:`SINKLESS_ORIENTATION` — sinkless orientation (edge outputs give the
+  head of the edge; no node may have out-degree 0), for graphs of minimum
+  degree ≥ 3 as in Theorem 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+import networkx as nx
+
+__all__ = [
+    "ValidationResult",
+    "ProblemSpec",
+    "MIS",
+    "MAXIMAL_MATCHING",
+    "SINKLESS_ORIENTATION",
+    "ruling_set",
+    "coloring",
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "is_ruling_set",
+    "is_matching",
+    "is_maximal_matching",
+    "is_proper_coloring",
+    "is_sinkless_orientation",
+]
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ValidationResult:
+    """Outcome of validating an output assignment."""
+
+    valid: bool
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """Specification of a distributed graph problem.
+
+    Attributes:
+        name: human-readable problem name.
+        labels_nodes: whether the problem assigns an output to every node.
+        labels_edges: whether the problem assigns an output to every edge.
+        validator: callable ``(graph, node_outputs, edge_outputs) -> ValidationResult``
+            checking a complete assignment.  ``graph`` is a networkx graph on
+            vertices ``0..n-1``; ``node_outputs`` maps vertex → output;
+            ``edge_outputs`` maps canonical edge ``(u, v), u < v`` → output.
+        params: free-form parameters of the problem instance (e.g. α, β for
+            ruling sets, the palette size for colouring).
+    """
+
+    name: str
+    labels_nodes: bool
+    labels_edges: bool
+    validator: Callable[[nx.Graph, Mapping[int, Any], Mapping[Edge, Any]], ValidationResult]
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def validate(
+        self,
+        graph: nx.Graph,
+        node_outputs: Optional[Mapping[int, Any]] = None,
+        edge_outputs: Optional[Mapping[Edge, Any]] = None,
+    ) -> ValidationResult:
+        """Check a complete output assignment against this problem."""
+        node_outputs = dict(node_outputs or {})
+        edge_outputs = dict(edge_outputs or {})
+        if self.labels_nodes:
+            missing = [v for v in graph.nodes() if v not in node_outputs]
+            if missing:
+                return ValidationResult(False, f"missing node outputs for {missing[:5]}")
+        if self.labels_edges:
+            missing_edges = [
+                e for e in (_canon(u, v) for u, v in graph.edges()) if e not in edge_outputs
+            ]
+            if missing_edges:
+                return ValidationResult(False, f"missing edge outputs for {missing_edges[:5]}")
+        return self.validator(graph, node_outputs, edge_outputs)
+
+
+def _canon(u: int, v: int) -> Edge:
+    return (u, v) if u < v else (v, u)
+
+
+# ---------------------------------------------------------------------- #
+# Independent sets, MIS and ruling sets
+# ---------------------------------------------------------------------- #
+
+
+def is_independent_set(graph: nx.Graph, selected: Mapping[int, Any]) -> bool:
+    """Whether the nodes with truthy output form an independent set."""
+    return all(not (selected.get(u) and selected.get(v)) for u, v in graph.edges())
+
+
+def is_maximal_independent_set(graph: nx.Graph, selected: Mapping[int, Any]) -> ValidationResult:
+    """Check that the truthy nodes form a *maximal* independent set."""
+    if not is_independent_set(graph, selected):
+        return ValidationResult(False, "selected set is not independent")
+    for v in graph.nodes():
+        if selected.get(v):
+            continue
+        if not any(selected.get(u) for u in graph.neighbors(v)):
+            return ValidationResult(False, f"node {v} is uncovered (not maximal)")
+    return ValidationResult(True)
+
+
+def is_ruling_set(
+    graph: nx.Graph, selected: Mapping[int, Any], alpha: int, beta: int
+) -> ValidationResult:
+    """Check an ``(α, β)``-ruling set.
+
+    Any two selected nodes must be at distance ≥ α and every unselected node
+    must have a selected node within distance ≤ β.
+    """
+    members = [v for v in graph.nodes() if selected.get(v)]
+    member_set = set(members)
+    if not members and graph.number_of_nodes() > 0:
+        return ValidationResult(False, "ruling set is empty")
+    # Domination: BFS from all members simultaneously up to depth beta.
+    dist: Dict[int, int] = {v: 0 for v in members}
+    frontier = list(members)
+    depth = 0
+    while frontier and depth < beta:
+        depth += 1
+        new_frontier = []
+        for v in frontier:
+            for u in graph.neighbors(v):
+                if u not in dist:
+                    dist[u] = depth
+                    new_frontier.append(u)
+        frontier = new_frontier
+    uncovered = [v for v in graph.nodes() if v not in dist]
+    if uncovered:
+        return ValidationResult(
+            False, f"{len(uncovered)} nodes (e.g. {uncovered[:5]}) have no ruler within distance {beta}"
+        )
+    # Independence at distance alpha: BFS from each member up to depth alpha-1.
+    for s in members:
+        seen = {s: 0}
+        frontier = [s]
+        for d in range(1, alpha):
+            nxt = []
+            for v in frontier:
+                for u in graph.neighbors(v):
+                    if u not in seen:
+                        seen[u] = d
+                        nxt.append(u)
+                        if u in member_set and u != s:
+                            return ValidationResult(
+                                False,
+                                f"rulers {s} and {u} are at distance {d} < {alpha}",
+                            )
+            frontier = nxt
+    return ValidationResult(True)
+
+
+def _mis_validator(
+    graph: nx.Graph, node_outputs: Mapping[int, Any], _: Mapping[Edge, Any]
+) -> ValidationResult:
+    return is_maximal_independent_set(graph, node_outputs)
+
+
+MIS = ProblemSpec(
+    name="maximal-independent-set",
+    labels_nodes=True,
+    labels_edges=False,
+    validator=_mis_validator,
+)
+
+
+def ruling_set(alpha: int, beta: int) -> ProblemSpec:
+    """Problem spec for ``(α, β)``-ruling sets (node outputs are membership flags)."""
+    if alpha < 1 or beta < 1:
+        raise ValueError("ruling set parameters must be positive")
+
+    def _validator(
+        graph: nx.Graph, node_outputs: Mapping[int, Any], _: Mapping[Edge, Any]
+    ) -> ValidationResult:
+        return is_ruling_set(graph, node_outputs, alpha, beta)
+
+    return ProblemSpec(
+        name=f"({alpha},{beta})-ruling-set",
+        labels_nodes=True,
+        labels_edges=False,
+        validator=_validator,
+        params={"alpha": alpha, "beta": beta},
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Matchings
+# ---------------------------------------------------------------------- #
+
+
+def is_matching(graph: nx.Graph, edge_outputs: Mapping[Edge, Any]) -> bool:
+    """Whether the truthy edges form a matching (no shared endpoint)."""
+    matched_nodes = set()
+    for (u, v), value in edge_outputs.items():
+        if not value:
+            continue
+        if u in matched_nodes or v in matched_nodes:
+            return False
+        matched_nodes.add(u)
+        matched_nodes.add(v)
+    return True
+
+
+def is_maximal_matching(graph: nx.Graph, edge_outputs: Mapping[Edge, Any]) -> ValidationResult:
+    """Check that the truthy edges form a *maximal* matching of ``graph``."""
+    for (u, v), value in edge_outputs.items():
+        if value and not graph.has_edge(u, v):
+            return ValidationResult(False, f"matched edge ({u}, {v}) is not in the graph")
+    if not is_matching(graph, edge_outputs):
+        return ValidationResult(False, "selected edges are not a matching")
+    matched_nodes = set()
+    for (u, v), value in edge_outputs.items():
+        if value:
+            matched_nodes.add(u)
+            matched_nodes.add(v)
+    for u, v in graph.edges():
+        if u not in matched_nodes and v not in matched_nodes:
+            return ValidationResult(False, f"edge ({u}, {v}) could be added (not maximal)")
+    return ValidationResult(True)
+
+
+def _matching_validator(
+    graph: nx.Graph, _: Mapping[int, Any], edge_outputs: Mapping[Edge, Any]
+) -> ValidationResult:
+    return is_maximal_matching(graph, edge_outputs)
+
+
+MAXIMAL_MATCHING = ProblemSpec(
+    name="maximal-matching",
+    labels_nodes=False,
+    labels_edges=True,
+    validator=_matching_validator,
+)
+
+
+# ---------------------------------------------------------------------- #
+# Colouring
+# ---------------------------------------------------------------------- #
+
+
+def is_proper_coloring(
+    graph: nx.Graph, node_outputs: Mapping[int, Any], num_colors: Optional[int] = None
+) -> ValidationResult:
+    """Check a proper vertex colouring, optionally bounding the palette size."""
+    for u, v in graph.edges():
+        if node_outputs.get(u) == node_outputs.get(v):
+            return ValidationResult(False, f"edge ({u}, {v}) is monochromatic")
+    if num_colors is not None:
+        used = {node_outputs[v] for v in graph.nodes()}
+        bad = [c for c in used if not (isinstance(c, int) and 0 <= c < num_colors)]
+        if bad:
+            return ValidationResult(
+                False, f"colours {bad[:5]} are outside the allowed palette [0, {num_colors})"
+            )
+    return ValidationResult(True)
+
+
+def coloring(num_colors: Optional[int] = None, name: Optional[str] = None) -> ProblemSpec:
+    """Problem spec for proper vertex colouring with palette ``[0, num_colors)``."""
+
+    def _validator(
+        graph: nx.Graph, node_outputs: Mapping[int, Any], _: Mapping[Edge, Any]
+    ) -> ValidationResult:
+        return is_proper_coloring(graph, node_outputs, num_colors)
+
+    label = name or (f"{num_colors}-coloring" if num_colors is not None else "coloring")
+    return ProblemSpec(
+        name=label,
+        labels_nodes=True,
+        labels_edges=False,
+        validator=_validator,
+        params={"num_colors": num_colors},
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Sinkless orientation
+# ---------------------------------------------------------------------- #
+
+
+def is_sinkless_orientation(
+    graph: nx.Graph, edge_outputs: Mapping[Edge, Any], min_degree: int = 3
+) -> ValidationResult:
+    """Check a sinkless orientation.
+
+    The output of edge ``(u, v)`` (with ``u < v``) is the vertex the edge
+    points *towards* (its head).  Every node of degree ≥ ``min_degree`` must
+    have at least one outgoing edge.  Nodes of smaller degree are exempt, as
+    in the paper the problem is only posed for minimum degree ≥ 3.
+    """
+    out_degree: Dict[int, int] = {v: 0 for v in graph.nodes()}
+    for (u, v), head in edge_outputs.items():
+        if not graph.has_edge(u, v):
+            return ValidationResult(False, f"oriented edge ({u}, {v}) is not in the graph")
+        if head not in (u, v):
+            return ValidationResult(
+                False, f"edge ({u}, {v}) oriented towards {head}, which is not an endpoint"
+            )
+        tail = u if head == v else v
+        out_degree[tail] += 1
+    for v in graph.nodes():
+        if graph.degree(v) >= min_degree and out_degree[v] == 0:
+            return ValidationResult(False, f"node {v} (degree {graph.degree(v)}) is a sink")
+    return ValidationResult(True)
+
+
+def _sinkless_validator(
+    graph: nx.Graph, _: Mapping[int, Any], edge_outputs: Mapping[Edge, Any]
+) -> ValidationResult:
+    return is_sinkless_orientation(graph, edge_outputs)
+
+
+SINKLESS_ORIENTATION = ProblemSpec(
+    name="sinkless-orientation",
+    labels_nodes=False,
+    labels_edges=True,
+    validator=_sinkless_validator,
+)

@@ -1,0 +1,170 @@
+"""Execution traces: per-node and per-edge commit times and outputs.
+
+An :class:`ExecutionTrace` is what the runner returns after simulating an
+algorithm.  It records, for every node and every edge, the round at which the
+corresponding output was committed, and derives the paper's *completion
+times*:
+
+* a node ``v`` has completed its computation as soon as ``v`` **and all its
+  incident edges** have committed their outputs;
+* an edge ``e = {u, v}`` has completed as soon as ``e`` **and both its
+  endpoints** have committed their outputs.
+
+For problems that only label nodes (MIS, colouring, ruling sets) the edge
+side of the condition is vacuous, so a node completes when its own label is
+fixed and an edge completes when both endpoint labels are fixed — exactly the
+reading spelled out in Section 2 of the paper.  Symmetrically for problems
+that only label edges (matching, orientations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.problems import ProblemSpec, ValidationResult
+
+__all__ = ["ExecutionTrace"]
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class ExecutionTrace:
+    """Result of one execution of a distributed algorithm.
+
+    Attributes:
+        network: the :class:`repro.local.network.Network` the algorithm ran on.
+        problem: the problem being solved (drives completion-time semantics).
+        node_outputs: committed node outputs, vertex → value.
+        node_commit_round: vertex → round of the node-output commit.
+        edge_outputs: committed edge outputs, canonical edge → value.
+        edge_commit_round: canonical edge → round of the edge-output commit.
+        rounds: number of communication rounds executed.
+        completed: whether all required outputs were committed before the
+            round limit.
+        total_messages: number of point-to-point messages sent.
+        max_message_bits: rough upper bound on the largest message size in
+            bits (only tracked when the runner is asked to).
+        algorithm_name: name of the executed algorithm (for reports).
+    """
+
+    network: Any
+    problem: ProblemSpec
+    node_outputs: Dict[int, Any] = field(default_factory=dict)
+    node_commit_round: Dict[int, int] = field(default_factory=dict)
+    edge_outputs: Dict[Edge, Any] = field(default_factory=dict)
+    edge_commit_round: Dict[Edge, int] = field(default_factory=dict)
+    rounds: int = 0
+    completed: bool = True
+    total_messages: int = 0
+    max_message_bits: Optional[int] = None
+    algorithm_name: str = ""
+
+    # ------------------------------------------------------------------ #
+    # Completion times (Definition 1 semantics)
+    # ------------------------------------------------------------------ #
+
+    def node_completion_time(self, v: int) -> int:
+        """Round at which node ``v`` completed its computation."""
+        times: List[int] = []
+        if self.problem.labels_nodes:
+            times.append(self._node_round(v))
+        if self.problem.labels_edges:
+            for u in self.network.neighbors(v):
+                times.append(self._edge_round(_canon(v, u)))
+        if not times:
+            return 0
+        return max(times)
+
+    def edge_completion_time(self, u: int, v: int) -> int:
+        """Round at which edge ``{u, v}`` completed its computation."""
+        e = _canon(u, v)
+        times: List[int] = []
+        if self.problem.labels_edges:
+            times.append(self._edge_round(e))
+        if self.problem.labels_nodes:
+            times.append(self._node_round(u))
+            times.append(self._node_round(v))
+        if not times:
+            return 0
+        return max(times)
+
+    def node_completion_times(self) -> List[int]:
+        """Completion times of all nodes, indexed by vertex."""
+        return [self.node_completion_time(v) for v in self.network.vertices]
+
+    def edge_completion_times(self) -> List[int]:
+        """Completion times of all edges, in the network's edge order."""
+        return [self.edge_completion_time(u, v) for u, v in self.network.edges]
+
+    def worst_case_rounds(self) -> int:
+        """Maximum completion time over all nodes and edges."""
+        candidates = [0]
+        candidates.extend(self.node_completion_times())
+        candidates.extend(self.edge_completion_times())
+        return max(candidates)
+
+    def _node_round(self, v: int) -> int:
+        if v not in self.node_commit_round:
+            # Uncommitted entities are charged the full execution length; this
+            # only happens for incomplete executions (round-limit hit).
+            return self.rounds
+        return self.node_commit_round[v]
+
+    def _edge_round(self, e: Edge) -> int:
+        if e not in self.edge_commit_round:
+            return self.rounds
+        return self.edge_commit_round[e]
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+
+    def validate(self) -> ValidationResult:
+        """Check the committed outputs against the problem specification."""
+        graph = self.network.to_networkx()
+        return self.problem.validate(graph, self.node_outputs, self.edge_outputs)
+
+    def require_valid(self) -> "ExecutionTrace":
+        """Raise ``AssertionError`` unless the outputs are a valid solution."""
+        result = self.validate()
+        if not result:
+            raise AssertionError(
+                f"{self.algorithm_name or 'algorithm'} produced an invalid "
+                f"{self.problem.name} solution: {result.reason}"
+            )
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors
+    # ------------------------------------------------------------------ #
+
+    def selected_nodes(self) -> List[int]:
+        """Vertices whose committed output is truthy (e.g. MIS members)."""
+        return [v for v, value in self.node_outputs.items() if value]
+
+    def selected_edges(self) -> List[Edge]:
+        """Edges whose committed output is truthy (e.g. matching edges)."""
+        return [e for e, value in self.edge_outputs.items() if value]
+
+    def summary(self) -> Dict[str, Any]:
+        """Small dictionary of headline numbers for quick inspection."""
+        node_times = self.node_completion_times()
+        edge_times = self.edge_completion_times()
+        return {
+            "algorithm": self.algorithm_name,
+            "problem": self.problem.name,
+            "n": self.network.n,
+            "m": self.network.m,
+            "rounds": self.rounds,
+            "completed": self.completed,
+            "node_averaged": sum(node_times) / len(node_times) if node_times else 0.0,
+            "edge_averaged": sum(edge_times) / len(edge_times) if edge_times else 0.0,
+            "worst_case": self.worst_case_rounds(),
+            "total_messages": self.total_messages,
+        }
+
+
+def _canon(u: int, v: int) -> Edge:
+    return (u, v) if u < v else (v, u)

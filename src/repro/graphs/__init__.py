@@ -1,0 +1,13 @@
+"""Workload graph generators, girth utilities, and transforms."""
+
+from repro.graphs import generators, girth, transforms
+from repro.graphs.transforms import line_graph, power_graph, two_copies_with_perfect_matching
+
+__all__ = [
+    "generators",
+    "girth",
+    "transforms",
+    "line_graph",
+    "power_graph",
+    "two_copies_with_perfect_matching",
+]

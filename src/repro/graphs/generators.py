@@ -1,0 +1,239 @@
+"""Workload graph generators.
+
+All generators return :class:`networkx.Graph` objects on vertices ``0..n-1``
+so they can be handed directly to :class:`repro.local.network.Network`.  They
+cover the graph families the paper's results talk about:
+
+* cycles and paths (Feuilloley's Ω(log* n) deterministic node-averaged bound),
+* bounded-degree and d-regular graphs (the O(1) node-averaged regime for
+  Luby-style algorithms),
+* trees (the worst-case MIS lower bound of Theorem 16),
+* general random graphs with a degree parameter (the Δ sweeps of the
+  benchmark harness),
+* graphs of minimum degree ≥ 3 with controllable girth (sinkless
+  orientation, Theorem 6).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+__all__ = [
+    "cycle_graph",
+    "path_graph",
+    "complete_graph",
+    "star_graph",
+    "grid_graph",
+    "random_regular_graph",
+    "erdos_renyi_graph",
+    "random_bipartite_regular_graph",
+    "random_tree",
+    "complete_binary_tree",
+    "spider_tree",
+    "bounded_degree_graph",
+    "min_degree_graph",
+    "relabel_to_integers",
+]
+
+
+def relabel_to_integers(graph: nx.Graph) -> nx.Graph:
+    """Relabel an arbitrary graph to consecutive integer vertices ``0..n-1``."""
+    mapping = {v: i for i, v in enumerate(graph.nodes())}
+    return nx.relabel_nodes(graph, mapping, copy=True)
+
+
+def cycle_graph(n: int) -> nx.Graph:
+    """The n-cycle ``C_n`` (requires ``n ≥ 3``)."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 nodes")
+    return nx.cycle_graph(n)
+
+
+def path_graph(n: int) -> nx.Graph:
+    """The path on ``n`` nodes."""
+    if n < 1:
+        raise ValueError("a path needs at least 1 node")
+    return nx.path_graph(n)
+
+
+def complete_graph(n: int) -> nx.Graph:
+    """The complete graph ``K_n``."""
+    if n < 1:
+        raise ValueError("a complete graph needs at least 1 node")
+    return nx.complete_graph(n)
+
+
+def star_graph(leaves: int) -> nx.Graph:
+    """A star with one centre and ``leaves`` leaves (``n = leaves + 1``)."""
+    if leaves < 1:
+        raise ValueError("a star needs at least one leaf")
+    return nx.star_graph(leaves)
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """The ``rows × cols`` grid, relabelled to integer vertices."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    return relabel_to_integers(nx.grid_2d_graph(rows, cols))
+
+
+def random_regular_graph(degree: int, n: int, seed: int = 0) -> nx.Graph:
+    """A uniformly random ``degree``-regular simple graph on ``n`` nodes.
+
+    ``degree * n`` must be even and ``degree < n``.
+    """
+    if degree < 0 or n <= degree:
+        raise ValueError("need 0 <= degree < n")
+    if (degree * n) % 2 != 0:
+        raise ValueError("degree * n must be even")
+    return nx.random_regular_graph(degree, n, seed=seed)
+
+
+def erdos_renyi_graph(n: int, expected_degree: float, seed: int = 0) -> nx.Graph:
+    """An Erdős–Rényi graph ``G(n, p)`` with ``p = expected_degree / (n - 1)``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if n == 1:
+        g = nx.Graph()
+        g.add_node(0)
+        return g
+    p = min(1.0, max(0.0, expected_degree / (n - 1)))
+    return nx.gnp_random_graph(n, p, seed=seed)
+
+
+def random_bipartite_regular_graph(
+    left: int, right: int, left_degree: int, seed: int = 0
+) -> nx.Graph:
+    """A random bipartite graph where every left node has degree ``left_degree``.
+
+    Right-side degrees are ``left * left_degree / right`` on average; when
+    ``left * left_degree`` is a multiple of ``right`` the construction is
+    biregular (every right node has exactly that degree), which is the shape
+    of the inter-cluster connections of the KMW construction.
+    """
+    if left < 1 or right < 1:
+        raise ValueError("both sides must be non-empty")
+    if not 0 <= left_degree <= right:
+        raise ValueError("left_degree must be between 0 and right")
+    rng = random.Random(seed)
+    total = left * left_degree
+    if total % right != 0:
+        # Fall back to a non-biregular random assignment.
+        g = nx.Graph()
+        g.add_nodes_from(range(left + right))
+        for u in range(left):
+            for v in rng.sample(range(left, left + right), left_degree):
+                g.add_edge(u, v)
+        return g
+    right_degree = total // right
+    # Configuration-style construction: repeat each left node `left_degree`
+    # times, each right node `right_degree` times, and match the two lists.
+    left_slots = [u for u in range(left) for _ in range(left_degree)]
+    right_slots = [v for v in range(left, left + right) for _ in range(right_degree)]
+    for _ in range(200):
+        rng.shuffle(right_slots)
+        pairs = set(zip(left_slots, right_slots))
+        if len(pairs) == total:  # no parallel edges
+            g = nx.Graph()
+            g.add_nodes_from(range(left + right))
+            g.add_edges_from(pairs)
+            return g
+    # Deterministic fallback: round-robin assignment (always simple).
+    g = nx.Graph()
+    g.add_nodes_from(range(left + right))
+    for u in range(left):
+        for j in range(left_degree):
+            v = left + (u * left_degree + j) % right
+            g.add_edge(u, v)
+    return g
+
+
+def random_tree(n: int, seed: int = 0) -> nx.Graph:
+    """A uniformly random labelled tree on ``n`` nodes (Prüfer-based)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if n <= 2:
+        return nx.path_graph(n)
+    rng = random.Random(seed)
+    prufer = [rng.randrange(n) for _ in range(n - 2)]
+    return nx.from_prufer_sequence(prufer)
+
+
+def complete_binary_tree(depth: int) -> nx.Graph:
+    """The complete binary tree of the given depth (``2^(depth+1) - 1`` nodes)."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    return relabel_to_integers(nx.balanced_tree(2, depth))
+
+
+def spider_tree(legs: int, leg_length: int) -> nx.Graph:
+    """A spider: ``legs`` paths of length ``leg_length`` glued at a centre."""
+    if legs < 1 or leg_length < 1:
+        raise ValueError("legs and leg_length must be positive")
+    g = nx.Graph()
+    g.add_node(0)
+    next_vertex = 1
+    for _ in range(legs):
+        prev = 0
+        for _ in range(leg_length):
+            g.add_edge(prev, next_vertex)
+            prev = next_vertex
+            next_vertex += 1
+    return g
+
+
+def bounded_degree_graph(n: int, max_degree: int, seed: int = 0) -> nx.Graph:
+    """A random graph with maximum degree at most ``max_degree``.
+
+    Built by sampling random candidate edges and keeping those that do not
+    violate the degree bound; dense enough to be interesting, sparse enough to
+    keep the degree cap exact.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if max_degree < 0:
+        raise ValueError("max_degree must be non-negative")
+    rng = random.Random(seed)
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    if n < 2 or max_degree == 0:
+        return g
+    attempts = 4 * n * max(1, max_degree)
+    for _ in range(attempts):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v or g.has_edge(u, v):
+            continue
+        if g.degree(u) >= max_degree or g.degree(v) >= max_degree:
+            continue
+        g.add_edge(u, v)
+    return g
+
+
+def min_degree_graph(n: int, min_degree: int, seed: int = 0) -> nx.Graph:
+    """A random graph where every node has degree at least ``min_degree``.
+
+    Starts from a ``min_degree``-regular random graph when parity allows, and
+    otherwise from a Hamiltonian cycle augmented with random edges until the
+    minimum-degree constraint is met.  Used for sinkless-orientation
+    workloads (minimum degree ≥ 3).
+    """
+    if n <= min_degree:
+        raise ValueError("need n > min_degree")
+    if (n * min_degree) % 2 == 0:
+        return nx.random_regular_graph(min_degree, n, seed=seed)
+    rng = random.Random(seed)
+    g = nx.cycle_graph(n)
+    vertices: List[int] = list(range(n))
+    guard = 0
+    while min(dict(g.degree()).values()) < min_degree and guard < 100 * n:
+        guard += 1
+        low = [v for v in vertices if g.degree(v) < min_degree]
+        u = rng.choice(low)
+        v = rng.choice(vertices)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g

@@ -1,0 +1,76 @@
+"""Algorithm interface for the synchronous LOCAL / CONGEST simulator.
+
+A distributed algorithm is written from the perspective of a single node as a
+:class:`NodeAlgorithm` subclass with three callbacks:
+
+* :meth:`NodeAlgorithm.init` — executed before the first round ("round 0").
+  A node may already commit its output here (e.g. an isolated node in a
+  matching algorithm outputs "unmatched" without communicating).
+* :meth:`NodeAlgorithm.send` — produce the messages for the current round, as
+  a mapping from neighbour vertex to message payload.
+* :meth:`NodeAlgorithm.receive` — consume the messages delivered this round
+  and update local state / commit outputs.
+
+The runner drives all nodes in lock step, so one call to ``send`` plus one
+call to ``receive`` per node constitutes one synchronous round, exactly the
+round complexity counted in the paper.
+
+Messages can be arbitrary Python objects in the LOCAL model.  Algorithms that
+claim CONGEST bounds should keep messages to ``O(log n)``-bit payloads (small
+tuples of integers/booleans); :class:`repro.local.runner.Runner` can verify
+this with ``congest_check=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.local.node import NodeRuntime
+
+__all__ = ["NodeAlgorithm"]
+
+
+class NodeAlgorithm:
+    """Base class for node-centric synchronous distributed algorithms.
+
+    Subclasses typically store only *per-execution configuration* on ``self``
+    (probabilities, phase lengths, parameters such as Δ or n if the algorithm
+    assumes global knowledge of them) and keep all per-node state inside
+    ``node.state``.  A single algorithm instance is shared by every node of an
+    execution, mirroring the fact that every node runs the same code.
+    """
+
+    #: Human-readable algorithm name used in experiment reports.
+    name: str = "node-algorithm"
+
+    #: Whether the algorithm uses unique identifiers (deterministic symmetry
+    #: breaking).  Purely informational.
+    uses_identifiers: bool = True
+
+    #: Whether the algorithm uses private randomness.  Purely informational.
+    randomized: bool = False
+
+    def init(self, node: NodeRuntime) -> None:
+        """Initialise the local state of ``node`` (round 0)."""
+
+    def send(self, node: NodeRuntime) -> Dict[int, Any]:
+        """Return messages to deliver this round: ``{neighbor_vertex: payload}``.
+
+        Returning an empty dict (the default) means the node stays silent this
+        round but keeps listening.
+        """
+        return {}
+
+    def receive(self, node: NodeRuntime, messages: Dict[int, Any]) -> None:
+        """Process the messages received this round.
+
+        Args:
+            node: the executing node.
+            messages: mapping from neighbour vertex to the payload it sent
+                this round.  Neighbours that sent nothing are absent.
+        """
+
+    def describe(self) -> str:
+        """One-line description used by the experiment harness."""
+        kind = "randomized" if self.randomized else "deterministic"
+        return f"{self.name} ({kind})"

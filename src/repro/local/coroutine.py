@@ -1,0 +1,85 @@
+"""Coroutine-style node programs.
+
+Writing a multi-phase LOCAL algorithm as explicit ``send`` / ``receive``
+callbacks forces the author to encode a per-node program counter by hand.
+:class:`CoroutineAlgorithm` removes that boilerplate: a subclass implements a
+single generator method :meth:`CoroutineAlgorithm.run` which *yields* the
+messages for the next round and receives the delivered inbox back from the
+``yield`` expression::
+
+    class Example(CoroutineAlgorithm):
+        def run(self, node):
+            inbox = yield {u: node.identifier for u in node.neighbors}
+            smallest = min([node.identifier, *inbox.values()])
+            node.commit(node.identifier == smallest)
+
+Every ``yield`` corresponds to exactly one synchronous round, so round
+counting — and therefore every completion-time stamp — is identical to the
+callback style.  Code executed before the first ``yield`` runs in round 0
+(initialisation); code executed after the ``t``-th ``yield`` resumes while
+processing the messages of round ``t`` and any ``commit`` issued there is
+stamped with round ``t``.
+
+Returning from :meth:`run` halts the node (it stops sending messages).  Nodes
+that have committed but must keep relaying for others simply keep yielding.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+from repro.local.algorithm import NodeAlgorithm
+from repro.local.node import NodeRuntime
+
+__all__ = ["CoroutineAlgorithm"]
+
+Outbox = Dict[int, Any]
+NodeProgram = Generator[Outbox, Dict[int, Any], None]
+
+_PROGRAM_KEY = "_coroutine_program"
+_OUTBOX_KEY = "_coroutine_outbox"
+
+
+class CoroutineAlgorithm(NodeAlgorithm):
+    """Base class for algorithms written as per-node generators."""
+
+    name = "coroutine-algorithm"
+
+    def run(self, node: NodeRuntime) -> NodeProgram:
+        """The per-node program.  Must be a generator; see the module docstring."""
+        raise NotImplementedError
+        yield {}  # pragma: no cover - makes the abstract method a generator
+
+    # ------------------------------------------------------------------ #
+    # NodeAlgorithm plumbing
+    # ------------------------------------------------------------------ #
+
+    def init(self, node: NodeRuntime) -> None:
+        program = self.run(node)
+        node.state[_PROGRAM_KEY] = program
+        self._advance(node, program, None, first=True)
+
+    def send(self, node: NodeRuntime) -> Outbox:
+        return node.state.get(_OUTBOX_KEY) or {}
+
+    def receive(self, node: NodeRuntime, messages: Dict[int, Any]) -> None:
+        program: Optional[NodeProgram] = node.state.get(_PROGRAM_KEY)
+        if program is None:
+            return
+        self._advance(node, program, messages, first=False)
+
+    @staticmethod
+    def _advance(
+        node: NodeRuntime,
+        program: NodeProgram,
+        messages: Optional[Dict[int, Any]],
+        first: bool,
+    ) -> None:
+        try:
+            outbox = next(program) if first else program.send(messages or {})
+        except StopIteration:
+            node.state[_PROGRAM_KEY] = None
+            node.state[_OUTBOX_KEY] = {}
+            node.halt()
+            return
+        node.state[_OUTBOX_KEY] = outbox or {}

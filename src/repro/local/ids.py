@@ -1,0 +1,104 @@
+"""Identifier assignment for LOCAL-model networks.
+
+In the LOCAL model every node is equipped with a unique identifier of
+``O(log n)`` bits.  Lower bounds (and some algorithms, e.g. Linial's colour
+reduction) are sensitive to how these identifiers are chosen, so the
+simulator supports several assignment schemes:
+
+* :func:`sequential_ids` — node ``i`` receives identifier ``i`` (the simplest
+  scheme, convenient for deterministic tests).
+* :func:`random_ids` — identifiers are a uniformly random injection into a
+  polynomially sized identifier space.  This is the assumption used by the
+  KMW-style lower-bound argument in the paper ("IDs are assigned uniformly at
+  random").
+* :func:`permuted_ids` — a uniformly random permutation of ``0..n-1``.
+* :func:`adversarial_interval_ids` — identifiers chosen from widely separated
+  intervals, which is a simple adversarial pattern that maximises the number
+  of rounds used by colour-reduction style algorithms.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = [
+    "sequential_ids",
+    "random_ids",
+    "permuted_ids",
+    "adversarial_interval_ids",
+    "id_bit_length",
+    "validate_ids",
+]
+
+
+def sequential_ids(vertices: Sequence[int]) -> Dict[int, int]:
+    """Assign identifier ``i`` to the ``i``-th vertex in ``vertices``."""
+    return {v: i for i, v in enumerate(vertices)}
+
+
+def random_ids(
+    vertices: Sequence[int],
+    rng: random.Random,
+    id_space_factor: int = 8,
+) -> Dict[int, int]:
+    """Assign distinct identifiers drawn uniformly from ``[0, n^2 * factor)``.
+
+    The identifier space is polynomial in ``n`` so that identifiers fit into
+    ``O(log n)`` bits, as the LOCAL model requires.
+
+    Args:
+        vertices: vertices to label.
+        rng: source of randomness.
+        id_space_factor: multiplicative slack on the ``n^2`` identifier space.
+
+    Returns:
+        Mapping from vertex to identifier.
+    """
+    n = len(vertices)
+    space = max(1, id_space_factor * n * n)
+    chosen = rng.sample(range(space), n)
+    return {v: ident for v, ident in zip(vertices, chosen)}
+
+
+def permuted_ids(vertices: Sequence[int], rng: random.Random) -> Dict[int, int]:
+    """Assign the identifiers ``0..n-1`` in a uniformly random order."""
+    perm: List[int] = list(range(len(vertices)))
+    rng.shuffle(perm)
+    return {v: perm[i] for i, v in enumerate(vertices)}
+
+
+def adversarial_interval_ids(
+    vertices: Sequence[int],
+    gap: int = 1 << 16,
+) -> Dict[int, int]:
+    """Assign identifiers ``0, gap, 2*gap, ...``.
+
+    Widely spread identifiers are a classic adversarial input for iterated
+    colour-reduction algorithms: each reduction step only shaves a logarithm
+    off the identifier length, so large identifier values translate into more
+    rounds.
+    """
+    if gap < 1:
+        raise ValueError("gap must be a positive integer")
+    return {v: i * gap for i, v in enumerate(vertices)}
+
+
+def id_bit_length(ids: Dict[int, int]) -> int:
+    """Number of bits needed to write the largest identifier."""
+    if not ids:
+        return 0
+    return max(int(i).bit_length() for i in ids.values())
+
+
+def validate_ids(ids: Dict[int, int], vertices: Iterable[int]) -> None:
+    """Raise ``ValueError`` unless ``ids`` is an injection defined on ``vertices``."""
+    vertices = list(vertices)
+    missing = [v for v in vertices if v not in ids]
+    if missing:
+        raise ValueError(f"identifiers missing for vertices {missing[:5]}")
+    values = [ids[v] for v in vertices]
+    if len(set(values)) != len(values):
+        raise ValueError("identifiers must be unique")
+    if any(val < 0 for val in values):
+        raise ValueError("identifiers must be non-negative")

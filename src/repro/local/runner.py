@@ -1,0 +1,243 @@
+"""Synchronous round-by-round execution of distributed algorithms.
+
+The :class:`Runner` implements the LOCAL model's synchronous schedule: in
+every round every (still participating) node first produces its outgoing
+messages based on its state at the end of the previous round, then all
+messages are delivered simultaneously, and finally every node processes its
+inbox.  Outputs committed while processing round ``t`` are stamped with round
+``t``; outputs committed in ``init`` or while *producing* round-``t`` messages
+are stamped with ``t - 1`` (they are a function of the node's ``(t-1)``-hop
+neighbourhood only).  These stamps are exactly the individual complexities
+``T_v`` / ``T_e`` of the paper, from which :mod:`repro.core.metrics` computes
+node- and edge-averaged complexities.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.problems import ProblemSpec
+from repro.core.trace import ExecutionTrace
+from repro.local.algorithm import NodeAlgorithm
+from repro.local.network import Network, canonical_edge
+from repro.local.node import CommitError, NodeRuntime
+
+__all__ = ["Runner", "RoundLimitExceeded", "estimate_message_bits"]
+
+
+class RoundLimitExceeded(RuntimeError):
+    """Raised when an execution hits the round limit and ``strict`` is set."""
+
+
+def estimate_message_bits(payload: Any) -> int:
+    """Rough size estimate (in bits) of a message payload.
+
+    Used to sanity-check CONGEST claims: messages should stay within
+    ``O(log n)`` bits.  The estimate is intentionally simple — integers count
+    their bit length, containers sum their elements plus a small per-element
+    overhead, strings count eight bits per character.
+    """
+    if payload is None or isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(1, payload.bit_length() + 1)
+    if isinstance(payload, float):
+        return 64
+    if isinstance(payload, str):
+        return 8 * len(payload)
+    if isinstance(payload, (tuple, list, set, frozenset)):
+        return sum(estimate_message_bits(item) + 2 for item in payload) + 2
+    if isinstance(payload, dict):
+        return sum(
+            estimate_message_bits(k) + estimate_message_bits(v) + 4 for k, v in payload.items()
+        ) + 2
+    # Fallback for exotic payloads (only legitimate in the LOCAL model).
+    return 8 * len(repr(payload))
+
+
+class Runner:
+    """Executes a :class:`NodeAlgorithm` on a :class:`Network`.
+
+    Args:
+        max_rounds: hard cap on the number of communication rounds.  The
+            default is generous enough for every algorithm in this library on
+            the graph sizes used in tests and benchmarks.
+        strict: if ``True``, hitting ``max_rounds`` raises
+            :class:`RoundLimitExceeded`; otherwise the trace is returned with
+            ``completed=False`` and uncommitted entities charged the full
+            execution length.
+        track_message_bits: record the size of the largest message, for
+            CONGEST sanity checks.
+    """
+
+    def __init__(
+        self,
+        max_rounds: int = 10_000,
+        strict: bool = True,
+        track_message_bits: bool = False,
+    ) -> None:
+        if max_rounds < 0:
+            raise ValueError("max_rounds must be non-negative")
+        self.max_rounds = max_rounds
+        self.strict = strict
+        self.track_message_bits = track_message_bits
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        algorithm: NodeAlgorithm,
+        network: Network,
+        problem: ProblemSpec,
+        seed: Optional[int] = None,
+    ) -> ExecutionTrace:
+        """Simulate ``algorithm`` on ``network`` for ``problem``.
+
+        Args:
+            algorithm: the per-node algorithm to execute.
+            network: the communication graph.
+            problem: problem specification; its ``labels_nodes`` /
+                ``labels_edges`` flags define when the execution is complete
+                and how completion times are derived.
+            seed: master seed for all private node randomness.  Two runs with
+                the same seed on the same network are identical.
+
+        Returns:
+            The :class:`ExecutionTrace` of the execution.
+        """
+        master_rng = random.Random(seed)
+        nodes = self._build_nodes(network, master_rng)
+
+        total_messages = 0
+        max_message_bits = 0
+
+        # Round 0: initialisation.
+        for node in nodes:
+            node._current_round = 0
+            algorithm.init(node)
+
+        rounds_executed = 0
+        completed = self._is_complete(network, nodes, problem)
+
+        while not completed and rounds_executed < self.max_rounds:
+            current_round = rounds_executed + 1
+
+            # Phase 1: every participating node produces its messages based on
+            # its state after `rounds_executed` rounds.
+            inboxes: Dict[int, Dict[int, Any]] = {v: {} for v in network.vertices}
+            for node in nodes:
+                if node.halted:
+                    continue
+                outgoing = algorithm.send(node) or {}
+                for target, payload in outgoing.items():
+                    if target not in node.neighbors:
+                        raise ValueError(
+                            f"node {node.vertex} attempted to send to non-neighbour {target}"
+                        )
+                    inboxes[target][node.vertex] = payload
+                    total_messages += 1
+                    if self.track_message_bits:
+                        max_message_bits = max(max_message_bits, estimate_message_bits(payload))
+
+            # Phase 2: simultaneous delivery and processing.
+            for node in nodes:
+                if node.halted:
+                    continue
+                node._current_round = current_round
+                algorithm.receive(node, inboxes[node.vertex])
+
+            rounds_executed = current_round
+            completed = self._is_complete(network, nodes, problem)
+
+        if not completed and self.strict:
+            raise RoundLimitExceeded(
+                f"{algorithm.name} did not finish {problem.name} on a graph with "
+                f"n={network.n}, m={network.m} within {self.max_rounds} rounds"
+            )
+
+        return self._collect_trace(
+            algorithm,
+            network,
+            problem,
+            nodes,
+            rounds_executed,
+            completed,
+            total_messages,
+            max_message_bits if self.track_message_bits else None,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _build_nodes(network: Network, master_rng: random.Random) -> Tuple[NodeRuntime, ...]:
+        nodes = []
+        for v in network.vertices:
+            node_rng = random.Random(master_rng.getrandbits(64))
+            nodes.append(
+                NodeRuntime(
+                    vertex=v,
+                    identifier=network.identifier(v),
+                    neighbors=network.neighbors(v),
+                    rng=node_rng,
+                )
+            )
+        return tuple(nodes)
+
+    @staticmethod
+    def _is_complete(
+        network: Network, nodes: Tuple[NodeRuntime, ...], problem: ProblemSpec
+    ) -> bool:
+        if problem.labels_nodes:
+            if any(not node.has_committed for node in nodes):
+                return False
+        if problem.labels_edges:
+            for u, v in network.edges:
+                if not (nodes[u].has_committed_edge(v) or nodes[v].has_committed_edge(u)):
+                    return False
+        if not problem.labels_nodes and not problem.labels_edges:
+            return all(node.halted for node in nodes)
+        return True
+
+    @staticmethod
+    def _collect_trace(
+        algorithm: NodeAlgorithm,
+        network: Network,
+        problem: ProblemSpec,
+        nodes: Tuple[NodeRuntime, ...],
+        rounds: int,
+        completed: bool,
+        total_messages: int,
+        max_message_bits: Optional[int],
+    ) -> ExecutionTrace:
+        trace = ExecutionTrace(
+            network=network,
+            problem=problem,
+            rounds=rounds,
+            completed=completed,
+            total_messages=total_messages,
+            max_message_bits=max_message_bits,
+            algorithm_name=algorithm.name,
+        )
+        for node in nodes:
+            if node.has_committed:
+                trace.node_outputs[node.vertex] = node.output
+                trace.node_commit_round[node.vertex] = node.output_round or 0
+
+        for u, v in network.edges:
+            edge = canonical_edge(u, v)
+            commits = []
+            if nodes[u].has_committed_edge(v):
+                commits.append((nodes[u]._edge_output_rounds[v], nodes[u].edge_output(v)))
+            if nodes[v].has_committed_edge(u):
+                commits.append((nodes[v]._edge_output_rounds[u], nodes[v].edge_output(u)))
+            if not commits:
+                continue
+            values = {value for _, value in commits}
+            if len(values) > 1:
+                raise CommitError(
+                    f"endpoints of edge ({u}, {v}) committed conflicting outputs: {values}"
+                )
+            trace.edge_outputs[edge] = commits[0][1]
+            trace.edge_commit_round[edge] = min(rnd for rnd, _ in commits)
+        return trace

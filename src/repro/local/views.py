@@ -1,0 +1,158 @@
+"""r-hop views of nodes, and view isomorphism tests.
+
+Section 2 of the paper notes that in the LOCAL model an ``r``-round algorithm
+is equivalent to one in which every node first collects its complete
+``r``-hop neighbourhood and then computes its output from that information;
+the node-averaged complexity is therefore the *average radius* to which nodes
+must know the graph.  This module provides that neighbourhood-collection
+primitive and the notion of (labelled) view isomorphism used by the lower
+bound (Theorem 11: nodes of the special clusters ``S(c0)`` and ``S(c1)`` have
+indistinguishable ``k``-hop views when those views are tree-like).
+
+Views are *anonymous by default*: two views are isomorphic when there is a
+graph isomorphism mapping one centre to the other that preserves the optional
+edge labels.  Identifiers are deliberately not part of the view, matching the
+lower-bound setting where identifiers are assigned uniformly at random and
+hence carry no distinguishing information.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Optional, Tuple
+
+import networkx as nx
+from networkx.algorithms import isomorphism as nx_iso
+
+__all__ = [
+    "ego_view",
+    "view_is_tree",
+    "views_isomorphic",
+    "canonical_view_signature",
+]
+
+Edge = Tuple[int, int]
+EdgeLabeler = Callable[[int, int], Hashable]
+
+
+def ego_view(graph: nx.Graph, center: int, radius: int) -> nx.Graph:
+    """Return the ``radius``-hop view of ``center``.
+
+    The view is the subgraph induced by the nodes at distance at most
+    ``radius`` from the centre, **excluding** the edges between two nodes that
+    are both at distance exactly ``radius`` (those edges cannot be seen in
+    ``radius`` rounds).  The returned graph stores the distance of every node
+    from the centre in the node attribute ``dist`` and marks the centre with
+    ``center=True``.
+    """
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    dist = {center: 0}
+    frontier = [center]
+    for d in range(1, radius + 1):
+        nxt = []
+        for v in frontier:
+            for u in graph.neighbors(v):
+                if u not in dist:
+                    dist[u] = d
+                    nxt.append(u)
+        frontier = nxt
+    view = nx.Graph()
+    for v, d in dist.items():
+        view.add_node(v, dist=d, center=(v == center))
+    for u, v in graph.edges(dist.keys()):
+        if u in dist and v in dist:
+            if dist[u] == radius and dist[v] == radius:
+                continue
+            view.add_edge(u, v)
+    return view
+
+
+def view_is_tree(graph: nx.Graph, center: int, radius: int) -> bool:
+    """Whether the ``radius``-hop view of ``center`` contains no cycle."""
+    view = ego_view(graph, center, radius)
+    return nx.is_forest(view)
+
+
+def views_isomorphic(
+    graph_a: nx.Graph,
+    center_a: int,
+    graph_b: nx.Graph,
+    center_b: int,
+    radius: int,
+    edge_label_a: Optional[EdgeLabeler] = None,
+    edge_label_b: Optional[EdgeLabeler] = None,
+) -> bool:
+    """Test whether two radius-``radius`` views are isomorphic.
+
+    The isomorphism must map ``center_a`` to ``center_b`` and preserve the
+    distance-from-centre layering; when edge labellers are provided it must
+    also preserve edge labels (this is how Theorem 11's labelled
+    indistinguishability is checked).
+    """
+    view_a = ego_view(graph_a, center_a, radius)
+    view_b = ego_view(graph_b, center_b, radius)
+    if view_a.number_of_nodes() != view_b.number_of_nodes():
+        return False
+    if view_a.number_of_edges() != view_b.number_of_edges():
+        return False
+
+    if edge_label_a is not None:
+        for u, v in view_a.edges():
+            view_a[u][v]["label"] = edge_label_a(u, v)
+    if edge_label_b is not None:
+        for u, v in view_b.edges():
+            view_b[u][v]["label"] = edge_label_b(u, v)
+
+    def node_match(attrs_a: Dict, attrs_b: Dict) -> bool:
+        if attrs_a.get("dist") != attrs_b.get("dist"):
+            return False
+        return attrs_a.get("center", False) == attrs_b.get("center", False)
+
+    def edge_match(attrs_a: Dict, attrs_b: Dict) -> bool:
+        return attrs_a.get("label") == attrs_b.get("label")
+
+    matcher = nx_iso.GraphMatcher(
+        view_a,
+        view_b,
+        node_match=node_match,
+        edge_match=edge_match if (edge_label_a or edge_label_b) else None,
+    )
+    return matcher.is_isomorphic()
+
+
+def canonical_view_signature(
+    graph: nx.Graph,
+    center: int,
+    radius: int,
+    edge_label: Optional[EdgeLabeler] = None,
+) -> Hashable:
+    """A canonical, hashable signature of a *tree-like* radius-``radius`` view.
+
+    Two nodes whose views are trees have equal signatures **iff** their views
+    are isomorphic (rooted-tree canonical form with edge labels).  For views
+    containing cycles the signature falls back to a coarse invariant (degree
+    multiset per layer) which is sound for inequality only.
+    """
+    view = ego_view(graph, center, radius)
+    if nx.is_forest(view):
+        return _rooted_tree_signature(view, center, None, edge_label)
+    layers: Dict[int, list] = {}
+    for v, attrs in view.nodes(data=True):
+        layers.setdefault(attrs["dist"], []).append(view.degree(v))
+    return ("non-tree",) + tuple(
+        (d, tuple(sorted(degrees))) for d, degrees in sorted(layers.items())
+    )
+
+
+def _rooted_tree_signature(
+    tree: nx.Graph,
+    root: int,
+    parent: Optional[int],
+    edge_label: Optional[EdgeLabeler],
+) -> Hashable:
+    children = [u for u in tree.neighbors(root) if u != parent]
+    child_sigs = []
+    for child in children:
+        label = edge_label(root, child) if edge_label is not None else None
+        child_sigs.append((label, _rooted_tree_signature(tree, child, root, edge_label)))
+    return tuple(sorted(child_sigs, key=repr))

@@ -1,0 +1,41 @@
+"""The KMW-style lower-bound constructions of Section 4."""
+
+from repro.lowerbound.analysis import (
+    ClusterReport,
+    cluster_reports,
+    max_covered_fraction_of_s0,
+    tree_like_fraction_of_cluster,
+)
+from repro.lowerbound.base_graph import ClusterTreeGraph, build_base_graph
+from repro.lowerbound.cluster_tree import ClusterTreeSkeleton, SkeletonNode
+from repro.lowerbound.isomorphism import (
+    IsomorphismError,
+    find_isomorphism,
+    verify_view_isomorphism,
+)
+from repro.lowerbound.lift import lift_cluster_graph, random_lift
+from repro.lowerbound.matching_construction import (
+    MatchingLowerBoundInstance,
+    build_matching_lower_bound_graph,
+)
+from repro.lowerbound.unfold import tree_view_instance, unfold_view
+
+__all__ = [
+    "ClusterTreeSkeleton",
+    "SkeletonNode",
+    "ClusterTreeGraph",
+    "build_base_graph",
+    "random_lift",
+    "lift_cluster_graph",
+    "find_isomorphism",
+    "verify_view_isomorphism",
+    "IsomorphismError",
+    "tree_view_instance",
+    "unfold_view",
+    "ClusterReport",
+    "cluster_reports",
+    "tree_like_fraction_of_cluster",
+    "max_covered_fraction_of_s0",
+    "MatchingLowerBoundInstance",
+    "build_matching_lower_bound_graph",
+]

@@ -1,0 +1,170 @@
+"""Algorithm 1: the view isomorphism between ``S(c0)`` and ``S(c1)`` nodes.
+
+Theorem 11 states that in any cluster tree graph ``G_k ∈ G_k``, two nodes
+``v0 ∈ S(c0)`` and ``v1 ∈ S(c1)`` whose radius-``k`` views are trees have the
+same view up to distance ``k``.  The proof is constructive: Algorithm 1 (from
+Coupette–Lenzen, adapted to the paper's self-loop labels) walks the two views
+in lockstep and pairs up nodes reached through edges with equal labels,
+putting self-labelled edges first so that the single permissible length
+mismatch between two lists can be repaired (the ``Map`` subroutine).
+
+:func:`find_isomorphism` implements the algorithm and returns the mapping φ;
+:func:`verify_view_isomorphism` independently checks that a returned mapping
+is a label-preserving isomorphism of the two radius-``k`` views, which is how
+the tests and the E8 benchmark confirm Theorem 11 on concrete graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.lowerbound.base_graph import ClusterTreeGraph
+
+__all__ = ["IsomorphismError", "find_isomorphism", "verify_view_isomorphism"]
+
+
+class IsomorphismError(RuntimeError):
+    """Raised when Algorithm 1 cannot pair the two views.
+
+    With tree-like views this never happens (Theorem 11); it typically means
+    one of the two centres sees a cycle within distance ``k``.
+    """
+
+
+def _labelled_neighbors(
+    gk: ClusterTreeGraph, vertex: int, exclude: Optional[int]
+) -> List[List[int]]:
+    """Neighbours of ``vertex`` grouped by label exponent, self edges first."""
+    k = gk.k
+    groups: List[List[Tuple[int, int]]] = [[] for _ in range(k + 2)]
+    for u in gk.graph.neighbors(vertex):
+        if u == exclude:
+            continue
+        exponent, is_self = gk.edge_label(vertex, u)
+        if exponent > k + 1:
+            raise IsomorphismError(
+                f"edge ({vertex}, {u}) carries exponent {exponent} > k+1"
+            )
+        groups[exponent].append((0 if is_self else 1, u))
+    return [[u for _, u in sorted(group)] for group in groups]
+
+
+def find_isomorphism(gk: ClusterTreeGraph, v0: int, v1: int) -> Dict[int, int]:
+    """Run Algorithm 1 and return the mapping φ from the view of ``v0`` to ``v1``.
+
+    Args:
+        gk: a cluster tree graph.
+        v0: a node of ``S(c0)``.
+        v1: a node of ``S(c1)``.
+
+    Returns:
+        A dictionary mapping every node within distance ``k`` of ``v0`` (in
+        the traversal of Algorithm 1) to its partner in the view of ``v1``.
+
+    Raises:
+        IsomorphismError: if the pairing fails (non-tree-like views).
+    """
+    if gk.cluster_of[v0] != gk.skeleton.c0:
+        raise ValueError(f"v0={v0} is not in S(c0)")
+    if gk.cluster_of[v1] != gk.skeleton.c1:
+        raise ValueError(f"v1={v1} is not in S(c1)")
+
+    phi: Dict[int, int] = {v0: v1}
+
+    def map_lists(n_v: List[List[int]], n_w: List[List[int]]) -> None:
+        for group_v, group_w in zip(n_v, n_w):
+            for a, b in zip(group_v, group_w):
+                if a in phi and phi[a] != b:
+                    raise IsomorphismError(
+                        f"node {a} would be mapped to both {phi[a]} and {b}"
+                    )
+                phi[a] = b
+        mismatched = [i for i in range(len(n_v)) if len(n_v[i]) != len(n_w[i])]
+        if not mismatched:
+            return
+        longer_v = [i for i in mismatched if len(n_v[i]) == len(n_w[i]) + 1]
+        longer_w = [i for i in mismatched if len(n_v[i]) + 1 == len(n_w[i])]
+        if len(mismatched) != 2 or len(longer_v) != 1 or len(longer_w) != 1:
+            raise IsomorphismError(
+                "list lengths differ in a pattern Algorithm 1 cannot repair: "
+                + str([(len(a), len(b)) for a, b in zip(n_v, n_w)])
+            )
+        leftover_v = n_v[longer_v[0]][-1]
+        leftover_w = n_w[longer_w[0]][-1]
+        if leftover_v in phi and phi[leftover_v] != leftover_w:
+            raise IsomorphismError(
+                f"node {leftover_v} would be mapped to both {phi[leftover_v]} and {leftover_w}"
+            )
+        phi[leftover_v] = leftover_w
+
+    def walk(v: int, w: int, prev: Optional[int], depth: int) -> None:
+        if depth == 0:
+            return
+        n_v = _labelled_neighbors(gk, v, prev)
+        n_w = _labelled_neighbors(gk, w, phi.get(prev) if prev is not None else None)
+        map_lists(n_v, n_w)
+        for group in n_v:
+            for child in group:
+                walk(child, phi[child], v, depth - 1)
+
+    walk(v0, v1, None, gk.k)
+    return phi
+
+
+def verify_view_isomorphism(
+    gk: ClusterTreeGraph, phi: Dict[int, int], v0: int, v1: int
+) -> bool:
+    """Check that φ is an isomorphism of the two radius-``k`` views.
+
+    The check re-derives the radius-``k`` view of ``v0`` (BFS, excluding edges
+    between two nodes at distance exactly ``k``) and verifies that φ is
+    injective on it, maps ``v0`` to ``v1``, preserves distances from the
+    centre, and maps view edges to view edges.  Edge labels are *not* required
+    to match: Theorem 11 is about the plain LOCAL views (the β-labels are an
+    artefact of the analysis, and Algorithm 1's repair step intentionally
+    pairs one edge of exponent ``i_v`` with one of exponent ``i_w ≠ i_v``).
+    """
+    if phi.get(v0) != v1:
+        return False
+    k = gk.k
+    # BFS the radius-k view of v0.
+    dist = {v0: 0}
+    frontier = [v0]
+    for d in range(1, k + 1):
+        nxt = []
+        for v in frontier:
+            for u in gk.graph.neighbors(v):
+                if u not in dist:
+                    dist[u] = d
+                    nxt.append(u)
+        frontier = nxt
+
+    view_nodes = set(dist)
+    mapped = {phi.get(v) for v in view_nodes}
+    if None in mapped or len(mapped) != len(view_nodes):
+        return False
+
+    dist_w = {v1: 0}
+    frontier = [v1]
+    for d in range(1, k + 1):
+        nxt = []
+        for v in frontier:
+            for u in gk.graph.neighbors(v):
+                if u not in dist_w:
+                    dist_w[u] = d
+                    nxt.append(u)
+        frontier = nxt
+
+    for v in view_nodes:
+        if dist_w.get(phi[v]) != dist[v]:
+            return False
+
+    for v in view_nodes:
+        for u in gk.graph.neighbors(v):
+            if u not in view_nodes:
+                continue
+            if dist[v] == k and dist[u] == k:
+                continue  # edges between two boundary nodes are not part of the view
+            if not gk.graph.has_edge(phi[v], phi[u]):
+                return False
+    return True

@@ -1,0 +1,95 @@
+"""Random lifts of graphs (Lemma 12, construction of [ALM02]).
+
+A lift of order ``q`` replaces every vertex ``v`` by a *fiber* of ``q`` copies
+and every edge ``{u, v}`` by a uniformly random perfect matching between the
+two fibers.  Lemma 12 shows two properties of random lifts that the lower
+bound needs:
+
+* every lifted vertex lies on a short cycle only with small probability
+  (``≤ Δ^ℓ / q`` for cycles of length ≤ ℓ), so almost all vertices have
+  tree-like ``k``-hop views, and
+* lifted cliques keep a small independence number with high probability,
+  so the clusters neighbouring ``S(c0)`` cannot contribute a large
+  independent set.
+
+:func:`random_lift` lifts an arbitrary graph; :func:`lift_cluster_graph`
+lifts a :class:`~repro.lowerbound.base_graph.ClusterTreeGraph` while
+preserving its cluster bookkeeping (a lift of a member of ``G_k`` is again a
+member of ``G_k``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.lowerbound.base_graph import ClusterTreeGraph
+
+__all__ = ["random_lift", "lift_cluster_graph"]
+
+
+def random_lift(
+    graph: nx.Graph, order: int, seed: int = 0
+) -> Tuple[nx.Graph, Dict[int, int]]:
+    """Random lift of ``graph`` of the given ``order``.
+
+    Args:
+        graph: base graph on hashable vertices.
+        order: number of copies per fiber (``q ≥ 1``).
+        seed: randomness for the per-edge matchings.
+
+    Returns:
+        ``(lifted, projection)`` where ``lifted`` is a graph on vertices
+        ``0..q·n-1`` and ``projection`` maps every lifted vertex to the base
+        vertex whose fiber it belongs to (the covering map).
+    """
+    if order < 1:
+        raise ValueError("the order of a lift must be at least 1")
+    rng = random.Random(seed)
+    base_vertices = list(graph.nodes())
+    index_of = {v: i for i, v in enumerate(base_vertices)}
+
+    lifted = nx.Graph()
+    projection: Dict[int, int] = {}
+    for v in base_vertices:
+        for copy in range(order):
+            lifted_vertex = index_of[v] * order + copy
+            lifted.add_node(lifted_vertex)
+            projection[lifted_vertex] = v
+
+    for u, v in graph.edges():
+        permutation = list(range(order))
+        rng.shuffle(permutation)
+        for copy, partner in enumerate(permutation):
+            a = index_of[u] * order + copy
+            b = index_of[v] * order + partner
+            lifted.add_edge(a, b)
+    return lifted, projection
+
+
+def lift_cluster_graph(base: ClusterTreeGraph, order: int, seed: int = 0) -> ClusterTreeGraph:
+    """Lift a cluster-tree graph, preserving its cluster structure.
+
+    Every fiber stays inside the cluster of its base vertex, so the lifted
+    graph satisfies exactly the same biregular degree requirements as the base
+    graph (it is again a member of ``G_k``), while Lemma 12 makes most of its
+    vertices locally tree-like.
+    """
+    lifted, projection = random_lift(base.graph, order, seed=seed)
+    clusters: Dict[int, List[int]] = {c: [] for c in base.clusters}
+    cluster_of: Dict[int, int] = {}
+    for lifted_vertex, base_vertex in projection.items():
+        cluster = base.cluster_of[base_vertex]
+        clusters[cluster].append(lifted_vertex)
+        cluster_of[lifted_vertex] = cluster
+    for members in clusters.values():
+        members.sort()
+    return ClusterTreeGraph(
+        skeleton=base.skeleton,
+        beta=base.beta,
+        graph=lifted,
+        clusters=clusters,
+        cluster_of=cluster_of,
+    )

@@ -1,0 +1,96 @@
+"""The two-copy construction for the maximal-matching lower bound (Theorem 17).
+
+Theorem 17 reuses the KMW matching construction: take two copies of the
+cluster tree graph and add a perfect matching that joins every node to its
+twin in the other copy (staying inside the same cluster).  The construction
+has the properties that
+
+* the two copies of ``S(c0)`` together contain a ``(1 - o(1))`` fraction of
+  all nodes,
+* any maximal matching must contain almost all of the perfect-matching edges
+  between the two copies of ``S(c0)`` (those nodes have no other way to be
+  covered once the small clusters are exhausted), and
+* within ``k`` rounds only an ``o(1)`` fraction of those edges can be added,
+  because the relevant edges all have the same ``k``-hop views.
+
+:func:`build_matching_lower_bound_graph` assembles the graph and returns the
+bookkeeping the E10 benchmark needs (copy maps, the cross matching, and the
+two ``S(c0)`` copies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.graphs.transforms import two_copies_with_perfect_matching
+from repro.lowerbound.base_graph import ClusterTreeGraph, build_base_graph
+from repro.lowerbound.lift import lift_cluster_graph
+
+__all__ = ["MatchingLowerBoundInstance", "build_matching_lower_bound_graph"]
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class MatchingLowerBoundInstance:
+    """The Theorem 17 instance: two copies plus a cross perfect matching."""
+
+    graph: nx.Graph
+    base: ClusterTreeGraph
+    copy_a: Dict[int, int]
+    copy_b: Dict[int, int]
+    cross_matching: List[Edge]
+    s0_copy_a: List[int]
+    s0_copy_b: List[int]
+
+    @property
+    def n(self) -> int:
+        """Total number of nodes of the two-copy graph."""
+        return self.graph.number_of_nodes()
+
+    def s0_fraction(self) -> float:
+        """Fraction of all nodes that lie in the two copies of ``S(c0)``."""
+        return (len(self.s0_copy_a) + len(self.s0_copy_b)) / self.n
+
+    def cross_matching_between_s0(self) -> List[Edge]:
+        """The perfect-matching edges joining the two copies of ``S(c0)``."""
+        s0_a = set(self.s0_copy_a)
+        return [e for e in self.cross_matching if e[0] in s0_a or e[1] in s0_a]
+
+
+def build_matching_lower_bound_graph(
+    k: int,
+    beta: int,
+    lift_order: int = 1,
+    seed: int = 0,
+) -> MatchingLowerBoundInstance:
+    """Build the two-copy matching lower-bound graph of Theorem 17.
+
+    Args:
+        k: lower-bound parameter.
+        beta: cluster parameter (even).
+        lift_order: optional random-lift order applied to the base graph
+            before duplicating (1 = no lift).
+        seed: randomness for the construction.
+
+    Returns:
+        The assembled :class:`MatchingLowerBoundInstance`.
+    """
+    base = build_base_graph(k, beta, seed=seed)
+    if lift_order > 1:
+        base = lift_cluster_graph(base, lift_order, seed=seed + 1)
+
+    union, map_a, map_b, matching = two_copies_with_perfect_matching(base.graph)
+    s0 = base.special_cluster(0)
+    return MatchingLowerBoundInstance(
+        graph=union,
+        base=base,
+        copy_a=map_a,
+        copy_b=map_b,
+        cross_matching=matching,
+        s0_copy_a=sorted(map_a[v] for v in s0),
+        s0_copy_b=sorted(map_b[v] for v in s0),
+    )

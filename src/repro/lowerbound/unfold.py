@@ -1,0 +1,101 @@
+"""Tree unfoldings of cluster tree graphs (the tree instances of Theorem 16).
+
+At laptop scale the random lift cannot push the girth of ``G_k`` beyond the
+trivial bound for ``k ≥ 2`` (the paper needs ``q = β^{Θ(k²)}``), so to verify
+the ``k``-hop indistinguishability of Theorem 11 — and to build the *tree*
+instances used by the worst-case MIS-on-trees lower bound — we unfold the
+radius-``k`` view of a node into a tree (the truncated universal cover).  The
+unfolding of a node ``v`` is exactly the view a LOCAL algorithm running for
+``k`` rounds at ``v`` could see if its neighbourhood were cycle-free, which is
+the premise of Theorem 11.
+
+:func:`tree_view_instance` unfolds the views of one ``S(c0)`` node and one
+``S(c1)`` node into a single (forest) cluster tree graph so that
+:func:`repro.lowerbound.isomorphism.find_isomorphism` can be run on the pair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.lowerbound.base_graph import ClusterTreeGraph
+
+__all__ = ["unfold_view", "tree_view_instance"]
+
+
+def unfold_view(
+    gk: ClusterTreeGraph, center: int, radius: int
+) -> Tuple[nx.Graph, Dict[int, int], int]:
+    """Unfold the radius-``radius`` view of ``center`` into a tree.
+
+    Returns:
+        ``(tree, origin, root)`` where ``tree`` is a tree on fresh integer
+        vertices, ``origin`` maps each tree vertex to the graph vertex it is a
+        copy of, and ``root`` is the tree vertex corresponding to ``center``.
+    """
+    tree = nx.Graph()
+    origin: Dict[int, int] = {}
+    root = 0
+    tree.add_node(root)
+    origin[root] = center
+    frontier: List[Tuple[int, int, int]] = [(root, center, -1)]  # (tree vertex, graph vertex, parent graph vertex)
+    next_vertex = 1
+    for _ in range(radius):
+        new_frontier: List[Tuple[int, int, int]] = []
+        for tree_vertex, graph_vertex, parent_graph_vertex in frontier:
+            for neighbor in gk.graph.neighbors(graph_vertex):
+                if neighbor == parent_graph_vertex:
+                    continue
+                child = next_vertex
+                next_vertex += 1
+                tree.add_edge(tree_vertex, child)
+                origin[child] = neighbor
+                new_frontier.append((child, neighbor, graph_vertex))
+        frontier = new_frontier
+    return tree, origin, root
+
+
+def tree_view_instance(
+    gk: ClusterTreeGraph, v0: int, v1: int, radius: int | None = None
+) -> Tuple[ClusterTreeGraph, int, int]:
+    """Combine the unfolded views of ``v0 ∈ S(c0)`` and ``v1 ∈ S(c1)``.
+
+    Returns a :class:`ClusterTreeGraph` whose graph is the disjoint union of
+    the two unfolded trees (cluster membership inherited from the originals),
+    together with the two roots.  Running Algorithm 1 on this instance
+    exercises Theorem 11 at parameters where high-girth lifts are infeasible,
+    and the instance itself is the tree on which the worst-case MIS lower
+    bound of Theorem 16 operates.
+    """
+    k = gk.k if radius is None else radius
+    tree0, origin0, root0 = unfold_view(gk, v0, k)
+    tree1, origin1, root1 = unfold_view(gk, v1, k)
+
+    union = nx.Graph()
+    offset = tree0.number_of_nodes()
+    union.add_nodes_from(tree0.nodes())
+    union.add_edges_from(tree0.edges())
+    union.add_nodes_from(v + offset for v in tree1.nodes())
+    union.add_edges_from((u + offset, v + offset) for u, v in tree1.edges())
+
+    cluster_of: Dict[int, int] = {}
+    clusters: Dict[int, List[int]] = {c: [] for c in range(len(gk.skeleton))}
+    for vertex in tree0.nodes():
+        cluster = gk.cluster_of[origin0[vertex]]
+        cluster_of[vertex] = cluster
+        clusters[cluster].append(vertex)
+    for vertex in tree1.nodes():
+        cluster = gk.cluster_of[origin1[vertex]]
+        cluster_of[vertex + offset] = cluster
+        clusters[cluster].append(vertex + offset)
+
+    instance = ClusterTreeGraph(
+        skeleton=gk.skeleton,
+        beta=gk.beta,
+        graph=union,
+        clusters=clusters,
+        cluster_of=cluster_of,
+    )
+    return instance, root0, root1 + offset

@@ -1,0 +1,130 @@
+"""Tests for the colouring algorithms and Cole–Vishkin primitives."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.coloring import (
+    FINAL_COLOR_BOUND,
+    RandomizedColoring,
+    colors_after_step,
+    cv_rounds_needed,
+    cv_step,
+)
+from repro.core import problems
+from repro.core.experiment import run_trials
+from repro.core.metrics import node_averaged_complexity
+
+GRAPH_NAMES = ["cycle", "path", "star", "grid", "gnp", "regular4", "tree", "isolated"]
+
+
+class TestRandomizedColoring:
+    @pytest.mark.parametrize("graph_name", GRAPH_NAMES)
+    def test_produces_proper_coloring(self, graph_name, small_graphs, runner, network_factory):
+        graph = small_graphs[graph_name]
+        net = network_factory(graph, seed=1)
+        problem = problems.coloring(net.max_degree() + 1)
+        trace = runner.run(RandomizedColoring(), net, problem, seed=2)
+        assert trace.validate(), trace.validate().reason
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_valid_across_seeds(self, seed, runner, network_factory):
+        net = network_factory(nx.gnp_random_graph(60, 0.1, seed=5), seed=2)
+        problem = problems.coloring(net.max_degree() + 1)
+        trace = runner.run(RandomizedColoring(), net, problem, seed=seed)
+        assert trace.validate()
+
+    def test_uses_degree_plus_one_palette(self, runner, network_factory):
+        net = network_factory(nx.star_graph(10), seed=3)
+        trace = runner.run(RandomizedColoring(), net, problems.coloring(11), seed=0)
+        # Leaves have degree 1 so their colours are 0 or 1.
+        for leaf in range(1, 11):
+            assert trace.node_outputs[leaf] in (0, 1)
+
+    def test_section12_node_average_is_constant(self, runner, network_factory):
+        """Section 1.2: random-colour (Δ+1)-colouring has O(1) node-averaged complexity."""
+        averages = []
+        for degree in (4, 12):
+            net = network_factory(nx.random_regular_graph(degree, 60, seed=6), seed=4)
+            traces = run_trials(
+                RandomizedColoring, net, problems.coloring(degree + 1),
+                trials=3, seed=0, runner=runner,
+            )
+            averages.append(node_averaged_complexity(traces))
+        assert max(averages) <= 8.0
+
+
+class TestColeVishkin:
+    def test_single_step_example(self):
+        # own=0b0110, parent=0b0100 differ in bit 1; bit 1 of own is 1 -> colour 3.
+        assert cv_step(0b0110, 0b0100) == 3
+
+    def test_step_requires_distinct_colors(self):
+        with pytest.raises(ValueError):
+            cv_step(5, 5)
+
+    def test_step_rejects_negative(self):
+        with pytest.raises(ValueError):
+            cv_step(-1, 2)
+
+    @given(st.integers(min_value=0, max_value=2**20), st.integers(min_value=0, max_value=2**20))
+    @settings(max_examples=100, deadline=None)
+    def test_step_preserves_properness(self, a, b):
+        """If two adjacent colours differ, they still differ after one step."""
+        if a == b:
+            return
+        # Simulate parent-child relation both ways: child uses the parent's
+        # colour; the parent itself steps against some third colour.
+        child = cv_step(a, b)
+        parent = cv_step(b, a)
+        assert child != parent
+
+    @given(st.integers(min_value=1, max_value=2**30))
+    @settings(max_examples=100, deadline=None)
+    def test_step_shrinks_large_colors(self, color):
+        other = color ^ 1
+        new = cv_step(color, other)
+        assert new <= 2 * max(1, color.bit_length() - 1) + 1
+
+    def test_colors_after_step_bound(self):
+        assert colors_after_step(64) <= 8
+        assert colors_after_step(8) <= 5
+        assert colors_after_step(1) == 1
+
+    @pytest.mark.parametrize("bits, max_rounds", [(1, 0), (3, 0), (8, 4), (16, 4), (64, 5), (1024, 6)])
+    def test_schedule_length_is_log_star_like(self, bits, max_rounds):
+        assert cv_rounds_needed(bits) <= max_rounds
+
+    @given(st.integers(min_value=1, max_value=4096))
+    @settings(max_examples=60, deadline=None)
+    def test_schedule_reaches_constant_palette(self, bits):
+        """Iterating the per-step bound for the scheduled number of rounds ends < 8."""
+        rounds = cv_rounds_needed(bits)
+        current = bits
+        for _ in range(rounds):
+            current = colors_after_step(current)
+        assert 2**current >= 1
+        assert current <= 3 or rounds == 0
+        if bits <= 3:
+            assert rounds == 0
+        else:
+            assert (1 << current) <= 2 * FINAL_COLOR_BOUND
+
+    def test_chain_reduction_end_to_end(self):
+        """Reduce colours along a long path and confirm properness and palette size."""
+        n = 200
+        colors = {v: v * 37 + 11 for v in range(n)}  # distinct initial colours
+        rounds = cv_rounds_needed(max(colors.values()).bit_length())
+        for _ in range(rounds):
+            new_colors = {}
+            for v in range(n):
+                parent = v + 1 if v + 1 < n else None
+                parent_color = colors[parent] if parent is not None else colors[v] ^ 1
+                new_colors[v] = cv_step(colors[v], parent_color)
+            colors = new_colors
+        for v in range(n - 1):
+            assert colors[v] != colors[v + 1]
+        assert max(colors.values()) < FINAL_COLOR_BOUND

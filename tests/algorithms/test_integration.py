@@ -1,0 +1,137 @@
+"""Cross-cutting integration and property-based tests over the whole stack.
+
+These tests exercise several packages together: graph generators feed the
+simulator, multiple algorithms solve related problems on the same network,
+and the structural identities the paper leans on (maximal matchings are MIS
+of the line graph; an MIS of G^2 is a (3,2)-ruling set of G; every problem's
+averaged complexity respects Definition 1's ordering) are checked end to end.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.matching import RandomizedMaximalMatching
+from repro.algorithms.mis import LocalMinimumMIS, LubyMIS, sequential_greedy_mis
+from repro.algorithms.ruling_set import RandomizedTwoTwoRulingSet
+from repro.core import problems
+from repro.core.metrics import measure
+from repro.core.problems import is_maximal_independent_set, is_ruling_set
+from repro.graphs.transforms import line_graph, power_graph
+from repro.local.network import Network
+from repro.local.runner import Runner
+
+
+def _network(graph: nx.Graph, seed: int = 0) -> Network:
+    return Network.from_graph(graph, id_scheme="permuted", rng=random.Random(seed))
+
+
+class TestStructuralIdentities:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_simulated_matching_is_mis_of_line_graph(self, runner, seed):
+        """Section 1.1: a maximal matching of G is exactly an MIS of its line graph."""
+        g = nx.gnp_random_graph(30, 0.15, seed=seed)
+        net = _network(g, seed=seed)
+        trace = runner.run(RandomizedMaximalMatching(), net, problems.MAXIMAL_MATCHING, seed=seed)
+        matching = set(trace.selected_edges())
+        h, vertex_to_edge = line_graph(g)
+        selected = {i: vertex_to_edge[i] in matching for i in h.nodes()}
+        assert is_maximal_independent_set(h, selected)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_mis_of_square_graph_is_32_ruling_set(self, seed):
+        """An MIS of G² is independent at distance... ≥ 2 in G² (so ≥ 1 in G) and dominates within 2."""
+        g = nx.gnp_random_graph(40, 0.1, seed=seed)
+        square = power_graph(g, 2)
+        mis = sequential_greedy_mis(square)
+        selected = {v: v in mis for v in g.nodes()}
+        # Members are non-adjacent in G² hence at distance ≥ 3 in G; every node
+        # has an MIS member within distance 2 in G.
+        assert is_ruling_set(g, selected, alpha=3, beta=2)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_mis_is_always_a_ruling_set(self, runner, seed):
+        g = nx.random_regular_graph(4, 40, seed=seed)
+        net = _network(g, seed=seed)
+        trace = runner.run(LubyMIS(), net, problems.MIS, seed=seed)
+        selected = {v: bool(trace.node_outputs[v]) for v in net.vertices}
+        assert is_ruling_set(g, selected, alpha=2, beta=1)
+
+
+class TestDefinitionOneOrdering:
+    @pytest.mark.parametrize(
+        "factory,problem_factory",
+        [
+            (LubyMIS, lambda net: problems.MIS),
+            (LocalMinimumMIS, lambda net: problems.MIS),
+            (RandomizedTwoTwoRulingSet, lambda net: problems.ruling_set(2, 2)),
+            (RandomizedMaximalMatching, lambda net: problems.MAXIMAL_MATCHING),
+        ],
+    )
+    def test_averages_never_exceed_worst_case(self, runner, factory, problem_factory):
+        g = nx.gnp_random_graph(50, 0.12, seed=3)
+        net = _network(g, seed=3)
+        trace = runner.run(factory(), net, problem_factory(net), seed=1)
+        m = measure(trace)
+        assert m.node_averaged <= m.worst_case + 1e-9
+        assert m.edge_averaged <= m.worst_case + 1e-9
+        assert m.node_expected <= m.worst_case + 1e-9
+
+    def test_node_problem_edge_average_at_least_node_average(self, runner):
+        """For node-labelled problems edges wait for both endpoints, so AVG_E ≥ AVG_V
+        can fail only through averaging artefacts on isolated nodes; on connected
+        graphs it holds."""
+        g = nx.random_regular_graph(3, 40, seed=4)
+        net = _network(g, seed=4)
+        trace = runner.run(LubyMIS(), net, problems.MIS, seed=2)
+        m = measure(trace)
+        assert m.edge_averaged >= m.node_averaged - 1e-9
+
+    def test_edge_problem_node_average_at_least_edge_average(self, runner):
+        g = nx.random_regular_graph(3, 40, seed=5)
+        net = _network(g, seed=5)
+        trace = runner.run(RandomizedMaximalMatching(), net, problems.MAXIMAL_MATCHING, seed=2)
+        m = measure(trace)
+        assert m.node_averaged >= m.edge_averaged - 1e-9
+
+
+class TestRandomWorkloads:
+    @given(
+        n=st.integers(min_value=5, max_value=45),
+        p=st.floats(min_value=0.05, max_value=0.3),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_luby_mis_valid_on_random_graphs(self, n, p, seed):
+        g = nx.gnp_random_graph(n, p, seed=seed)
+        net = _network(g, seed=seed)
+        trace = Runner(max_rounds=5000).run(LubyMIS(), net, problems.MIS, seed=seed)
+        assert trace.validate()
+
+    @given(
+        n=st.integers(min_value=5, max_value=40),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_matching_valid_on_random_trees(self, n, seed):
+        g = nx.from_prufer_sequence([random.Random(seed).randrange(n) for _ in range(n - 2)]) if n > 2 else nx.path_graph(n)
+        net = _network(g, seed=seed)
+        trace = Runner(max_rounds=5000).run(
+            RandomizedMaximalMatching(), net, problems.MAXIMAL_MATCHING, seed=seed
+        )
+        assert trace.validate()
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_ruling_set_valid_on_random_regular_graphs(self, seed):
+        g = nx.random_regular_graph(4, 30, seed=seed)
+        net = _network(g, seed=seed)
+        trace = Runner(max_rounds=5000).run(
+            RandomizedTwoTwoRulingSet(), net, problems.ruling_set(2, 2), seed=seed
+        )
+        assert trace.validate()

@@ -1,0 +1,127 @@
+"""Tests for the maximal matching algorithms (Theorems 4 and 5)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.matching import (
+    DeterministicMaximalMatching,
+    RandomizedMaximalMatching,
+    maximum_matching_size,
+    random_order_matching,
+    sequential_greedy_matching,
+)
+from repro.core import problems
+from repro.core.experiment import run_trials
+from repro.core.metrics import (
+    edge_averaged_complexity,
+    measure,
+    node_averaged_complexity,
+)
+
+GRAPH_NAMES = ["cycle", "path", "star", "grid", "gnp", "regular4", "tree", "two_triangles", "isolated"]
+ALGORITHMS = [RandomizedMaximalMatching, DeterministicMaximalMatching]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+    @pytest.mark.parametrize("graph_name", GRAPH_NAMES)
+    def test_valid_on_graph_zoo(self, algorithm_cls, graph_name, small_graphs, runner, network_factory):
+        net = network_factory(small_graphs[graph_name], seed=1)
+        trace = runner.run(algorithm_cls(), net, problems.MAXIMAL_MATCHING, seed=3)
+        assert trace.validate(), trace.validate().reason
+
+    @pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_valid_across_seeds(self, algorithm_cls, seed, runner, network_factory):
+        net = network_factory(nx.gnp_random_graph(50, 0.12, seed=7), seed=2)
+        trace = runner.run(algorithm_cls(), net, problems.MAXIMAL_MATCHING, seed=seed)
+        assert trace.validate()
+
+    @pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+    def test_every_edge_gets_an_output(self, algorithm_cls, runner, network_factory):
+        net = network_factory(nx.gnp_random_graph(30, 0.2, seed=8), seed=3)
+        trace = runner.run(algorithm_cls(), net, problems.MAXIMAL_MATCHING, seed=0)
+        assert set(trace.edge_outputs) == set(net.edges)
+
+    @pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+    def test_matching_size_at_least_half_of_maximum(self, algorithm_cls, runner, network_factory):
+        """Any maximal matching is a 1/2-approximation of a maximum matching."""
+        g = nx.gnp_random_graph(40, 0.15, seed=9)
+        net = network_factory(g, seed=4)
+        trace = runner.run(algorithm_cls(), net, problems.MAXIMAL_MATCHING, seed=1)
+        assert 2 * len(trace.selected_edges()) >= maximum_matching_size(g)
+
+    def test_single_edge_graph(self, runner, network_factory):
+        g = nx.Graph([(0, 1)])
+        net = network_factory(g)
+        for algorithm_cls in ALGORITHMS:
+            trace = runner.run(algorithm_cls(), net, problems.MAXIMAL_MATCHING, seed=0)
+            assert trace.edge_outputs[(0, 1)] is True
+
+    def test_deterministic_is_seed_independent(self, runner, network_factory):
+        net = network_factory(nx.gnp_random_graph(40, 0.15, seed=10), seed=5)
+        a = runner.run(DeterministicMaximalMatching(), net, problems.MAXIMAL_MATCHING, seed=0)
+        b = runner.run(DeterministicMaximalMatching(), net, problems.MAXIMAL_MATCHING, seed=42)
+        assert a.edge_outputs == b.edge_outputs
+
+    def test_randomized_marking_factor_validated(self):
+        with pytest.raises(ValueError):
+            RandomizedMaximalMatching(marking_factor=0)
+
+
+class TestAveragedComplexityShape:
+    def test_theorem4_edge_average_much_smaller_than_worst_case(self, runner, network_factory):
+        """Theorem 4: edge-averaged complexity O(1), worst case O(log n)."""
+        net = network_factory(nx.gnp_random_graph(150, 0.06, seed=11), seed=6)
+        traces = run_trials(
+            RandomizedMaximalMatching, net, problems.MAXIMAL_MATCHING,
+            trials=3, seed=0, runner=runner,
+        )
+        m = measure(traces)
+        assert m.edge_averaged <= 25.0
+        assert m.edge_averaged < m.worst_case
+        # Matching labels edges, so the node-averaged complexity (which waits
+        # for *all* incident edges) dominates the edge-averaged one.
+        assert m.node_averaged >= m.edge_averaged - 1e-9
+
+    def test_theorem4_edge_average_flat_in_n(self, runner, network_factory):
+        averages = []
+        for n in (50, 150):
+            net = network_factory(nx.random_regular_graph(4, n, seed=12), seed=7)
+            traces = run_trials(
+                RandomizedMaximalMatching, net, problems.MAXIMAL_MATCHING,
+                trials=3, seed=0, runner=runner,
+            )
+            averages.append(edge_averaged_complexity(traces))
+        assert averages[1] <= 2.0 * averages[0] + 4.0
+
+    def test_theorem5_deterministic_averages_ordered(self, runner, network_factory):
+        """Theorem 5's accounting: edge-averaged ≤ node-averaged ≤ worst case."""
+        net = network_factory(nx.random_regular_graph(8, 80, seed=13), seed=8)
+        trace = runner.run(DeterministicMaximalMatching(), net, problems.MAXIMAL_MATCHING, seed=0)
+        m = measure(trace)
+        assert m.edge_averaged <= m.node_averaged + 1e-9
+        assert m.node_averaged <= m.worst_case + 1e-9
+
+
+class TestSequentialReferences:
+    def test_greedy_matching_valid(self):
+        g = nx.gnp_random_graph(30, 0.2, seed=1)
+        matching = sequential_greedy_matching(g)
+        outputs = {tuple(sorted(e)): tuple(sorted(e)) in matching for e in g.edges()}
+        assert problems.MAXIMAL_MATCHING.validate(g, {}, outputs)
+
+    def test_random_order_matching_valid(self):
+        g = nx.gnp_random_graph(30, 0.2, seed=2)
+        matching = random_order_matching(g, seed=3)
+        outputs = {tuple(sorted(e)): tuple(sorted(e)) in matching for e in g.edges()}
+        assert problems.MAXIMAL_MATCHING.validate(g, {}, outputs)
+
+    def test_maximum_matching_size_on_even_cycle(self):
+        assert maximum_matching_size(nx.cycle_graph(10)) == 5
+
+    def test_greedy_at_least_half_of_maximum(self):
+        g = nx.gnp_random_graph(40, 0.1, seed=4)
+        assert 2 * len(sequential_greedy_matching(g)) >= maximum_matching_size(g)

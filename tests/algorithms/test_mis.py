@@ -1,0 +1,123 @@
+"""Tests for the MIS algorithms (Luby, Ghaffari, deterministic, sequential)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.mis import (
+    GhaffariMIS,
+    LocalMinimumMIS,
+    LubyMIS,
+    exact_maximum_independent_set,
+    greedy_independent_set_lower_bound,
+    random_order_mis,
+    sequential_greedy_mis,
+)
+from repro.core import problems
+from repro.core.experiment import run_trials
+from repro.core.metrics import edge_averaged_complexity, measure, node_averaged_complexity
+
+ALGORITHMS = [LubyMIS, GhaffariMIS, LocalMinimumMIS]
+GRAPH_NAMES = ["cycle", "path", "star", "grid", "gnp", "regular4", "tree", "two_triangles", "isolated"]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+    @pytest.mark.parametrize("graph_name", GRAPH_NAMES)
+    def test_produces_valid_mis(self, algorithm_cls, graph_name, small_graphs, runner, network_factory):
+        net = network_factory(small_graphs[graph_name], seed=3)
+        trace = runner.run(algorithm_cls(), net, problems.MIS, seed=7)
+        assert trace.validate(), trace.validate().reason
+
+    @pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_valid_across_seeds(self, algorithm_cls, seed, runner, network_factory):
+        net = network_factory(nx.gnp_random_graph(50, 0.12, seed=11), seed=2)
+        trace = runner.run(algorithm_cls(), net, problems.MIS, seed=seed)
+        assert trace.validate()
+
+    @pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+    def test_isolated_nodes_decide_in_round_zero(self, algorithm_cls, runner, network_factory):
+        net = network_factory(nx.empty_graph(8))
+        trace = runner.run(algorithm_cls(), net, problems.MIS, seed=0)
+        assert trace.rounds == 0
+        assert all(trace.node_outputs[v] for v in net.vertices)
+
+    @pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+    def test_complete_graph_selects_exactly_one(self, algorithm_cls, runner, network_factory):
+        net = network_factory(nx.complete_graph(12), seed=4)
+        trace = runner.run(algorithm_cls(), net, problems.MIS, seed=1)
+        assert len(trace.selected_nodes()) == 1
+
+    def test_local_minimum_is_deterministic(self, runner, network_factory):
+        net = network_factory(nx.gnp_random_graph(40, 0.15, seed=5), seed=6)
+        a = runner.run(LocalMinimumMIS(), net, problems.MIS, seed=0)
+        b = runner.run(LocalMinimumMIS(), net, problems.MIS, seed=99)
+        assert a.node_outputs == b.node_outputs
+
+    def test_local_minimum_selects_smallest_identifier(self, runner, network_factory):
+        net = network_factory(nx.complete_graph(9), seed=8)
+        trace = runner.run(LocalMinimumMIS(), net, problems.MIS, seed=0)
+        winner = trace.selected_nodes()[0]
+        assert net.identifier(winner) == min(net.identifiers)
+
+    def test_ghaffari_rejects_bad_parameter(self):
+        with pytest.raises(ValueError):
+            GhaffariMIS(initial_desire=0.9)
+
+
+class TestAveragedComplexityShape:
+    def test_luby_edge_averaged_small_on_bounded_degree(self, runner, network_factory):
+        """Luby decides most nodes quickly on constant-degree graphs (Section 1.1)."""
+        net = network_factory(nx.random_regular_graph(4, 80, seed=1), seed=1)
+        traces = run_trials(LubyMIS, net, problems.MIS, trials=3, seed=0, runner=runner)
+        assert node_averaged_complexity(traces) <= 8.0
+        assert edge_averaged_complexity(traces) <= 8.0
+
+    def test_node_average_below_worst_case(self, runner, network_factory):
+        net = network_factory(nx.gnp_random_graph(70, 0.1, seed=2), seed=2)
+        traces = run_trials(LubyMIS, net, problems.MIS, trials=3, seed=0, runner=runner)
+        m = measure(traces)
+        assert m.node_averaged <= m.worst_case
+
+    def test_ghaffari_average_grows_slowly_with_degree(self, runner, network_factory):
+        """The node-averaged cost of degree-adaptive MIS stays small as Δ grows."""
+        values = []
+        for degree in (4, 16):
+            net = network_factory(nx.random_regular_graph(degree, 60, seed=3), seed=3)
+            traces = run_trials(GhaffariMIS, net, problems.MIS, trials=2, seed=0, runner=runner)
+            values.append(node_averaged_complexity(traces))
+        assert values[1] <= 4 * values[0] + 10
+
+
+class TestSequentialReferences:
+    def test_sequential_greedy_is_valid(self):
+        g = nx.gnp_random_graph(40, 0.2, seed=1)
+        mis = sequential_greedy_mis(g)
+        outputs = {v: v in mis for v in g.nodes()}
+        assert problems.MIS.validate(g, outputs, {})
+
+    def test_random_order_is_valid(self):
+        g = nx.gnp_random_graph(40, 0.2, seed=2)
+        mis = random_order_mis(g, seed=5)
+        outputs = {v: v in mis for v in g.nodes()}
+        assert problems.MIS.validate(g, outputs, {})
+
+    def test_greedy_bound_at_most_exact(self):
+        g = nx.gnp_random_graph(18, 0.3, seed=3)
+        exact = exact_maximum_independent_set(g)
+        assert greedy_independent_set_lower_bound(g) <= len(exact)
+
+    def test_exact_mis_on_cycle(self):
+        assert len(exact_maximum_independent_set(nx.cycle_graph(9))) == 4
+        assert len(exact_maximum_independent_set(nx.cycle_graph(10))) == 5
+
+    def test_exact_mis_size_limit(self):
+        with pytest.raises(ValueError):
+            exact_maximum_independent_set(nx.path_graph(60))
+
+    def test_exact_mis_is_independent(self):
+        g = nx.gnp_random_graph(16, 0.35, seed=4)
+        best = exact_maximum_independent_set(g)
+        assert all(not g.has_edge(u, v) for u in best for v in best if u != v)

@@ -1,0 +1,143 @@
+"""Tests for the sinkless orientation algorithms (Theorem 6 and the randomized baseline)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.orientation import (
+    DeterministicSinklessOrientation,
+    RandomizedSinklessOrientation,
+)
+from repro.algorithms.orientation.deterministic import (
+    _cycle_edges,
+    _cycles_through_edge,
+    _preferred_head,
+)
+from repro.core import problems
+from repro.core.experiment import run_trials
+from repro.core.metrics import measure, node_averaged_complexity
+
+ALGORITHMS = [RandomizedSinklessOrientation, DeterministicSinklessOrientation]
+
+
+def _regular_network(network_factory, degree: int, n: int, seed: int):
+    return network_factory(nx.random_regular_graph(degree, n, seed=seed), seed=seed)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+    @pytest.mark.parametrize("degree,n", [(3, 30), (3, 60), (4, 40), (5, 30)])
+    def test_valid_on_regular_graphs(self, algorithm_cls, degree, n, runner, network_factory):
+        net = _regular_network(network_factory, degree, n, seed=degree + n)
+        trace = runner.run(algorithm_cls(), net, problems.SINKLESS_ORIENTATION, seed=1)
+        assert trace.validate(), trace.validate().reason
+
+    @pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_valid_across_seeds(self, algorithm_cls, seed, runner, network_factory):
+        net = _regular_network(network_factory, 3, 80, seed=9)
+        trace = runner.run(algorithm_cls(), net, problems.SINKLESS_ORIENTATION, seed=seed)
+        assert trace.validate()
+
+    @pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+    def test_every_edge_oriented(self, algorithm_cls, runner, network_factory):
+        net = _regular_network(network_factory, 3, 50, seed=5)
+        trace = runner.run(algorithm_cls(), net, problems.SINKLESS_ORIENTATION, seed=0)
+        assert set(trace.edge_outputs) == set(net.edges)
+        for (u, v), head in trace.edge_outputs.items():
+            assert head in (u, v)
+
+    @pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+    def test_every_high_degree_node_has_out_edge(self, algorithm_cls, runner, network_factory):
+        net = _regular_network(network_factory, 4, 40, seed=6)
+        trace = runner.run(algorithm_cls(), net, problems.SINKLESS_ORIENTATION, seed=2)
+        out_degree = {v: 0 for v in net.vertices}
+        for (u, v), head in trace.edge_outputs.items():
+            tail = u if head == v else v
+            out_degree[tail] += 1
+        assert all(out_degree[v] >= 1 for v in net.vertices)
+
+    @pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+    def test_low_degree_graphs_are_exempt_but_oriented(self, algorithm_cls, runner, network_factory):
+        net = network_factory(nx.cycle_graph(12), seed=7)
+        trace = runner.run(algorithm_cls(), net, problems.SINKLESS_ORIENTATION, seed=0)
+        assert trace.validate()
+        assert len(trace.edge_outputs) == net.m
+
+    @pytest.mark.parametrize("algorithm_cls", ALGORITHMS)
+    def test_mixed_degree_graph(self, algorithm_cls, runner, network_factory):
+        g = nx.random_regular_graph(3, 30, seed=8)
+        g.add_edges_from([(30, 0), (30, 1)])  # a degree-2 appendage
+        net = network_factory(g, seed=8)
+        trace = runner.run(algorithm_cls(), net, problems.SINKLESS_ORIENTATION, seed=0)
+        assert trace.validate()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomizedSinklessOrientation(min_degree=0)
+        with pytest.raises(ValueError):
+            DeterministicSinklessOrientation(short_cycle_length=2)
+        with pytest.raises(ValueError):
+            DeterministicSinklessOrientation(min_degree=0)
+
+
+class TestAveragedComplexityShape:
+    def test_randomized_node_average_flat_in_n(self, runner, network_factory):
+        """Section 3.3: the randomized algorithm has node-averaged complexity O(1)."""
+        averages = []
+        for n in (60, 180):
+            net = _regular_network(network_factory, 3, n, seed=11)
+            traces = run_trials(
+                RandomizedSinklessOrientation, net, problems.SINKLESS_ORIENTATION,
+                trials=3, seed=0, runner=runner,
+            )
+            averages.append(node_averaged_complexity(traces))
+        assert max(averages) <= 12.0
+        assert averages[1] <= 2.0 * averages[0] + 4.0
+
+    def test_deterministic_average_below_worst_case(self, runner, network_factory):
+        net = _regular_network(network_factory, 3, 120, seed=12)
+        trace = runner.run(DeterministicSinklessOrientation(), net, problems.SINKLESS_ORIENTATION, seed=0)
+        m = measure(trace)
+        assert m.node_averaged <= m.worst_case
+
+
+class TestShortCycleHelpers:
+    def test_cycles_through_edge_on_triangle_plus_tail(self):
+        edges = {(0, 1), (1, 2), (0, 2), (2, 3)}
+        cycles = _cycles_through_edge(0, 1, edges, max_length=6)
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {0, 1, 2}
+
+    def test_cycles_through_edge_respects_length_cap(self):
+        cycle_edges = {(i, (i + 1) % 8) if i < (i + 1) % 8 else ((i + 1) % 8, i) for i in range(8)}
+        assert _cycles_through_edge(0, 1, cycle_edges, max_length=6) == []
+        assert len(_cycles_through_edge(0, 1, cycle_edges, max_length=8)) == 1
+
+    def test_cycles_through_non_adjacent_pair(self):
+        edges = {(0, 1), (1, 2)}
+        assert _cycles_through_edge(0, 2, edges, max_length=6) == []
+
+    def test_cycle_edges_closes_the_loop(self):
+        assert set(_cycle_edges((0, 1, 2))) == {(0, 1), (1, 2), (0, 2)}
+
+    def test_preferred_head_is_consistent_around_a_cycle(self):
+        identifiers = {0: 10, 1: 5, 2: 7, 3: 20}
+        cycle = (0, 1, 2, 3)
+        out_degree = {v: 0 for v in cycle}
+        for i in range(4):
+            a, b = cycle[i], cycle[(i + 1) % 4]
+            head = _preferred_head(cycle, a, b, identifiers)
+            assert head in (a, b)
+            tail = a if head == b else b
+            out_degree[tail] += 1
+        # A consistent cyclic orientation gives every node out-degree exactly 1.
+        assert all(d == 1 for d in out_degree.values())
+
+    def test_preferred_head_agrees_for_both_endpoints(self):
+        identifiers = {0: 3, 1: 1, 2: 2, 3: 9, 4: 4}
+        cycle = (0, 1, 2, 3, 4)
+        for i in range(5):
+            a, b = cycle[i], cycle[(i + 1) % 5]
+            assert _preferred_head(cycle, a, b, identifiers) == _preferred_head(cycle, b, a, identifiers)

@@ -1,0 +1,118 @@
+"""Tests for the ruling set algorithms (Theorems 2 and 3)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.ruling_set import DeterministicRulingSet, RandomizedTwoTwoRulingSet
+from repro.core import problems
+from repro.core.experiment import run_trials
+from repro.core.metrics import node_averaged_complexity
+
+GRAPH_NAMES = ["cycle", "path", "star", "grid", "gnp", "regular4", "tree", "two_triangles", "isolated"]
+
+
+class TestRandomizedTwoTwoRulingSet:
+    @pytest.mark.parametrize("graph_name", GRAPH_NAMES)
+    def test_valid_on_graph_zoo(self, graph_name, small_graphs, runner, network_factory):
+        net = network_factory(small_graphs[graph_name], seed=1)
+        trace = runner.run(RandomizedTwoTwoRulingSet(), net, problems.ruling_set(2, 2), seed=5)
+        assert trace.validate(), trace.validate().reason
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5])
+    def test_valid_across_seeds(self, seed, runner, network_factory):
+        net = network_factory(nx.gnp_random_graph(60, 0.1, seed=9), seed=2)
+        trace = runner.run(RandomizedTwoTwoRulingSet(), net, problems.ruling_set(2, 2), seed=seed)
+        assert trace.validate()
+
+    def test_output_is_independent_set(self, runner, network_factory):
+        net = network_factory(nx.random_regular_graph(6, 50, seed=3), seed=3)
+        trace = runner.run(RandomizedTwoTwoRulingSet(), net, problems.ruling_set(2, 2), seed=1)
+        selected = set(trace.selected_nodes())
+        for u, v in net.edges:
+            assert not (u in selected and v in selected)
+
+    def test_theorem2_flat_node_average_as_degree_grows(self, runner, network_factory):
+        """Theorem 2: the node-averaged complexity stays O(1) as Δ grows."""
+        averages = []
+        for degree in (4, 8, 16):
+            net = network_factory(nx.random_regular_graph(degree, 60, seed=4), seed=4)
+            traces = run_trials(
+                RandomizedTwoTwoRulingSet, net, problems.ruling_set(2, 2),
+                trials=3, seed=0, runner=runner,
+            )
+            averages.append(node_averaged_complexity(traces))
+        # All values stay within a small constant band (no growth with Δ).
+        assert max(averages) <= 14.0
+        assert max(averages) <= 2.5 * min(averages) + 2.0
+
+    def test_node_average_small_on_complete_graph(self, runner, network_factory):
+        net = network_factory(nx.complete_graph(40), seed=5)
+        traces = run_trials(
+            RandomizedTwoTwoRulingSet, net, problems.ruling_set(2, 2),
+            trials=3, seed=0, runner=runner,
+        )
+        assert node_averaged_complexity(traces) <= 10.0
+
+
+class TestDeterministicRulingSet:
+    @pytest.mark.parametrize("graph_name", GRAPH_NAMES)
+    def test_valid_on_graph_zoo(self, graph_name, small_graphs, runner, network_factory):
+        net = network_factory(small_graphs[graph_name], seed=6)
+        algorithm = DeterministicRulingSet.for_network(net)
+        problem = problems.ruling_set(2, algorithm.coverage_radius)
+        trace = runner.run(algorithm, net, problem, seed=0)
+        assert trace.validate(), trace.validate().reason
+
+    @pytest.mark.parametrize("variant", ["log-delta", "log-log-n"])
+    def test_both_variants_valid(self, variant, runner, network_factory):
+        net = network_factory(nx.gnp_random_graph(70, 0.1, seed=10), seed=7)
+        algorithm = DeterministicRulingSet.for_network(net, variant=variant)
+        problem = problems.ruling_set(2, algorithm.coverage_radius)
+        trace = runner.run(algorithm, net, problem, seed=0)
+        assert trace.validate()
+
+    def test_is_deterministic(self, runner, network_factory):
+        net = network_factory(nx.gnp_random_graph(40, 0.15, seed=11), seed=8)
+        algorithm_factory = lambda: DeterministicRulingSet.for_network(net)
+        a = runner.run(algorithm_factory(), net, problems.ruling_set(2, algorithm_factory().coverage_radius), seed=0)
+        b = runner.run(algorithm_factory(), net, problems.ruling_set(2, algorithm_factory().coverage_radius), seed=77)
+        assert a.node_outputs == b.node_outputs
+
+    def test_coverage_radius_scales_with_iterations(self):
+        assert DeterministicRulingSet(max_iterations=3, id_bits=8).coverage_radius == 4
+        assert DeterministicRulingSet(max_iterations=7, id_bits=8).coverage_radius == 8
+
+    def test_log_delta_variant_iteration_budget(self, network_factory):
+        net = network_factory(nx.random_regular_graph(16, 40, seed=12), seed=9)
+        algorithm = DeterministicRulingSet.for_network(net, variant="log-delta")
+        assert algorithm.max_iterations <= 6  # ceil(log2(17)) = 5
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            DeterministicRulingSet(max_iterations=-1, id_bits=8)
+        with pytest.raises(ValueError):
+            DeterministicRulingSet(max_iterations=2, id_bits=0)
+
+    def test_unknown_variant_rejected(self, network_factory):
+        net = network_factory(nx.path_graph(5))
+        with pytest.raises(ValueError):
+            DeterministicRulingSet.for_network(net, variant="nope")
+
+    def test_adversarial_identifiers_still_valid(self, runner):
+        from repro.local.network import Network
+
+        net = Network.from_graph(nx.gnp_random_graph(40, 0.12, seed=13), id_scheme="adversarial")
+        algorithm = DeterministicRulingSet.for_network(net)
+        problem = problems.ruling_set(2, algorithm.coverage_radius)
+        trace = runner.run(algorithm, net, problem, seed=0)
+        assert trace.validate()
+
+    def test_output_is_independent(self, runner, network_factory):
+        net = network_factory(nx.random_regular_graph(5, 40, seed=14), seed=10)
+        algorithm = DeterministicRulingSet.for_network(net)
+        trace = runner.run(algorithm, net, problems.ruling_set(2, algorithm.coverage_radius), seed=0)
+        selected = set(trace.selected_nodes())
+        for u, v in net.edges:
+            assert not (u in selected and v in selected)

@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.local.network import Network
+from repro.local.runner import Runner
+
+
+@pytest.fixture
+def runner() -> Runner:
+    """A strict runner with a generous round limit."""
+    return Runner(max_rounds=20_000)
+
+
+@pytest.fixture
+def small_graphs() -> dict:
+    """A small zoo of workload graphs covering the paper's graph families."""
+    return {
+        "cycle": nx.cycle_graph(24),
+        "path": nx.path_graph(17),
+        "star": nx.star_graph(12),
+        "grid": nx.convert_node_labels_to_integers(nx.grid_2d_graph(5, 5)),
+        "gnp": nx.gnp_random_graph(40, 0.1, seed=3),
+        "regular4": nx.random_regular_graph(4, 30, seed=4),
+        "tree": nx.bfs_tree(nx.balanced_tree(2, 4), 0).to_undirected(),
+        "two_triangles": nx.disjoint_union(nx.complete_graph(3), nx.complete_graph(3)),
+        "isolated": nx.empty_graph(6),
+    }
+
+
+def make_network(graph: nx.Graph, seed: int = 0) -> Network:
+    """Wrap a graph with permuted identifiers (the tests' default scheme)."""
+    return Network.from_graph(graph, id_scheme="permuted", rng=random.Random(seed))
+
+
+@pytest.fixture
+def network_factory():
+    """Factory fixture building networks with permuted identifiers."""
+    return make_network

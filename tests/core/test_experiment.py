@@ -1,0 +1,71 @@
+"""Tests for the trial-running helpers of repro.core.experiment."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.algorithms.mis import LubyMIS
+from repro.algorithms.ruling_set import RandomizedTwoTwoRulingSet
+from repro.core import problems
+from repro.core.experiment import evaluate, run_trials
+from repro.local.network import Network
+from repro.local.runner import Runner
+
+
+@pytest.fixture
+def small_network():
+    return Network.from_graph(nx.gnp_random_graph(30, 0.15, seed=1), id_scheme="permuted")
+
+
+class TestRunTrials:
+    def test_returns_requested_number_of_traces(self, small_network):
+        traces = run_trials(LubyMIS, small_network, problems.MIS, trials=4, seed=0)
+        assert len(traces) == 4
+        for trace in traces:
+            assert trace.completed
+
+    def test_trials_use_distinct_seeds(self, small_network):
+        traces = run_trials(LubyMIS, small_network, problems.MIS, trials=3, seed=0)
+        outputs = [tuple(sorted(t.selected_nodes())) for t in traces]
+        assert len(set(outputs)) > 1
+
+    def test_same_base_seed_reproduces_results(self, small_network):
+        first = run_trials(LubyMIS, small_network, problems.MIS, trials=2, seed=7)
+        second = run_trials(LubyMIS, small_network, problems.MIS, trials=2, seed=7)
+        assert [t.node_outputs for t in first] == [t.node_outputs for t in second]
+
+    def test_validation_can_be_disabled(self, small_network):
+        traces = run_trials(
+            LubyMIS, small_network, problems.MIS, trials=1, seed=0, validate=False
+        )
+        assert len(traces) == 1
+
+    def test_invalid_trial_count_rejected(self, small_network):
+        with pytest.raises(ValueError):
+            run_trials(LubyMIS, small_network, problems.MIS, trials=0)
+
+    def test_custom_runner_is_used(self, small_network):
+        strict_runner = Runner(max_rounds=1, strict=False)
+        traces = run_trials(
+            LubyMIS, small_network, problems.MIS, trials=1, seed=0,
+            runner=strict_runner, validate=False,
+        )
+        assert traces[0].rounds <= 1
+        assert not traces[0].completed
+
+
+class TestEvaluate:
+    def test_evaluate_aggregates_measurement(self, small_network):
+        measurement = evaluate(LubyMIS, small_network, problems.MIS, trials=3, seed=0)
+        assert measurement.trials == 3
+        assert measurement.n == small_network.n
+        assert measurement.node_averaged <= measurement.worst_case
+
+    def test_evaluate_different_problems(self, small_network):
+        mis = evaluate(LubyMIS, small_network, problems.MIS, trials=2, seed=0)
+        ruling = evaluate(
+            RandomizedTwoTwoRulingSet, small_network, problems.ruling_set(2, 2), trials=2, seed=0
+        )
+        assert mis.problem == "maximal-independent-set"
+        assert ruling.problem == "(2,2)-ruling-set"

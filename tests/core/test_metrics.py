@@ -1,0 +1,158 @@
+"""Tests for completion-time semantics (Definition 1) and complexity metrics."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core import metrics, problems
+from repro.core.trace import ExecutionTrace
+from repro.local.network import Network
+
+
+def _node_problem():
+    return problems.MIS
+
+
+def _edge_problem():
+    return problems.MAXIMAL_MATCHING
+
+
+def _trace_for_node_problem():
+    """A hand-built trace: path 0-1-2, commits at rounds 0, 2, 4."""
+    net = Network.from_graph(nx.path_graph(3))
+    trace = ExecutionTrace(network=net, problem=_node_problem(), rounds=4, algorithm_name="manual")
+    trace.node_outputs = {0: True, 1: False, 2: True}
+    trace.node_commit_round = {0: 0, 1: 2, 2: 4}
+    return trace
+
+
+def _trace_for_edge_problem():
+    """Path 0-1-2-3 with a matching on (0,1); edges decided at rounds 1 and 3."""
+    net = Network.from_graph(nx.path_graph(4))
+    trace = ExecutionTrace(network=net, problem=_edge_problem(), rounds=3, algorithm_name="manual")
+    trace.edge_outputs = {(0, 1): True, (1, 2): False, (2, 3): True}
+    trace.edge_commit_round = {(0, 1): 1, (1, 2): 1, (2, 3): 3}
+    return trace
+
+
+class TestCompletionSemantics:
+    def test_node_problem_node_completion_is_own_commit(self):
+        trace = _trace_for_node_problem()
+        assert trace.node_completion_times() == [0, 2, 4]
+
+    def test_node_problem_edge_completion_is_max_of_endpoints(self):
+        trace = _trace_for_node_problem()
+        # Edges (0,1) and (1,2): completion = max of endpoint commits.
+        assert trace.edge_completion_times() == [2, 4]
+
+    def test_edge_problem_edge_completion_is_own_commit(self):
+        trace = _trace_for_edge_problem()
+        assert trace.edge_completion_times() == [1, 1, 3]
+
+    def test_edge_problem_node_completion_is_max_incident_edge(self):
+        trace = _trace_for_edge_problem()
+        # Node 0 waits for edge (0,1); node 2 waits for edges (1,2) and (2,3).
+        assert trace.node_completion_times() == [1, 1, 3, 3]
+
+    def test_worst_case_is_global_max(self):
+        assert _trace_for_node_problem().worst_case_rounds() == 4
+        assert _trace_for_edge_problem().worst_case_rounds() == 3
+
+    def test_validation_passes_for_consistent_outputs(self):
+        assert _trace_for_node_problem().validate()
+        assert _trace_for_edge_problem().validate()
+
+    def test_require_valid_raises_on_bad_solution(self):
+        trace = _trace_for_node_problem()
+        trace.node_outputs[1] = True  # now 0 and 1 are adjacent and both selected
+        with pytest.raises(AssertionError):
+            trace.require_valid()
+
+    def test_selected_accessors(self):
+        assert _trace_for_node_problem().selected_nodes() == [0, 2]
+        assert _trace_for_edge_problem().selected_edges() == [(0, 1), (2, 3)]
+
+    def test_summary_contains_headline_numbers(self):
+        summary = _trace_for_node_problem().summary()
+        assert summary["n"] == 3 and summary["worst_case"] == 4
+        assert summary["node_averaged"] == pytest.approx(2.0)
+
+
+class TestMetrics:
+    def test_node_averaged_single_trace(self):
+        assert metrics.node_averaged_complexity(_trace_for_node_problem()) == pytest.approx(2.0)
+
+    def test_edge_averaged_single_trace(self):
+        assert metrics.edge_averaged_complexity(_trace_for_edge_problem()) == pytest.approx(5 / 3)
+
+    def test_expectation_over_trials(self):
+        a = _trace_for_node_problem()
+        b = _trace_for_node_problem()
+        b.node_commit_round = {0: 0, 1: 0, 2: 0}
+        assert metrics.node_averaged_complexity([a, b]) == pytest.approx(1.0)
+
+    def test_node_expected_is_max_over_nodes(self):
+        a = _trace_for_node_problem()
+        assert metrics.node_expected_complexity(a) == pytest.approx(4.0)
+
+    def test_weighted_default_equals_expected(self):
+        a = _trace_for_node_problem()
+        assert metrics.weighted_node_averaged_complexity(a) == metrics.node_expected_complexity(a)
+
+    def test_weighted_with_explicit_weights(self):
+        a = _trace_for_node_problem()
+        value = metrics.weighted_node_averaged_complexity(a, {0: 1.0, 1: 0.0, 2: 1.0})
+        assert value == pytest.approx(2.0)
+
+    def test_weighted_rejects_zero_mass(self):
+        with pytest.raises(ValueError):
+            metrics.weighted_node_averaged_complexity(_trace_for_node_problem(), {0: 0.0})
+
+    def test_weighted_edge_average(self):
+        t = _trace_for_edge_problem()
+        value = metrics.weighted_edge_averaged_complexity(t, {(0, 1): 1.0, (1, 2): 0.0, (2, 3): 1.0})
+        assert value == pytest.approx(2.0)
+
+    def test_hierarchy_is_monotone(self):
+        chain = metrics.complexity_hierarchy(_trace_for_node_problem())
+        assert chain["avg"] <= chain["weighted_avg"] <= chain["expected"] <= chain["worst"]
+
+    def test_measure_bundles_everything(self):
+        m = metrics.measure(_trace_for_node_problem())
+        assert m.n == 3 and m.m == 2 and m.trials == 1
+        assert m.node_averaged <= m.node_expected <= m.worst_case
+        assert "node_averaged" in m.as_dict()
+
+    def test_empty_trace_list_rejected(self):
+        with pytest.raises(ValueError):
+            metrics.node_averaged_complexity([])
+
+    def test_mismatched_networks_rejected(self):
+        a = _trace_for_node_problem()
+        net = Network.from_graph(nx.path_graph(7))
+        b = ExecutionTrace(network=net, problem=_node_problem(), rounds=0)
+        with pytest.raises(ValueError):
+            metrics.node_averaged_complexity([a, b])
+
+
+class TestMeasuredAlgorithmsSatisfyHierarchy:
+    @pytest.mark.parametrize("algorithm_name", ["luby", "ruling", "matching"])
+    def test_hierarchy_on_real_executions(self, runner, algorithm_name, network_factory):
+        from repro.algorithms.mis.luby import LubyMIS
+        from repro.algorithms.ruling_set.randomized import RandomizedTwoTwoRulingSet
+        from repro.algorithms.matching.randomized import RandomizedMaximalMatching
+        from repro.core.experiment import run_trials
+
+        net = network_factory(nx.gnp_random_graph(40, 0.15, seed=8), seed=1)
+        if algorithm_name == "luby":
+            factory, problem = LubyMIS, problems.MIS
+        elif algorithm_name == "ruling":
+            factory, problem = RandomizedTwoTwoRulingSet, problems.ruling_set(2, 2)
+        else:
+            factory, problem = RandomizedMaximalMatching, problems.MAXIMAL_MATCHING
+        traces = run_trials(factory, net, problem, trials=3, seed=0, runner=runner)
+        chain = metrics.complexity_hierarchy(traces)
+        assert chain["avg"] <= chain["weighted_avg"] + 1e-9
+        assert chain["weighted_avg"] <= chain["expected"] + 1e-9
+        assert chain["expected"] <= chain["worst"] + 1e-9

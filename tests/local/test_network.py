@@ -1,0 +1,157 @@
+"""Tests for the static network topology and identifier handling."""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.local import ids
+from repro.local.network import Network, canonical_edge
+
+
+class TestCanonicalEdge:
+    def test_orders_endpoints(self):
+        assert canonical_edge(5, 2) == (2, 5)
+        assert canonical_edge(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            canonical_edge(3, 3)
+
+
+class TestNetworkConstruction:
+    def test_basic_counts(self):
+        net = Network.from_graph(nx.cycle_graph(10))
+        assert net.n == 10
+        assert net.m == 10
+        assert net.max_degree() == 2
+        assert net.min_degree() == 2
+
+    def test_neighbors_are_sorted_and_symmetric(self):
+        net = Network.from_graph(nx.gnp_random_graph(30, 0.2, seed=1))
+        for v in net.vertices:
+            assert list(net.neighbors(v)) == sorted(net.neighbors(v))
+            for u in net.neighbors(v):
+                assert v in net.neighbors(u)
+
+    def test_edges_are_canonical_and_indexed(self):
+        net = Network.from_graph(nx.gnp_random_graph(25, 0.2, seed=2))
+        for i, (u, v) in enumerate(net.edges):
+            assert u < v
+            assert net.edge_index(u, v) == i
+            assert net.edge_index(v, u) == i
+            assert net.has_edge(u, v)
+
+    def test_has_edge_negative(self):
+        net = Network.from_graph(nx.path_graph(5))
+        assert not net.has_edge(0, 4)
+        assert not net.has_edge(2, 2)
+
+    def test_incident_edges(self):
+        net = Network.from_graph(nx.star_graph(4))
+        centre_edges = net.incident_edges(0)
+        assert len(centre_edges) == 4
+        assert all(0 in e for e in centre_edges)
+
+    def test_rejects_directed_graph(self):
+        with pytest.raises(ValueError):
+            Network(nx.DiGraph([(0, 1)]))
+
+    def test_rejects_self_loops(self):
+        g = nx.Graph()
+        g.add_edge(0, 0)
+        with pytest.raises(ValueError):
+            Network(g)
+
+    def test_from_edges(self):
+        net = Network.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert net.n == 4
+        assert net.m == 3
+
+    def test_from_edges_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Network.from_edges(3, [(0, 5)])
+
+    def test_non_integer_labels_are_relabelled(self):
+        g = nx.Graph([("a", "b"), ("b", "c")])
+        net = Network.from_graph(g)
+        assert set(net.vertices) == {0, 1, 2}
+        assert {net.original_label(v) for v in net.vertices} == {"a", "b", "c"}
+
+    def test_to_networkx_round_trip(self):
+        g = nx.gnp_random_graph(20, 0.3, seed=5)
+        net = Network.from_graph(g)
+        exported = net.to_networkx()
+        assert exported.number_of_nodes() == g.number_of_nodes()
+        assert exported.number_of_edges() == g.number_of_edges()
+
+    def test_subnetwork_preserves_identifiers(self):
+        net = Network.from_graph(nx.cycle_graph(8), id_scheme="adversarial")
+        sub = net.subnetwork([0, 1, 2, 3])
+        assert sub.n == 4
+        original_ids = {net.identifier(v) for v in [0, 1, 2, 3]}
+        assert set(sub.identifiers) == original_ids
+
+    def test_empty_graph(self):
+        net = Network.from_graph(nx.empty_graph(5))
+        assert net.m == 0
+        assert net.max_degree() == 0
+
+
+class TestIdentifierSchemes:
+    @pytest.mark.parametrize("scheme", ["sequential", "random", "permuted", "adversarial"])
+    def test_schemes_give_unique_ids(self, scheme):
+        net = Network.from_graph(
+            nx.cycle_graph(20), id_scheme=scheme, rng=random.Random(1)
+        )
+        assert len(set(net.identifiers)) == 20
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            Network.from_graph(nx.cycle_graph(4), id_scheme="nope")
+
+    def test_sequential_ids(self):
+        assert ids.sequential_ids([7, 8, 9]) == {7: 0, 8: 1, 9: 2}
+
+    def test_random_ids_fit_in_polynomial_space(self):
+        vertices = list(range(50))
+        assignment = ids.random_ids(vertices, random.Random(3))
+        assert len(set(assignment.values())) == 50
+        assert max(assignment.values()) < 8 * 50 * 50
+
+    def test_permuted_ids_are_a_permutation(self):
+        vertices = list(range(30))
+        assignment = ids.permuted_ids(vertices, random.Random(4))
+        assert sorted(assignment.values()) == vertices
+
+    def test_adversarial_ids_spacing(self):
+        assignment = ids.adversarial_interval_ids(list(range(5)), gap=100)
+        assert sorted(assignment.values()) == [0, 100, 200, 300, 400]
+
+    def test_adversarial_rejects_bad_gap(self):
+        with pytest.raises(ValueError):
+            ids.adversarial_interval_ids([0, 1], gap=0)
+
+    def test_validate_ids_detects_duplicates(self):
+        with pytest.raises(ValueError):
+            ids.validate_ids({0: 1, 1: 1}, [0, 1])
+
+    def test_validate_ids_detects_missing(self):
+        with pytest.raises(ValueError):
+            ids.validate_ids({0: 1}, [0, 1])
+
+    def test_validate_ids_detects_negative(self):
+        with pytest.raises(ValueError):
+            ids.validate_ids({0: -1, 1: 2}, [0, 1])
+
+    def test_id_bit_length(self):
+        assert ids.id_bit_length({0: 0, 1: 255}) == 8
+        assert ids.id_bit_length({}) == 0
+
+    def test_with_identifiers(self):
+        net = Network.from_graph(nx.path_graph(3))
+        renamed = net.with_identifiers({0: 10, 1: 20, 2: 30})
+        assert renamed.identifier(2) == 30
+        assert renamed.m == net.m

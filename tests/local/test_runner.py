@@ -1,0 +1,253 @@
+"""Tests for the synchronous runner, commit semantics, and coroutine wrapper.
+
+The completion-time stamps produced here are the raw material of every
+averaged-complexity measurement, so these tests pin down the exact semantics:
+round-0 commits during ``init``, commits while processing round ``t`` are
+stamped ``t``, halted nodes stop sending, and conflicting edge commits are
+rejected.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core import problems
+from repro.core.problems import ProblemSpec, ValidationResult
+from repro.local.algorithm import NodeAlgorithm
+from repro.local.coroutine import CoroutineAlgorithm
+from repro.local.network import Network
+from repro.local.node import CommitError
+from repro.local.runner import Runner, RoundLimitExceeded, estimate_message_bits
+
+
+def _always_valid(name: str, labels_nodes: bool = True, labels_edges: bool = False) -> ProblemSpec:
+    return ProblemSpec(
+        name=name,
+        labels_nodes=labels_nodes,
+        labels_edges=labels_edges,
+        validator=lambda *_: ValidationResult(True),
+    )
+
+
+class CommitAtInit(NodeAlgorithm):
+    name = "commit-at-init"
+
+    def init(self, node):
+        node.commit(node.identifier)
+
+
+class CommitAfterOneRound(NodeAlgorithm):
+    name = "commit-after-one-round"
+
+    def send(self, node):
+        return {u: node.identifier for u in node.neighbors}
+
+    def receive(self, node, messages):
+        node.commit(min([node.identifier, *messages.values()]))
+
+
+class EchoDegree(CoroutineAlgorithm):
+    name = "echo-degree"
+
+    def run(self, node):
+        inbox = yield {u: "ping" for u in node.neighbors}
+        node.commit(len(inbox))
+
+
+class CommitEdgesToSmallerId(CoroutineAlgorithm):
+    name = "edge-committer"
+
+    def run(self, node):
+        inbox = yield {u: node.identifier for u in node.neighbors}
+        for u, their_id in inbox.items():
+            node.commit_edge(u, min(node.identifier, their_id))
+
+
+class ConflictingEdgeCommitter(CoroutineAlgorithm):
+    name = "conflicting-edges"
+
+    def run(self, node):
+        inbox = yield {u: node.identifier for u in node.neighbors}
+        for u in inbox:
+            node.commit_edge(u, node.identifier)  # endpoints commit different values
+
+
+class NeverCommits(NodeAlgorithm):
+    name = "never-commits"
+
+
+class TestBasicExecution:
+    def test_init_commits_are_round_zero(self, runner):
+        net = Network.from_graph(nx.path_graph(5))
+        trace = runner.run(CommitAtInit(), net, _always_valid("p"), seed=0)
+        assert trace.rounds == 0
+        assert all(r == 0 for r in trace.node_commit_round.values())
+
+    def test_one_round_commit_stamps_round_one(self, runner):
+        net = Network.from_graph(nx.cycle_graph(6))
+        trace = runner.run(CommitAfterOneRound(), net, _always_valid("p"), seed=0)
+        assert trace.rounds == 1
+        assert set(trace.node_commit_round.values()) == {1}
+
+    def test_callback_and_coroutine_styles_agree(self, runner):
+        net = Network.from_graph(nx.cycle_graph(6))
+        a = runner.run(CommitAfterOneRound(), net, _always_valid("p"), seed=0)
+        b = runner.run(EchoDegree(), net, _always_valid("p"), seed=0)
+        assert a.rounds == b.rounds == 1
+
+    def test_degree_counted_from_messages(self, runner):
+        net = Network.from_graph(nx.star_graph(5))
+        trace = runner.run(EchoDegree(), net, _always_valid("p"), seed=0)
+        assert trace.node_outputs[0] == 5
+        assert all(trace.node_outputs[v] == 1 for v in range(1, 6))
+
+    def test_message_count_tracked(self, runner):
+        net = Network.from_graph(nx.cycle_graph(10))
+        trace = runner.run(EchoDegree(), net, _always_valid("p"), seed=0)
+        assert trace.total_messages == 20  # every node messages both neighbours once
+
+    def test_edge_commits_collected_consistently(self, runner):
+        net = Network.from_graph(nx.cycle_graph(8))
+        problem = _always_valid("edges", labels_nodes=False, labels_edges=True)
+        trace = runner.run(CommitEdgesToSmallerId(), net, problem, seed=0)
+        assert len(trace.edge_outputs) == net.m
+        for (u, v), value in trace.edge_outputs.items():
+            assert value == min(net.identifier(u), net.identifier(v))
+
+    def test_conflicting_edge_commits_raise(self, runner):
+        net = Network.from_graph(nx.path_graph(3))
+        problem = _always_valid("edges", labels_nodes=False, labels_edges=True)
+        with pytest.raises(CommitError):
+            runner.run(ConflictingEdgeCommitter(), net, problem, seed=0)
+
+    def test_round_limit_strict_raises(self):
+        net = Network.from_graph(nx.path_graph(4))
+        runner = Runner(max_rounds=5, strict=True)
+        with pytest.raises(RoundLimitExceeded):
+            runner.run(NeverCommits(), net, _always_valid("p"), seed=0)
+
+    def test_round_limit_lenient_returns_incomplete(self):
+        net = Network.from_graph(nx.path_graph(4))
+        runner = Runner(max_rounds=5, strict=False)
+        trace = runner.run(NeverCommits(), net, _always_valid("p"), seed=0)
+        assert not trace.completed
+        assert trace.rounds == 5
+        # Uncommitted nodes are charged the full execution length.
+        assert all(t == 5 for t in trace.node_completion_times())
+
+    def test_sending_to_non_neighbor_rejected(self, runner):
+        class BadSender(NodeAlgorithm):
+            name = "bad-sender"
+
+            def send(self, node):
+                return {node.vertex + 100: "boom"}
+
+        net = Network.from_graph(nx.path_graph(4))
+        with pytest.raises(ValueError):
+            runner.run(BadSender(), net, _always_valid("p"), seed=0)
+
+    def test_determinism_with_equal_seed(self, runner):
+        from repro.algorithms.mis.luby import LubyMIS
+
+        net = Network.from_graph(nx.gnp_random_graph(30, 0.15, seed=2))
+        a = runner.run(LubyMIS(), net, problems.MIS, seed=42)
+        b = runner.run(LubyMIS(), net, problems.MIS, seed=42)
+        assert a.node_outputs == b.node_outputs
+        assert a.node_commit_round == b.node_commit_round
+
+    def test_different_seeds_usually_differ(self, runner):
+        from repro.algorithms.mis.luby import LubyMIS
+
+        net = Network.from_graph(nx.gnp_random_graph(40, 0.2, seed=2))
+        a = runner.run(LubyMIS(), net, problems.MIS, seed=1)
+        b = runner.run(LubyMIS(), net, problems.MIS, seed=2)
+        assert a.node_outputs != b.node_outputs
+
+    def test_recommitting_same_value_is_noop(self, runner):
+        class DoubleCommit(NodeAlgorithm):
+            name = "double-commit"
+
+            def init(self, node):
+                node.commit(1)
+                node.commit(1)
+
+        net = Network.from_graph(nx.path_graph(3))
+        trace = runner.run(DoubleCommit(), net, _always_valid("p"), seed=0)
+        assert set(trace.node_outputs.values()) == {1}
+
+    def test_recommitting_different_value_raises(self, runner):
+        class Flaky(NodeAlgorithm):
+            name = "flaky"
+
+            def init(self, node):
+                node.commit(1)
+                node.commit(2)
+
+        net = Network.from_graph(nx.path_graph(3))
+        with pytest.raises(CommitError):
+            runner.run(Flaky(), net, _always_valid("p"), seed=0)
+
+    def test_invalid_max_rounds(self):
+        with pytest.raises(ValueError):
+            Runner(max_rounds=-1)
+
+
+class TestMessageSizeEstimates:
+    @pytest.mark.parametrize(
+        "payload, minimum",
+        [
+            (None, 1),
+            (True, 1),
+            (7, 3),
+            (3.5, 64),
+            ("abc", 24),
+            ((1, 2, 3), 6),
+            ({"a": 1}, 8),
+        ],
+    )
+    def test_estimates_are_positive_and_sane(self, payload, minimum):
+        assert estimate_message_bits(payload) >= minimum
+
+    def test_congest_tracking(self):
+        net = Network.from_graph(nx.cycle_graph(6))
+        runner = Runner(track_message_bits=True)
+        trace = runner.run(EchoDegree(), net, _always_valid("p"), seed=0)
+        assert trace.max_message_bits is not None
+        assert trace.max_message_bits < 64  # "ping" strings are tiny
+
+
+class TestCoroutineWrapper:
+    def test_returning_immediately_halts_node(self, runner):
+        class InstantReturn(CoroutineAlgorithm):
+            name = "instant"
+
+            def run(self, node):
+                node.commit("done")
+                return
+                yield {}  # pragma: no cover
+
+        net = Network.from_graph(nx.path_graph(4))
+        trace = runner.run(InstantReturn(), net, _always_valid("p"), seed=0)
+        assert trace.rounds == 0
+
+    def test_yield_without_messages_keeps_listening(self, runner):
+        class Listener(CoroutineAlgorithm):
+            name = "listener"
+
+            def run(self, node):
+                inbox = yield {}
+                node.commit(len(inbox))
+
+        class Talker(CoroutineAlgorithm):
+            name = "talker"
+
+            def run(self, node):
+                inbox = yield {u: "hello" for u in node.neighbors}
+                node.commit(len(inbox))
+
+        net = Network.from_graph(nx.path_graph(3))
+        silent = runner.run(Listener(), net, _always_valid("p"), seed=0)
+        chatty = runner.run(Talker(), net, _always_valid("p"), seed=0)
+        assert all(v == 0 for v in silent.node_outputs.values())
+        assert chatty.node_outputs[1] == 2

@@ -1,0 +1,102 @@
+"""Tests for r-hop view collection and view isomorphism helpers."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.local.views import (
+    canonical_view_signature,
+    ego_view,
+    view_is_tree,
+    views_isomorphic,
+)
+
+
+class TestEgoView:
+    def test_radius_zero_is_single_node(self):
+        view = ego_view(nx.cycle_graph(6), 0, 0)
+        assert list(view.nodes()) == [0]
+        assert view.nodes[0]["center"] is True
+
+    def test_radius_one_excludes_boundary_edges(self):
+        # In a triangle, the radius-1 view of a node contains all three nodes
+        # but not the edge between the two distance-1 nodes.
+        view = ego_view(nx.complete_graph(3), 0, 1)
+        assert set(view.nodes()) == {0, 1, 2}
+        assert view.has_edge(0, 1) and view.has_edge(0, 2)
+        assert not view.has_edge(1, 2)
+
+    def test_distances_recorded(self):
+        view = ego_view(nx.path_graph(7), 0, 3)
+        assert {v: view.nodes[v]["dist"] for v in view.nodes()} == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_radius_larger_than_graph(self):
+        view = ego_view(nx.path_graph(4), 0, 10)
+        assert view.number_of_nodes() == 4
+        assert view.number_of_edges() == 3
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            ego_view(nx.path_graph(3), 0, -1)
+
+    def test_view_is_tree_on_cycle(self):
+        g = nx.cycle_graph(10)
+        assert view_is_tree(g, 0, 4)
+        assert not view_is_tree(g, 0, 10)
+
+
+class TestViewIsomorphism:
+    def test_cycle_nodes_have_isomorphic_views(self):
+        g = nx.cycle_graph(12)
+        assert views_isomorphic(g, 0, g, 5, radius=3)
+
+    def test_different_degrees_not_isomorphic(self):
+        star = nx.star_graph(4)
+        path = nx.path_graph(5)
+        assert not views_isomorphic(star, 0, path, 2, radius=1)
+
+    def test_centre_must_map_to_centre(self):
+        # A path: the views of an endpoint and of the middle node differ at radius 1.
+        g = nx.path_graph(5)
+        assert not views_isomorphic(g, 0, g, 2, radius=1)
+        assert views_isomorphic(g, 1, g, 3, radius=1)
+
+    def test_labelled_views(self):
+        g = nx.path_graph(3)
+        label_a = lambda u, v: "x"
+        label_b = lambda u, v: "y"
+        assert views_isomorphic(g, 1, g, 1, 1, edge_label_a=label_a, edge_label_b=label_a)
+        assert not views_isomorphic(g, 1, g, 1, 1, edge_label_a=label_a, edge_label_b=label_b)
+
+    def test_regular_graph_views_with_same_radius(self):
+        g = nx.random_regular_graph(3, 14, seed=1)
+        h = nx.random_regular_graph(3, 14, seed=2)
+        # Radius-1 views of 3-regular graphs are all stars with three leaves.
+        assert views_isomorphic(g, 0, h, 5, radius=1)
+
+
+class TestCanonicalSignature:
+    def test_equal_signatures_for_symmetric_positions(self):
+        g = nx.cycle_graph(16)
+        assert canonical_view_signature(g, 0, 3) == canonical_view_signature(g, 7, 3)
+
+    def test_different_signatures_for_different_structures(self):
+        path = nx.path_graph(9)
+        assert canonical_view_signature(path, 0, 2) != canonical_view_signature(path, 4, 2)
+
+    def test_signature_of_tree_views_is_tree_canonical(self):
+        tree = nx.balanced_tree(2, 3)
+        sig_root = canonical_view_signature(tree, 0, 2)
+        sig_leaf = canonical_view_signature(tree, 14, 2)
+        assert sig_root != sig_leaf
+
+    def test_non_tree_views_get_coarse_signature(self):
+        g = nx.complete_graph(5)
+        sig = canonical_view_signature(g, 0, 2)
+        assert sig[0] == "non-tree"
+
+    def test_signatures_are_hashable(self):
+        g = nx.cycle_graph(8)
+        signatures = {canonical_view_signature(g, v, 2) for v in g.nodes()}
+        assert len(signatures) == 1

@@ -1,0 +1,186 @@
+"""Tests for the cluster tree skeleton and the base graph construction (Section 4)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowerbound.base_graph import build_base_graph
+from repro.lowerbound.cluster_tree import ClusterTreeSkeleton
+
+
+class TestSkeletonStructure:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 4, 5])
+    def test_observation7_holds(self, k):
+        skeleton = ClusterTreeSkeleton(k)
+        skeleton.validate()
+
+    def test_ct0_matches_base_case(self):
+        skeleton = ClusterTreeSkeleton(0)
+        assert len(skeleton) == 2
+        assert skeleton.internal_nodes() == [0]
+        assert skeleton.leaves() == [1]
+        assert skeleton.psi(skeleton.c1) == 1
+
+    def test_ct1_node_count(self):
+        # CT_1: c0, c1, one new leaf on c0, one new leaf on c1 (j ∈ {0,1}\{1}).
+        assert len(ClusterTreeSkeleton(1)) == 4
+
+    def test_ct2_node_count_matches_figure1(self):
+        # Figure 1 shows CT_2 with 10 skeleton nodes.
+        assert len(ClusterTreeSkeleton(2)) == 10
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3, 4])
+    def test_c0_has_k_plus_one_children(self, k):
+        skeleton = ClusterTreeSkeleton(k)
+        assert len(skeleton.children(skeleton.c0)) == k + 1
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_internal_nodes_have_k_children(self, k):
+        skeleton = ClusterTreeSkeleton(k)
+        for v in skeleton.internal_nodes():
+            if v == skeleton.c0:
+                continue
+            assert len(skeleton.children(v)) == k
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_observation9_out_label_counts(self, k):
+        skeleton = ClusterTreeSkeleton(k)
+        for v in skeleton.internal_nodes():
+            counts = skeleton.out_label_counts(v)
+            if v == skeleton.c0:
+                assert counts == {i: 2 for i in range(k + 1)}
+            else:
+                assert counts == {i: 2 for i in range(k + 1)}
+        for leaf in skeleton.leaves():
+            counts = skeleton.out_label_counts(leaf)
+            psi = skeleton.psi(leaf)
+            assert counts == {psi: 2}
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_depth_bounds(self, k):
+        skeleton = ClusterTreeSkeleton(k)
+        depths = [skeleton.depth(v.index) for v in skeleton.nodes]
+        assert min(depths) == 0
+        assert max(depths) <= k + 1
+
+    def test_directed_edge_count(self):
+        skeleton = ClusterTreeSkeleton(2)
+        # Every non-root node contributes three directed edges (to parent, from
+        # parent, self-loop).
+        assert len(skeleton.directed_edges()) == 3 * (len(skeleton) - 1)
+
+    def test_summary_keys(self):
+        summary = ClusterTreeSkeleton(2).summary()
+        assert summary["k"] == 2 and summary["nodes"] == 10
+        assert summary["internal"] + summary["leaves"] == summary["nodes"]
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterTreeSkeleton(-1)
+
+    @given(st.integers(min_value=0, max_value=6))
+    @settings(max_examples=7, deadline=None)
+    def test_skeleton_growth_recurrence(self, k):
+        """|CT_k| = |CT_{k-1}| + #internal_{k-1} + k · #leaves_{k-1}."""
+        if k == 0:
+            assert len(ClusterTreeSkeleton(0)) == 2
+            return
+        prev = ClusterTreeSkeleton(k - 1)
+        current = ClusterTreeSkeleton(k)
+        expected = len(prev) + len(prev.internal_nodes()) + k * len(prev.leaves())
+        assert len(current) == expected
+
+
+class TestBaseGraph:
+    @pytest.mark.parametrize("k,beta", [(0, 2), (0, 4), (1, 4), (1, 6)])
+    def test_biregular_degrees_hold_exactly(self, k, beta):
+        gk = build_base_graph(k, beta)
+        gk.validate_degrees()
+
+    def test_cluster_sizes_follow_lemma13(self):
+        gk = build_base_graph(1, 4)
+        skeleton = gk.skeleton
+        for node in skeleton.nodes:
+            depth = skeleton.depth(node.index)
+            expected = 2 * 4 ** 2 * 2 ** (2 - depth)
+            assert len(gk.clusters[node.index]) == expected
+
+    def test_s0_is_independent_set(self):
+        gk = build_base_graph(1, 4)
+        s0 = set(gk.special_cluster(0))
+        for u, v in gk.graph.edges():
+            assert not (u in s0 and v in s0)
+
+    def test_s0_is_the_largest_cluster(self):
+        gk = build_base_graph(1, 4)
+        sizes = {c: len(members) for c, members in gk.clusters.items()}
+        assert sizes[gk.skeleton.c0] == max(sizes.values())
+
+    def test_max_degree_bound_of_lemma13(self):
+        gk = build_base_graph(1, 4)
+        max_degree = max(dict(gk.graph.degree()).values())
+        assert max_degree <= gk.max_degree_bound()
+
+    def test_total_size_order(self):
+        """Lemma 13: the total number of nodes is O(β^{2k+2})."""
+        for beta in (4, 6):
+            gk = build_base_graph(1, beta)
+            assert gk.n <= 8 * beta ** 4
+
+    @pytest.mark.parametrize("k,beta", [(0, 4), (1, 4)])
+    def test_cluster_independence_bound_of_lemma13(self, k, beta):
+        from repro.algorithms.mis.sequential import greedy_independent_set_lower_bound
+
+        gk = build_base_graph(k, beta)
+        for node in gk.skeleton.nodes:
+            psi = gk.skeleton.psi(node.index)
+            if psi is None:
+                continue
+            induced = nx.Graph(gk.graph.subgraph(gk.clusters[node.index]))
+            bound = len(gk.clusters[node.index]) // beta ** psi
+            assert greedy_independent_set_lower_bound(induced, attempts=2) <= bound
+
+    def test_edge_labels_directional(self):
+        gk = build_base_graph(1, 4)
+        skeleton = gk.skeleton
+        c1 = skeleton.c1
+        some_c1_vertex = gk.clusters[c1][0]
+        c0_neighbors = [
+            u for u in gk.graph.neighbors(some_c1_vertex)
+            if gk.cluster_of[u] == skeleton.c0
+        ]
+        assert c0_neighbors
+        exponent_up, is_self_up = gk.edge_label(some_c1_vertex, c0_neighbors[0])
+        exponent_down, is_self_down = gk.edge_label(c0_neighbors[0], some_c1_vertex)
+        assert (exponent_up, is_self_up) == (1, False)  # child → parent: β^ψ = β^1
+        assert (exponent_down, is_self_down) == (0, False)  # parent → child: 2β^0
+
+    def test_edge_label_self_edges(self):
+        gk = build_base_graph(1, 4)
+        c1 = gk.skeleton.c1
+        members = set(gk.clusters[c1])
+        vertex = gk.clusters[c1][0]
+        internal_neighbors = [u for u in gk.graph.neighbors(vertex) if u in members]
+        assert internal_neighbors
+        exponent, is_self = gk.edge_label(vertex, internal_neighbors[0])
+        assert is_self and exponent == gk.skeleton.psi(c1)
+
+    def test_odd_beta_rejected(self):
+        with pytest.raises(ValueError):
+            build_base_graph(1, 5)
+
+    def test_strict_mode_enforces_paper_condition(self):
+        with pytest.raises(ValueError):
+            build_base_graph(1, 4, strict=True)
+        # β = 10 > 4(k+1) = 8 satisfies the condition for k = 1.
+        gk = build_base_graph(1, 10, strict=True)
+        assert gk.n > 0
+
+    def test_special_cluster_arguments(self):
+        gk = build_base_graph(0, 4)
+        assert gk.special_cluster(0) and gk.special_cluster(1)
+        with pytest.raises(ValueError):
+            gk.special_cluster(2)

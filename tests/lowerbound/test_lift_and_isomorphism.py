@@ -1,0 +1,186 @@
+"""Tests for random lifts, the view-isomorphism Algorithm 1, unfoldings, and Theorem 17."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.girth import girth, nodes_with_tree_like_view
+from repro.lowerbound.analysis import (
+    cluster_reports,
+    max_covered_fraction_of_s0,
+    tree_like_fraction_of_cluster,
+)
+from repro.lowerbound.base_graph import build_base_graph
+from repro.lowerbound.isomorphism import IsomorphismError, find_isomorphism, verify_view_isomorphism
+from repro.lowerbound.lift import lift_cluster_graph, random_lift
+from repro.lowerbound.matching_construction import build_matching_lower_bound_graph
+from repro.lowerbound.unfold import tree_view_instance, unfold_view
+
+
+class TestRandomLift:
+    def test_lift_preserves_degrees(self):
+        base = nx.random_regular_graph(3, 10, seed=1)
+        lifted, projection = random_lift(base, order=4, seed=2)
+        assert lifted.number_of_nodes() == 40
+        assert all(d == 3 for _, d in lifted.degree())
+        assert set(projection.values()) == set(base.nodes())
+
+    def test_lift_order_one_is_isomorphic_copy(self):
+        base = nx.petersen_graph()
+        lifted, _ = random_lift(base, order=1, seed=3)
+        assert nx.is_isomorphic(base, lifted)
+
+    def test_fibers_have_equal_size(self):
+        base = nx.cycle_graph(6)
+        _, projection = random_lift(base, order=5, seed=4)
+        sizes = {}
+        for lifted_vertex, base_vertex in projection.items():
+            sizes[base_vertex] = sizes.get(base_vertex, 0) + 1
+        assert set(sizes.values()) == {5}
+
+    def test_covering_map_property(self):
+        """Every lifted vertex's neighbours project bijectively onto the base neighbours."""
+        base = nx.random_regular_graph(4, 12, seed=5)
+        lifted, projection = random_lift(base, order=3, seed=6)
+        for v in lifted.nodes():
+            projected = sorted(projection[u] for u in lifted.neighbors(v))
+            assert projected == sorted(base.neighbors(projection[v]))
+
+    def test_lifting_increases_girth_of_small_cycle(self):
+        """Lemma 12 flavour: lifts of a triangle have few short cycles."""
+        triangle = nx.cycle_graph(3)
+        lifted, _ = random_lift(triangle, order=7, seed=7)
+        assert girth(lifted) >= 3
+        assert lifted.number_of_nodes() == 21
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            random_lift(nx.path_graph(3), order=0)
+
+    def test_lift_cluster_graph_preserves_structure(self):
+        base = build_base_graph(1, 4)
+        lifted = lift_cluster_graph(base, order=3, seed=1)
+        assert lifted.n == 3 * base.n
+        lifted.validate_degrees()
+        for cluster, members in lifted.clusters.items():
+            assert len(members) == 3 * len(base.clusters[cluster])
+
+    def test_lift_improves_tree_likeness(self):
+        """Lemma 14: lifted graphs have (weakly) more locally tree-like nodes."""
+        base = build_base_graph(0, 4)
+        lifted = lift_cluster_graph(base, order=6, seed=2)
+        base_fraction = len(nodes_with_tree_like_view(base.graph, 1)) / base.n
+        lifted_fraction = len(nodes_with_tree_like_view(lifted.graph, 1)) / lifted.n
+        assert lifted_fraction >= base_fraction
+
+
+class TestTheorem11Isomorphism:
+    @pytest.fixture(scope="class")
+    def lifted_k1(self):
+        return lift_cluster_graph(build_base_graph(1, 4), order=3, seed=1)
+
+    def test_isomorphism_exists_for_tree_like_pairs(self, lifted_k1):
+        tree_like = nodes_with_tree_like_view(lifted_k1.graph, 1)
+        s0 = [v for v in lifted_k1.special_cluster(0) if v in tree_like][:4]
+        s1 = [v for v in lifted_k1.special_cluster(1) if v in tree_like][:4]
+        assert s0 and s1
+        for v0 in s0:
+            for v1 in s1:
+                phi = find_isomorphism(lifted_k1, v0, v1)
+                assert verify_view_isomorphism(lifted_k1, phi, v0, v1)
+
+    def test_isomorphism_maps_whole_view(self, lifted_k1):
+        v0 = lifted_k1.special_cluster(0)[0]
+        v1 = lifted_k1.special_cluster(1)[0]
+        phi = find_isomorphism(lifted_k1, v0, v1)
+        # The radius-1 view of v0 contains v0 plus all its neighbours.
+        assert len(phi) == 1 + lifted_k1.graph.degree(v0)
+
+    def test_wrong_cluster_arguments_rejected(self, lifted_k1):
+        v0 = lifted_k1.special_cluster(0)[0]
+        v1 = lifted_k1.special_cluster(1)[0]
+        with pytest.raises(ValueError):
+            find_isomorphism(lifted_k1, v1, v1)
+        with pytest.raises(ValueError):
+            find_isomorphism(lifted_k1, v0, v0)
+
+    def test_theorem11_on_unfolded_views_k2(self):
+        """At k = 2 high-girth lifts are infeasible, so verify on tree unfoldings."""
+        gk = build_base_graph(2, 4)
+        instance, root0, root1 = tree_view_instance(
+            gk, gk.special_cluster(0)[0], gk.special_cluster(1)[0]
+        )
+        phi = find_isomorphism(instance, root0, root1)
+        assert verify_view_isomorphism(instance, phi, root0, root1)
+
+    def test_unfold_view_is_a_tree(self):
+        gk = build_base_graph(1, 4)
+        tree, origin, root = unfold_view(gk, gk.special_cluster(0)[0], 2)
+        assert nx.is_tree(tree)
+        assert origin[root] == gk.special_cluster(0)[0]
+        # Root degree matches the original degree.
+        assert tree.degree(root) == gk.graph.degree(gk.special_cluster(0)[0])
+
+    def test_unfolded_instance_preserves_cluster_degrees_at_root(self):
+        gk = build_base_graph(1, 4)
+        instance, root0, _ = tree_view_instance(gk, gk.special_cluster(0)[0], gk.special_cluster(1)[0])
+        labels = [instance.edge_label(root0, u)[0] for u in instance.graph.neighbors(root0)]
+        assert sorted(set(labels)) == [0, 1]
+
+
+class TestLowerBoundAnalysis:
+    def test_cluster_reports_respect_bounds(self):
+        gk = build_base_graph(1, 4)
+        for report in cluster_reports(gk):
+            if report.independence_upper_bound is not None:
+                assert report.greedy_independent_set <= report.independence_upper_bound
+            assert report.size == len(gk.clusters[report.skeleton_node])
+
+    def test_covered_fraction_bound_positive(self):
+        gk = build_base_graph(1, 4)
+        assert max_covered_fraction_of_s0(gk) > 0
+
+    def test_tree_like_fraction_of_cluster_in_range(self):
+        lifted = lift_cluster_graph(build_base_graph(1, 4), order=2, seed=3)
+        fraction = tree_like_fraction_of_cluster(lifted, lifted.skeleton.c0, radius=1)
+        assert 0.0 <= fraction <= 1.0
+
+
+class TestTheorem17Construction:
+    def test_two_copy_structure(self):
+        instance = build_matching_lower_bound_graph(1, 4)
+        assert instance.n == 2 * instance.base.n
+        assert len(instance.cross_matching) == instance.base.n
+        # The cross matching is a perfect matching of the union graph.
+        matched = [v for e in instance.cross_matching for v in e]
+        assert len(matched) == len(set(matched)) == instance.n
+
+    def test_s0_contains_large_fraction(self):
+        instance = build_matching_lower_bound_graph(1, 4)
+        assert instance.s0_fraction() > 0.4
+
+    def test_cross_matching_between_s0_copies(self):
+        instance = build_matching_lower_bound_graph(1, 4)
+        cross_s0 = instance.cross_matching_between_s0()
+        assert len(cross_s0) == len(instance.s0_copy_a)
+        s0_b = set(instance.s0_copy_b)
+        for u, v in cross_s0:
+            assert u in s0_b or v in s0_b
+
+    def test_any_maximal_matching_needs_cross_s0_edges(self):
+        """Theorem 17's counting: S(c0) twins can only be covered by cross edges."""
+        from repro.algorithms.matching.sequential import random_order_matching
+
+        instance = build_matching_lower_bound_graph(0, 8)
+        matching = random_order_matching(instance.graph, seed=1)
+        cross_s0 = set(instance.cross_matching_between_s0())
+        used_cross = sum(1 for e in matching if e in cross_s0)
+        # With β = 8 the two copies of S(c1) together hold |S(c0)|/2 nodes, so
+        # by maximality at least half of the S(c0) twin pairs must use their
+        # cross edge in *every* maximal matching.
+        assert used_cross >= len(instance.s0_copy_a) // 2
+
+    def test_with_lift(self):
+        instance = build_matching_lower_bound_graph(0, 4, lift_order=2, seed=5)
+        assert instance.n == 4 * build_base_graph(0, 4).n
