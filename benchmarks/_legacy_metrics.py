@@ -1,0 +1,125 @@
+"""The seed measurement path, vendored for before/after benchmarks.
+
+Before the array-backed core rewrite, completion-time vectors were computed
+by calling ``node_completion_time(v)`` / ``edge_completion_time(u, v)`` per
+entity (one canonicalisation and several dict probes per call), and
+``measure()`` recomputed the full vectors once per reported metric — three
+times per trace for nodes and another three for edges.  These functions
+reproduce that exact computation (cost and values) against today's
+:class:`~repro.core.trace.ExecutionTrace` objects, so the perf harness can
+time the seed measurement pipeline without checking out the seed commit.
+
+Do not optimise this file — it is a faithful snapshot of the seed.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+from typing import List, Tuple
+
+from repro.core.metrics import ComplexityMeasurement
+from repro.core.trace import ExecutionTrace
+
+__all__ = ["legacy_measure", "legacy_node_completion_times", "legacy_edge_completion_times"]
+
+Edge = Tuple[int, int]
+
+
+def _canon(u: int, v: int) -> Edge:
+    return (u, v) if u < v else (v, u)
+
+
+def _node_round(trace: ExecutionTrace, v: int) -> int:
+    if v not in trace.node_commit_round:
+        return trace.rounds
+    return trace.node_commit_round[v]
+
+
+def _edge_round(trace: ExecutionTrace, e: Edge) -> int:
+    if e not in trace.edge_commit_round:
+        return trace.rounds
+    return trace.edge_commit_round[e]
+
+
+def legacy_node_completion_time(trace: ExecutionTrace, v: int) -> int:
+    times: List[int] = []
+    if trace.problem.labels_nodes:
+        times.append(_node_round(trace, v))
+    if trace.problem.labels_edges:
+        for u in trace.network.neighbors(v):
+            times.append(_edge_round(trace, _canon(v, u)))
+    if not times:
+        return 0
+    return max(times)
+
+
+def legacy_edge_completion_time(trace: ExecutionTrace, u: int, v: int) -> int:
+    e = _canon(u, v)
+    times: List[int] = []
+    if trace.problem.labels_edges:
+        times.append(_edge_round(trace, e))
+    if trace.problem.labels_nodes:
+        times.append(_node_round(trace, u))
+        times.append(_node_round(trace, v))
+    if not times:
+        return 0
+    return max(times)
+
+
+def legacy_node_completion_times(trace: ExecutionTrace) -> List[int]:
+    return [legacy_node_completion_time(trace, v) for v in trace.network.vertices]
+
+
+def legacy_edge_completion_times(trace: ExecutionTrace) -> List[int]:
+    return [legacy_edge_completion_time(trace, u, v) for u, v in trace.network.edges]
+
+
+def _legacy_worst_case_rounds(trace: ExecutionTrace) -> int:
+    candidates = [0]
+    candidates.extend(legacy_node_completion_times(trace))
+    candidates.extend(legacy_edge_completion_times(trace))
+    return max(candidates)
+
+
+def _expected_node_times(traces: List[ExecutionTrace]) -> List[float]:
+    n = traces[0].network.n
+    sums = [0.0] * n
+    for trace in traces:
+        for v, t in enumerate(legacy_node_completion_times(trace)):
+            sums[v] += t
+    return [s / len(traces) for s in sums]
+
+
+def _expected_edge_times(traces: List[ExecutionTrace]) -> List[float]:
+    m = traces[0].network.m
+    sums = [0.0] * m
+    for trace in traces:
+        for i, t in enumerate(legacy_edge_completion_times(trace)):
+            sums[i] += t
+    return [s / len(traces) for s in sums]
+
+
+def legacy_measure(traces: List[ExecutionTrace]) -> ComplexityMeasurement:
+    """The seed ``measure()``: every metric recomputes its vectors from scratch."""
+    first = traces[0]
+    expected_nodes_for_avg = _expected_node_times(traces)
+    node_averaged = mean(expected_nodes_for_avg) if expected_nodes_for_avg else 0.0
+    expected_edges_for_avg = _expected_edge_times(traces)
+    edge_averaged = mean(expected_edges_for_avg) if expected_edges_for_avg else 0.0
+    expected_nodes = _expected_node_times(traces)
+    node_expected = max(expected_nodes) if expected_nodes else 0.0
+    expected_edges = _expected_edge_times(traces)
+    edge_expected = max(expected_edges) if expected_edges else 0.0
+    worst_case = max(_legacy_worst_case_rounds(trace) for trace in traces)
+    return ComplexityMeasurement(
+        algorithm=first.algorithm_name,
+        problem=first.problem.name,
+        n=first.network.n,
+        m=first.network.m,
+        trials=len(traces),
+        node_averaged=node_averaged,
+        edge_averaged=edge_averaged,
+        node_expected=node_expected,
+        edge_expected=edge_expected,
+        worst_case=worst_case,
+    )

@@ -1,0 +1,234 @@
+"""The seed (pre-CSR) Network, vendored for before/after benchmarks.
+
+This is the network construction path as it existed before the array-backed
+core rewrite: every constructor goes through a networkx graph, adjacency is
+rebuilt with per-vertex ``sorted(set(...))``, and degree statistics are
+recomputed on every call.  The perf harness (:mod:`core_perf`) times it
+against the CSR-backed :class:`repro.local.network.Network` on identical
+inputs.  Do not optimise this file — it is a faithful snapshot of the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.local import ids as ids_module
+
+__all__ = ["LegacyNetwork", "canonical_edge"]
+
+
+def canonical_edge(u: int, v: int) -> Tuple[int, int]:
+    """Return the canonical (sorted) representation of the undirected edge ``{u, v}``."""
+    if u == v:
+        raise ValueError(f"self-loops are not supported in the LOCAL simulator: ({u}, {v})")
+    return (u, v) if u < v else (v, u)
+
+
+class LegacyNetwork:
+    """Immutable communication graph with identifiers.
+
+    Args:
+        graph: an undirected :class:`networkx.Graph` whose nodes are hashable.
+            Nodes are relabelled to ``0..n-1`` internally (in sorted order of
+            the original labels when possible, insertion order otherwise).
+        identifiers: optional mapping from *internal vertex index* to unique
+            identifier.  When omitted, sequential identifiers are used.
+
+    Attributes:
+        n: number of vertices.
+        m: number of edges.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        identifiers: Optional[Mapping[int, int]] = None,
+    ) -> None:
+        if graph.is_directed():
+            raise ValueError("Network requires an undirected graph")
+        if any(u == v for u, v in graph.edges()):
+            raise ValueError("Network does not support self-loops")
+
+        original_nodes = list(graph.nodes())
+        try:
+            original_nodes = sorted(original_nodes)
+        except TypeError:
+            pass
+        self._original_labels: List = original_nodes
+        self._index_of = {label: i for i, label in enumerate(original_nodes)}
+
+        self.n: int = len(original_nodes)
+        self._adjacency: List[Tuple[int, ...]] = [() for _ in range(self.n)]
+        neighbor_sets: List[List[int]] = [[] for _ in range(self.n)]
+        edges: List[Tuple[int, int]] = []
+        for u_label, v_label in graph.edges():
+            u, v = self._index_of[u_label], self._index_of[v_label]
+            neighbor_sets[u].append(v)
+            neighbor_sets[v].append(u)
+            edges.append(canonical_edge(u, v))
+        for v in range(self.n):
+            self._adjacency[v] = tuple(sorted(set(neighbor_sets[v])))
+        # Deduplicate parallel edges (networkx Graph already does, but be safe).
+        edges = sorted(set(edges))
+        self._edges: Tuple[Tuple[int, int], ...] = tuple(edges)
+        self._edge_index: Dict[Tuple[int, int], int] = {e: i for i, e in enumerate(self._edges)}
+        self.m: int = len(self._edges)
+
+        if identifiers is None:
+            identifiers = ids_module.sequential_ids(list(range(self.n)))
+        ids_module.validate_ids(dict(identifiers), range(self.n))
+        self._ids: Tuple[int, ...] = tuple(identifiers[v] for v in range(self.n))
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: nx.Graph,
+        id_scheme: str = "sequential",
+        rng: Optional[random.Random] = None,
+    ) -> "LegacyNetwork":
+        """Build a network from a networkx graph with a named ID scheme.
+
+        Args:
+            graph: the topology.
+            id_scheme: one of ``"sequential"``, ``"random"``, ``"permuted"``,
+                ``"adversarial"``.
+            rng: randomness source, required for the randomized schemes.
+        """
+        n = graph.number_of_nodes()
+        vertices = list(range(n))
+        if id_scheme == "sequential":
+            identifiers = ids_module.sequential_ids(vertices)
+        elif id_scheme == "random":
+            identifiers = ids_module.random_ids(vertices, rng or random.Random(0))
+        elif id_scheme == "permuted":
+            identifiers = ids_module.permuted_ids(vertices, rng or random.Random(0))
+        elif id_scheme == "adversarial":
+            identifiers = ids_module.adversarial_interval_ids(vertices)
+        else:
+            raise ValueError(f"unknown id scheme: {id_scheme!r}")
+        return cls(graph, identifiers)
+
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        edges: Iterable[Tuple[int, int]],
+        identifiers: Optional[Mapping[int, int]] = None,
+    ) -> "LegacyNetwork":
+        """Build a network on vertices ``0..n-1`` from an edge list."""
+        g = nx.Graph()
+        g.add_nodes_from(range(n))
+        g.add_edges_from(edges)
+        if g.number_of_nodes() != n:
+            raise ValueError("edge list refers to vertices outside 0..n-1")
+        return cls(g, identifiers)
+
+    # ------------------------------------------------------------------ #
+    # Topology accessors
+    # ------------------------------------------------------------------ #
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Neighbours of vertex ``v`` (sorted tuple of vertex indices)."""
+        return self._adjacency[v]
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        return len(self._adjacency[v])
+
+    def max_degree(self) -> int:
+        """Maximum degree Δ of the network (0 for the empty graph)."""
+        if self.n == 0:
+            return 0
+        return max(len(adj) for adj in self._adjacency)
+
+    def min_degree(self) -> int:
+        """Minimum degree of the network (0 for the empty graph)."""
+        if self.n == 0:
+            return 0
+        return min(len(adj) for adj in self._adjacency)
+
+    @property
+    def vertices(self) -> range:
+        """All vertex indices."""
+        return range(self.n)
+
+    @property
+    def edges(self) -> Tuple[Tuple[int, int], ...]:
+        """All edges as canonical ``(u, v)`` tuples with ``u < v``."""
+        return self._edges
+
+    def edge_index(self, u: int, v: int) -> int:
+        """Dense index of the edge ``{u, v}``; raises ``KeyError`` if absent."""
+        return self._edge_index[canonical_edge(u, v)]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge of the network."""
+        if u == v:
+            return False
+        return canonical_edge(u, v) in self._edge_index
+
+    def incident_edges(self, v: int) -> List[Tuple[int, int]]:
+        """Canonical edges incident to vertex ``v``."""
+        return [canonical_edge(v, u) for u in self._adjacency[v]]
+
+    # ------------------------------------------------------------------ #
+    # Identifiers
+    # ------------------------------------------------------------------ #
+
+    def identifier(self, v: int) -> int:
+        """Unique identifier of vertex ``v``."""
+        return self._ids[v]
+
+    @property
+    def identifiers(self) -> Tuple[int, ...]:
+        """Identifiers indexed by vertex."""
+        return self._ids
+
+    def with_identifiers(self, identifiers: Mapping[int, int]) -> "LegacyNetwork":
+        """Return a copy of this network with different identifiers."""
+        return LegacyNetwork(self.to_networkx(), identifiers)
+
+    def id_bit_length(self) -> int:
+        """Bits needed for the largest identifier."""
+        return max((int(i).bit_length() for i in self._ids), default=0)
+
+    # ------------------------------------------------------------------ #
+    # Conversions & misc
+    # ------------------------------------------------------------------ #
+
+    def to_networkx(self) -> nx.Graph:
+        """Export the topology (on vertices ``0..n-1``) as a networkx graph."""
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        g.add_edges_from(self._edges)
+        return g
+
+    def original_label(self, v: int) -> object:
+        """The label the vertex had in the graph the network was built from."""
+        return self._original_labels[v]
+
+    def subnetwork(self, vertices: Sequence[int]) -> "LegacyNetwork":
+        """Induced sub-network on ``vertices`` (re-indexed to ``0..k-1``).
+
+        Identifiers are preserved, which keeps the sub-network a legitimate
+        LOCAL-model input.
+        """
+        vertex_list = sorted(set(vertices))
+        index = {v: i for i, v in enumerate(vertex_list)}
+        g = nx.Graph()
+        g.add_nodes_from(range(len(vertex_list)))
+        for u, v in self._edges:
+            if u in index and v in index:
+                g.add_edge(index[u], index[v])
+        identifiers = {index[v]: self._ids[v] for v in vertex_list}
+        return LegacyNetwork(g, identifiers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Network(n={self.n}, m={self.m}, max_degree={self.max_degree()})"

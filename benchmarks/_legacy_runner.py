@@ -1,0 +1,239 @@
+"""The seed (pre-optimisation) runner, vendored for before/after benchmarks.
+
+This is the simulator loop as it existed before the array-backed core
+rewrite: per-round inbox dictionaries allocated for *every* vertex, full
+``O(n + m)`` completion scans each round, and per-edge ``canonical_edge``
+calls during trace collection.  The perf harness (:mod:`core_perf`) runs it
+against the optimised :class:`repro.local.runner.Runner` on identical seeds
+to (a) measure the speedup recorded in ``BENCH_core.json`` and (b) assert
+that the two produce byte-identical traces.
+
+Do not "fix" or optimise this file — its value is being a faithful snapshot
+of the seed behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.problems import ProblemSpec
+from repro.core.trace import ExecutionTrace
+from repro.local.algorithm import Broadcast, NodeAlgorithm
+from repro.local.coroutine import CoroutineAlgorithm
+from repro.local.network import Network, canonical_edge
+from repro.local.node import CommitError, NodeRuntime
+from repro.local.runner import RoundLimitExceeded, estimate_message_bits
+
+__all__ = ["LegacyRunner", "LegacyCoroutineDriver"]
+
+_PROGRAM_KEY = "_coroutine_program"
+_OUTBOX_KEY = "_coroutine_outbox"
+
+
+class LegacyCoroutineDriver(NodeAlgorithm):
+    """The seed CoroutineAlgorithm plumbing, wrapping a coroutine algorithm.
+
+    The seed stored each node's generator and pending outbox in the
+    ``node.state`` dict (today they live in dedicated NodeRuntime slots).
+    This wrapper drives the wrapped algorithm's ``run`` generator through the
+    seed's state-dict dispatch so the benchmark baseline pays the seed's
+    per-node per-round costs.  Execution semantics are identical.
+    """
+
+    def __init__(self, algorithm: CoroutineAlgorithm) -> None:
+        self._algorithm = algorithm
+        self.name = algorithm.name
+        self.uses_identifiers = algorithm.uses_identifiers
+        self.randomized = algorithm.randomized
+
+    def init(self, node: NodeRuntime) -> None:
+        program = self._algorithm.run(node)
+        node.state[_PROGRAM_KEY] = program
+        self._advance(node, program, None, first=True)
+
+    def send(self, node: NodeRuntime):
+        return node.state.get(_OUTBOX_KEY) or {}
+
+    def receive(self, node: NodeRuntime, messages: Dict[int, Any]) -> None:
+        program = node.state.get(_PROGRAM_KEY)
+        if program is None:
+            return
+        self._advance(node, program, messages, first=False)
+
+    @staticmethod
+    def _advance(node: NodeRuntime, program, messages, first: bool) -> None:
+        try:
+            outbox = next(program) if first else program.send(messages or {})
+        except StopIteration:
+            node.state[_PROGRAM_KEY] = None
+            node.state[_OUTBOX_KEY] = {}
+            node.halt()
+            return
+        if type(outbox) is Broadcast:
+            # The seed had no Broadcast: its algorithms built this exact
+            # per-neighbour dict inline, so expanding here reproduces the
+            # seed's per-round cost and messages.
+            outbox = {u: outbox.payload for u in node.neighbors}
+        node.state[_OUTBOX_KEY] = outbox or {}
+
+
+class LegacyRunner:
+    """The seed ``Runner``: O(n + m) bookkeeping per round."""
+
+    def __init__(
+        self,
+        max_rounds: int = 10_000,
+        strict: bool = True,
+        track_message_bits: bool = False,
+    ) -> None:
+        if max_rounds < 0:
+            raise ValueError("max_rounds must be non-negative")
+        self.max_rounds = max_rounds
+        self.strict = strict
+        self.track_message_bits = track_message_bits
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        algorithm: NodeAlgorithm,
+        network: Network,
+        problem: ProblemSpec,
+        seed: Optional[int] = None,
+    ) -> ExecutionTrace:
+        master_rng = random.Random(seed)
+        nodes = self._build_nodes(network, master_rng)
+
+        total_messages = 0
+        max_message_bits = 0
+
+        # Round 0: initialisation.
+        for node in nodes:
+            node._current_round = 0
+            algorithm.init(node)
+
+        rounds_executed = 0
+        completed = self._is_complete(network, nodes, problem)
+
+        while not completed and rounds_executed < self.max_rounds:
+            current_round = rounds_executed + 1
+
+            # Phase 1: every participating node produces its messages based on
+            # its state after `rounds_executed` rounds.
+            inboxes: Dict[int, Dict[int, Any]] = {v: {} for v in network.vertices}
+            for node in nodes:
+                if node.halted:
+                    continue
+                outgoing = algorithm.send(node) or {}
+                for target, payload in outgoing.items():
+                    if target not in node.neighbors:
+                        raise ValueError(
+                            f"node {node.vertex} attempted to send to non-neighbour {target}"
+                        )
+                    inboxes[target][node.vertex] = payload
+                    total_messages += 1
+                    if self.track_message_bits:
+                        max_message_bits = max(max_message_bits, estimate_message_bits(payload))
+
+            # Phase 2: simultaneous delivery and processing.
+            for node in nodes:
+                if node.halted:
+                    continue
+                node._current_round = current_round
+                algorithm.receive(node, inboxes[node.vertex])
+
+            rounds_executed = current_round
+            completed = self._is_complete(network, nodes, problem)
+
+        if not completed and self.strict:
+            raise RoundLimitExceeded(
+                f"{algorithm.name} did not finish {problem.name} on a graph with "
+                f"n={network.n}, m={network.m} within {self.max_rounds} rounds"
+            )
+
+        return self._collect_trace(
+            algorithm,
+            network,
+            problem,
+            nodes,
+            rounds_executed,
+            completed,
+            total_messages,
+            max_message_bits if self.track_message_bits else None,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _build_nodes(network: Network, master_rng: random.Random) -> Tuple[NodeRuntime, ...]:
+        nodes = []
+        for v in network.vertices:
+            node_rng = random.Random(master_rng.getrandbits(64))
+            nodes.append(
+                NodeRuntime(
+                    vertex=v,
+                    identifier=network.identifier(v),
+                    neighbors=network.neighbors(v),
+                    rng=node_rng,
+                )
+            )
+        return tuple(nodes)
+
+    @staticmethod
+    def _is_complete(
+        network: Network, nodes: Tuple[NodeRuntime, ...], problem: ProblemSpec
+    ) -> bool:
+        if problem.labels_nodes:
+            if any(not node.has_committed for node in nodes):
+                return False
+        if problem.labels_edges:
+            for u, v in network.edges:
+                if not (nodes[u].has_committed_edge(v) or nodes[v].has_committed_edge(u)):
+                    return False
+        if not problem.labels_nodes and not problem.labels_edges:
+            return all(node.halted for node in nodes)
+        return True
+
+    @staticmethod
+    def _collect_trace(
+        algorithm: NodeAlgorithm,
+        network: Network,
+        problem: ProblemSpec,
+        nodes: Tuple[NodeRuntime, ...],
+        rounds: int,
+        completed: bool,
+        total_messages: int,
+        max_message_bits: Optional[int],
+    ) -> ExecutionTrace:
+        trace = ExecutionTrace(
+            network=network,
+            problem=problem,
+            rounds=rounds,
+            completed=completed,
+            total_messages=total_messages,
+            max_message_bits=max_message_bits,
+            algorithm_name=algorithm.name,
+        )
+        for node in nodes:
+            if node.has_committed:
+                trace.node_outputs[node.vertex] = node.output
+                trace.node_commit_round[node.vertex] = node.output_round or 0
+
+        for u, v in network.edges:
+            edge = canonical_edge(u, v)
+            commits = []
+            if nodes[u].has_committed_edge(v):
+                commits.append((nodes[u]._edge_output_rounds[v], nodes[u].edge_output(v)))
+            if nodes[v].has_committed_edge(u):
+                commits.append((nodes[v]._edge_output_rounds[u], nodes[v].edge_output(u)))
+            if not commits:
+                continue
+            values = {value for _, value in commits}
+            if len(values) > 1:
+                raise CommitError(
+                    f"endpoints of edge ({u}, {v}) committed conflicting outputs: {values}"
+                )
+            trace.edge_outputs[edge] = commits[0][1]
+            trace.edge_commit_round[edge] = min(rnd for rnd, _ in commits)
+        return trace

@@ -1,0 +1,341 @@
+"""Before/after perf harness for the array-backed simulation core.
+
+Each benchmark **cell** is one (algorithm, workload, n) combination.  A cell
+measures the full simulation-core pipeline — stand up a :class:`Network`
+from the workload's edge list, run ``trials`` seeded executions, and compute
+the averaged-complexity measurement — through two implementations:
+
+* **seed**: the pipeline as it existed at the seed commit, vendored in
+  ``_legacy_network`` / ``_legacy_runner`` / ``_legacy_metrics`` (networkx
+  construction, O(n + m) per-round bookkeeping, per-entity completion-time
+  recomputation);
+* **new**: today's CSR :meth:`Network.from_edges`, the active-set
+  :class:`repro.local.runner.Runner`, and the single-pass cached
+  measurement path.
+
+Both pipelines consume identical inputs (same edge list, identifiers and
+per-trial seeds), and the harness asserts that they produce **identical
+traces and byte-identical complexity measurements** before recording any
+timing.  Results are written to ``BENCH_core.json`` (see
+``benchmarks/README.md`` for the schema); this file is the start of the
+repo's perf trajectory — future PRs append comparable runs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/core_perf.py            # full suite
+    PYTHONPATH=src python benchmarks/core_perf.py --quick    # smoke sizes
+    PYTHONPATH=src python benchmarks/core_perf.py --out /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import random
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+for path in (str(SRC), str(REPO_ROOT / "benchmarks")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+import networkx as nx
+
+from _legacy_metrics import legacy_measure
+from _legacy_network import LegacyNetwork
+from _legacy_runner import LegacyCoroutineDriver, LegacyRunner
+from repro.algorithms.matching.randomized import RandomizedMaximalMatching
+from repro.algorithms.mis.luby import LubyMIS
+from repro.algorithms.orientation.randomized import RandomizedSinklessOrientation
+from repro.core import problems
+from repro.core.experiment import trial_seed
+from repro.core.metrics import measure
+from repro.graphs import generators as gen
+from repro.local import ids as ids_module
+from repro.local.coroutine import CoroutineAlgorithm
+from repro.local.network import Network
+from repro.local.runner import Runner
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
+SCHEMA = "bench-core/v1"
+ID_SEED = 7
+MAX_ROUNDS = 20_000
+
+
+# ---------------------------------------------------------------------- #
+# Cell definitions
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One (algorithm, workload, n) benchmark cell."""
+
+    algorithm: str
+    workload: str
+    n: int
+    trials: int
+    make_algorithm: Callable[[], object]
+    problem: object
+    make_graph: Callable[[int], nx.Graph]
+
+
+def _cells(quick: bool) -> List[Cell]:
+    def luby(workload: str, make_graph, sizes) -> List[Cell]:
+        return [
+            Cell("luby-mis", workload, n, 3, LubyMIS, problems.MIS, make_graph)
+            for n in sizes
+        ]
+
+    if quick:
+        return [
+            *luby("cycle", gen.cycle_graph, [150]),
+            *luby("random-4-regular", lambda n: gen.random_regular_graph(4, n, seed=1), [120]),
+            Cell(
+                "randomized-matching",
+                "random-tree",
+                120,
+                2,
+                RandomizedMaximalMatching,
+                problems.MAXIMAL_MATCHING,
+                lambda n: gen.random_tree(n, seed=2),
+            ),
+            Cell(
+                "sinkless-orientation",
+                "random-4-regular",
+                100,
+                2,
+                RandomizedSinklessOrientation,
+                problems.SINKLESS_ORIENTATION,
+                lambda n: gen.random_regular_graph(4, n, seed=3),
+            ),
+        ]
+
+    return [
+        *luby("cycle", gen.cycle_graph, [1000, 5000]),
+        *luby("random-4-regular", lambda n: gen.random_regular_graph(4, n, seed=1), [1000, 5000]),
+        *luby("random-tree", lambda n: gen.random_tree(n, seed=4), [1000, 5000]),
+        Cell(
+            "randomized-matching",
+            "random-4-regular",
+            2000,
+            2,
+            RandomizedMaximalMatching,
+            problems.MAXIMAL_MATCHING,
+            lambda n: gen.random_regular_graph(4, n, seed=1),
+        ),
+        Cell(
+            "randomized-matching",
+            "random-tree",
+            3000,
+            2,
+            RandomizedMaximalMatching,
+            problems.MAXIMAL_MATCHING,
+            lambda n: gen.random_tree(n, seed=2),
+        ),
+        Cell(
+            "sinkless-orientation",
+            "random-4-regular",
+            2000,
+            2,
+            RandomizedSinklessOrientation,
+            problems.SINKLESS_ORIENTATION,
+            lambda n: gen.random_regular_graph(4, n, seed=3),
+        ),
+        Cell(
+            "sinkless-orientation",
+            "min-degree-3",
+            2001,
+            2,
+            RandomizedSinklessOrientation,
+            problems.SINKLESS_ORIENTATION,
+            lambda n: gen.min_degree_graph(n, 3, seed=5),
+        ),
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# Pipelines
+# ---------------------------------------------------------------------- #
+
+
+def _workload_inputs(cell: Cell) -> Tuple[int, List[Tuple[int, int]], Dict[int, int]]:
+    """Shared, untimed inputs of both pipelines: n, edge list, identifiers."""
+    graph = cell.make_graph(cell.n)
+    n = graph.number_of_nodes()
+    edges = [(u, v) if u < v else (v, u) for u, v in graph.edges()]
+    identifiers = ids_module.permuted_ids(list(range(n)), random.Random(ID_SEED))
+    return n, edges, identifiers
+
+
+def _seed_pipeline(cell: Cell, n, edges, identifiers):
+    """The seed simulation core: networkx Network, scan-per-round runner, per-entity metrics."""
+    timings: Dict[str, float] = {}
+    t0 = time.perf_counter()
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(edges)
+    network = LegacyNetwork(graph, identifiers)
+    timings["network_s"] = time.perf_counter() - t0
+
+    runner = LegacyRunner(max_rounds=MAX_ROUNDS)
+
+    def make_algorithm():
+        algorithm = cell.make_algorithm()
+        if isinstance(algorithm, CoroutineAlgorithm):
+            return LegacyCoroutineDriver(algorithm)
+        return algorithm
+
+    t0 = time.perf_counter()
+    traces = [
+        runner.run(make_algorithm(), network, cell.problem, seed=trial_seed(0, i))
+        for i in range(cell.trials)
+    ]
+    timings["runner_s"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    measurement = legacy_measure(traces)
+    timings["measure_s"] = time.perf_counter() - t0
+    timings["total_s"] = sum(timings.values())
+    return timings, measurement, traces
+
+
+def _new_pipeline(cell: Cell, n, edges, identifiers):
+    """The array-backed simulation core: CSR network, active-set runner, cached metrics."""
+    timings: Dict[str, float] = {}
+    t0 = time.perf_counter()
+    network = Network.from_edges(n, edges, identifiers)
+    timings["network_s"] = time.perf_counter() - t0
+
+    runner = Runner(max_rounds=MAX_ROUNDS)
+    t0 = time.perf_counter()
+    traces = [
+        runner.run(cell.make_algorithm(), network, cell.problem, seed=trial_seed(0, i))
+        for i in range(cell.trials)
+    ]
+    timings["runner_s"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    measurement = measure(traces)
+    timings["measure_s"] = time.perf_counter() - t0
+    timings["total_s"] = sum(timings.values())
+    return timings, measurement, traces
+
+
+def _traces_identical(a, b) -> bool:
+    return (
+        a.node_outputs == b.node_outputs
+        and a.node_commit_round == b.node_commit_round
+        and a.edge_outputs == b.edge_outputs
+        and a.edge_commit_round == b.edge_commit_round
+        and a.rounds == b.rounds
+        and a.completed == b.completed
+        and a.total_messages == b.total_messages
+    )
+
+
+def run_cell(cell: Cell, reps: int = 3, validate: bool = True) -> Dict[str, object]:
+    """Benchmark one cell; returns its JSON record.
+
+    Raises ``AssertionError`` if the two pipelines disagree on any trace or
+    on the complexity measurement.
+    """
+    if reps < 1:
+        raise ValueError("reps must be at least 1")
+    n, edges, identifiers = _workload_inputs(cell)
+
+    best_seed: Optional[Dict[str, float]] = None
+    best_new: Optional[Dict[str, float]] = None
+    seed_measurement = new_measurement = None
+    seed_traces = new_traces = None
+    for _ in range(reps):
+        timings, seed_measurement, seed_traces = _seed_pipeline(cell, n, edges, identifiers)
+        if best_seed is None or timings["total_s"] < best_seed["total_s"]:
+            best_seed = timings
+        timings, new_measurement, new_traces = _new_pipeline(cell, n, edges, identifiers)
+        if best_new is None or timings["total_s"] < best_new["total_s"]:
+            best_new = timings
+
+    assert seed_measurement == new_measurement, (
+        f"measurement mismatch on {cell}: {seed_measurement} != {new_measurement}"
+    )
+    identical = all(_traces_identical(a, b) for a, b in zip(seed_traces, new_traces))
+    assert identical, f"trace mismatch on {cell}"
+    if validate:
+        for trace in new_traces:
+            trace.require_valid()
+
+    return {
+        "algorithm": cell.algorithm,
+        "workload": cell.workload,
+        "n": n,
+        "m": len(edges),
+        "trials": cell.trials,
+        "rounds": [t.rounds for t in new_traces],
+        "total_messages": [t.total_messages for t in new_traces],
+        "seed": {k: round(v, 6) for k, v in best_seed.items()},
+        "new": {k: round(v, 6) for k, v in best_new.items()},
+        "speedup": round(best_seed["total_s"] / best_new["total_s"], 3),
+        "runner_speedup": round(best_seed["runner_s"] / best_new["runner_s"], 3),
+        "identical_traces": identical,
+        "measurement": new_measurement.as_dict(),
+    }
+
+
+def run_suite(quick: bool = False, reps: int = 3, validate: bool = True) -> Dict[str, object]:
+    """Run every cell and return the full BENCH_core document."""
+    records = []
+    for cell in _cells(quick):
+        record = run_cell(cell, reps=reps, validate=validate)
+        records.append(record)
+        print(
+            f"{record['algorithm']:>22} × {record['workload']:<16} n={record['n']:>5}  "
+            f"seed {record['seed']['total_s'] * 1000:8.1f} ms  "
+            f"new {record['new']['total_s'] * 1000:8.1f} ms  "
+            f"speedup ×{record['speedup']:.2f} (runner ×{record['runner_speedup']:.2f})",
+            flush=True,
+        )
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "reps": reps,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "notes": (
+            "Per-cell wall times are best-of-reps for the full simulation-core "
+            "pipeline (network construction from the edge list + seeded trials + "
+            "averaged-complexity measurement). 'seed' is the vendored seed "
+            "implementation; 'new' is the array-backed core. Both consume "
+            "identical inputs and the harness asserts identical traces and "
+            "byte-identical measurements before timing is recorded."
+        ),
+        "cells": records,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="tiny smoke-test sizes")
+    parser.add_argument("--reps", type=int, default=3, help="repetitions per cell (best is kept)")
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--no-validate", action="store_true", help="skip solution validation")
+    args = parser.parse_args(argv)
+
+    document = run_suite(quick=args.quick, reps=args.reps, validate=not args.no_validate)
+    args.out.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Smoke test for the core perf harness (``pytest -m bench_smoke``).
+
+Runs the ``--quick`` benchmark configuration once so that the harness itself
+— the vendored seed pipeline, the cell runner, and the JSON document
+builder — cannot silently rot.  The quick cells are tiny (n ≈ 100–150), so
+this stays well inside the tier-1 time budget; the speedup *values* are not
+asserted (meaningless at smoke sizes), only the invariants the harness is
+built on: both pipelines produce identical traces and byte-identical
+complexity measurements, and the document has the ``bench-core/v1`` shape.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import core_perf
+
+
+@pytest.mark.bench_smoke
+def test_quick_suite_produces_identical_pipelines(tmp_path):
+    document = core_perf.run_suite(quick=True, reps=1)
+
+    assert document["schema"] == core_perf.SCHEMA
+    cells = document["cells"]
+    assert len(cells) >= 3
+    algorithms = {cell["algorithm"] for cell in cells}
+    assert {"luby-mis", "randomized-matching", "sinkless-orientation"} <= algorithms
+
+    for cell in cells:
+        # run_cell asserts trace/measurement equality internally; the flag
+        # records it in the committed document.
+        assert cell["identical_traces"] is True
+        assert cell["seed"]["total_s"] > 0 and cell["new"]["total_s"] > 0
+        assert cell["speedup"] > 0
+        assert len(cell["rounds"]) == cell["trials"]
+        assert cell["measurement"]["n"] == cell["n"]
+
+    # The document must be JSON-serialisable exactly as core_perf writes it.
+    path = tmp_path / "BENCH_core.json"
+    path.write_text(json.dumps(document, indent=2))
+    assert json.loads(path.read_text())["cells"]

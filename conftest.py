@@ -11,3 +11,10 @@ import sys
 SRC = pathlib.Path(__file__).parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "bench_smoke: tiny perf-harness smoke run (select with `pytest -m bench_smoke`)",
+    )

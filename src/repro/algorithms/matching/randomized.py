@@ -54,7 +54,7 @@ class RandomizedMaximalMatching(CoroutineAlgorithm):
         while undecided:
             # Round 1: exchange (degree in the undecided graph, identifier).
             my_degree = len(undecided)
-            inbox = yield {u: (my_degree, node.identifier) for u in undecided}
+            inbox = yield dict.fromkeys(undecided, (my_degree, node.identifier))
             info: Dict[int, tuple] = {u: p for u, p in inbox.items() if u in undecided}
 
             # Round 2: the smaller-identifier endpoint marks each edge.
@@ -95,7 +95,7 @@ class RandomizedMaximalMatching(CoroutineAlgorithm):
 
             # Round 4: matched nodes announce themselves and retire; everyone
             # else records the edges decided by a newly matched neighbour.
-            inbox = yield {u: ("matched", matched) for u in undecided}
+            inbox = yield dict.fromkeys(undecided, ("matched", matched))
             for u, (_, neighbor_matched) in inbox.items():
                 if neighbor_matched and u in undecided:
                     node.commit_edge(u, False)

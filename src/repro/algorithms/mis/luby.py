@@ -20,6 +20,7 @@ phase, so no extra bookkeeping round is needed.
 
 from __future__ import annotations
 
+from repro.local.algorithm import Broadcast
 from repro.local.coroutine import CoroutineAlgorithm
 from repro.local.node import NodeRuntime
 
@@ -40,13 +41,14 @@ class LubyMIS(CoroutineAlgorithm):
 
         while not node.has_committed:
             priority = (node.rng.random(), node.identifier)
-            inbox = yield {u: priority for u in node.neighbors}
+            inbox = yield Broadcast(priority)
             # Neighbours that are still undecided sent a priority this round;
-            # decided neighbours are silent and are ignored.
-            if all(priority > other for other in inbox.values()):
+            # decided neighbours are silent and are ignored.  (`>` against the
+            # max is `all(...)` over the values, in one C-level reduction.)
+            if not inbox or priority > max(inbox.values()):
                 node.commit(True)
 
             joined = node.has_committed
-            inbox = yield {u: joined for u in node.neighbors}
+            inbox = yield Broadcast(joined)
             if not node.has_committed and any(inbox.values()):
                 node.commit(False)

@@ -4,17 +4,26 @@ A sweep runs one or more algorithms over a family of networks (e.g. growing
 ``n`` or growing ``Δ``), measures every averaged-complexity notion for each
 combination, and returns the rows that the benchmark scripts print and that
 EXPERIMENTS.md records.
+
+Sweeps can fan their ``(value, algorithm, trial)`` cells across a
+``multiprocessing`` pool (``parallel=``).  Every cell derives its seed from
+the same deterministic schedule as the serial path
+(:func:`repro.core.experiment.trial_seed`), so a parallel sweep produces
+**identical measurements** to a serial one — parallelism only changes
+wall-clock time, never results.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import networkx as nx
 
-from repro.core.experiment import run_trials
+from repro.core.experiment import run_trials, trial_seed
 from repro.core.metrics import ComplexityMeasurement, measure
 from repro.core.problems import ProblemSpec
 from repro.local.algorithm import NodeAlgorithm
@@ -55,6 +64,7 @@ def sweep(
     seed: int = 0,
     max_rounds: int = 20_000,
     validate: bool = True,
+    parallel: Union[bool, int, None] = None,
 ) -> List[SweepPoint]:
     """Run a one-dimensional parameter sweep.
 
@@ -70,10 +80,40 @@ def sweep(
         seed: base randomness.
         max_rounds: round cap of the runner.
         validate: assert solution validity on every trial.
+        parallel: fan the ``(value, algorithm, trial)`` cells across a
+            process pool: ``True`` uses one worker per CPU, an integer pins
+            the worker count, ``None``/``False``/``1`` runs serially.  The
+            pool uses the ``fork`` start method so the (possibly
+            unpicklable) factories can be inherited by the workers; on
+            platforms where ``fork`` is not the default start method (e.g.
+            macOS, Windows) the sweep silently falls back to the serial
+            path.  Results are identical either way **provided the
+            factories are pure functions of their arguments** (take
+            randomness from an explicit seed, e.g.
+            ``lambda n: gnp_random_graph(n, p, seed=n)``): workers may
+            re-invoke ``graph_factory`` for the same value from
+            forked-at-pool-creation state, so a factory that draws from a
+            shared RNG or mutates external state produces different graphs
+            in parallel than serially.
 
     Returns:
         One :class:`SweepPoint` per (value, algorithm) combination, in order.
     """
+    workers = _resolve_workers(parallel)
+    cells = len(values) * len(algorithms) * trials
+    if workers > 1 and cells > 1 and _fork_available():
+        return _sweep_parallel(
+            parameter=parameter,
+            values=values,
+            graph_factory=graph_factory,
+            algorithms=algorithms,
+            trials=trials,
+            seed=seed,
+            max_rounds=max_rounds,
+            validate=validate,
+            workers=min(workers, cells),
+        )
+
     points: List[SweepPoint] = []
     runner = Runner(max_rounds=max_rounds)
     for index, value in enumerate(values):
@@ -94,17 +134,193 @@ def sweep(
             # Attach the display name chosen by the caller rather than the
             # algorithm's own name, so that two configurations of the same
             # algorithm can be compared in one sweep.
-            measurement = ComplexityMeasurement(
-                algorithm=name,
-                problem=measurement.problem,
-                n=measurement.n,
-                m=measurement.m,
-                trials=measurement.trials,
-                node_averaged=measurement.node_averaged,
-                edge_averaged=measurement.edge_averaged,
-                node_expected=measurement.node_expected,
-                edge_expected=measurement.edge_expected,
-                worst_case=measurement.worst_case,
-            )
+            measurement = _renamed(measurement, name)
+            points.append(SweepPoint(parameter=parameter, value=value, measurement=measurement))
+    return points
+
+
+def _renamed(measurement: ComplexityMeasurement, name: str) -> ComplexityMeasurement:
+    return ComplexityMeasurement(
+        algorithm=name,
+        problem=measurement.problem,
+        n=measurement.n,
+        m=measurement.m,
+        trials=measurement.trials,
+        node_averaged=measurement.node_averaged,
+        edge_averaged=measurement.edge_averaged,
+        node_expected=measurement.node_expected,
+        edge_expected=measurement.edge_expected,
+        worst_case=measurement.worst_case,
+    )
+
+
+def _resolve_workers(parallel: Union[bool, int, None]) -> int:
+    if parallel is True:
+        return os.cpu_count() or 1
+    if parallel in (None, False):
+        return 1
+    return max(1, int(parallel))
+
+
+def _fork_available() -> bool:
+    # Fork must be the platform's *default* start method (Linux), not merely
+    # available: on macOS fork is offered but unsafe once system frameworks
+    # or threads are initialised (CPython switched the default to spawn for
+    # that reason), so there we fall back to the serial path instead.
+    try:
+        return multiprocessing.get_start_method() == "fork"
+    except RuntimeError:  # pragma: no cover - start method not determinable
+        return False
+
+
+# ---------------------------------------------------------------------- #
+# Parallel execution
+# ---------------------------------------------------------------------- #
+#
+# The graph/algorithm/problem factories handed to sweep() are commonly
+# closures or lambdas, which cannot be pickled.  The pool therefore uses the
+# `fork` start method and the workers read the sweep specification from a
+# module global inherited from the parent process at fork time; the task
+# tuples sent through the pool are plain picklable (index, name, trial)
+# triples, and the results are plain lists of completion times.
+
+_PARALLEL_SPEC: Optional[Dict[str, object]] = None
+_WORKER_NETWORKS: Dict[int, Network] = {}
+
+
+class _CellTrace:
+    """Duck-typed stand-in for :class:`ExecutionTrace` built from worker results.
+
+    Exposes exactly what :func:`repro.core.metrics.measure` consumes, so the
+    parent process can aggregate parallel cells through the same code path as
+    serial traces (and hence produce bit-identical measurements).
+    """
+
+    class _Net:
+        __slots__ = ("n", "m")
+
+        def __init__(self, n: int, m: int) -> None:
+            self.n = n
+            self.m = m
+
+    class _Problem:
+        __slots__ = ("name",)
+
+        def __init__(self, name: str) -> None:
+            self.name = name
+
+    def __init__(
+        self,
+        n: int,
+        m: int,
+        problem_name: str,
+        algorithm_name: str,
+        node_times: List[int],
+        edge_times: List[int],
+    ) -> None:
+        self.network = _CellTrace._Net(n, m)
+        self.problem = _CellTrace._Problem(problem_name)
+        self.algorithm_name = algorithm_name
+        self._node_times = node_times
+        self._edge_times = edge_times
+
+    def node_completion_times(self) -> List[int]:
+        return self._node_times
+
+    def edge_completion_times(self) -> List[int]:
+        return self._edge_times
+
+    def worst_case_rounds(self) -> int:
+        candidates = [0]
+        candidates.extend(self._node_times)
+        candidates.extend(self._edge_times)
+        return max(candidates)
+
+
+def _parallel_worker(task: Tuple[int, str, int]) -> Tuple[int, str, int, Dict[str, object]]:
+    index, name, trial = task
+    spec = _PARALLEL_SPEC
+    assert spec is not None, "worker forked without a sweep specification"
+    network = _WORKER_NETWORKS.get(index)
+    if network is None:
+        graph = spec["graph_factory"](spec["values"][index])  # type: ignore[operator]
+        network = network_from(graph, seed=spec["seed"] + index)  # type: ignore[operator]
+        _WORKER_NETWORKS[index] = network
+    algorithm_factory, problem_factory = spec["algorithms"][name]  # type: ignore[index]
+    problem = problem_factory(network)
+    runner = Runner(max_rounds=spec["max_rounds"])  # type: ignore[arg-type]
+    cell_seed = trial_seed(spec["seed"] + 1000 * index, trial)  # type: ignore[operator]
+    trace = runner.run(algorithm_factory(network), network, problem, seed=cell_seed)
+    if spec["validate"]:
+        trace.require_valid()
+    return (
+        index,
+        name,
+        trial,
+        {
+            "n": network.n,
+            "m": network.m,
+            "problem": problem.name,
+            "algorithm": trace.algorithm_name,
+            "node_times": trace.node_completion_times(),
+            "edge_times": trace.edge_completion_times(),
+        },
+    )
+
+
+def _sweep_parallel(
+    parameter: str,
+    values: Sequence[object],
+    graph_factory: Callable[[object], nx.Graph],
+    algorithms: Dict[str, Tuple[AlgorithmFactory, ProblemFactory]],
+    trials: int,
+    seed: int,
+    max_rounds: int,
+    validate: bool,
+    workers: int,
+) -> List[SweepPoint]:
+    global _PARALLEL_SPEC
+    tasks = [
+        (index, name, trial)
+        for index in range(len(values))
+        for name in algorithms
+        for trial in range(trials)
+    ]
+    spec: Dict[str, object] = {
+        "values": list(values),
+        "graph_factory": graph_factory,
+        "algorithms": dict(algorithms),
+        "seed": seed,
+        "max_rounds": max_rounds,
+        "validate": validate,
+    }
+    context = multiprocessing.get_context("fork")
+    previous_spec = _PARALLEL_SPEC
+    _PARALLEL_SPEC = spec
+    try:
+        with context.Pool(processes=workers) as pool:
+            results = pool.map(_parallel_worker, tasks)
+    finally:
+        _PARALLEL_SPEC = previous_spec
+
+    by_cell: Dict[Tuple[int, str], List[Optional[_CellTrace]]] = {
+        (index, name): [None] * trials for index in range(len(values)) for name in algorithms
+    }
+    for index, name, trial, payload in results:
+        by_cell[(index, name)][trial] = _CellTrace(
+            n=payload["n"],
+            m=payload["m"],
+            problem_name=payload["problem"],
+            algorithm_name=payload["algorithm"],
+            node_times=payload["node_times"],
+            edge_times=payload["edge_times"],
+        )
+
+    points: List[SweepPoint] = []
+    for index, value in enumerate(values):
+        for name in algorithms:
+            traces = by_cell[(index, name)]
+            assert all(t is not None for t in traces)
+            measurement = _renamed(measure(traces), name)
             points.append(SweepPoint(parameter=parameter, value=value, measurement=measurement))
     return points

@@ -22,9 +22,19 @@ from repro.local.algorithm import NodeAlgorithm
 from repro.local.network import Network
 from repro.local.runner import Runner
 
-__all__ = ["run_trials", "evaluate"]
+__all__ = ["run_trials", "evaluate", "trial_seed"]
 
 AlgorithmFactory = Callable[[], NodeAlgorithm]
+
+
+def trial_seed(base_seed: int, trial: int) -> int:
+    """Seed of trial ``trial`` for a batch with base seed ``base_seed``.
+
+    This is the single definition of the per-trial seed schedule; the serial
+    trial loop and the parallel sweep both use it, which is what makes the
+    two paths produce identical RNG streams cell for cell.
+    """
+    return base_seed + trial
 
 
 def run_trials(
@@ -57,7 +67,7 @@ def run_trials(
     traces: List[ExecutionTrace] = []
     for i in range(trials):
         algorithm = algorithm_factory()
-        trace = active_runner.run(algorithm, network, problem, seed=seed + i)
+        trace = active_runner.run(algorithm, network, problem, seed=trial_seed(seed, i))
         if validate:
             trace.require_valid()
         traces.append(trace)

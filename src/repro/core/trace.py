@@ -60,6 +60,16 @@ class ExecutionTrace:
     total_messages: int = 0
     max_message_bits: Optional[int] = None
     algorithm_name: str = ""
+    # Lazily computed completion-time vectors.  A trace is immutable once the
+    # runner hands it out, and the metrics layer asks for the same vectors
+    # several times per trace (averaged, expected, worst-case), so they are
+    # computed once.
+    _node_times: Optional[List[int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _edge_times: Optional[List[int]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------ #
     # Completion times (Definition 1 semantics)
@@ -91,12 +101,63 @@ class ExecutionTrace:
         return max(times)
 
     def node_completion_times(self) -> List[int]:
-        """Completion times of all nodes, indexed by vertex."""
-        return [self.node_completion_time(v) for v in self.network.vertices]
+        """Completion times of all nodes, indexed by vertex (cached)."""
+        if self._node_times is None:
+            self._node_times = self._compute_node_times()
+        return self._node_times
 
     def edge_completion_times(self) -> List[int]:
-        """Completion times of all edges, in the network's edge order."""
-        return [self.edge_completion_time(u, v) for u, v in self.network.edges]
+        """Completion times of all edges, in the network's edge order (cached)."""
+        if self._edge_times is None:
+            self._edge_times = self._compute_edge_times()
+        return self._edge_times
+
+    def _node_rounds_vector(self) -> List[int]:
+        """Per-vertex commit rounds (uncommitted charged the full length)."""
+        rounds = self.rounds
+        get = self.node_commit_round.get
+        return [get(v, rounds) for v in self.network.vertices]
+
+    def _edge_rounds_vector(self) -> List[int]:
+        """Per-edge commit rounds in network edge order."""
+        rounds = self.rounds
+        get = self.edge_commit_round.get
+        return [get(e, rounds) for e in self.network.edges]
+
+    def _compute_node_times(self) -> List[int]:
+        labels_nodes = self.problem.labels_nodes
+        labels_edges = self.problem.labels_edges
+        n = self.network.n
+        if not labels_nodes and not labels_edges:
+            return [0] * n
+        acc = self._node_rounds_vector() if labels_nodes else [0] * n
+        if labels_edges:
+            edge_rounds = self._edge_rounds_vector()
+            for i, (u, v) in enumerate(self.network.edges):
+                t = edge_rounds[i]
+                if t > acc[u]:
+                    acc[u] = t
+                if t > acc[v]:
+                    acc[v] = t
+        return acc
+
+    def _compute_edge_times(self) -> List[int]:
+        labels_nodes = self.problem.labels_nodes
+        labels_edges = self.problem.labels_edges
+        m = self.network.m
+        if not labels_nodes and not labels_edges:
+            return [0] * m
+        acc = self._edge_rounds_vector() if labels_edges else [0] * m
+        if labels_nodes:
+            node_rounds = self._node_rounds_vector()
+            for i, (u, v) in enumerate(self.network.edges):
+                t = node_rounds[u]
+                tv = node_rounds[v]
+                if tv > t:
+                    t = tv
+                if t > acc[i]:
+                    acc[i] = t
+        return acc
 
     def worst_case_rounds(self) -> int:
         """Maximum completion time over all nodes and edges."""

@@ -228,12 +228,22 @@ def min_degree_graph(n: int, min_degree: int, seed: int = 0) -> nx.Graph:
     rng = random.Random(seed)
     g = nx.cycle_graph(n)
     vertices: List[int] = list(range(n))
+    # Deficient vertices, tracked incrementally in ascending order — the same
+    # list the former per-iteration rebuild produced, so the rng.choice
+    # stream (and hence the generated graph) is unchanged seed for seed.
+    degrees = [2] * n
+    low = [v for v in vertices if degrees[v] < min_degree]
     guard = 0
-    while min(dict(g.degree()).values()) < min_degree and guard < 100 * n:
+    while low and guard < 100 * n:
         guard += 1
-        low = [v for v in vertices if g.degree(v) < min_degree]
         u = rng.choice(low)
         v = rng.choice(vertices)
         if u != v and not g.has_edge(u, v):
             g.add_edge(u, v)
+            degrees[u] += 1
+            degrees[v] += 1
+            if degrees[u] == min_degree:
+                low.remove(u)
+            if degrees[v] == min_degree:
+                low.remove(v)
     return g

@@ -27,7 +27,26 @@ from typing import Any, Dict
 
 from repro.local.node import NodeRuntime
 
-__all__ = ["NodeAlgorithm"]
+__all__ = ["NodeAlgorithm", "Broadcast"]
+
+
+class Broadcast:
+    """Outbox sentinel: send ``payload`` to *every* neighbour this round.
+
+    Equivalent to ``{u: payload for u in node.neighbors}`` but lets the
+    runner deliver without building (and re-validating) a per-round dict —
+    the neighbour set is known to be valid.  Algorithms whose rounds are
+    full-neighbourhood broadcasts (most symmetry-breaking algorithms) should
+    prefer it on large instances.
+    """
+
+    __slots__ = ("payload",)
+
+    def __init__(self, payload: Any) -> None:
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Broadcast({self.payload!r})"
 
 
 class NodeAlgorithm:
@@ -57,7 +76,8 @@ class NodeAlgorithm:
         """Return messages to deliver this round: ``{neighbor_vertex: payload}``.
 
         Returning an empty dict (the default) means the node stays silent this
-        round but keeps listening.
+        round but keeps listening.  Returning :class:`Broadcast` sends one
+        payload to every neighbour.
         """
         return {}
 
@@ -67,7 +87,9 @@ class NodeAlgorithm:
         Args:
             node: the executing node.
             messages: mapping from neighbour vertex to the payload it sent
-                this round.  Neighbours that sent nothing are absent.
+                this round.  Neighbours that sent nothing are absent.  The
+                mapping is owned by the runner and is reused between rounds —
+                copy it if you need its contents beyond this call.
         """
 
     def describe(self) -> str:

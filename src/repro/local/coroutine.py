@@ -22,11 +22,17 @@ stamped with round ``t``.
 
 Returning from :meth:`run` halts the node (it stops sending messages).  Nodes
 that have committed but must keep relaying for others simply keep yielding.
+
+The per-node generator and its pending outbox live in dedicated
+:class:`~repro.local.node.NodeRuntime` slots (``_coro_program`` /
+``_coro_outbox``) rather than in ``node.state`` — the wrapper sits on the
+innermost simulation loop, and slot access is measurably cheaper than a
+string-keyed dict lookup per node per round.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Generator, Optional
+from typing import Any, Dict, Generator
 
 from repro.local.algorithm import NodeAlgorithm
 from repro.local.node import NodeRuntime
@@ -35,9 +41,6 @@ __all__ = ["CoroutineAlgorithm"]
 
 Outbox = Dict[int, Any]
 NodeProgram = Generator[Outbox, Dict[int, Any], None]
-
-_PROGRAM_KEY = "_coroutine_program"
-_OUTBOX_KEY = "_coroutine_outbox"
 
 
 class CoroutineAlgorithm(NodeAlgorithm):
@@ -56,30 +59,28 @@ class CoroutineAlgorithm(NodeAlgorithm):
 
     def init(self, node: NodeRuntime) -> None:
         program = self.run(node)
-        node.state[_PROGRAM_KEY] = program
-        self._advance(node, program, None, first=True)
-
-    def send(self, node: NodeRuntime) -> Outbox:
-        return node.state.get(_OUTBOX_KEY) or {}
-
-    def receive(self, node: NodeRuntime, messages: Dict[int, Any]) -> None:
-        program: Optional[NodeProgram] = node.state.get(_PROGRAM_KEY)
-        if program is None:
-            return
-        self._advance(node, program, messages, first=False)
-
-    @staticmethod
-    def _advance(
-        node: NodeRuntime,
-        program: NodeProgram,
-        messages: Optional[Dict[int, Any]],
-        first: bool,
-    ) -> None:
+        node._coro_program = program
         try:
-            outbox = next(program) if first else program.send(messages or {})
+            outbox = next(program)
         except StopIteration:
-            node.state[_PROGRAM_KEY] = None
-            node.state[_OUTBOX_KEY] = {}
+            node._coro_program = None
+            node._coro_outbox = None
             node.halt()
             return
-        node.state[_OUTBOX_KEY] = outbox or {}
+        node._coro_outbox = outbox
+
+    def send(self, node: NodeRuntime) -> Outbox:
+        return node._coro_outbox or {}
+
+    def receive(self, node: NodeRuntime, messages: Dict[int, Any]) -> None:
+        program = node._coro_program
+        if program is None:
+            return
+        try:
+            outbox = program.send(messages or {})
+        except StopIteration:
+            node._coro_program = None
+            node._coro_outbox = None
+            node.halt()
+            return
+        node._coro_outbox = outbox

@@ -92,7 +92,11 @@ def id_bit_length(ids: Dict[int, int]) -> int:
 
 
 def validate_ids(ids: Dict[int, int], vertices: Iterable[int]) -> None:
-    """Raise ``ValueError`` unless ``ids`` is an injection defined on ``vertices``."""
+    """Raise ``ValueError`` unless ``ids`` is an injection defined on ``vertices``.
+
+    Membership is checked with ``in`` (never ``ids[v]``) so mappings with
+    default-value semantics cannot fabricate identifiers for missing vertices.
+    """
     vertices = list(vertices)
     missing = [v for v in vertices if v not in ids]
     if missing:

@@ -10,11 +10,23 @@ algorithms, which is what the experiment harness does.
 Vertices are always the integers ``0..n-1``.  Edges are stored as sorted
 tuples ``(u, v)`` with ``u < v`` and are also given a dense integer index so
 that traces can be stored in arrays.
+
+The adjacency is built in one pass directly from the canonical edge list —
+no networkx object is required on the construction hot path
+(:meth:`Network.from_edges`, :meth:`Network.subnetwork`) — with each row
+stored as a sorted tuple (the representation the per-node simulator hot path
+consumes).  A CSR (compressed sparse row) view is available as two flat
+integer arrays ``indptr`` (length ``n + 1``) and ``indices`` (length ``2m``)
+such that the neighbours of ``v`` are ``indices[indptr[v]:indptr[v + 1]]``;
+it is derived lazily on first access so the topology is not stored twice.
+Degree statistics (``max_degree``, ``min_degree``) and the identifier bit
+length are computed once at construction time.
 """
 
 from __future__ import annotations
 
 import random
+from array import array
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import networkx as nx
@@ -53,38 +65,87 @@ class Network:
     ) -> None:
         if graph.is_directed():
             raise ValueError("Network requires an undirected graph")
-        if any(u == v for u, v in graph.edges()):
-            raise ValueError("Network does not support self-loops")
 
         original_nodes = list(graph.nodes())
         try:
             original_nodes = sorted(original_nodes)
         except TypeError:
             pass
-        self._original_labels: List = original_nodes
-        self._index_of = {label: i for i, label in enumerate(original_nodes)}
+        n = len(original_nodes)
 
-        self.n: int = len(original_nodes)
-        self._adjacency: List[Tuple[int, ...]] = [() for _ in range(self.n)]
-        neighbor_sets: List[List[int]] = [[] for _ in range(self.n)]
-        edges: List[Tuple[int, int]] = []
-        for u_label, v_label in graph.edges():
-            u, v = self._index_of[u_label], self._index_of[v_label]
-            neighbor_sets[u].append(v)
-            neighbor_sets[v].append(u)
-            edges.append(canonical_edge(u, v))
-        for v in range(self.n):
-            self._adjacency[v] = tuple(sorted(set(neighbor_sets[v])))
+        if original_nodes == list(range(n)):
+            # Fast path: the graph is already on 0..n-1, no relabelling map.
+            edges = [(u, v) if u < v else (v, u) for u, v in graph.edges()]
+        else:
+            index_of = {label: i for i, label in enumerate(original_nodes)}
+            edges = []
+            for u_label, v_label in graph.edges():
+                u, v = index_of[u_label], index_of[v_label]
+                edges.append((u, v) if u < v else (v, u))
+        if any(u == v for u, v in edges):
+            raise ValueError("Network does not support self-loops")
+        self._init_from_canonical(n, edges, identifiers, original_nodes)
+
+    # ------------------------------------------------------------------ #
+    # Core construction (CSR build)
+    # ------------------------------------------------------------------ #
+
+    def _init_from_canonical(
+        self,
+        n: int,
+        edges: List[Tuple[int, int]],
+        identifiers: Optional[Mapping[int, int]],
+        original_labels: List,
+    ) -> None:
+        """Initialise from canonical ``(u, v), u < v`` edges on ``0..n-1``.
+
+        ``edges`` may contain duplicates; they are removed.  Self-loops must
+        already have been rejected by the caller.
+        """
+        self._original_labels: List = original_labels
+        self.n = n
         # Deduplicate parallel edges (networkx Graph already does, but be safe).
         edges = sorted(set(edges))
         self._edges: Tuple[Tuple[int, int], ...] = tuple(edges)
-        self._edge_index: Dict[Tuple[int, int], int] = {e: i for i, e in enumerate(self._edges)}
+        # The edge → dense-index map is built lazily: node-labelling workloads
+        # never consult it.
+        self._edge_index: Optional[Dict[Tuple[int, int], int]] = None
         self.m: int = len(self._edges)
 
+        # One-pass adjacency build.  Because the deduplicated edge list is
+        # sorted lexicographically, every row comes out sorted ascending: row
+        # u first receives the lower endpoints w < u (from edges (w, u),
+        # which sort before any (u, ·)) in increasing w, then the upper
+        # endpoints v > u in increasing v.  Rows are stored as tuples (the
+        # per-node hot-path representation handed to NodeRuntime); the flat
+        # CSR views are derived lazily so the adjacency is not held twice.
+        rows: List[List[int]] = [[] for _ in range(n)]
+        for u, v in edges:
+            rows[u].append(v)
+            rows[v].append(u)
+        self._adjacency: List[Tuple[int, ...]] = [tuple(row) for row in rows]
+        self._max_degree: int = max((len(row) for row in rows), default=0)
+        self._min_degree: int = min((len(row) for row in rows), default=0)
+        self._indptr: Optional[array] = None
+        self._indices: Optional[array] = None
+
         if identifiers is None:
-            identifiers = ids_module.sequential_ids(list(range(self.n)))
-        ids_module.validate_ids(dict(identifiers), range(self.n))
-        self._ids: Tuple[int, ...] = tuple(identifiers[v] for v in range(self.n))
+            identifiers = ids_module.sequential_ids(list(range(n)))
+        ids_module.validate_ids(identifiers, range(n))
+        self._ids: Tuple[int, ...] = tuple(identifiers[v] for v in range(n))
+        self._id_bits: int = max((int(i).bit_length() for i in self._ids), default=0)
+
+    @classmethod
+    def _from_canonical(
+        cls,
+        n: int,
+        edges: List[Tuple[int, int]],
+        identifiers: Optional[Mapping[int, int]] = None,
+    ) -> "Network":
+        """Build directly from canonical edges, bypassing networkx entirely."""
+        net = cls.__new__(cls)
+        net._init_from_canonical(n, edges, identifiers, list(range(n)))
+        return net
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -126,13 +187,24 @@ class Network:
         edges: Iterable[Tuple[int, int]],
         identifiers: Optional[Mapping[int, int]] = None,
     ) -> "Network":
-        """Build a network on vertices ``0..n-1`` from an edge list."""
-        g = nx.Graph()
-        g.add_nodes_from(range(n))
-        g.add_edges_from(edges)
-        if g.number_of_nodes() != n:
-            raise ValueError("edge list refers to vertices outside 0..n-1")
-        return cls(g, identifiers)
+        """Build a network on vertices ``0..n-1`` from an edge list.
+
+        This constructor never materialises a networkx graph: the CSR arrays
+        are built straight from the edge list, which makes it the cheapest way
+        to stand up large workloads.
+        """
+        canonical: List[Tuple[int, int]] = []
+        append = canonical.append
+        for u, v in edges:
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError("edge list refers to vertices outside 0..n-1")
+            if u < v:
+                append((u, v))
+            elif v < u:
+                append((v, u))
+            else:
+                canonical_edge(u, v)  # raises the canonical self-loop error
+        return cls._from_canonical(n, canonical, identifiers)
 
     # ------------------------------------------------------------------ #
     # Topology accessors
@@ -147,16 +219,45 @@ class Network:
         return len(self._adjacency[v])
 
     def max_degree(self) -> int:
-        """Maximum degree Δ of the network (0 for the empty graph)."""
-        if self.n == 0:
-            return 0
-        return max(len(adj) for adj in self._adjacency)
+        """Maximum degree Δ of the network (0 for the empty graph); cached."""
+        return self._max_degree
 
     def min_degree(self) -> int:
-        """Minimum degree of the network (0 for the empty graph)."""
-        if self.n == 0:
-            return 0
-        return min(len(adj) for adj in self._adjacency)
+        """Minimum degree of the network (0 for the empty graph); cached."""
+        return self._min_degree
+
+    def _build_csr(self) -> None:
+        indptr = array("q", bytes(8 * (self.n + 1)))
+        total = 0
+        for v, row in enumerate(self._adjacency):
+            indptr[v] = total
+            total += len(row)
+        indptr[self.n] = total
+        indices = array("q", bytes(8 * total))
+        position = 0
+        for row in self._adjacency:
+            indices[position : position + len(row)] = array("q", row)
+            position += len(row)
+        self._indptr = indptr
+        self._indices = indices
+
+    @property
+    def indptr(self) -> array:
+        """CSR row pointers: neighbours of ``v`` are ``indices[indptr[v]:indptr[v+1]]``.
+
+        Derived from the adjacency on first access and cached; intended for
+        vectorised consumers that want the topology as flat arrays.
+        """
+        if self._indptr is None:
+            self._build_csr()
+        return self._indptr
+
+    @property
+    def indices(self) -> array:
+        """CSR flat neighbour array (each row sorted ascending); see :attr:`indptr`."""
+        if self._indices is None:
+            self._build_csr()
+        return self._indices
 
     @property
     def vertices(self) -> range:
@@ -168,19 +269,33 @@ class Network:
         """All edges as canonical ``(u, v)`` tuples with ``u < v``."""
         return self._edges
 
+    def _edge_index_map(self) -> Dict[Tuple[int, int], int]:
+        """Canonical edge → dense index mapping (built on first use)."""
+        index = self._edge_index
+        if index is None:
+            index = self._edge_index = {e: i for i, e in enumerate(self._edges)}
+        return index
+
     def edge_index(self, u: int, v: int) -> int:
         """Dense index of the edge ``{u, v}``; raises ``KeyError`` if absent."""
-        return self._edge_index[canonical_edge(u, v)]
+        return self._edge_index_map()[canonical_edge(u, v)]
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether ``{u, v}`` is an edge of the network."""
         if u == v:
             return False
-        return canonical_edge(u, v) in self._edge_index
+        return canonical_edge(u, v) in self._edge_index_map()
 
     def incident_edges(self, v: int) -> List[Tuple[int, int]]:
         """Canonical edges incident to vertex ``v``."""
-        return [canonical_edge(v, u) for u in self._adjacency[v]]
+        return [(v, u) if v < u else (u, v) for u in self._adjacency[v]]
+
+    def incident_edge_indices(self, v: int) -> List[int]:
+        """Dense indices of the edges incident to vertex ``v``."""
+        edge_index = self._edge_index_map()
+        return [
+            edge_index[(v, u) if v < u else (u, v)] for u in self._adjacency[v]
+        ]
 
     # ------------------------------------------------------------------ #
     # Identifiers
@@ -197,11 +312,11 @@ class Network:
 
     def with_identifiers(self, identifiers: Mapping[int, int]) -> "Network":
         """Return a copy of this network with different identifiers."""
-        return Network(self.to_networkx(), identifiers)
+        return Network._from_canonical(self.n, list(self._edges), identifiers)
 
     def id_bit_length(self) -> int:
-        """Bits needed for the largest identifier."""
-        return max((int(i).bit_length() for i in self._ids), default=0)
+        """Bits needed for the largest identifier; cached."""
+        return self._id_bits
 
     # ------------------------------------------------------------------ #
     # Conversions & misc
@@ -222,17 +337,22 @@ class Network:
         """Induced sub-network on ``vertices`` (re-indexed to ``0..k-1``).
 
         Identifiers are preserved, which keeps the sub-network a legitimate
-        LOCAL-model input.
+        LOCAL-model input.  Cost is O(sum of degrees of the kept vertices),
+        not O(m): only the adjacency rows of the kept vertices are scanned.
         """
         vertex_list = sorted(set(vertices))
         index = {v: i for i, v in enumerate(vertex_list)}
-        g = nx.Graph()
-        g.add_nodes_from(range(len(vertex_list)))
-        for u, v in self._edges:
-            if u in index and v in index:
-                g.add_edge(index[u], index[v])
+        edges: List[Tuple[int, int]] = []
+        for v in vertex_list:
+            iv = index[v]
+            for u in self._adjacency[v]:
+                # vertex_list is sorted, so v < u implies index[v] < index[u].
+                if u > v:
+                    iu = index.get(u)
+                    if iu is not None:
+                        edges.append((iv, iu))
         identifiers = {index[v]: self._ids[v] for v in vertex_list}
-        return Network(g, identifiers)
+        return Network._from_canonical(len(vertex_list), edges, identifiers)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Network(n={self.n}, m={self.m}, max_degree={self.max_degree()})"

@@ -52,6 +52,10 @@ class NodeRuntime:
         "_edge_outputs",
         "_edge_output_rounds",
         "_current_round",
+        "_neighbor_set",
+        "_observer",
+        "_coro_program",
+        "_coro_outbox",
     )
 
     def __init__(
@@ -60,6 +64,7 @@ class NodeRuntime:
         identifier: int,
         neighbors: Tuple[int, ...],
         rng: random.Random,
+        observer: Optional[Any] = None,
     ) -> None:
         self.vertex = vertex
         self.identifier = identifier
@@ -73,6 +78,16 @@ class NodeRuntime:
         self._edge_outputs: Dict[int, Any] = {}
         self._edge_output_rounds: Dict[int, int] = {}
         self._current_round = 0
+        # Membership tests against a short tuple beat building a frozenset;
+        # only high-degree nodes get a real set.
+        self._neighbor_set = neighbors if len(neighbors) <= 8 else frozenset(neighbors)
+        # The runner's completion tracker; notified on first commits and on
+        # halting so that execution-complete checks are O(1) per event
+        # instead of a full graph scan per round.
+        self._observer = observer
+        # Slots used by CoroutineAlgorithm (faster than state-dict entries).
+        self._coro_program: Any = None
+        self._coro_outbox: Any = None
 
     # ------------------------------------------------------------------ #
     # Output commitment
@@ -95,6 +110,8 @@ class NodeRuntime:
             return
         self._output = value
         self._output_round = self._current_round
+        if self._observer is not None:
+            self._observer.node_committed(self.vertex)
 
     def commit_edge(self, neighbor: int, value: Any) -> None:
         """Commit the output of the edge towards ``neighbor``.
@@ -106,6 +123,8 @@ class NodeRuntime:
         if neighbor not in self._edge_outputs:
             self._edge_outputs[neighbor] = value
             self._edge_output_rounds[neighbor] = self._current_round
+            if self._observer is not None:
+                self._observer.edge_committed(self.vertex, neighbor)
             return
         if self._edge_outputs[neighbor] != value:
             raise CommitError(
@@ -142,7 +161,10 @@ class NodeRuntime:
 
     def halt(self) -> None:
         """Stop participating: the node sends no further messages."""
-        self._halted = True
+        if not self._halted:
+            self._halted = True
+            if self._observer is not None:
+                self._observer.node_halted(self.vertex)
 
     @property
     def halted(self) -> bool:

@@ -10,20 +10,64 @@ are stamped with ``t - 1`` (they are a function of the node's ``(t-1)``-hop
 neighbourhood only).  These stamps are exactly the individual complexities
 ``T_v`` / ``T_e`` of the paper, from which :mod:`repro.core.metrics` computes
 node- and edge-averaged complexities.
+
+Performance notes.  The hot loop is organised around an **active set**: only
+nodes that have not halted are visited, so the per-round cost is proportional
+to the number of still-running nodes and the messages they send, not to
+``n + m``.  Inboxes are allocated once per node and reused across rounds (the
+runner clears them after delivery — algorithms must copy an inbox if they
+want to keep it beyond the ``receive`` call, which none of the provided
+algorithms do).  Completion is tracked *incrementally*: nodes notify a
+:class:`_CompletionTracker` on their first commit / halt, so the
+"is the execution complete?" check is O(1) per round instead of a full scan
+of every node and edge.
 """
 
 from __future__ import annotations
 
+import gc
 import random
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.problems import ProblemSpec
 from repro.core.trace import ExecutionTrace
-from repro.local.algorithm import NodeAlgorithm
-from repro.local.network import Network, canonical_edge
+from repro.local.algorithm import Broadcast, NodeAlgorithm
+from repro.local.coroutine import CoroutineAlgorithm
+from repro.local.network import Network
 from repro.local.node import CommitError, NodeRuntime
 
 __all__ = ["Runner", "RoundLimitExceeded", "estimate_message_bits"]
+
+
+try:  # pragma: no cover - fallback exercised only on exotic interpreters
+    import _random
+
+    _BASE_SEED = _random.Random.seed
+
+    def _reseed(rng: random.Random, key: int) -> None:
+        """Re-seed ``rng`` to the exact state of a fresh ``random.Random(key)``.
+
+        ``random.Random.seed`` with an int delegates straight to the C-level
+        ``_random.Random.seed`` and resets ``gauss_next``; calling the C
+        method directly skips the Python wrapper on a per-node hot path.
+        """
+        _BASE_SEED(rng, key)
+        rng.gauss_next = None
+
+    def _make_node_rng(key: int) -> random.Random:
+        """A ``random.Random(key)`` built without the Python seeding wrapper."""
+        rng = random.Random.__new__(random.Random)
+        _BASE_SEED(rng, key)
+        rng.gauss_next = None
+        return rng
+
+except (ImportError, AttributeError):  # pragma: no cover
+
+    def _reseed(rng: random.Random, key: int) -> None:
+        rng.seed(key)
+
+    def _make_node_rng(key: int) -> random.Random:
+        return random.Random(key)
 
 
 class RoundLimitExceeded(RuntimeError):
@@ -56,8 +100,82 @@ def estimate_message_bits(payload: Any) -> int:
     return 8 * len(repr(payload))
 
 
+class _CompletionTracker:
+    """Incremental completion bookkeeping for one execution.
+
+    Nodes call :meth:`node_committed` / :meth:`edge_committed` /
+    :meth:`node_halted` on the corresponding first-time events; the tracker
+    keeps counters so that :meth:`is_complete` answers in O(1).  The
+    semantics match the former full scan exactly:
+
+    * node-labelling problems are complete when every node committed,
+    * edge-labelling problems are complete when every edge has at least one
+      endpoint that committed it,
+    * problems labelling neither are complete when every node halted.
+    """
+
+    __slots__ = (
+        "labels_nodes",
+        "labels_edges",
+        "_pending_nodes",
+        "_pending_edges",
+        "_edge_decided",
+        "_network",
+        "_edge_index",
+        "halt_events",
+        "edge_commit_events",
+    )
+
+    def __init__(self, network: Network, problem: ProblemSpec) -> None:
+        self.labels_nodes = problem.labels_nodes
+        self.labels_edges = problem.labels_edges
+        self._pending_nodes = network.n
+        self._pending_edges = network.m
+        self._edge_decided = bytearray(network.m)
+        self._network = network
+        self._edge_index = None
+        self.halt_events = 0
+        self.edge_commit_events = 0
+
+    def node_committed(self, vertex: int) -> None:
+        self._pending_nodes -= 1
+
+    def edge_committed(self, vertex: int, neighbor: int) -> None:
+        self.edge_commit_events += 1
+        edge = (vertex, neighbor) if vertex < neighbor else (neighbor, vertex)
+        edge_index = self._edge_index
+        if edge_index is None:
+            edge_index = self._edge_index = self._network._edge_index_map()
+        index = edge_index.get(edge)
+        # Commits towards non-neighbours are ignored, as the former edge scan
+        # (which only ever looked at real edges) ignored them.
+        if index is not None and not self._edge_decided[index]:
+            self._edge_decided[index] = 1
+            self._pending_edges -= 1
+
+    def node_halted(self, vertex: int) -> None:
+        self.halt_events += 1
+
+    def is_complete(self, unhalted: int) -> bool:
+        if self.labels_nodes and self._pending_nodes:
+            return False
+        if self.labels_edges and self._pending_edges:
+            return False
+        if not self.labels_nodes and not self.labels_edges:
+            return unhalted == 0
+        return True
+
+
 class Runner:
     """Executes a :class:`NodeAlgorithm` on a :class:`Network`.
+
+    A ``Runner`` instance executes **one run at a time**: repeated runs on
+    the same network reuse a pooled set of node runtimes (see
+    ``_acquire_nodes``), so sharing one instance across threads, or
+    re-entering ``run`` from algorithm callbacks, is not supported — give
+    each concurrent execution its own ``Runner`` (networks can be shared
+    freely; they are immutable).  The pool also keeps the most recent
+    network and its node runtimes alive for the lifetime of the instance.
 
     Args:
         max_rounds: hard cap on the number of communication rounds.  The
@@ -69,6 +187,11 @@ class Runner:
             execution length.
         track_message_bits: record the size of the largest message, for
             CONGEST sanity checks.
+        pause_gc: disable the cyclic garbage collector while the round loop
+            runs (restored afterwards, even on error).  The loop allocates
+            large numbers of short-lived message dicts that the generational
+            collector would otherwise repeatedly traverse; reference counting
+            alone reclaims them.
     """
 
     def __init__(
@@ -76,12 +199,21 @@ class Runner:
         max_rounds: int = 10_000,
         strict: bool = True,
         track_message_bits: bool = False,
+        pause_gc: bool = True,
     ) -> None:
         if max_rounds < 0:
             raise ValueError("max_rounds must be non-negative")
         self.max_rounds = max_rounds
         self.strict = strict
         self.track_message_bits = track_message_bits
+        self.pause_gc = pause_gc
+        # Single-entry NodeRuntime pool: repeated runs on the same network
+        # (the common shape of every trial loop) re-seed and reset the
+        # existing node objects instead of reallocating n runtimes and n
+        # Mersenne generators per run.  `Random.seed(k)` produces exactly the
+        # same stream as a fresh `Random(k)`, so traces are unaffected.
+        self._pool_network: Optional[Network] = None
+        self._pool_nodes: Optional[Tuple[NodeRuntime, ...]] = None
 
     # ------------------------------------------------------------------ #
 
@@ -106,49 +238,142 @@ class Runner:
         Returns:
             The :class:`ExecutionTrace` of the execution.
         """
+        gc_was_enabled = self.pause_gc and gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._run(algorithm, network, problem, seed)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _run(
+        self,
+        algorithm: NodeAlgorithm,
+        network: Network,
+        problem: ProblemSpec,
+        seed: Optional[int],
+    ) -> ExecutionTrace:
         master_rng = random.Random(seed)
-        nodes = self._build_nodes(network, master_rng)
+        tracker = _CompletionTracker(network, problem)
+        nodes = self._acquire_nodes(network, master_rng, tracker)
 
         total_messages = 0
         max_message_bits = 0
+        track_bits = self.track_message_bits
 
         # Round 0: initialisation.
         for node in nodes:
             node._current_round = 0
             algorithm.init(node)
 
+        # Active set: nodes that may still send and receive.  Inboxes exist
+        # only for active nodes and are reused (cleared, not reallocated)
+        # between rounds.
+        active: List[NodeRuntime] = [node for node in nodes if not node._halted]
+        inbox_of: List[Optional[Dict[int, Any]]] = [None] * network.n
+        for node in active:
+            inbox_of[node.vertex] = {}
+        seen_halt_events = tracker.halt_events
+
         rounds_executed = 0
-        completed = self._is_complete(network, nodes, problem)
+        completed = tracker.is_complete(len(active))
+        send = algorithm.send
+        receive = algorithm.receive
+        # Coroutine algorithms store their pending outbox in a node slot and
+        # their program in another; read/advance them directly instead of
+        # paying a method call per node per round (only when the subclass
+        # has not overridden the plumbing).
+        algorithm_type = type(algorithm)
+        direct_outbox = (
+            isinstance(algorithm, CoroutineAlgorithm)
+            and algorithm_type.send is CoroutineAlgorithm.send
+        )
+        direct_receive = (
+            isinstance(algorithm, CoroutineAlgorithm)
+            and algorithm_type.receive is CoroutineAlgorithm.receive
+        )
 
         while not completed and rounds_executed < self.max_rounds:
             current_round = rounds_executed + 1
 
             # Phase 1: every participating node produces its messages based on
             # its state after `rounds_executed` rounds.
-            inboxes: Dict[int, Dict[int, Any]] = {v: {} for v in network.vertices}
-            for node in nodes:
-                if node.halted:
+            for node in active:
+                outgoing = node._coro_outbox if direct_outbox else send(node)
+                if not outgoing:
                     continue
-                outgoing = algorithm.send(node) or {}
-                for target, payload in outgoing.items():
-                    if target not in node.neighbors:
-                        raise ValueError(
-                            f"node {node.vertex} attempted to send to non-neighbour {target}"
+                source = node.vertex
+                if type(outgoing) is Broadcast:
+                    # Full-neighbourhood broadcast: targets are valid by
+                    # construction, no per-message dict or validation needed.
+                    payload = outgoing.payload
+                    neighbors = node.neighbors
+                    total_messages += len(neighbors)
+                    if track_bits:
+                        max_message_bits = max(
+                            max_message_bits, estimate_message_bits(payload)
                         )
-                    inboxes[target][node.vertex] = payload
+                    for target in neighbors:
+                        box = inbox_of[target]
+                        if box is not None:
+                            box[source] = payload
+                    continue
+                neighbor_set = node._neighbor_set
+                for target, payload in outgoing.items():
+                    if target not in neighbor_set:
+                        raise ValueError(
+                            f"node {source} attempted to send to non-neighbour {target}"
+                        )
                     total_messages += 1
-                    if self.track_message_bits:
+                    if track_bits:
                         max_message_bits = max(max_message_bits, estimate_message_bits(payload))
+                    box = inbox_of[target]
+                    if box is not None:
+                        box[source] = payload
 
             # Phase 2: simultaneous delivery and processing.
-            for node in nodes:
-                if node.halted:
-                    continue
-                node._current_round = current_round
-                algorithm.receive(node, inboxes[node.vertex])
+            if direct_receive:
+                for node in active:
+                    if node._halted:
+                        continue
+                    node._current_round = current_round
+                    box = inbox_of[node.vertex]
+                    program = node._coro_program
+                    if program is not None:
+                        try:
+                            node._coro_outbox = program.send(box or {})
+                        except StopIteration:
+                            node._coro_program = None
+                            node._coro_outbox = None
+                            node.halt()
+                    if box:
+                        box.clear()
+            else:
+                for node in active:
+                    if node._halted:
+                        continue
+                    node._current_round = current_round
+                    box = inbox_of[node.vertex]
+                    receive(node, box)
+                    if box:
+                        box.clear()
 
             rounds_executed = current_round
-            completed = self._is_complete(network, nodes, problem)
+
+            # Drop nodes that halted this round from the active set (only
+            # when someone actually halted — the common case is no change).
+            if tracker.halt_events != seen_halt_events:
+                seen_halt_events = tracker.halt_events
+                still_active: List[NodeRuntime] = []
+                for node in active:
+                    if node._halted:
+                        inbox_of[node.vertex] = None
+                    else:
+                        still_active.append(node)
+                active = still_active
+
+            completed = tracker.is_complete(len(active))
 
         if not completed and self.strict:
             raise RoundLimitExceeded(
@@ -165,39 +390,62 @@ class Runner:
             completed,
             total_messages,
             max_message_bits if self.track_message_bits else None,
+            any_edge_commits=tracker.edge_commit_events > 0,
         )
 
     # ------------------------------------------------------------------ #
 
-    @staticmethod
-    def _build_nodes(network: Network, master_rng: random.Random) -> Tuple[NodeRuntime, ...]:
-        nodes = []
-        for v in network.vertices:
-            node_rng = random.Random(master_rng.getrandbits(64))
-            nodes.append(
-                NodeRuntime(
-                    vertex=v,
-                    identifier=network.identifier(v),
-                    neighbors=network.neighbors(v),
-                    rng=node_rng,
-                )
-            )
-        return tuple(nodes)
+    def _acquire_nodes(
+        self,
+        network: Network,
+        master_rng: random.Random,
+        tracker: _CompletionTracker,
+    ) -> Tuple[NodeRuntime, ...]:
+        if self._pool_network is not network:
+            nodes = self._build_nodes(network, master_rng, tracker)
+            self._pool_network = network
+            self._pool_nodes = nodes
+            return nodes
+        nodes = self._pool_nodes
+        getrandbits = master_rng.getrandbits
+        reseed = _reseed
+        for node in nodes:
+            # Same draw order as _build_nodes, hence identical rng streams.
+            reseed(node.rng, getrandbits(64))
+            if node.state:
+                node.state = {}
+            node._halted = False
+            node._output = None
+            node._output_round = None
+            if node._edge_outputs:
+                node._edge_outputs = {}
+                node._edge_output_rounds = {}
+            node._current_round = 0
+            node._observer = tracker
+            node._coro_program = None
+            node._coro_outbox = None
+        return nodes
 
     @staticmethod
-    def _is_complete(
-        network: Network, nodes: Tuple[NodeRuntime, ...], problem: ProblemSpec
-    ) -> bool:
-        if problem.labels_nodes:
-            if any(not node.has_committed for node in nodes):
-                return False
-        if problem.labels_edges:
-            for u, v in network.edges:
-                if not (nodes[u].has_committed_edge(v) or nodes[v].has_committed_edge(u)):
-                    return False
-        if not problem.labels_nodes and not problem.labels_edges:
-            return all(node.halted for node in nodes)
-        return True
+    def _build_nodes(
+        network: Network,
+        master_rng: random.Random,
+        observer: Optional[_CompletionTracker] = None,
+    ) -> Tuple[NodeRuntime, ...]:
+        make_rng = _make_node_rng
+        getrandbits = master_rng.getrandbits
+        identifiers = network.identifiers
+        adjacency = network._adjacency
+        return tuple(
+            NodeRuntime(
+                vertex=v,
+                identifier=identifiers[v],
+                neighbors=adjacency[v],
+                rng=make_rng(getrandbits(64)),
+                observer=observer,
+            )
+            for v in range(network.n)
+        )
 
     @staticmethod
     def _collect_trace(
@@ -209,6 +457,7 @@ class Runner:
         completed: bool,
         total_messages: int,
         max_message_bits: Optional[int],
+        any_edge_commits: bool = True,
     ) -> ExecutionTrace:
         trace = ExecutionTrace(
             network=network,
@@ -219,13 +468,23 @@ class Runner:
             max_message_bits=max_message_bits,
             algorithm_name=algorithm.name,
         )
-        for node in nodes:
-            if node.has_committed:
-                trace.node_outputs[node.vertex] = node.output
-                trace.node_commit_round[node.vertex] = node.output_round or 0
+        trace.node_outputs = {
+            node.vertex: node._output for node in nodes if node._output_round is not None
+        }
+        trace.node_commit_round = {
+            node.vertex: node._output_round or 0
+            for node in nodes
+            if node._output_round is not None
+        }
 
-        for u, v in network.edges:
-            edge = canonical_edge(u, v)
+        if not any_edge_commits:
+            # No node ever committed an edge output: the per-edge collection
+            # loop below would be a pure no-op scan, skip it.
+            return trace
+
+        # network.edges is already canonical, no per-edge normalisation needed.
+        for edge in network.edges:
+            u, v = edge
             commits = []
             if nodes[u].has_committed_edge(v):
                 commits.append((nodes[u]._edge_output_rounds[v], nodes[u].edge_output(v)))

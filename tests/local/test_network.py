@@ -94,6 +94,44 @@ class TestNetworkConstruction:
         original_ids = {net.identifier(v) for v in [0, 1, 2, 3]}
         assert set(sub.identifiers) == original_ids
 
+    def test_subnetwork_preserves_identifiers_and_adjacency(self):
+        g = nx.gnp_random_graph(40, 0.15, seed=9)
+        net = Network.from_graph(g, id_scheme="permuted", rng=random.Random(3))
+        kept = [3, 7, 8, 11, 12, 19, 23, 24, 30, 31, 38]
+        sub = net.subnetwork(kept)
+
+        # Identifier of kept vertex i (in sorted order) carries over.
+        assert [sub.identifier(i) for i in range(sub.n)] == [net.identifier(v) for v in kept]
+
+        # Adjacency matches the induced subgraph, edge for edge.
+        index = {v: i for i, v in enumerate(kept)}
+        expected = nx.Graph(g.subgraph(kept))
+        expected_edges = sorted(
+            tuple(sorted((index[u], index[v]))) for u, v in expected.edges()
+        )
+        assert list(sub.edges) == expected_edges
+        for v in kept:
+            expected_neighbors = sorted(index[u] for u in expected.neighbors(v))
+            assert list(sub.neighbors(index[v])) == expected_neighbors
+
+    def test_csr_arrays_describe_the_adjacency(self):
+        net = Network.from_graph(nx.gnp_random_graph(25, 0.25, seed=4))
+        indptr, indices = net.indptr, net.indices
+        assert len(indptr) == net.n + 1
+        assert len(indices) == 2 * net.m
+        assert indptr[0] == 0 and indptr[net.n] == 2 * net.m
+        for v in net.vertices:
+            row = list(indices[indptr[v] : indptr[v + 1]])
+            assert row == sorted(row) == list(net.neighbors(v))
+            assert len(row) == net.degree(v)
+
+    def test_cached_degree_statistics_match_adjacency(self):
+        net = Network.from_graph(nx.gnp_random_graph(30, 0.2, seed=6))
+        degrees = [net.degree(v) for v in net.vertices]
+        assert net.max_degree() == max(degrees)
+        assert net.min_degree() == min(degrees)
+        assert net.id_bit_length() == max(int(i).bit_length() for i in net.identifiers)
+
     def test_empty_graph(self):
         net = Network.from_graph(nx.empty_graph(5))
         assert net.m == 0

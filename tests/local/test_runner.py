@@ -14,7 +14,7 @@ import pytest
 
 from repro.core import problems
 from repro.core.problems import ProblemSpec, ValidationResult
-from repro.local.algorithm import NodeAlgorithm
+from repro.local.algorithm import Broadcast, NodeAlgorithm
 from repro.local.coroutine import CoroutineAlgorithm
 from repro.local.network import Network
 from repro.local.node import CommitError
@@ -156,6 +156,50 @@ class TestBasicExecution:
         assert a.node_outputs == b.node_outputs
         assert a.node_commit_round == b.node_commit_round
 
+    @pytest.mark.parametrize("algorithm_key", ["luby", "matching", "orientation"])
+    def test_full_trace_determinism_across_runner_instances(self, algorithm_key):
+        """Equal seeds give identical traces — outputs, commit rounds, messages.
+
+        Runs each seed through a *shared* runner (which reuses its node pool
+        between runs) and a *fresh* runner (which builds nodes from scratch);
+        the two code paths must agree exactly, for node- and edge-labelling
+        problems alike.
+        """
+        from repro.algorithms.matching.randomized import RandomizedMaximalMatching
+        from repro.algorithms.mis.luby import LubyMIS
+        from repro.algorithms.orientation.randomized import RandomizedSinklessOrientation
+
+        make, problem, graph = {
+            "luby": (LubyMIS, problems.MIS, nx.gnp_random_graph(40, 0.15, seed=3)),
+            "matching": (
+                RandomizedMaximalMatching,
+                problems.MAXIMAL_MATCHING,
+                nx.random_regular_graph(4, 40, seed=4),
+            ),
+            "orientation": (
+                RandomizedSinklessOrientation,
+                problems.SINKLESS_ORIENTATION,
+                nx.random_regular_graph(4, 30, seed=5),
+            ),
+        }[algorithm_key]
+        net = Network.from_graph(graph, id_scheme="permuted")
+        shared = Runner(max_rounds=20_000)
+        for seed in (0, 7, 123):
+            traces = [
+                shared.run(make(), net, problem, seed=seed),
+                shared.run(make(), net, problem, seed=seed),  # pooled re-run
+                Runner(max_rounds=20_000).run(make(), net, problem, seed=seed),
+            ]
+            first = traces[0]
+            for other in traces[1:]:
+                assert other.node_outputs == first.node_outputs
+                assert other.node_commit_round == first.node_commit_round
+                assert other.edge_outputs == first.edge_outputs
+                assert other.edge_commit_round == first.edge_commit_round
+                assert other.rounds == first.rounds
+                assert other.completed == first.completed
+                assert other.total_messages == first.total_messages
+
     def test_different_seeds_usually_differ(self, runner):
         from repro.algorithms.mis.luby import LubyMIS
 
@@ -191,6 +235,46 @@ class TestBasicExecution:
     def test_invalid_max_rounds(self):
         with pytest.raises(ValueError):
             Runner(max_rounds=-1)
+
+
+class TestBroadcast:
+    def test_broadcast_equals_explicit_neighbor_dict(self, runner):
+        class DictSender(CoroutineAlgorithm):
+            name = "dict-sender"
+
+            def run(self, node):
+                inbox = yield {u: node.identifier for u in node.neighbors}
+                node.commit(min([node.identifier, *inbox.values()]))
+
+        class BroadcastSender(CoroutineAlgorithm):
+            name = "broadcast-sender"
+
+            def run(self, node):
+                inbox = yield Broadcast(node.identifier)
+                node.commit(min([node.identifier, *inbox.values()]))
+
+        net = Network.from_graph(nx.gnp_random_graph(25, 0.2, seed=8))
+        a = runner.run(DictSender(), net, _always_valid("p"), seed=0)
+        b = runner.run(BroadcastSender(), net, _always_valid("p"), seed=0)
+        assert a.node_outputs == b.node_outputs
+        assert a.node_commit_round == b.node_commit_round
+        assert a.total_messages == b.total_messages
+
+    def test_broadcast_from_callback_send(self, runner):
+        class CallbackBroadcaster(NodeAlgorithm):
+            name = "callback-broadcast"
+
+            def send(self, node):
+                return Broadcast("ping")
+
+            def receive(self, node, messages):
+                node.commit(len(messages))
+
+        net = Network.from_graph(nx.star_graph(5))
+        trace = runner.run(CallbackBroadcaster(), net, _always_valid("p"), seed=0)
+        assert trace.node_outputs[0] == 5
+        assert all(trace.node_outputs[v] == 1 for v in range(1, 6))
+        assert trace.total_messages == 10
 
 
 class TestMessageSizeEstimates:
