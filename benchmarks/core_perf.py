@@ -20,6 +20,17 @@ timing.  Results are written to ``BENCH_core.json`` (see
 ``benchmarks/README.md`` for the schema); this file is the start of the
 repo's perf trajectory — future PRs append comparable runs.
 
+Cells come in two kinds (schema ``bench-core/v2``):
+
+* ``kind="pipeline"`` — the full generate → run → validate → measure
+  pipeline is timed, phase by phase (``network_s``, ``runner_s``,
+  ``validate_s``, ``measure_s``).  Seed validation rebuilds the networkx
+  export per call (the seed's ``trace.validate()`` behaviour); new
+  validation is the CSR fast path.
+* ``kind="validate"`` — both pipelines run **untimed** (identity is still
+  asserted) and only solution validation is timed, ``validations`` times per
+  trace.  These cells isolate the CSR-native validator speedup.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/core_perf.py            # full suite
@@ -64,7 +75,7 @@ from repro.local.network import Network
 from repro.local.runner import Runner
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
-SCHEMA = "bench-core/v1"
+SCHEMA = "bench-core/v2"
 ID_SEED = 7
 MAX_ROUNDS = 20_000
 
@@ -76,7 +87,15 @@ MAX_ROUNDS = 20_000
 
 @dataclass(frozen=True)
 class Cell:
-    """One (algorithm, workload, n) benchmark cell."""
+    """One (algorithm, workload, n) benchmark cell.
+
+    ``make_graph`` may return a networkx graph or an ``(n, edges)`` pair
+    from the direct edge-list generators (the only practical option at
+    n = 50 000).  ``kind`` selects what is timed: ``"pipeline"`` times the
+    full pipeline, ``"validate"`` times solution validation only (the
+    pipelines still run untimed so trace identity stays asserted).
+    ``reps`` overrides the suite-wide repetition count for expensive cells.
+    """
 
     algorithm: str
     workload: str
@@ -84,7 +103,10 @@ class Cell:
     trials: int
     make_algorithm: Callable[[], object]
     problem: object
-    make_graph: Callable[[int], nx.Graph]
+    make_graph: Callable[[int], object]
+    kind: str = "pipeline"
+    validations: int = 1
+    reps: Optional[int] = None
 
 
 def _cells(quick: bool) -> List[Cell]:
@@ -115,6 +137,20 @@ def _cells(quick: bool) -> List[Cell]:
                 RandomizedSinklessOrientation,
                 problems.SINKLESS_ORIENTATION,
                 lambda n: gen.random_regular_graph(4, n, seed=3),
+            ),
+            # Validation-only cell on a direct edge-list workload: keeps the
+            # CSR-native validation path and the (n, edges) plumbing covered
+            # by `pytest -m bench_smoke`.
+            Cell(
+                "luby-mis",
+                "random-4-regular-direct",
+                400,
+                2,
+                LubyMIS,
+                problems.MIS,
+                lambda n: gen.random_regular_edges(4, n, seed=1),
+                kind="validate",
+                validations=3,
             ),
         ]
 
@@ -158,6 +194,66 @@ def _cells(quick: bool) -> List[Cell]:
             problems.SINKLESS_ORIENTATION,
             lambda n: gen.min_degree_graph(n, 3, seed=5),
         ),
+        # ---- validation-heavy cells (CSR validators vs nx export + nx scan) ----
+        Cell(
+            "luby-mis",
+            "random-4-regular",
+            20_000,
+            1,
+            LubyMIS,
+            problems.MIS,
+            lambda n: gen.random_regular_edges(4, n, seed=1),
+            kind="validate",
+            validations=5,
+            reps=2,
+        ),
+        Cell(
+            "luby-mis-as-ruling-set",
+            "random-4-regular",
+            20_000,
+            1,
+            LubyMIS,
+            problems.ruling_set(2, 1),
+            lambda n: gen.random_regular_edges(4, n, seed=1),
+            kind="validate",
+            validations=5,
+            reps=2,
+        ),
+        Cell(
+            "randomized-matching",
+            "random-tree",
+            20_000,
+            1,
+            RandomizedMaximalMatching,
+            problems.MAXIMAL_MATCHING,
+            lambda n: gen.random_tree(n, seed=2),
+            kind="validate",
+            validations=5,
+            reps=2,
+        ),
+        Cell(
+            "sinkless-orientation",
+            "random-4-regular",
+            10_000,
+            1,
+            RandomizedSinklessOrientation,
+            problems.SINKLESS_ORIENTATION,
+            lambda n: gen.random_regular_edges(4, n, seed=3),
+            kind="validate",
+            validations=5,
+            reps=2,
+        ),
+        # ---- n = 50 000 end-to-end cell (direct edge-list generator) ----
+        Cell(
+            "luby-mis",
+            "random-4-regular-direct",
+            50_000,
+            2,
+            LubyMIS,
+            problems.MIS,
+            lambda n: gen.random_regular_edges(4, n, seed=1),
+            reps=1,
+        ),
     ]
 
 
@@ -167,15 +263,38 @@ def _cells(quick: bool) -> List[Cell]:
 
 
 def _workload_inputs(cell: Cell) -> Tuple[int, List[Tuple[int, int]], Dict[int, int]]:
-    """Shared, untimed inputs of both pipelines: n, edge list, identifiers."""
-    graph = cell.make_graph(cell.n)
-    n = graph.number_of_nodes()
-    edges = [(u, v) if u < v else (v, u) for u, v in graph.edges()]
+    """Shared, untimed inputs of both pipelines: n, edge list, identifiers.
+
+    ``make_graph`` may hand back a networkx graph or a direct ``(n, edges)``
+    pair; both sides of the comparison consume the same canonical edge list
+    either way.
+    """
+    workload = cell.make_graph(cell.n)
+    if isinstance(workload, tuple):
+        n, raw_edges = workload
+    else:
+        n = workload.number_of_nodes()
+        raw_edges = workload.edges()
+    edges = [(u, v) if u < v else (v, u) for u, v in raw_edges]
     identifiers = ids_module.permuted_ids(list(range(n)), random.Random(ID_SEED))
     return n, edges, identifiers
 
 
-def _seed_pipeline(cell: Cell, n, edges, identifiers):
+def _seed_export(n: int, edges: List[Tuple[int, int]]) -> nx.Graph:
+    """The seed ``Network.to_networkx``: a fresh graph built per call."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(edges)
+    return graph
+
+
+def _seed_validate(cell: Cell, n, edges, trace) -> bool:
+    """One seed-pipeline validation: fresh networkx export + nx validators."""
+    graph = _seed_export(n, edges)
+    return bool(cell.problem.validate(graph, trace.node_outputs, trace.edge_outputs))
+
+
+def _seed_pipeline(cell: Cell, n, edges, identifiers, validations: int = 0):
     """The seed simulation core: networkx Network, scan-per-round runner, per-entity metrics."""
     timings: Dict[str, float] = {}
     t0 = time.perf_counter()
@@ -201,13 +320,19 @@ def _seed_pipeline(cell: Cell, n, edges, identifiers):
     timings["runner_s"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
+    for trace in traces:
+        for _ in range(validations):
+            assert _seed_validate(cell, n, edges, trace)
+    timings["validate_s"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
     measurement = legacy_measure(traces)
     timings["measure_s"] = time.perf_counter() - t0
     timings["total_s"] = sum(timings.values())
     return timings, measurement, traces
 
 
-def _new_pipeline(cell: Cell, n, edges, identifiers):
+def _new_pipeline(cell: Cell, n, edges, identifiers, validations: int = 0):
     """The array-backed simulation core: CSR network, active-set runner, cached metrics."""
     timings: Dict[str, float] = {}
     t0 = time.perf_counter()
@@ -221,6 +346,12 @@ def _new_pipeline(cell: Cell, n, edges, identifiers):
         for i in range(cell.trials)
     ]
     timings["runner_s"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for trace in traces:
+        for _ in range(validations):
+            trace.require_valid()
+    timings["validate_s"] = time.perf_counter() - t0
 
     t0 = time.perf_counter()
     measurement = measure(traces)
@@ -244,22 +375,31 @@ def _traces_identical(a, b) -> bool:
 def run_cell(cell: Cell, reps: int = 3, validate: bool = True) -> Dict[str, object]:
     """Benchmark one cell; returns its JSON record.
 
-    Raises ``AssertionError`` if the two pipelines disagree on any trace or
-    on the complexity measurement.
+    Raises ``AssertionError`` if the two pipelines disagree on any trace, on
+    the complexity measurement, or on solution validity.
     """
     if reps < 1:
         raise ValueError("reps must be at least 1")
+    if cell.reps is not None:
+        reps = cell.reps
     n, edges, identifiers = _workload_inputs(cell)
+    if cell.kind == "validate":
+        return _run_validate_cell(cell, n, edges, identifiers, reps)
 
+    validations = cell.validations if validate else 0
     best_seed: Optional[Dict[str, float]] = None
     best_new: Optional[Dict[str, float]] = None
     seed_measurement = new_measurement = None
     seed_traces = new_traces = None
     for _ in range(reps):
-        timings, seed_measurement, seed_traces = _seed_pipeline(cell, n, edges, identifiers)
+        timings, seed_measurement, seed_traces = _seed_pipeline(
+            cell, n, edges, identifiers, validations=validations
+        )
         if best_seed is None or timings["total_s"] < best_seed["total_s"]:
             best_seed = timings
-        timings, new_measurement, new_traces = _new_pipeline(cell, n, edges, identifiers)
+        timings, new_measurement, new_traces = _new_pipeline(
+            cell, n, edges, identifiers, validations=validations
+        )
         if best_new is None or timings["total_s"] < best_new["total_s"]:
             best_new = timings
 
@@ -268,22 +408,77 @@ def run_cell(cell: Cell, reps: int = 3, validate: bool = True) -> Dict[str, obje
     )
     identical = all(_traces_identical(a, b) for a, b in zip(seed_traces, new_traces))
     assert identical, f"trace mismatch on {cell}"
-    if validate:
-        for trace in new_traces:
-            trace.require_valid()
 
-    return {
+    record = {
         "algorithm": cell.algorithm,
         "workload": cell.workload,
+        "kind": cell.kind,
         "n": n,
         "m": len(edges),
         "trials": cell.trials,
+        "validations": validations,
         "rounds": [t.rounds for t in new_traces],
         "total_messages": [t.total_messages for t in new_traces],
         "seed": {k: round(v, 6) for k, v in best_seed.items()},
         "new": {k: round(v, 6) for k, v in best_new.items()},
         "speedup": round(best_seed["total_s"] / best_new["total_s"], 3),
         "runner_speedup": round(best_seed["runner_s"] / best_new["runner_s"], 3),
+        "identical_traces": identical,
+        "measurement": new_measurement.as_dict(),
+    }
+    if validations and best_new["validate_s"] > 0:
+        record["validate_speedup"] = round(best_seed["validate_s"] / best_new["validate_s"], 3)
+    return record
+
+
+def _run_validate_cell(cell: Cell, n, edges, identifiers, reps: int) -> Dict[str, object]:
+    """A ``kind="validate"`` cell: pipelines run untimed, validation is timed.
+
+    Trace and measurement identity between the pipelines is still asserted,
+    so these cells keep the same correctness guarantees as pipeline cells —
+    they just isolate the validator comparison: the seed side re-exports the
+    topology to networkx per call (the seed ``trace.validate()``), the new
+    side is the CSR-native fast path on the trace's array storage.
+    """
+    _, seed_measurement, seed_traces = _seed_pipeline(cell, n, edges, identifiers)
+    _, new_measurement, new_traces = _new_pipeline(cell, n, edges, identifiers)
+    assert seed_measurement == new_measurement, f"measurement mismatch on {cell}"
+    identical = all(_traces_identical(a, b) for a, b in zip(seed_traces, new_traces))
+    assert identical, f"trace mismatch on {cell}"
+    for trace in new_traces:
+        trace.require_valid()
+
+    best_seed_s = best_new_s = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        for trace in seed_traces:
+            for _ in range(cell.validations):
+                assert _seed_validate(cell, n, edges, trace)
+        seed_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for trace in new_traces:
+            for _ in range(cell.validations):
+                assert bool(trace.validate())
+        new_s = time.perf_counter() - t0
+        if best_seed_s is None or seed_s < best_seed_s:
+            best_seed_s = seed_s
+        if best_new_s is None or new_s < best_new_s:
+            best_new_s = new_s
+
+    return {
+        "algorithm": cell.algorithm,
+        "workload": cell.workload,
+        "kind": cell.kind,
+        "n": n,
+        "m": len(edges),
+        "trials": cell.trials,
+        "validations": cell.validations,
+        "rounds": [t.rounds for t in new_traces],
+        "total_messages": [t.total_messages for t in new_traces],
+        "seed": {"validate_s": round(best_seed_s, 6), "total_s": round(best_seed_s, 6)},
+        "new": {"validate_s": round(best_new_s, 6), "total_s": round(best_new_s, 6)},
+        "speedup": round(best_seed_s / best_new_s, 3),
+        "validate_speedup": round(best_seed_s / best_new_s, 3),
         "identical_traces": identical,
         "measurement": new_measurement.as_dict(),
     }
@@ -295,11 +490,15 @@ def run_suite(quick: bool = False, reps: int = 3, validate: bool = True) -> Dict
     for cell in _cells(quick):
         record = run_cell(cell, reps=reps, validate=validate)
         records.append(record)
+        if record["kind"] == "validate":
+            detail = f"(validate ×{record['validate_speedup']:.2f})"
+        else:
+            detail = f"(runner ×{record['runner_speedup']:.2f})"
         print(
-            f"{record['algorithm']:>22} × {record['workload']:<16} n={record['n']:>5}  "
+            f"{record['algorithm']:>22} × {record['workload']:<22} n={record['n']:>6}  "
             f"seed {record['seed']['total_s'] * 1000:8.1f} ms  "
             f"new {record['new']['total_s'] * 1000:8.1f} ms  "
-            f"speedup ×{record['speedup']:.2f} (runner ×{record['runner_speedup']:.2f})",
+            f"speedup ×{record['speedup']:.2f} {detail}",
             flush=True,
         )
     return {

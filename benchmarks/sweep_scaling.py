@@ -1,0 +1,150 @@
+"""Measure ``sweep(parallel=...)`` scaling and record it in BENCH_core.json.
+
+PR 1 left an open ROADMAP item: the parallel sweep path fans
+``(value, algorithm, trial)`` cells over a fork-based process pool with the
+deterministic ``trial_seed`` schedule, but the committed benchmark numbers
+were all single-process.  This script times the same sweep serially and with
+increasing worker counts, asserts that every configuration produces
+**identical measurements** (parallelism must never change results), and
+merges the outcome into ``BENCH_core.json`` under the ``parallel_sweep`` key
+(schema ``bench-core/v2``, see ``benchmarks/README.md``).
+
+The workload uses the direct edge-list generators, so workers re-creating
+their per-value networks never build a networkx graph.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/sweep_scaling.py                 # default sizes
+    PYTHONPATH=src python benchmarks/sweep_scaling.py --workers 1 2 4 8
+    PYTHONPATH=src python benchmarks/sweep_scaling.py --out /tmp/bench.json
+
+Run it on a multi-core box to fill in real scaling numbers; on a single-CPU
+host it documents the pool overhead instead (the committed numbers state the
+host CPU count).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.algorithms.mis.luby import LubyMIS
+from repro.analysis.sweep import sweep
+from repro.core import problems
+from repro.graphs import generators as gen
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
+
+
+def _run_sweep(values: List[int], trials: int, parallel) -> tuple:
+    t0 = time.perf_counter()
+    points = sweep(
+        parameter="n",
+        values=values,
+        graph_factory=lambda n: gen.random_regular_edges(4, n, seed=1),
+        algorithms={"luby-mis": (lambda net: LubyMIS(), lambda net: problems.MIS)},
+        trials=trials,
+        seed=0,
+        parallel=parallel,
+    )
+    elapsed = time.perf_counter() - t0
+    return elapsed, [p.as_row() for p in points]
+
+
+def measure_scaling(
+    values: List[int], trials: int, workers: List[int], reps: int
+) -> Dict[str, object]:
+    """Serial-vs-parallel wall times for one sweep; asserts identical rows."""
+    serial_s = None
+    serial_rows = None
+    for _ in range(reps):
+        elapsed, rows = _run_sweep(values, trials, parallel=None)
+        if serial_s is None or elapsed < serial_s:
+            serial_s = elapsed
+        serial_rows = rows
+
+    runs = []
+    for count in workers:
+        best: Optional[float] = None
+        for _ in range(reps):
+            elapsed, rows = _run_sweep(values, trials, parallel=count)
+            assert rows == serial_rows, (
+                f"parallel={count} produced different measurements than serial"
+            )
+            if best is None or elapsed < best:
+                best = elapsed
+        runs.append(
+            {
+                "workers": count,
+                "wall_s": round(best, 6),
+                "speedup_vs_serial": round(serial_s / best, 3),
+                "identical_measurements": True,
+            }
+        )
+        print(
+            f"workers={count}: {best * 1000:8.1f} ms  "
+            f"(serial {serial_s * 1000:8.1f} ms, ×{serial_s / best:.2f})",
+            flush=True,
+        )
+
+    cells = len(values) * trials
+    return {
+        "workload": "luby-mis × random-4-regular (direct edge lists)",
+        "values": values,
+        "trials": trials,
+        "cells": cells,
+        "reps": reps,
+        "host_cpus": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "serial_wall_s": round(serial_s, 6),
+        "runs": runs,
+        "notes": (
+            "sweep(parallel=k) forks k pool workers over the deterministic "
+            "(value, algorithm, trial) cell schedule; rows are asserted "
+            "identical to the serial sweep before timing is recorded. "
+            "Speedups above 1 require host_cpus > 1 — on a single-CPU host "
+            "this records the pool's fork/IPC overhead instead."
+        ),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--values", type=int, nargs="+", default=[2000, 4000])
+    parser.add_argument("--trials", type=int, default=4)
+    parser.add_argument("--workers", type=int, nargs="+", default=None)
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    workers = args.workers
+    if workers is None:
+        cpus = os.cpu_count() or 1
+        workers = sorted({2, cpus} - {1}) or [2]
+
+    section = measure_scaling(args.values, args.trials, workers, args.reps)
+
+    if args.out.exists():
+        document = json.loads(args.out.read_text())
+    else:
+        document = {"schema": "bench-core/v2", "cells": []}
+    document["parallel_sweep"] = section
+    args.out.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote parallel_sweep section to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,17 @@ def test_quick_suite_produces_identical_pipelines(tmp_path):
         assert cell["speedup"] > 0
         assert len(cell["rounds"]) == cell["trials"]
         assert cell["measurement"]["n"] == cell["n"]
+        assert cell["kind"] in ("pipeline", "validate")
+
+    # The quick suite must exercise the CSR-native validation cell kind (fed
+    # by a direct edge-list workload), so the large-n validation path of the
+    # full suite cannot silently rot.
+    validate_cells = [cell for cell in cells if cell["kind"] == "validate"]
+    assert validate_cells, "quick suite lost its validation-only cell"
+    for cell in validate_cells:
+        assert cell["validations"] >= 1
+        assert cell["validate_speedup"] > 0
+        assert cell["seed"]["validate_s"] > 0 and cell["new"]["validate_s"] > 0
 
     # The document must be JSON-serialisable exactly as core_perf writes it.
     path = tmp_path / "BENCH_core.json"

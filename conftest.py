@@ -1,8 +1,8 @@
 """Repository-level pytest configuration.
 
 Makes the ``src`` layout importable even when the package has not been
-installed (e.g. in constrained environments without an editable install), and
-registers the shared fixtures used by both the tests and the benchmarks.
+installed (e.g. in constrained environments without an editable install).
+Markers are registered declaratively in ``pytest.ini``.
 """
 
 import pathlib
@@ -11,10 +11,3 @@ import sys
 SRC = pathlib.Path(__file__).parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
-
-
-def pytest_configure(config):
-    config.addinivalue_line(
-        "markers",
-        "bench_smoke: tiny perf-harness smoke run (select with `pytest -m bench_smoke`)",
-    )

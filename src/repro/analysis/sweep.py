@@ -18,6 +18,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import random
+from array import array
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -34,6 +35,10 @@ __all__ = ["SweepPoint", "sweep", "network_from"]
 
 AlgorithmFactory = Callable[[Network], NodeAlgorithm]
 ProblemFactory = Callable[[Network], ProblemSpec]
+#: What a sweep's ``graph_factory`` may return: a networkx graph (legacy), a
+#: ready-made :class:`Network`, or a ``(n, edges)`` pair from the direct
+#: edge-list generators — the latter two never touch networkx.
+GraphLike = Union[nx.Graph, Network, Tuple[int, Sequence[Tuple[int, int]]]]
 
 
 @dataclass(frozen=True)
@@ -50,15 +55,27 @@ class SweepPoint:
         return row
 
 
-def network_from(graph: nx.Graph, seed: int = 0, id_scheme: str = "permuted") -> Network:
-    """Wrap a graph into a network with the benchmark's default ID scheme."""
+def network_from(graph: GraphLike, seed: int = 0, id_scheme: str = "permuted") -> Network:
+    """Wrap a workload into a network with the benchmark's default ID scheme.
+
+    Accepts a networkx graph, an ``(n, edges)`` pair (the direct edge-list
+    generators' output — no networkx object is ever built), or an existing
+    :class:`Network` (returned as-is, its identifiers already fixed).  A
+    graph and its ``(n, edges)`` form produce identical networks for the
+    same ``seed``.
+    """
+    if isinstance(graph, Network):
+        return graph
+    if isinstance(graph, tuple):
+        n, edges = graph
+        return Network.from_edge_list(n, edges, id_scheme=id_scheme, rng=random.Random(seed))
     return Network.from_graph(graph, id_scheme=id_scheme, rng=random.Random(seed))
 
 
 def sweep(
     parameter: str,
     values: Sequence[object],
-    graph_factory: Callable[[object], nx.Graph],
+    graph_factory: Callable[[object], GraphLike],
     algorithms: Dict[str, Tuple[AlgorithmFactory, ProblemFactory]],
     trials: int = 3,
     seed: int = 0,
@@ -71,7 +88,11 @@ def sweep(
     Args:
         parameter: name of the swept parameter (for reporting).
         values: the parameter values.
-        graph_factory: builds the workload graph for a parameter value.
+        graph_factory: builds the workload for a parameter value — a
+            networkx graph, an ``(n, edges)`` pair, or a :class:`Network`
+            (see :func:`network_from`).  Large-``n`` sweeps should return
+            ``(n, edges)`` from the direct generators so the hot path never
+            builds a networkx graph.
         algorithms: mapping from a display name to a pair
             ``(algorithm_factory, problem_factory)``; both factories receive
             the constructed :class:`Network` so that algorithms can consume
@@ -215,8 +236,8 @@ class _CellTrace:
         m: int,
         problem_name: str,
         algorithm_name: str,
-        node_times: List[int],
-        edge_times: List[int],
+        node_times: Sequence[int],
+        edge_times: Sequence[int],
     ) -> None:
         self.network = _CellTrace._Net(n, m)
         self.problem = _CellTrace._Problem(problem_name)
@@ -224,10 +245,10 @@ class _CellTrace:
         self._node_times = node_times
         self._edge_times = edge_times
 
-    def node_completion_times(self) -> List[int]:
+    def node_completion_times(self) -> Sequence[int]:
         return self._node_times
 
-    def edge_completion_times(self) -> List[int]:
+    def edge_completion_times(self) -> Sequence[int]:
         return self._edge_times
 
     def worst_case_rounds(self) -> int:
@@ -262,8 +283,11 @@ def _parallel_worker(task: Tuple[int, str, int]) -> Tuple[int, str, int, Dict[st
             "m": network.m,
             "problem": problem.name,
             "algorithm": trace.algorithm_name,
-            "node_times": trace.node_completion_times(),
-            "edge_times": trace.edge_completion_times(),
+            # Ship flat int64 arrays through the pool: they pickle as raw
+            # bytes (8 B/entry) instead of per-int list items, and measure()
+            # consumes them exactly like lists (identical arithmetic).
+            "node_times": array("q", trace.node_completion_times()),
+            "edge_times": array("q", trace.edge_completion_times()),
         },
     )
 
@@ -271,7 +295,7 @@ def _parallel_worker(task: Tuple[int, str, int]) -> Tuple[int, str, int, Dict[st
 def _sweep_parallel(
     parameter: str,
     values: Sequence[object],
-    graph_factory: Callable[[object], nx.Graph],
+    graph_factory: Callable[[object], GraphLike],
     algorithms: Dict[str, Tuple[AlgorithmFactory, ProblemFactory]],
     trials: int,
     seed: int,

@@ -5,6 +5,12 @@ noisy estimate.  The helpers here run an algorithm several times (with
 different seeds) on the same network, validate every produced solution, and
 aggregate the traces into a :class:`~repro.core.metrics.ComplexityMeasurement`.
 
+The whole trial pipeline stays free of networkx and per-entity dicts:
+``validate=True`` checks each trace through the CSR-native fast path
+(:meth:`ProblemSpec.validate_network` on the trace's array storage), so even
+``n ≥ 10⁵`` trial batches never export the topology back to a
+``networkx.Graph``.
+
 The functions take an *algorithm factory* (a zero-argument callable returning
 a fresh :class:`~repro.local.algorithm.NodeAlgorithm`) rather than an
 algorithm instance, so that algorithms are free to keep per-execution

@@ -25,6 +25,7 @@ for a caller-supplied or worst-case-per-node weighting).
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from statistics import mean
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -60,22 +61,28 @@ def _as_list(traces: "ExecutionTrace | Iterable[ExecutionTrace]") -> List[Execut
     return traces
 
 
+def _expected_times(vectors: List[Sequence[int]], length: int, trials: int) -> List[float]:
+    """Element-wise mean of per-trial completion-time vectors.
+
+    Accumulates into a flat float64 array; the vectors themselves may be
+    lists or ``array('q')`` payloads (as shipped by parallel sweep workers) —
+    the arithmetic, and hence the result, is identical either way.
+    """
+    sums = array("d", bytes(8 * length))
+    for times in vectors:
+        for v in range(length):
+            sums[v] += times[v]
+    return [s / trials for s in sums]
+
+
 def _expected_node_times(traces: List[ExecutionTrace]) -> List[float]:
     n = traces[0].network.n
-    sums = [0.0] * n
-    for trace in traces:
-        for v, t in enumerate(trace.node_completion_times()):
-            sums[v] += t
-    return [s / len(traces) for s in sums]
+    return _expected_times([t.node_completion_times() for t in traces], n, len(traces))
 
 
 def _expected_edge_times(traces: List[ExecutionTrace]) -> List[float]:
     m = traces[0].network.m
-    sums = [0.0] * m
-    for trace in traces:
-        for i, t in enumerate(trace.edge_completion_times()):
-            sums[i] += t
-    return [s / len(traces) for s in sums]
+    return _expected_times([t.edge_completion_times() for t in traces], m, len(traces))
 
 
 # ---------------------------------------------------------------------- #

@@ -18,16 +18,35 @@ factories:
 * :data:`SINKLESS_ORIENTATION` — sinkless orientation (edge outputs give the
   head of the edge; no node may have out-degree 0), for graphs of minimum
   degree ≥ 3 as in Theorem 6.
+
+Every problem carries **two** validator implementations:
+
+* a networkx reference validator (``is_maximal_independent_set`` and
+  friends) — the seed implementation, kept as the executable specification
+  and exercised by the compatibility path of :meth:`ProblemSpec.validate`;
+* a CSR-native validator (``csr_is_maximal_independent_set`` and friends)
+  that consumes a :class:`repro.local.network.Network`'s cached
+  ``indptr``/``indices`` flat arrays directly.  This is the hot path used by
+  :meth:`ProblemSpec.validate_network` and by
+  :meth:`repro.core.trace.ExecutionTrace.validate`: validating a trace never
+  exports the topology back to networkx.
+
+CSR validators receive outputs as flat per-slot sequences (vertex-indexed
+for nodes, :attr:`Network.edges`-indexed for edges) with the module sentinel
+:data:`MISSING` marking absent outputs; :meth:`ProblemSpec.validate_network`
+accepts either mappings (the trace representation) or such sequences and
+normalises.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import networkx as nx
 
 __all__ = [
+    "MISSING",
     "ValidationResult",
     "ProblemSpec",
     "MIS",
@@ -42,9 +61,31 @@ __all__ = [
     "is_maximal_matching",
     "is_proper_coloring",
     "is_sinkless_orientation",
+    "csr_is_independent_set",
+    "csr_is_maximal_independent_set",
+    "csr_is_ruling_set",
+    "csr_is_matching",
+    "csr_is_maximal_matching",
+    "csr_is_proper_coloring",
+    "csr_is_sinkless_orientation",
 ]
 
 Edge = Tuple[int, int]
+
+
+class _Missing:
+    """Sentinel type for absent per-slot outputs (single instance, falsy repr)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "<MISSING>"
+
+
+#: Sentinel marking an absent output in a per-slot value sequence.  Distinct
+#: from ``None`` so that an algorithm legitimately committing ``None`` is not
+#: mistaken for "never committed".
+MISSING = _Missing()
 
 
 @dataclass(frozen=True)
@@ -72,6 +113,13 @@ class ProblemSpec:
             ``edge_outputs`` maps canonical edge ``(u, v), u < v`` → output.
         params: free-form parameters of the problem instance (e.g. α, β for
             ruling sets, the palette size for colouring).
+        csr_validator: CSR-native fast-path validator
+            ``(network, node_values, edge_values, stray_edges) -> ValidationResult``
+            where ``node_values``/``edge_values`` are flat per-slot sequences
+            (:data:`MISSING` marks absent outputs) and ``stray_edges`` lists
+            ``((u, v), value)`` entries of a mapping input that are not edges
+            of the network.  When ``None``, :meth:`validate_network` falls
+            back to the networkx validator via the network's cached export.
     """
 
     name: str
@@ -79,14 +127,25 @@ class ProblemSpec:
     labels_edges: bool
     validator: Callable[[nx.Graph, Mapping[int, Any], Mapping[Edge, Any]], ValidationResult]
     params: Mapping[str, Any] = field(default_factory=dict)
+    csr_validator: Optional[
+        Callable[[Any, Sequence[Any], Sequence[Any], Sequence[Tuple[Edge, Any]]], ValidationResult]
+    ] = None
 
     def validate(
         self,
-        graph: nx.Graph,
+        graph: "Union[nx.Graph, Any]",
         node_outputs: Optional[Mapping[int, Any]] = None,
         edge_outputs: Optional[Mapping[Edge, Any]] = None,
     ) -> ValidationResult:
-        """Check a complete output assignment against this problem."""
+        """Check a complete output assignment against this problem.
+
+        ``graph`` may be a :class:`networkx.Graph` (the seed signature, kept
+        as a thin compatibility wrapper around the reference validators) or a
+        :class:`repro.local.network.Network`, which dispatches to the
+        CSR-native fast path of :meth:`validate_network`.
+        """
+        if not isinstance(graph, nx.Graph):
+            return self.validate_network(graph, node_outputs, edge_outputs)
         node_outputs = dict(node_outputs or {})
         edge_outputs = dict(edge_outputs or {})
         if self.labels_nodes:
@@ -101,9 +160,119 @@ class ProblemSpec:
                 return ValidationResult(False, f"missing edge outputs for {missing_edges[:5]}")
         return self.validator(graph, node_outputs, edge_outputs)
 
+    def validate_network(
+        self,
+        network: Any,
+        node_outputs: "Optional[Union[Mapping[int, Any], Sequence[Any]]]" = None,
+        edge_outputs: "Optional[Union[Mapping[Edge, Any], Sequence[Any]]]" = None,
+    ) -> ValidationResult:
+        """CSR fast path: validate against a :class:`Network` without networkx.
+
+        ``node_outputs`` is either a vertex → value mapping or a sequence of
+        length ``n`` (slot ``v`` = output of vertex ``v``); ``edge_outputs``
+        is either a canonical-edge → value mapping or a sequence of length
+        ``m`` in :attr:`Network.edges` order.  :data:`MISSING` marks absent
+        outputs in sequence form.
+        """
+        if self.csr_validator is None:
+            # Custom problem without a CSR validator: route through the
+            # reference implementation on the network's (cached) export.
+            return self.validate(
+                network.to_networkx(),
+                _slots_to_mapping_nodes(network, node_outputs),
+                _slots_to_mapping_edges(network, edge_outputs),
+            )
+        node_values = _node_slots(network, node_outputs)
+        edge_values, stray_edges = _edge_slots(network, edge_outputs)
+        if self.labels_nodes:
+            missing = [v for v in range(network.n) if node_values[v] is MISSING]
+            if missing:
+                return ValidationResult(False, f"missing node outputs for {missing[:5]}")
+        if self.labels_edges:
+            edges = network.edges
+            missing_edges = [edges[i] for i in range(network.m) if edge_values[i] is MISSING]
+            if missing_edges:
+                return ValidationResult(False, f"missing edge outputs for {missing_edges[:5]}")
+        return self.csr_validator(network, node_values, edge_values, stray_edges)
+
 
 def _canon(u: int, v: int) -> Edge:
     return (u, v) if u < v else (v, u)
+
+
+# ---------------------------------------------------------------------- #
+# Slot normalisation for the CSR fast path
+# ---------------------------------------------------------------------- #
+
+
+def _node_slots(
+    network: Any, node_outputs: "Optional[Union[Mapping[int, Any], Sequence[Any]]]"
+) -> List[Any]:
+    """Per-vertex value slots (``MISSING`` where absent) from either form.
+
+    Mapping keys outside ``0..n-1`` are ignored, as the networkx reference
+    path ignores them (it only ever consults real vertices).
+    """
+    n = network.n
+    if node_outputs is None:
+        return [MISSING] * n
+    if isinstance(node_outputs, Mapping):
+        get = node_outputs.get
+        return [get(v, MISSING) for v in range(n)]
+    # Trust lists (e.g. the slot lists ExecutionTrace.validate just built)
+    # instead of re-copying them; validators never mutate their inputs.
+    values = node_outputs if isinstance(node_outputs, list) else list(node_outputs)
+    if len(values) != n:
+        raise ValueError(f"expected {n} node output slots, got {len(values)}")
+    return values
+
+
+def _edge_slots(
+    network: Any, edge_outputs: "Optional[Union[Mapping[Edge, Any], Sequence[Any]]]"
+) -> Tuple[List[Any], List[Tuple[Edge, Any]]]:
+    """Per-edge value slots in :attr:`Network.edges` order, plus stray entries.
+
+    Mapping keys must be canonical ``(u, v), u < v`` tuples; keys that are
+    not edges of the network are returned as ``stray_edges`` so validators
+    can reproduce the reference behaviour for corrupted assignments (e.g. a
+    matched edge that is not in the graph).
+    """
+    m = network.m
+    if edge_outputs is None:
+        return [MISSING] * m, []
+    if isinstance(edge_outputs, Mapping):
+        get = edge_outputs.get
+        slots = [get(e, MISSING) for e in network.edges]
+        strays: List[Tuple[Edge, Any]] = []
+        if sum(1 for s in slots if s is not MISSING) != len(edge_outputs):
+            known = set(network.edges)
+            strays = [(e, value) for e, value in edge_outputs.items() if e not in known]
+        return slots, strays
+    values = edge_outputs if isinstance(edge_outputs, list) else list(edge_outputs)
+    if len(values) != m:
+        raise ValueError(f"expected {m} edge output slots, got {len(values)}")
+    return values, []
+
+
+def _slots_to_mapping_nodes(
+    network: Any, node_outputs: "Optional[Union[Mapping[int, Any], Sequence[Any]]]"
+) -> Mapping[int, Any]:
+    if node_outputs is None:
+        return {}
+    if isinstance(node_outputs, Mapping):
+        return node_outputs
+    return {v: value for v, value in enumerate(node_outputs) if value is not MISSING}
+
+
+def _slots_to_mapping_edges(
+    network: Any, edge_outputs: "Optional[Union[Mapping[Edge, Any], Sequence[Any]]]"
+) -> Mapping[Edge, Any]:
+    if edge_outputs is None:
+        return {}
+    if isinstance(edge_outputs, Mapping):
+        return edge_outputs
+    edges = network.edges
+    return {edges[i]: value for i, value in enumerate(edge_outputs) if value is not MISSING}
 
 
 # ---------------------------------------------------------------------- #
@@ -178,10 +347,122 @@ def is_ruling_set(
     return ValidationResult(True)
 
 
+def _selected_flags(n: int, node_values: Sequence[Any]) -> bytearray:
+    """Byte flags of the vertices whose slot value is present and truthy."""
+    flags = bytearray(n)
+    for v in range(n):
+        value = node_values[v]
+        if value is not MISSING and value:
+            flags[v] = 1
+    return flags
+
+
+def csr_is_independent_set(network: Any, node_values: Sequence[Any]) -> bool:
+    """CSR-native :func:`is_independent_set` (slot-sequence input)."""
+    selected = _selected_flags(network.n, node_values)
+    return all(not (selected[u] and selected[v]) for u, v in network.edges)
+
+
+def csr_is_maximal_independent_set(
+    network: Any, node_values: Sequence[Any]
+) -> ValidationResult:
+    """CSR-native :func:`is_maximal_independent_set`.
+
+    Independence is checked over the canonical edge list; maximality scans
+    each unselected vertex's CSR row for a selected neighbour.
+    """
+    n = network.n
+    selected = _selected_flags(n, node_values)
+    for u, v in network.edges:
+        if selected[u] and selected[v]:
+            return ValidationResult(False, "selected set is not independent")
+    indptr = network.indptr
+    indices = network.indices
+    for v in range(n):
+        if selected[v]:
+            continue
+        for k in range(indptr[v], indptr[v + 1]):
+            if selected[indices[k]]:
+                break
+        else:
+            return ValidationResult(False, f"node {v} is uncovered (not maximal)")
+    return ValidationResult(True)
+
+
+def csr_is_ruling_set(
+    network: Any, node_values: Sequence[Any], alpha: int, beta: int
+) -> ValidationResult:
+    """CSR-native :func:`is_ruling_set`: array-stamped BFS, no dict frontiers."""
+    n = network.n
+    member_flags = _selected_flags(n, node_values)
+    members = [v for v in range(n) if member_flags[v]]
+    if not members and n > 0:
+        return ValidationResult(False, "ruling set is empty")
+    indptr = network.indptr
+    indices = network.indices
+    # Domination: BFS from all members simultaneously up to depth beta.
+    covered = bytearray(n)
+    for v in members:
+        covered[v] = 1
+    frontier = list(members)
+    reached = len(members)
+    depth = 0
+    while frontier and depth < beta:
+        depth += 1
+        new_frontier: List[int] = []
+        for v in frontier:
+            for k in range(indptr[v], indptr[v + 1]):
+                u = indices[k]
+                if not covered[u]:
+                    covered[u] = 1
+                    new_frontier.append(u)
+        reached += len(new_frontier)
+        frontier = new_frontier
+    if reached < n:
+        uncovered = [v for v in range(n) if not covered[v]]
+        return ValidationResult(
+            False,
+            f"{len(uncovered)} nodes (e.g. {uncovered[:5]}) have no ruler within distance {beta}",
+        )
+    # Independence at distance alpha: BFS from each member up to depth
+    # alpha-1.  A shared stamp array replaces the per-member visited dict so
+    # the total cost is the BFS work itself, not O(n) re-zeroing per member.
+    stamps = [0] * n
+    token = 0
+    for s in members:
+        token += 1
+        stamps[s] = token
+        frontier = [s]
+        for d in range(1, alpha):
+            nxt: List[int] = []
+            for v in frontier:
+                for k in range(indptr[v], indptr[v + 1]):
+                    u = indices[k]
+                    if stamps[u] != token:
+                        stamps[u] = token
+                        nxt.append(u)
+                        if member_flags[u] and u != s:
+                            return ValidationResult(
+                                False,
+                                f"rulers {s} and {u} are at distance {d} < {alpha}",
+                            )
+            frontier = nxt
+    return ValidationResult(True)
+
+
 def _mis_validator(
     graph: nx.Graph, node_outputs: Mapping[int, Any], _: Mapping[Edge, Any]
 ) -> ValidationResult:
     return is_maximal_independent_set(graph, node_outputs)
+
+
+def _mis_csr_validator(
+    network: Any,
+    node_values: Sequence[Any],
+    _edge_values: Sequence[Any],
+    _strays: Sequence[Tuple[Edge, Any]],
+) -> ValidationResult:
+    return csr_is_maximal_independent_set(network, node_values)
 
 
 MIS = ProblemSpec(
@@ -189,6 +470,7 @@ MIS = ProblemSpec(
     labels_nodes=True,
     labels_edges=False,
     validator=_mis_validator,
+    csr_validator=_mis_csr_validator,
 )
 
 
@@ -202,12 +484,21 @@ def ruling_set(alpha: int, beta: int) -> ProblemSpec:
     ) -> ValidationResult:
         return is_ruling_set(graph, node_outputs, alpha, beta)
 
+    def _csr_validator(
+        network: Any,
+        node_values: Sequence[Any],
+        _edge_values: Sequence[Any],
+        _strays: Sequence[Tuple[Edge, Any]],
+    ) -> ValidationResult:
+        return csr_is_ruling_set(network, node_values, alpha, beta)
+
     return ProblemSpec(
         name=f"({alpha},{beta})-ruling-set",
         labels_nodes=True,
         labels_edges=False,
         validator=_validator,
         params={"alpha": alpha, "beta": beta},
+        csr_validator=_csr_validator,
     )
 
 
@@ -247,10 +538,63 @@ def is_maximal_matching(graph: nx.Graph, edge_outputs: Mapping[Edge, Any]) -> Va
     return ValidationResult(True)
 
 
+def csr_is_matching(network: Any, edge_values: Sequence[Any]) -> bool:
+    """CSR-native :func:`is_matching` (edge slots in ``network.edges`` order)."""
+    matched = bytearray(network.n)
+    for i, (u, v) in enumerate(network.edges):
+        value = edge_values[i]
+        if value is MISSING or not value:
+            continue
+        if matched[u] or matched[v]:
+            return False
+        matched[u] = 1
+        matched[v] = 1
+    return True
+
+
+def csr_is_maximal_matching(
+    network: Any,
+    edge_values: Sequence[Any],
+    stray_edges: Sequence[Tuple[Edge, Any]] = (),
+) -> ValidationResult:
+    """CSR-native :func:`is_maximal_matching`.
+
+    ``stray_edges`` carries entries of a mapping input that were not edges of
+    the network; a truthy stray reproduces the reference "matched edge is not
+    in the graph" failure.
+    """
+    for (u, v), value in stray_edges:
+        if value:
+            return ValidationResult(False, f"matched edge ({u}, {v}) is not in the graph")
+    matched = bytearray(network.n)
+    edges = network.edges
+    for i, (u, v) in enumerate(edges):
+        value = edge_values[i]
+        if value is MISSING or not value:
+            continue
+        if matched[u] or matched[v]:
+            return ValidationResult(False, "selected edges are not a matching")
+        matched[u] = 1
+        matched[v] = 1
+    for u, v in edges:
+        if not matched[u] and not matched[v]:
+            return ValidationResult(False, f"edge ({u}, {v}) could be added (not maximal)")
+    return ValidationResult(True)
+
+
 def _matching_validator(
     graph: nx.Graph, _: Mapping[int, Any], edge_outputs: Mapping[Edge, Any]
 ) -> ValidationResult:
     return is_maximal_matching(graph, edge_outputs)
+
+
+def _matching_csr_validator(
+    network: Any,
+    _node_values: Sequence[Any],
+    edge_values: Sequence[Any],
+    stray_edges: Sequence[Tuple[Edge, Any]],
+) -> ValidationResult:
+    return csr_is_maximal_matching(network, edge_values, stray_edges)
 
 
 MAXIMAL_MATCHING = ProblemSpec(
@@ -258,6 +602,7 @@ MAXIMAL_MATCHING = ProblemSpec(
     labels_nodes=False,
     labels_edges=True,
     validator=_matching_validator,
+    csr_validator=_matching_csr_validator,
 )
 
 
@@ -283,6 +628,28 @@ def is_proper_coloring(
     return ValidationResult(True)
 
 
+def csr_is_proper_coloring(
+    network: Any, node_values: Sequence[Any], num_colors: Optional[int] = None
+) -> ValidationResult:
+    """CSR-native :func:`is_proper_coloring` (slot-sequence input).
+
+    Mirrors the reference semantics for partial assignments: two endpoints
+    that are both missing compare equal (as two ``None`` defaults do on the
+    networkx path) and hence flag the edge as monochromatic.
+    """
+    for u, v in network.edges:
+        if node_values[u] == node_values[v]:
+            return ValidationResult(False, f"edge ({u}, {v}) is monochromatic")
+    if num_colors is not None:
+        used = set(node_values)
+        bad = [c for c in used if not (isinstance(c, int) and 0 <= c < num_colors)]
+        if bad:
+            return ValidationResult(
+                False, f"colours {bad[:5]} are outside the allowed palette [0, {num_colors})"
+            )
+    return ValidationResult(True)
+
+
 def coloring(num_colors: Optional[int] = None, name: Optional[str] = None) -> ProblemSpec:
     """Problem spec for proper vertex colouring with palette ``[0, num_colors)``."""
 
@@ -291,6 +658,14 @@ def coloring(num_colors: Optional[int] = None, name: Optional[str] = None) -> Pr
     ) -> ValidationResult:
         return is_proper_coloring(graph, node_outputs, num_colors)
 
+    def _csr_validator(
+        network: Any,
+        node_values: Sequence[Any],
+        _edge_values: Sequence[Any],
+        _strays: Sequence[Tuple[Edge, Any]],
+    ) -> ValidationResult:
+        return csr_is_proper_coloring(network, node_values, num_colors)
+
     label = name or (f"{num_colors}-coloring" if num_colors is not None else "coloring")
     return ProblemSpec(
         name=label,
@@ -298,6 +673,7 @@ def coloring(num_colors: Optional[int] = None, name: Optional[str] = None) -> Pr
         labels_edges=False,
         validator=_validator,
         params={"num_colors": num_colors},
+        csr_validator=_csr_validator,
     )
 
 
@@ -332,10 +708,55 @@ def is_sinkless_orientation(
     return ValidationResult(True)
 
 
+def csr_is_sinkless_orientation(
+    network: Any,
+    edge_values: Sequence[Any],
+    stray_edges: Sequence[Tuple[Edge, Any]] = (),
+    min_degree: int = 3,
+) -> ValidationResult:
+    """CSR-native :func:`is_sinkless_orientation`.
+
+    Degrees come straight from the CSR row pointers; only an "has an outgoing
+    edge" flag is tracked per node (the sink check needs nothing more).
+    """
+    if stray_edges:
+        (u, v), _ = stray_edges[0]
+        return ValidationResult(False, f"oriented edge ({u}, {v}) is not in the graph")
+    n = network.n
+    has_out = bytearray(n)
+    for i, (u, v) in enumerate(network.edges):
+        head = edge_values[i]
+        if head is MISSING:
+            continue
+        if head == v:
+            has_out[u] = 1
+        elif head == u:
+            has_out[v] = 1
+        else:
+            return ValidationResult(
+                False, f"edge ({u}, {v}) oriented towards {head}, which is not an endpoint"
+            )
+    indptr = network.indptr
+    for v in range(n):
+        degree = indptr[v + 1] - indptr[v]
+        if degree >= min_degree and not has_out[v]:
+            return ValidationResult(False, f"node {v} (degree {degree}) is a sink")
+    return ValidationResult(True)
+
+
 def _sinkless_validator(
     graph: nx.Graph, _: Mapping[int, Any], edge_outputs: Mapping[Edge, Any]
 ) -> ValidationResult:
     return is_sinkless_orientation(graph, edge_outputs)
+
+
+def _sinkless_csr_validator(
+    network: Any,
+    _node_values: Sequence[Any],
+    edge_values: Sequence[Any],
+    stray_edges: Sequence[Tuple[Edge, Any]],
+) -> ValidationResult:
+    return csr_is_sinkless_orientation(network, edge_values, stray_edges)
 
 
 SINKLESS_ORIENTATION = ProblemSpec(
@@ -343,4 +764,5 @@ SINKLESS_ORIENTATION = ProblemSpec(
     labels_nodes=False,
     labels_edges=True,
     validator=_sinkless_validator,
+    csr_validator=_sinkless_csr_validator,
 )

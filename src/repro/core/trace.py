@@ -15,30 +15,46 @@ side of the condition is vacuous, so a node completes when its own label is
 fixed and an edge completes when both endpoint labels are fixed — exactly the
 reading spelled out in Section 2 of the paper.  Symmetrically for problems
 that only label edges (matching, orientations).
+
+Storage.  Commit rounds and outputs live in **flat arrays indexed by vertex
+and edge slot** (the :attr:`Network.edges` order): an ``array('q')`` of
+commit rounds with ``-1`` marking "never committed" and an aligned value
+list.  The runner fills these directly (:meth:`ExecutionTrace.from_arrays`);
+the historical dict views (``node_outputs``, ``node_commit_round``,
+``edge_outputs``, ``edge_commit_round``) are preserved as lazy properties
+for API compatibility, and remain assignable so that hand-built traces (and
+the vendored seed pipeline in ``benchmarks/``) can keep constructing traces
+dict-first.  Whichever representation a trace was built from is canonical;
+the other is derived on first access and cached.  Traces are treated as
+immutable once handed out, so the two never diverge.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from array import array
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.problems import ProblemSpec, ValidationResult
+from repro.core.problems import MISSING, ProblemSpec, ValidationResult
 
 __all__ = ["ExecutionTrace"]
 
 Edge = Tuple[int, int]
 
 
-@dataclass
+def _new_round_array(length: int) -> array:
+    """A length-``length`` int64 array of ``-1`` ("never committed")."""
+    return array("q", [-1]) * length
+
+
 class ExecutionTrace:
     """Result of one execution of a distributed algorithm.
 
     Attributes:
         network: the :class:`repro.local.network.Network` the algorithm ran on.
         problem: the problem being solved (drives completion-time semantics).
-        node_outputs: committed node outputs, vertex → value.
-        node_commit_round: vertex → round of the node-output commit.
-        edge_outputs: committed edge outputs, canonical edge → value.
+        node_outputs: committed node outputs, vertex → value (lazy dict view).
+        node_commit_round: vertex → round of the node-output commit (lazy view).
+        edge_outputs: committed edge outputs, canonical edge → value (lazy view).
         edge_commit_round: canonical edge → round of the edge-output commit.
         rounds: number of communication rounds executed.
         completed: whether all required outputs were committed before the
@@ -49,27 +65,231 @@ class ExecutionTrace:
         algorithm_name: name of the executed algorithm (for reports).
     """
 
-    network: Any
-    problem: ProblemSpec
-    node_outputs: Dict[int, Any] = field(default_factory=dict)
-    node_commit_round: Dict[int, int] = field(default_factory=dict)
-    edge_outputs: Dict[Edge, Any] = field(default_factory=dict)
-    edge_commit_round: Dict[Edge, int] = field(default_factory=dict)
-    rounds: int = 0
-    completed: bool = True
-    total_messages: int = 0
-    max_message_bits: Optional[int] = None
-    algorithm_name: str = ""
-    # Lazily computed completion-time vectors.  A trace is immutable once the
-    # runner hands it out, and the metrics layer asks for the same vectors
-    # several times per trace (averaged, expected, worst-case), so they are
-    # computed once.
-    _node_times: Optional[List[int]] = field(
-        default=None, init=False, repr=False, compare=False
-    )
-    _edge_times: Optional[List[int]] = field(
-        default=None, init=False, repr=False, compare=False
-    )
+    def __init__(
+        self,
+        network: Any,
+        problem: ProblemSpec,
+        node_outputs: Optional[Dict[int, Any]] = None,
+        node_commit_round: Optional[Dict[int, int]] = None,
+        edge_outputs: Optional[Dict[Edge, Any]] = None,
+        edge_commit_round: Optional[Dict[Edge, int]] = None,
+        rounds: int = 0,
+        completed: bool = True,
+        total_messages: int = 0,
+        max_message_bits: Optional[int] = None,
+        algorithm_name: str = "",
+    ) -> None:
+        self.network = network
+        self.problem = problem
+        self.rounds = rounds
+        self.completed = completed
+        self.total_messages = total_messages
+        self.max_message_bits = max_message_bits
+        self.algorithm_name = algorithm_name
+        # Dict-canonical storage (legacy construction path).  ``None`` means
+        # the corresponding flat arrays below are canonical instead.
+        self._node_outputs: Optional[Dict[int, Any]] = (
+            node_outputs if node_outputs is not None else {}
+        )
+        self._node_commit_round: Optional[Dict[int, int]] = (
+            node_commit_round if node_commit_round is not None else {}
+        )
+        self._edge_outputs: Optional[Dict[Edge, Any]] = (
+            edge_outputs if edge_outputs is not None else {}
+        )
+        self._edge_commit_round: Optional[Dict[Edge, int]] = (
+            edge_commit_round if edge_commit_round is not None else {}
+        )
+        # Flat per-slot storage: value lists aligned with int64 round arrays
+        # (-1 = never committed).  Canonical when built via `from_arrays`,
+        # otherwise derived lazily from the dicts.
+        self._node_values: Optional[List[Any]] = None
+        self._node_rounds: Optional[array] = None
+        self._edge_values: Optional[List[Any]] = None
+        self._edge_rounds: Optional[array] = None
+        # Lazily computed completion-time vectors.  A trace is immutable once
+        # the runner hands it out, and the metrics layer asks for the same
+        # vectors several times per trace (averaged, expected, worst-case).
+        self._node_times: Optional[List[int]] = None
+        self._edge_times: Optional[List[int]] = None
+
+    @classmethod
+    def from_arrays(
+        cls,
+        network: Any,
+        problem: ProblemSpec,
+        node_values: List[Any],
+        node_rounds: array,
+        edge_values: List[Any],
+        edge_rounds: array,
+        *,
+        rounds: int = 0,
+        completed: bool = True,
+        total_messages: int = 0,
+        max_message_bits: Optional[int] = None,
+        algorithm_name: str = "",
+    ) -> "ExecutionTrace":
+        """Build a trace directly from flat per-slot arrays (the hot path).
+
+        ``node_values``/``node_rounds`` are vertex-indexed (length ``n``),
+        ``edge_values``/``edge_rounds`` follow :attr:`Network.edges` order
+        (length ``m``); round ``-1`` marks a slot that never committed.
+        """
+        trace = cls(
+            network,
+            problem,
+            rounds=rounds,
+            completed=completed,
+            total_messages=total_messages,
+            max_message_bits=max_message_bits,
+            algorithm_name=algorithm_name,
+        )
+        trace._node_outputs = None
+        trace._node_commit_round = None
+        trace._edge_outputs = None
+        trace._edge_commit_round = None
+        trace._node_values = node_values
+        trace._node_rounds = node_rounds
+        trace._edge_values = edge_values
+        trace._edge_rounds = edge_rounds
+        return trace
+
+    # ------------------------------------------------------------------ #
+    # Dict views (lazy; canonical when assigned)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def node_outputs(self) -> Dict[int, Any]:
+        if self._node_outputs is None:
+            rounds_arr = self._node_rounds
+            values = self._node_values
+            self._node_outputs = {
+                v: values[v] for v in range(len(rounds_arr)) if rounds_arr[v] >= 0
+            }
+        return self._node_outputs
+
+    @node_outputs.setter
+    def node_outputs(self, mapping: Dict[int, Any]) -> None:
+        # Assignment flips the node group back to dict-canonical; materialise
+        # the sibling dict view first so the arrays can be dropped together
+        # (a half-array, half-dict state would corrupt later derivations).
+        if self._node_commit_round is None:
+            _ = self.node_commit_round
+        self._node_outputs = mapping
+        self._node_values = None
+        self._node_rounds = None
+        self._invalidate_times()
+
+    @property
+    def node_commit_round(self) -> Dict[int, int]:
+        if self._node_commit_round is None:
+            rounds_arr = self._node_rounds
+            self._node_commit_round = {
+                v: rounds_arr[v] for v in range(len(rounds_arr)) if rounds_arr[v] >= 0
+            }
+        return self._node_commit_round
+
+    @node_commit_round.setter
+    def node_commit_round(self, mapping: Dict[int, int]) -> None:
+        if self._node_outputs is None:
+            _ = self.node_outputs
+        self._node_commit_round = mapping
+        self._node_rounds = None
+        self._node_values = None
+        self._invalidate_times()
+
+    @property
+    def edge_outputs(self) -> Dict[Edge, Any]:
+        if self._edge_outputs is None:
+            rounds_arr = self._edge_rounds
+            values = self._edge_values
+            edges = self.network.edges
+            self._edge_outputs = {
+                edges[i]: values[i] for i in range(len(rounds_arr)) if rounds_arr[i] >= 0
+            }
+        return self._edge_outputs
+
+    @edge_outputs.setter
+    def edge_outputs(self, mapping: Dict[Edge, Any]) -> None:
+        if self._edge_commit_round is None:
+            _ = self.edge_commit_round
+        self._edge_outputs = mapping
+        self._edge_values = None
+        self._edge_rounds = None
+        self._invalidate_times()
+
+    @property
+    def edge_commit_round(self) -> Dict[Edge, int]:
+        if self._edge_commit_round is None:
+            rounds_arr = self._edge_rounds
+            edges = self.network.edges
+            self._edge_commit_round = {
+                edges[i]: rounds_arr[i] for i in range(len(rounds_arr)) if rounds_arr[i] >= 0
+            }
+        return self._edge_commit_round
+
+    @edge_commit_round.setter
+    def edge_commit_round(self, mapping: Dict[Edge, int]) -> None:
+        if self._edge_outputs is None:
+            _ = self.edge_outputs
+        self._edge_commit_round = mapping
+        self._edge_rounds = None
+        self._edge_values = None
+        self._invalidate_times()
+
+    def _invalidate_times(self) -> None:
+        self._node_times = None
+        self._edge_times = None
+
+    # ------------------------------------------------------------------ #
+    # Flat array views (lazy; canonical when built via `from_arrays`)
+    # ------------------------------------------------------------------ #
+
+    def node_commit_rounds(self) -> array:
+        """Per-vertex commit rounds as an int64 array (``-1`` = uncommitted)."""
+        if self._node_rounds is None:
+            arr = _new_round_array(self.network.n)
+            for v, r in self._node_commit_round.items():
+                arr[v] = r
+            self._node_rounds = arr
+        return self._node_rounds
+
+    def edge_commit_rounds(self) -> array:
+        """Per-edge-slot commit rounds (``network.edges`` order, ``-1`` = uncommitted)."""
+        if self._edge_rounds is None:
+            arr = _new_round_array(self.network.m)
+            mapping = self._edge_commit_round
+            if mapping:
+                for i, e in enumerate(self.network.edges):
+                    r = mapping.get(e)
+                    if r is not None:
+                        arr[i] = r
+            self._edge_rounds = arr
+        return self._edge_rounds
+
+    def _node_value_slots(self) -> List[Any]:
+        """Per-vertex output values, ``MISSING`` where never committed."""
+        if self._node_values is not None:
+            rounds_arr = self._node_rounds
+            values = self._node_values
+            return [
+                values[v] if rounds_arr[v] >= 0 else MISSING for v in range(len(values))
+            ]
+        mapping = self._node_outputs
+        get = mapping.get
+        return [get(v, MISSING) for v in range(self.network.n)]
+
+    def _edge_value_slots(self) -> List[Any]:
+        """Per-edge output values in ``network.edges`` order, ``MISSING`` where absent."""
+        if self._edge_values is not None:
+            rounds_arr = self._edge_rounds
+            values = self._edge_values
+            return [
+                values[i] if rounds_arr[i] >= 0 else MISSING for i in range(len(values))
+            ]
+        mapping = self._edge_outputs
+        get = mapping.get
+        return [get(e, MISSING) for e in self.network.edges]
 
     # ------------------------------------------------------------------ #
     # Completion times (Definition 1 semantics)
@@ -81,18 +301,22 @@ class ExecutionTrace:
         if self.problem.labels_nodes:
             times.append(self._node_round(v))
         if self.problem.labels_edges:
-            for u in self.network.neighbors(v):
-                times.append(self._edge_round(_canon(v, u)))
+            edge_rounds = self.edge_commit_rounds()
+            rounds = self.rounds
+            for i in self.network.incident_edge_indices(v):
+                r = edge_rounds[i]
+                times.append(r if r >= 0 else rounds)
         if not times:
             return 0
         return max(times)
 
     def edge_completion_time(self, u: int, v: int) -> int:
         """Round at which edge ``{u, v}`` completed its computation."""
-        e = _canon(u, v)
         times: List[int] = []
         if self.problem.labels_edges:
-            times.append(self._edge_round(e))
+            edge_rounds = self.edge_commit_rounds()
+            r = edge_rounds[self.network.edge_index(u, v)]
+            times.append(r if r >= 0 else self.rounds)
         if self.problem.labels_nodes:
             times.append(self._node_round(u))
             times.append(self._node_round(v))
@@ -115,14 +339,12 @@ class ExecutionTrace:
     def _node_rounds_vector(self) -> List[int]:
         """Per-vertex commit rounds (uncommitted charged the full length)."""
         rounds = self.rounds
-        get = self.node_commit_round.get
-        return [get(v, rounds) for v in self.network.vertices]
+        return [r if r >= 0 else rounds for r in self.node_commit_rounds()]
 
     def _edge_rounds_vector(self) -> List[int]:
         """Per-edge commit rounds in network edge order."""
         rounds = self.rounds
-        get = self.edge_commit_round.get
-        return [get(e, rounds) for e in self.network.edges]
+        return [r if r >= 0 else rounds for r in self.edge_commit_rounds()]
 
     def _compute_node_times(self) -> List[int]:
         labels_nodes = self.problem.labels_nodes
@@ -167,25 +389,38 @@ class ExecutionTrace:
         return max(candidates)
 
     def _node_round(self, v: int) -> int:
-        if v not in self.node_commit_round:
+        r = self.node_commit_rounds()[v]
+        if r < 0:
             # Uncommitted entities are charged the full execution length; this
             # only happens for incomplete executions (round-limit hit).
             return self.rounds
-        return self.node_commit_round[v]
+        return r
 
     def _edge_round(self, e: Edge) -> int:
-        if e not in self.edge_commit_round:
+        r = self.edge_commit_rounds()[self.network.edge_index(*e)]
+        if r < 0:
             return self.rounds
-        return self.edge_commit_round[e]
+        return r
 
     # ------------------------------------------------------------------ #
     # Validation
     # ------------------------------------------------------------------ #
 
     def validate(self) -> ValidationResult:
-        """Check the committed outputs against the problem specification."""
-        graph = self.network.to_networkx()
-        return self.problem.validate(graph, self.node_outputs, self.edge_outputs)
+        """Check the committed outputs against the problem specification.
+
+        Uses the CSR-native fast path (:meth:`ProblemSpec.validate_network`)
+        when both the network and the problem support it — the topology is
+        never exported back to networkx on this path.
+        """
+        network = self.network
+        problem = self.problem
+        if hasattr(problem, "validate_network") and hasattr(network, "indptr"):
+            return problem.validate_network(
+                network, self._node_value_slots(), self._edge_value_slots()
+            )
+        graph = network.to_networkx()
+        return problem.validate(graph, self.node_outputs, self.edge_outputs)
 
     def require_valid(self) -> "ExecutionTrace":
         """Raise ``AssertionError`` unless the outputs are a valid solution."""
@@ -203,11 +438,20 @@ class ExecutionTrace:
 
     def selected_nodes(self) -> List[int]:
         """Vertices whose committed output is truthy (e.g. MIS members)."""
-        return [v for v, value in self.node_outputs.items() if value]
+        if self._node_values is not None:
+            rounds_arr = self._node_rounds
+            values = self._node_values
+            return [v for v in range(len(values)) if rounds_arr[v] >= 0 and values[v]]
+        return [v for v, value in self._node_outputs.items() if value]
 
     def selected_edges(self) -> List[Edge]:
         """Edges whose committed output is truthy (e.g. matching edges)."""
-        return [e for e, value in self.edge_outputs.items() if value]
+        if self._edge_values is not None:
+            rounds_arr = self._edge_rounds
+            values = self._edge_values
+            edges = self.network.edges
+            return [edges[i] for i in range(len(values)) if rounds_arr[i] >= 0 and values[i]]
+        return [e for e, value in self._edge_outputs.items() if value]
 
     def summary(self) -> Dict[str, Any]:
         """Small dictionary of headline numbers for quick inspection."""
@@ -226,6 +470,31 @@ class ExecutionTrace:
             "total_messages": self.total_messages,
         }
 
+    def __eq__(self, other: object) -> bool:
+        # Field-based equality over the same fields the former dataclass
+        # compared (the lazy completion-time caches were compare=False), so
+        # dict-built and array-built traces of the same execution are equal.
+        if not isinstance(other, ExecutionTrace):
+            return NotImplemented
+        return (
+            self.network == other.network
+            and self.problem == other.problem
+            and self.rounds == other.rounds
+            and self.completed == other.completed
+            and self.total_messages == other.total_messages
+            and self.max_message_bits == other.max_message_bits
+            and self.algorithm_name == other.algorithm_name
+            and self.node_outputs == other.node_outputs
+            and self.node_commit_round == other.node_commit_round
+            and self.edge_outputs == other.edge_outputs
+            and self.edge_commit_round == other.edge_commit_round
+        )
 
-def _canon(u: int, v: int) -> Edge:
-    return (u, v) if u < v else (v, u)
+    __hash__ = None  # mutable value type, like the former eq=True dataclass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ExecutionTrace(algorithm={self.algorithm_name!r}, "
+            f"problem={self.problem.name!r}, n={self.network.n}, "
+            f"m={self.network.m}, rounds={self.rounds}, completed={self.completed})"
+        )

@@ -12,12 +12,30 @@ cover the graph families the paper's results talk about:
   benchmark harness),
 * graphs of minimum degree ≥ 3 with controllable girth (sinkless
   orientation, Theorem 6).
+
+Each family is additionally available as a **direct edge-list generator**
+(``cycle_edges``, ``random_regular_edges``, …) returning an ``(n, edges)``
+pair without ever instantiating a networkx graph — the construction path for
+``n ≥ 10⁵`` sweeps, consumed by :meth:`Network.from_edge_list` and
+:func:`repro.analysis.sweep.network_from`.  The direct generators are
+**stream-exact** twins of their networkx counterparts: for a matching seed
+they produce the same edge set, because they replay the counterpart's RNG
+consumption call for call (the randomized ones replicate the algorithm of
+the *installed* networkx version — Steger–Wormald pairing for
+``random_regular_edges``, the O(n²) Gilbert loop for ``erdos_renyi_edges``,
+the incremental repair loop for ``min_degree_edges``).  networkx is an
+installed dependency, not vendored, so a future upgrade that reorders its
+internal draws would break the stream parity — the seed-for-seed
+equivalence tests in ``tests/graphs/test_generator_edges.py`` exist to
+catch exactly that drift.
 """
 
 from __future__ import annotations
 
+import itertools
 import random
-from typing import List, Optional, Tuple
+from collections import defaultdict
+from typing import List, Optional, Set, Tuple
 
 import networkx as nx
 
@@ -36,7 +54,18 @@ __all__ = [
     "bounded_degree_graph",
     "min_degree_graph",
     "relabel_to_integers",
+    "cycle_edges",
+    "path_edges",
+    "complete_edges",
+    "star_edges",
+    "grid_edges",
+    "random_regular_edges",
+    "erdos_renyi_edges",
+    "min_degree_edges",
 ]
+
+Edge = Tuple[int, int]
+EdgeList = Tuple[int, List[Edge]]
 
 
 def relabel_to_integers(graph: nx.Graph) -> nx.Graph:
@@ -247,3 +276,182 @@ def min_degree_graph(n: int, min_degree: int, seed: int = 0) -> nx.Graph:
             if degrees[v] == min_degree:
                 low.remove(v)
     return g
+
+
+# ---------------------------------------------------------------------- #
+# Direct edge-list generators (no networkx on the construction path)
+# ---------------------------------------------------------------------- #
+
+
+def cycle_edges(n: int) -> EdgeList:
+    """Edge-list twin of :func:`cycle_graph`: the n-cycle as ``(n, edges)``."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 nodes")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    edges.append((0, n - 1))
+    return n, edges
+
+
+def path_edges(n: int) -> EdgeList:
+    """Edge-list twin of :func:`path_graph`."""
+    if n < 1:
+        raise ValueError("a path needs at least 1 node")
+    return n, [(i, i + 1) for i in range(n - 1)]
+
+
+def complete_edges(n: int) -> EdgeList:
+    """Edge-list twin of :func:`complete_graph`."""
+    if n < 1:
+        raise ValueError("a complete graph needs at least 1 node")
+    return n, list(itertools.combinations(range(n), 2))
+
+
+def star_edges(leaves: int) -> EdgeList:
+    """Edge-list twin of :func:`star_graph` (``n = leaves + 1``, centre 0)."""
+    if leaves < 1:
+        raise ValueError("a star needs at least one leaf")
+    return leaves + 1, [(0, i) for i in range(1, leaves + 1)]
+
+
+def grid_edges(rows: int, cols: int) -> EdgeList:
+    """Edge-list twin of :func:`grid_graph`.
+
+    Vertex ``(i, j)`` of the grid maps to ``i * cols + j`` — the same
+    numbering :func:`relabel_to_integers` assigns (networkx inserts grid
+    nodes row-major), so the edge sets coincide exactly.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    edges: List[Edge] = []
+    for i in range(rows):
+        base = i * cols
+        for j in range(cols):
+            v = base + j
+            if j + 1 < cols:
+                edges.append((v, v + 1))
+            if i + 1 < rows:
+                edges.append((v, v + cols))
+    return rows * cols, edges
+
+
+def random_regular_edges(degree: int, n: int, seed: int = 0) -> EdgeList:
+    """Edge-list twin of :func:`random_regular_graph` (stream-exact).
+
+    Replays the Steger–Wormald pairing algorithm of the installed networkx
+    ``random_regular_graph`` with a ``random.Random(seed)`` — the same RNG
+    ``py_random_state`` would build — so a matching seed yields the same
+    graph, without constructing it as a networkx object.
+    """
+    if degree < 0 or n <= degree:
+        raise ValueError("need 0 <= degree < n")
+    if (degree * n) % 2 != 0:
+        raise ValueError("degree * n must be even")
+    if degree == 0:
+        return n, []
+    rng = random.Random(seed)
+
+    def _suitable(edges: Set[Edge], potential_edges) -> bool:
+        if not potential_edges:
+            return True
+        for s1 in potential_edges:
+            for s2 in potential_edges:
+                if s1 == s2:
+                    break
+                if s1 > s2:
+                    s1, s2 = s2, s1
+                if (s1, s2) not in edges:
+                    return True
+        return False
+
+    def _try_creation() -> Optional[Set[Edge]]:
+        edges: Set[Edge] = set()
+        stubs = list(range(n)) * degree
+        while stubs:
+            potential_edges = defaultdict(lambda: 0)
+            rng.shuffle(stubs)
+            stubiter = iter(stubs)
+            for s1, s2 in zip(stubiter, stubiter):
+                if s1 > s2:
+                    s1, s2 = s2, s1
+                if s1 != s2 and ((s1, s2) not in edges):
+                    edges.add((s1, s2))
+                else:
+                    potential_edges[s1] += 1
+                    potential_edges[s2] += 1
+            if not _suitable(edges, potential_edges):
+                return None
+            stubs = [
+                node
+                for node, potential in potential_edges.items()
+                for _ in range(potential)
+            ]
+        return edges
+
+    edges = _try_creation()
+    while edges is None:
+        edges = _try_creation()
+    return n, sorted(edges)
+
+
+def erdos_renyi_edges(n: int, expected_degree: float, seed: int = 0) -> EdgeList:
+    """Edge-list twin of :func:`erdos_renyi_graph` (stream-exact).
+
+    Replays the O(n²) Gilbert loop of networkx's ``gnp_random_graph``
+    (one ``random()`` draw per vertex pair), so matching seeds produce the
+    same graph.  Because the pair loop is quadratic by construction, this
+    stays stream-exact rather than fast at very large ``n``; the sparse
+    families (cycles, regular graphs, grids) are the intended ``n ≥ 10⁵``
+    workloads.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if n == 1:
+        return 1, []
+    p = min(1.0, max(0.0, expected_degree / (n - 1)))
+    if p >= 1.0:
+        return complete_edges(n)
+    if p <= 0.0:
+        return n, []
+    rng = random.Random(seed)
+    rnd = rng.random
+    return n, [e for e in itertools.combinations(range(n), 2) if rnd() < p]
+
+
+def min_degree_edges(n: int, min_degree: int, seed: int = 0) -> EdgeList:
+    """Edge-list twin of :func:`min_degree_graph` (stream-exact).
+
+    The even-parity case delegates to :func:`random_regular_edges`; the odd
+    case replays the cycle-plus-repair loop with set-based adjacency, drawing
+    from ``random.Random(seed)`` at exactly the same points as the networkx
+    version, so matching seeds produce the same graph.
+    """
+    if n <= min_degree:
+        raise ValueError("need n > min_degree")
+    if (n * min_degree) % 2 == 0:
+        return random_regular_edges(min_degree, n, seed=seed)
+    rng = random.Random(seed)
+    edges = [(i, i + 1) for i in range(n - 1)]
+    edges.append((n - 1, 0))
+    adjacency: List[Set[int]] = [set() for _ in range(n)]
+    for u, v in edges:
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    vertices: List[int] = list(range(n))
+    degrees = [2] * n
+    low = [v for v in vertices if degrees[v] < min_degree]
+    guard = 0
+    while low and guard < 100 * n:
+        guard += 1
+        u = rng.choice(low)
+        v = rng.choice(vertices)
+        if u != v and v not in adjacency[u]:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+            edges.append((u, v))
+            degrees[u] += 1
+            degrees[v] += 1
+            if degrees[u] == min_degree:
+                low.remove(u)
+            if degrees[v] == min_degree:
+                low.remove(v)
+    return n, edges

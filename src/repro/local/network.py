@@ -43,6 +43,22 @@ def canonical_edge(u: int, v: int) -> Tuple[int, int]:
     return (u, v) if u < v else (v, u)
 
 
+def _scheme_identifiers(
+    n: int, id_scheme: str, rng: Optional[random.Random]
+) -> Mapping[int, int]:
+    """Identifiers for vertices ``0..n-1`` under a named ID scheme."""
+    vertices = list(range(n))
+    if id_scheme == "sequential":
+        return ids_module.sequential_ids(vertices)
+    if id_scheme == "random":
+        return ids_module.random_ids(vertices, rng or random.Random(0))
+    if id_scheme == "permuted":
+        return ids_module.permuted_ids(vertices, rng or random.Random(0))
+    if id_scheme == "adversarial":
+        return ids_module.adversarial_interval_ids(vertices)
+    raise ValueError(f"unknown id scheme: {id_scheme!r}")
+
+
 class Network:
     """Immutable communication graph with identifiers.
 
@@ -128,6 +144,7 @@ class Network:
         self._min_degree: int = min((len(row) for row in rows), default=0)
         self._indptr: Optional[array] = None
         self._indices: Optional[array] = None
+        self._nx_export: Optional[nx.Graph] = None
 
         if identifiers is None:
             identifiers = ids_module.sequential_ids(list(range(n)))
@@ -166,19 +183,26 @@ class Network:
                 ``"adversarial"``.
             rng: randomness source, required for the randomized schemes.
         """
-        n = graph.number_of_nodes()
-        vertices = list(range(n))
-        if id_scheme == "sequential":
-            identifiers = ids_module.sequential_ids(vertices)
-        elif id_scheme == "random":
-            identifiers = ids_module.random_ids(vertices, rng or random.Random(0))
-        elif id_scheme == "permuted":
-            identifiers = ids_module.permuted_ids(vertices, rng or random.Random(0))
-        elif id_scheme == "adversarial":
-            identifiers = ids_module.adversarial_interval_ids(vertices)
-        else:
-            raise ValueError(f"unknown id scheme: {id_scheme!r}")
+        identifiers = _scheme_identifiers(graph.number_of_nodes(), id_scheme, rng)
         return cls(graph, identifiers)
+
+    @classmethod
+    def from_edge_list(
+        cls,
+        n: int,
+        edges: Iterable[Tuple[int, int]],
+        id_scheme: str = "sequential",
+        rng: Optional[random.Random] = None,
+    ) -> "Network":
+        """Build a network straight from an edge list with a named ID scheme.
+
+        The edge-list twin of :meth:`from_graph`: given the same topology and
+        ``rng`` state it produces an identical network, but never touches
+        networkx — the construction path for ``n ≥ 10⁵`` workloads fed by the
+        direct generators in :mod:`repro.graphs.generators`.
+        """
+        identifiers = _scheme_identifiers(n, id_scheme, rng)
+        return cls.from_edges(n, edges, identifiers)
 
     @classmethod
     def from_edges(
@@ -323,11 +347,19 @@ class Network:
     # ------------------------------------------------------------------ #
 
     def to_networkx(self) -> nx.Graph:
-        """Export the topology (on vertices ``0..n-1``) as a networkx graph."""
-        g = nx.Graph()
-        g.add_nodes_from(range(self.n))
-        g.add_edges_from(self._edges)
-        return g
+        """Export the topology (on vertices ``0..n-1``) as a networkx graph.
+
+        Networks are immutable, so the export is built once and cached —
+        repeated legacy callers stop paying O(n + m) per call.  Treat the
+        returned graph as **read-only**; mutating it corrupts the shared
+        cache (copy it first if you need a scratch graph).
+        """
+        if self._nx_export is None:
+            g = nx.Graph()
+            g.add_nodes_from(range(self.n))
+            g.add_edges_from(self._edges)
+            self._nx_export = g
+        return self._nx_export
 
     def original_label(self, v: int) -> object:
         """The label the vertex had in the graph the network was built from."""

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import gc
 import random
+from array import array
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.problems import ProblemSpec
@@ -459,44 +460,51 @@ class Runner:
         max_message_bits: Optional[int],
         any_edge_commits: bool = True,
     ) -> ExecutionTrace:
-        trace = ExecutionTrace(
-            network=network,
-            problem=problem,
+        # Outputs and commit rounds go straight into the trace's flat
+        # per-slot arrays (-1 = never committed); the historical dict views
+        # are derived lazily by ExecutionTrace only if somebody asks.
+        n = network.n
+        node_rounds = array("q", [-1]) * n
+        node_values: list = [None] * n
+        for node in nodes:
+            r = node._output_round
+            if r is not None:
+                v = node.vertex
+                node_rounds[v] = r
+                node_values[v] = node._output
+
+        m = network.m
+        edge_rounds = array("q", [-1]) * m
+        edge_values: list = [None] * m
+        if any_edge_commits:
+            # network.edges is already canonical, no per-edge normalisation
+            # needed; slot i of the arrays is edge i of network.edges.
+            for i, (u, v) in enumerate(network.edges):
+                commits = []
+                if nodes[u].has_committed_edge(v):
+                    commits.append((nodes[u]._edge_output_rounds[v], nodes[u].edge_output(v)))
+                if nodes[v].has_committed_edge(u):
+                    commits.append((nodes[v]._edge_output_rounds[u], nodes[v].edge_output(u)))
+                if not commits:
+                    continue
+                values = {value for _, value in commits}
+                if len(values) > 1:
+                    raise CommitError(
+                        f"endpoints of edge ({u}, {v}) committed conflicting outputs: {values}"
+                    )
+                edge_values[i] = commits[0][1]
+                edge_rounds[i] = min(rnd for rnd, _ in commits)
+
+        return ExecutionTrace.from_arrays(
+            network,
+            problem,
+            node_values,
+            node_rounds,
+            edge_values,
+            edge_rounds,
             rounds=rounds,
             completed=completed,
             total_messages=total_messages,
             max_message_bits=max_message_bits,
             algorithm_name=algorithm.name,
         )
-        trace.node_outputs = {
-            node.vertex: node._output for node in nodes if node._output_round is not None
-        }
-        trace.node_commit_round = {
-            node.vertex: node._output_round or 0
-            for node in nodes
-            if node._output_round is not None
-        }
-
-        if not any_edge_commits:
-            # No node ever committed an edge output: the per-edge collection
-            # loop below would be a pure no-op scan, skip it.
-            return trace
-
-        # network.edges is already canonical, no per-edge normalisation needed.
-        for edge in network.edges:
-            u, v = edge
-            commits = []
-            if nodes[u].has_committed_edge(v):
-                commits.append((nodes[u]._edge_output_rounds[v], nodes[u].edge_output(v)))
-            if nodes[v].has_committed_edge(u):
-                commits.append((nodes[v]._edge_output_rounds[u], nodes[v].edge_output(u)))
-            if not commits:
-                continue
-            values = {value for _, value in commits}
-            if len(values) > 1:
-                raise CommitError(
-                    f"endpoints of edge ({u}, {v}) committed conflicting outputs: {values}"
-                )
-            trace.edge_outputs[edge] = commits[0][1]
-            trace.edge_commit_round[edge] = min(rnd for rnd, _ in commits)
-        return trace
