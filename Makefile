@@ -1,0 +1,24 @@
+# Entry points for the test and benchmark harnesses.
+#
+#   make test         tier-1 suite (the gate every PR must keep green)
+#   make bench-smoke  perf-harness self-check (tiny sizes, asserts invariants)
+#   make bench        full perf suite -> BENCH_core.json (+ parallel sweep section)
+#   make example      the 10^5-10^6-node scaling tour (skip the finale: EXAMPLE_FLAGS=--no-million)
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke bench example
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) -m pytest -m bench_smoke -q
+
+bench:
+	$(PYTHON) benchmarks/core_perf.py
+	$(PYTHON) benchmarks/sweep_scaling.py
+
+example:
+	$(PYTHON) examples/scaling_to_100k.py $(EXAMPLE_FLAGS)

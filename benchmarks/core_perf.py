@@ -20,7 +20,7 @@ timing.  Results are written to ``BENCH_core.json`` (see
 ``benchmarks/README.md`` for the schema); this file is the start of the
 repo's perf trajectory — future PRs append comparable runs.
 
-Cells come in two kinds (schema ``bench-core/v2``):
+Cells come in four kinds (schema ``bench-core/v3``):
 
 * ``kind="pipeline"`` — the full generate → run → validate → measure
   pipeline is timed, phase by phase (``network_s``, ``runner_s``,
@@ -30,6 +30,23 @@ Cells come in two kinds (schema ``bench-core/v2``):
 * ``kind="validate"`` — both pipelines run **untimed** (identity is still
   asserted) and only solution validation is timed, ``validations`` times per
   trace.  These cells isolate the CSR-native validator speedup.
+* ``kind="measure"`` (v3) — the *new* pipeline runs untimed to produce
+  traces, then the vendored seed measurement (``legacy_measure``, per-entity
+  Python loops over dict views) and the numpy measurement path are timed on
+  those **identical traces**; agreement is asserted to ≤ 1e-12 relative.
+  The trace caches are invalidated before every timed numpy call so each rep
+  measures the cold completion-time computation, like the seed side.
+* ``kind="generate"`` (v3) — workload generation itself is timed: the
+  stream-exact O(n²) Gilbert twin (``erdos_renyi_edges``, the seed side)
+  against the geometric-skip ``fast_gnp_edges``.  The two use different
+  documented seed schedules, so no edge-list identity is asserted — instead
+  both edge counts must fall within a 6σ band of the expected
+  ``n·(n−1)/2·p``.
+
+Since v3 the seed/new *measurement* comparison of pipeline and validate
+cells is asserted to ≤ 1e-12 relative rather than bitwise: the numpy means
+use pairwise summation and may differ from ``statistics.mean`` in the last
+ulp.  Trace identity stays bitwise.
 
 Usage::
 
@@ -75,9 +92,11 @@ from repro.local.network import Network
 from repro.local.runner import Runner
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
-SCHEMA = "bench-core/v2"
+SCHEMA = "bench-core/v3"
 ID_SEED = 7
 MAX_ROUNDS = 20_000
+#: Relative tolerance for seed-vs-new measurement agreement (see module doc).
+MEASUREMENT_RTOL = 1e-12
 
 
 # ---------------------------------------------------------------------- #
@@ -101,12 +120,16 @@ class Cell:
     workload: str
     n: int
     trials: int
-    make_algorithm: Callable[[], object]
+    make_algorithm: Optional[Callable[[], object]]
     problem: object
-    make_graph: Callable[[int], object]
+    make_graph: Optional[Callable[[int], object]]
     kind: str = "pipeline"
     validations: int = 1
     reps: Optional[int] = None
+    #: ``kind="generate"`` only: expected degree of the G(n, p) workload
+    #: (``p = expected_degree / (n - 1)``) and the generator seed.
+    expected_degree: Optional[float] = None
+    gen_seed: int = 1
 
 
 def _cells(quick: bool) -> List[Cell]:
@@ -151,6 +174,29 @@ def _cells(quick: bool) -> List[Cell]:
                 lambda n: gen.random_regular_edges(4, n, seed=1),
                 kind="validate",
                 validations=3,
+            ),
+            # v3 cell kinds, smoke-sized, so `pytest -m bench_smoke` keeps
+            # the measurement comparison and the generator race alive.
+            Cell(
+                "luby-mis",
+                "fast-gnp-8",
+                400,
+                2,
+                LubyMIS,
+                problems.MIS,
+                lambda n: gen.fast_gnp_edges(n, 8.0 / (n - 1), seed=11),
+                kind="measure",
+            ),
+            Cell(
+                "gnp-generators",
+                "gnp-8",
+                300,
+                0,
+                None,
+                None,
+                None,
+                kind="generate",
+                expected_degree=8.0,
             ),
         ]
 
@@ -252,6 +298,53 @@ def _cells(quick: bool) -> List[Cell]:
             LubyMIS,
             problems.MIS,
             lambda n: gen.random_regular_edges(4, n, seed=1),
+            reps=1,
+        ),
+        # ---- measurement-only cells (numpy reductions vs seed Python loops) ----
+        Cell(
+            "luby-mis",
+            "fast-gnp-10",
+            100_000,
+            2,
+            LubyMIS,
+            problems.MIS,
+            lambda n: gen.fast_gnp_edges(n, 10.0 / (n - 1), seed=11),
+            kind="measure",
+            reps=2,
+        ),
+        Cell(
+            "randomized-matching",
+            "random-4-regular-direct",
+            30_000,
+            2,
+            RandomizedMaximalMatching,
+            problems.MAXIMAL_MATCHING,
+            lambda n: gen.random_regular_edges(4, n, seed=1),
+            kind="measure",
+            reps=2,
+        ),
+        # ---- generator race: geometric skip vs the stream-exact Gilbert loop ----
+        Cell(
+            "gnp-generators",
+            "gnp-10",
+            1_000,
+            0,
+            None,
+            None,
+            None,
+            kind="generate",
+            expected_degree=10.0,
+        ),
+        Cell(
+            "gnp-generators",
+            "gnp-10",
+            10_000,
+            0,
+            None,
+            None,
+            None,
+            kind="generate",
+            expected_degree=10.0,
             reps=1,
         ),
     ]
@@ -372,6 +465,31 @@ def _traces_identical(a, b) -> bool:
     )
 
 
+def _measurements_close(a, b, rtol: float = MEASUREMENT_RTOL) -> bool:
+    """Seed/new measurement agreement: exact metadata, ≤ ``rtol`` on the floats.
+
+    The float fields are the only place the two paths may legitimately
+    diverge (numpy's pairwise-summed means vs ``statistics.mean``'s exact
+    rational mean — a last-ulp difference); everything else must be equal.
+    """
+    if (a.algorithm, a.problem, a.n, a.m, a.trials, a.worst_case) != (
+        b.algorithm,
+        b.problem,
+        b.n,
+        b.m,
+        b.trials,
+        b.worst_case,
+    ):
+        return False
+    pairs = (
+        (a.node_averaged, b.node_averaged),
+        (a.edge_averaged, b.edge_averaged),
+        (a.node_expected, b.node_expected),
+        (a.edge_expected, b.edge_expected),
+    )
+    return all(abs(x - y) <= rtol * max(1.0, abs(x), abs(y)) for x, y in pairs)
+
+
 def run_cell(cell: Cell, reps: int = 3, validate: bool = True) -> Dict[str, object]:
     """Benchmark one cell; returns its JSON record.
 
@@ -382,9 +500,13 @@ def run_cell(cell: Cell, reps: int = 3, validate: bool = True) -> Dict[str, obje
         raise ValueError("reps must be at least 1")
     if cell.reps is not None:
         reps = cell.reps
+    if cell.kind == "generate":
+        return _run_generate_cell(cell, reps)
     n, edges, identifiers = _workload_inputs(cell)
     if cell.kind == "validate":
         return _run_validate_cell(cell, n, edges, identifiers, reps)
+    if cell.kind == "measure":
+        return _run_measure_cell(cell, n, edges, identifiers, reps)
 
     validations = cell.validations if validate else 0
     best_seed: Optional[Dict[str, float]] = None
@@ -403,7 +525,7 @@ def run_cell(cell: Cell, reps: int = 3, validate: bool = True) -> Dict[str, obje
         if best_new is None or timings["total_s"] < best_new["total_s"]:
             best_new = timings
 
-    assert seed_measurement == new_measurement, (
+    assert _measurements_close(seed_measurement, new_measurement), (
         f"measurement mismatch on {cell}: {seed_measurement} != {new_measurement}"
     )
     identical = all(_traces_identical(a, b) for a, b in zip(seed_traces, new_traces))
@@ -442,7 +564,9 @@ def _run_validate_cell(cell: Cell, n, edges, identifiers, reps: int) -> Dict[str
     """
     _, seed_measurement, seed_traces = _seed_pipeline(cell, n, edges, identifiers)
     _, new_measurement, new_traces = _new_pipeline(cell, n, edges, identifiers)
-    assert seed_measurement == new_measurement, f"measurement mismatch on {cell}"
+    assert _measurements_close(seed_measurement, new_measurement), (
+        f"measurement mismatch on {cell}"
+    )
     identical = all(_traces_identical(a, b) for a, b in zip(seed_traces, new_traces))
     assert identical, f"trace mismatch on {cell}"
     for trace in new_traces:
@@ -484,6 +608,113 @@ def _run_validate_cell(cell: Cell, n, edges, identifiers, reps: int) -> Dict[str
     }
 
 
+def _run_measure_cell(cell: Cell, n, edges, identifiers, reps: int) -> Dict[str, object]:
+    """A ``kind="measure"`` cell: the measurement layer alone is timed.
+
+    The *new* pipeline runs once, untimed, to produce traces; the vendored
+    seed measurement (`legacy_measure`, per-entity Python loops over the dict
+    views) and the numpy measurement path then race on those identical
+    traces.  The dict views are materialised before timing so the seed side
+    is not charged for the lazy array→dict derivation, and the trace's
+    completion-time caches are invalidated before every timed numpy call so
+    each rep measures the cold path (completion-time computation included),
+    exactly like the seed side recomputes per call.  Agreement between the
+    two measurements is asserted to ≤ 1e-12 relative.
+    """
+    _, _, traces = _new_pipeline(cell, n, edges, identifiers)
+    for trace in traces:
+        trace.node_outputs, trace.node_commit_round  # noqa: B018 - materialise
+        trace.edge_outputs, trace.edge_commit_round  # noqa: B018 - dict views
+    seed_measurement = new_measurement = None
+    best_seed_s = best_new_s = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        seed_measurement = legacy_measure(traces)
+        seed_s = time.perf_counter() - t0
+        for trace in traces:
+            trace._invalidate_times()
+        t0 = time.perf_counter()
+        new_measurement = measure(traces)
+        new_s = time.perf_counter() - t0
+        if best_seed_s is None or seed_s < best_seed_s:
+            best_seed_s = seed_s
+        if best_new_s is None or new_s < best_new_s:
+            best_new_s = new_s
+    assert _measurements_close(seed_measurement, new_measurement), (
+        f"measurement mismatch on {cell}: {seed_measurement} != {new_measurement}"
+    )
+
+    return {
+        "algorithm": cell.algorithm,
+        "workload": cell.workload,
+        "kind": cell.kind,
+        "n": n,
+        "m": len(edges),
+        "trials": cell.trials,
+        "rounds": [t.rounds for t in traces],
+        "total_messages": [t.total_messages for t in traces],
+        "seed": {"measure_s": round(best_seed_s, 6), "total_s": round(best_seed_s, 6)},
+        "new": {"measure_s": round(best_new_s, 6), "total_s": round(best_new_s, 6)},
+        "speedup": round(best_seed_s / best_new_s, 3),
+        "measure_speedup": round(best_seed_s / best_new_s, 3),
+        "measurement_agreement_rtol": MEASUREMENT_RTOL,
+        "measurement": new_measurement.as_dict(),
+    }
+
+
+def _run_generate_cell(cell: Cell, reps: int) -> Dict[str, object]:
+    """A ``kind="generate"`` cell: the Erdős–Rényi generator race.
+
+    Times the stream-exact O(n²) Gilbert twin (`erdos_renyi_edges`, the seed
+    side) against the geometric-skip `fast_gnp_edges` for the same
+    ``(n, p)``.  The two sample the same distribution through different
+    documented seed schedules, so no edge-list identity exists to assert;
+    instead both edge counts must land within a 6σ band of the expected
+    ``n·(n−1)/2·p`` (the statistical equivalence tests live in
+    ``tests/graphs/test_fast_gnp.py``).
+    """
+    n = cell.n
+    expected_degree = float(cell.expected_degree)
+    p = expected_degree / (n - 1)
+    best_seed_s = best_new_s = None
+    seed_edges = new_edges = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        _, seed_edges = gen.erdos_renyi_edges(n, expected_degree, seed=cell.gen_seed)
+        seed_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        _, new_edges = gen.fast_gnp_edges(n, p, seed=cell.gen_seed)
+        new_s = time.perf_counter() - t0
+        if best_seed_s is None or seed_s < best_seed_s:
+            best_seed_s = seed_s
+        if best_new_s is None or new_s < best_new_s:
+            best_new_s = new_s
+    mu = n * (n - 1) / 2 * p
+    slack = 6.0 * (mu**0.5)
+    for label, edge_list in (("seed", seed_edges), ("new", new_edges)):
+        assert abs(len(edge_list) - mu) <= slack, (
+            f"{label} generator edge count {len(edge_list)} outside "
+            f"{mu:.0f} ± {slack:.0f} on {cell}"
+        )
+
+    return {
+        "algorithm": cell.algorithm,
+        "workload": cell.workload,
+        "kind": cell.kind,
+        "n": n,
+        "m": len(new_edges),
+        "p": p,
+        "expected_m": round(mu, 1),
+        "seed_m": len(seed_edges),
+        "new_m": len(new_edges),
+        "within_6_sigma": True,
+        "seed": {"generate_s": round(best_seed_s, 6), "total_s": round(best_seed_s, 6)},
+        "new": {"generate_s": round(best_new_s, 6), "total_s": round(best_new_s, 6)},
+        "speedup": round(best_seed_s / best_new_s, 3),
+        "generate_speedup": round(best_seed_s / best_new_s, 3),
+    }
+
+
 def run_suite(quick: bool = False, reps: int = 3, validate: bool = True) -> Dict[str, object]:
     """Run every cell and return the full BENCH_core document."""
     records = []
@@ -492,6 +723,10 @@ def run_suite(quick: bool = False, reps: int = 3, validate: bool = True) -> Dict
         records.append(record)
         if record["kind"] == "validate":
             detail = f"(validate ×{record['validate_speedup']:.2f})"
+        elif record["kind"] == "measure":
+            detail = f"(measure ×{record['measure_speedup']:.2f})"
+        elif record["kind"] == "generate":
+            detail = f"(generate ×{record['generate_speedup']:.2f}, m={record['new_m']})"
         else:
             detail = f"(runner ×{record['runner_speedup']:.2f})"
         print(
@@ -511,12 +746,14 @@ def run_suite(quick: bool = False, reps: int = 3, validate: bool = True) -> Dict
             "cpus": os.cpu_count(),
         },
         "notes": (
-            "Per-cell wall times are best-of-reps for the full simulation-core "
-            "pipeline (network construction from the edge list + seeded trials + "
-            "averaged-complexity measurement). 'seed' is the vendored seed "
-            "implementation; 'new' is the array-backed core. Both consume "
-            "identical inputs and the harness asserts identical traces and "
-            "byte-identical measurements before timing is recorded."
+            "Per-cell wall times are best-of-reps. 'seed' is the vendored seed "
+            "implementation; 'new' is the array-backed core. pipeline/validate "
+            "cells consume identical inputs and assert bitwise trace identity "
+            "plus measurement agreement to 1e-12 relative; measure cells race "
+            "the seed per-entity measurement loops against the numpy reductions "
+            "on identical traces; generate cells race the O(n^2) Gilbert twin "
+            "against the geometric-skip fast_gnp_edges (different documented "
+            "seed schedules, edge counts asserted within 6 sigma of n(n-1)/2*p)."
         ),
         "cells": records,
     }

@@ -2,11 +2,12 @@
 
 Runs the ``--quick`` benchmark configuration once so that the harness itself
 — the vendored seed pipeline, the cell runner, and the JSON document
-builder — cannot silently rot.  The quick cells are tiny (n ≈ 100–150), so
+builder — cannot silently rot.  The quick cells are tiny (n ≈ 100–400), so
 this stays well inside the tier-1 time budget; the speedup *values* are not
 asserted (meaningless at smoke sizes), only the invariants the harness is
-built on: both pipelines produce identical traces and byte-identical
-complexity measurements, and the document has the ``bench-core/v1`` shape.
+built on: both pipelines produce identical traces and measurements agreeing
+to ≤ 1e-12 relative, the v3 measure/generate cell kinds run, and the
+document has the ``bench-core/v3`` shape.
 """
 
 from __future__ import annotations
@@ -29,14 +30,16 @@ def test_quick_suite_produces_identical_pipelines(tmp_path):
     assert {"luby-mis", "randomized-matching", "sinkless-orientation"} <= algorithms
 
     for cell in cells:
-        # run_cell asserts trace/measurement equality internally; the flag
-        # records it in the committed document.
-        assert cell["identical_traces"] is True
+        assert cell["kind"] in ("pipeline", "validate", "measure", "generate")
         assert cell["seed"]["total_s"] > 0 and cell["new"]["total_s"] > 0
         assert cell["speedup"] > 0
-        assert len(cell["rounds"]) == cell["trials"]
-        assert cell["measurement"]["n"] == cell["n"]
-        assert cell["kind"] in ("pipeline", "validate")
+        if cell["kind"] in ("pipeline", "validate"):
+            # run_cell asserts trace/measurement equality internally; the
+            # flag records it in the committed document.
+            assert cell["identical_traces"] is True
+        if cell["kind"] != "generate":
+            assert len(cell["rounds"]) == cell["trials"]
+            assert cell["measurement"]["n"] == cell["n"]
 
     # The quick suite must exercise the CSR-native validation cell kind (fed
     # by a direct edge-list workload), so the large-n validation path of the
@@ -47,6 +50,23 @@ def test_quick_suite_produces_identical_pipelines(tmp_path):
         assert cell["validations"] >= 1
         assert cell["validate_speedup"] > 0
         assert cell["seed"]["validate_s"] > 0 and cell["new"]["validate_s"] > 0
+
+    # ... and the v3 cell kinds: the numpy-vs-seed measurement race and the
+    # generator race, so the million-node measurement layer cannot rot.
+    measure_cells = [cell for cell in cells if cell["kind"] == "measure"]
+    assert measure_cells, "quick suite lost its measurement-only cell"
+    for cell in measure_cells:
+        assert cell["measure_speedup"] > 0
+        assert cell["measurement_agreement_rtol"] <= 1e-12
+        assert cell["seed"]["measure_s"] > 0 and cell["new"]["measure_s"] > 0
+
+    generate_cells = [cell for cell in cells if cell["kind"] == "generate"]
+    assert generate_cells, "quick suite lost its generator-race cell"
+    for cell in generate_cells:
+        assert cell["generate_speedup"] > 0
+        assert cell["within_6_sigma"] is True
+        assert cell["seed_m"] > 0 and cell["new_m"] > 0
+        assert cell["m"] == cell["new_m"]
 
     # The document must be JSON-serialisable exactly as core_perf writes it.
     path = tmp_path / "BENCH_core.json"

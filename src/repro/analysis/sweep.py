@@ -19,10 +19,11 @@ import multiprocessing
 import os
 import random
 from array import array
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import networkx as nx
+import numpy as np
 
 from repro.core.experiment import run_trials, trial_seed
 from repro.core.metrics import ComplexityMeasurement, measure
@@ -92,7 +93,9 @@ def sweep(
             networkx graph, an ``(n, edges)`` pair, or a :class:`Network`
             (see :func:`network_from`).  Large-``n`` sweeps should return
             ``(n, edges)`` from the direct generators so the hot path never
-            builds a networkx graph.
+            builds a networkx graph (for Erdős–Rényi workloads at
+            ``n ≥ 10⁵`` use the geometric-skip
+            :func:`repro.graphs.generators.fast_gnp_edges`).
         algorithms: mapping from a display name to a pair
             ``(algorithm_factory, problem_factory)``; both factories receive
             the constructed :class:`Network` so that algorithms can consume
@@ -161,18 +164,7 @@ def sweep(
 
 
 def _renamed(measurement: ComplexityMeasurement, name: str) -> ComplexityMeasurement:
-    return ComplexityMeasurement(
-        algorithm=name,
-        problem=measurement.problem,
-        n=measurement.n,
-        m=measurement.m,
-        trials=measurement.trials,
-        node_averaged=measurement.node_averaged,
-        edge_averaged=measurement.edge_averaged,
-        node_expected=measurement.node_expected,
-        edge_expected=measurement.edge_expected,
-        worst_case=measurement.worst_case,
-    )
+    return replace(measurement, algorithm=name)
 
 
 def _resolve_workers(parallel: Union[bool, int, None]) -> int:
@@ -242,20 +234,31 @@ class _CellTrace:
         self.network = _CellTrace._Net(n, m)
         self.problem = _CellTrace._Problem(problem_name)
         self.algorithm_name = algorithm_name
-        self._node_times = node_times
-        self._edge_times = edge_times
+        # The worker ships flat array('q') buffers; np.asarray wraps them
+        # zero-copy, so the parent-side aggregation runs on int64 arrays
+        # exactly like the serial measurement path.
+        self._node_times = np.asarray(node_times, dtype=np.int64)
+        self._edge_times = np.asarray(edge_times, dtype=np.int64)
 
-    def node_completion_times(self) -> Sequence[int]:
+    def node_completion_array(self) -> np.ndarray:
         return self._node_times
 
-    def edge_completion_times(self) -> Sequence[int]:
+    def edge_completion_array(self) -> np.ndarray:
         return self._edge_times
 
+    def node_completion_times(self) -> Sequence[int]:
+        return self._node_times.tolist()
+
+    def edge_completion_times(self) -> Sequence[int]:
+        return self._edge_times.tolist()
+
     def worst_case_rounds(self) -> int:
-        candidates = [0]
-        candidates.extend(self._node_times)
-        candidates.extend(self._edge_times)
-        return max(candidates)
+        return int(
+            max(
+                np.max(self._node_times, initial=0),
+                np.max(self._edge_times, initial=0),
+            )
+        )
 
 
 def _parallel_worker(task: Tuple[int, str, int]) -> Tuple[int, str, int, Dict[str, object]]:
@@ -286,8 +289,8 @@ def _parallel_worker(task: Tuple[int, str, int]) -> Tuple[int, str, int, Dict[st
             # Ship flat int64 arrays through the pool: they pickle as raw
             # bytes (8 B/entry) instead of per-int list items, and measure()
             # consumes them exactly like lists (identical arithmetic).
-            "node_times": array("q", trace.node_completion_times()),
-            "edge_times": array("q", trace.edge_completion_times()),
+            "node_times": array("q", trace.node_completion_array().tobytes()),
+            "edge_times": array("q", trace.edge_completion_array().tobytes()),
         },
     )
 

@@ -11,7 +11,10 @@ expectation over the algorithm's randomness), this module computes:
 * the **weighted** node/edge-averaged complexities ``AVG^w`` of Appendix A,
 * the **node/edge expected complexity** ``EXP`` of Appendix A — the maximum
   over nodes/edges of the expected completion time,
-* the **worst-case complexity** — maximum completion time over everything.
+* the **worst-case complexity** — maximum completion time over everything,
+* **quantiles** of the expected completion-time distribution
+  (:func:`completion_time_quantiles`) — the tail view the averaged measures
+  compress away.
 
 The paper's chain of inequalities (Appendix A)
 
@@ -21,14 +24,30 @@ holds per graph for the worst-case weight distribution; the helper
 :func:`complexity_hierarchy` reports all four measured quantities so the
 benchmarks can verify the chain empirically (with the weighted value computed
 for a caller-supplied or worst-case-per-node weighting).
+
+Implementation.  Every reduction runs over numpy float64/int64 arrays and
+consumes the trace's flat per-slot storage directly
+(:meth:`ExecutionTrace.node_completion_array` /
+:meth:`~ExecutionTrace.edge_completion_array`), so there is no per-node
+Python loop anywhere on the measurement path — the layer that made
+million-node measurement batches feasible.  Duck-typed traces that only
+offer the list-returning accessors (e.g. the parallel sweep's worker
+payloads, which ship ``array('q')`` buffers) are converted with a single
+buffer-protocol ``np.asarray`` call.  The per-trial accumulation adds the
+trial vectors in trace order and divides once, exactly the float64 operation
+sequence of the seed implementation, so expected-time vectors are
+bit-identical to the pure-Python path; the final scalar means use numpy's
+pairwise summation and may differ from ``statistics.mean`` in the last ulp
+(the differential tests in ``tests/core/test_metrics_numpy.py`` pin
+agreement to ≤ 1e-12).
 """
 
 from __future__ import annotations
 
-from array import array
-from dataclasses import dataclass
-from statistics import mean
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.trace import ExecutionTrace
 
@@ -40,12 +59,16 @@ __all__ = [
     "weighted_edge_averaged_complexity",
     "node_expected_complexity",
     "edge_expected_complexity",
+    "completion_time_quantiles",
     "ComplexityMeasurement",
     "measure",
     "complexity_hierarchy",
 ]
 
 Edge = Tuple[int, int]
+
+#: Quantile levels reported by :func:`measure` when asked for quantiles.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.99)
 
 
 def _as_list(traces: "ExecutionTrace | Iterable[ExecutionTrace]") -> List[ExecutionTrace]:
@@ -61,28 +84,70 @@ def _as_list(traces: "ExecutionTrace | Iterable[ExecutionTrace]") -> List[Execut
     return traces
 
 
-def _expected_times(vectors: List[Sequence[int]], length: int, trials: int) -> List[float]:
-    """Element-wise mean of per-trial completion-time vectors.
+def _node_times_i64(trace) -> np.ndarray:
+    """A trace's node completion times as an int64 array (zero-copy when possible)."""
+    getter = getattr(trace, "node_completion_array", None)
+    if getter is not None:
+        return getter()
+    return np.asarray(trace.node_completion_times(), dtype=np.int64)
 
-    Accumulates into a flat float64 array; the vectors themselves may be
-    lists or ``array('q')`` payloads (as shipped by parallel sweep workers) —
-    the arithmetic, and hence the result, is identical either way.
+
+def _edge_times_i64(trace) -> np.ndarray:
+    """A trace's edge completion times as an int64 array (zero-copy when possible)."""
+    getter = getattr(trace, "edge_completion_array", None)
+    if getter is not None:
+        return getter()
+    return np.asarray(trace.edge_completion_times(), dtype=np.int64)
+
+
+def _expected_times(vectors: List[np.ndarray], length: int, trials: int) -> np.ndarray:
+    """Element-wise mean of per-trial completion-time vectors (float64).
+
+    Accumulates trial by trial and divides once — the same float64 operation
+    order as the seed implementation, so the resulting vector is bit-identical
+    to the pure-Python accumulation.
     """
-    sums = array("d", bytes(8 * length))
+    sums = np.zeros(length, dtype=np.float64)
     for times in vectors:
-        for v in range(length):
-            sums[v] += times[v]
-    return [s / trials for s in sums]
+        sums += times
+    sums /= trials
+    return sums
 
 
-def _expected_node_times(traces: List[ExecutionTrace]) -> List[float]:
+def _expected_node_times(traces: List[ExecutionTrace]) -> np.ndarray:
     n = traces[0].network.n
-    return _expected_times([t.node_completion_times() for t in traces], n, len(traces))
+    return _expected_times([_node_times_i64(t) for t in traces], n, len(traces))
 
 
-def _expected_edge_times(traces: List[ExecutionTrace]) -> List[float]:
+def _expected_edge_times(traces: List[ExecutionTrace]) -> np.ndarray:
     m = traces[0].network.m
-    return _expected_times([t.edge_completion_times() for t in traces], m, len(traces))
+    return _expected_times([_edge_times_i64(t) for t in traces], m, len(traces))
+
+
+def _quantile_pairs(
+    expected: np.ndarray, quantiles: Sequence[float]
+) -> Tuple[Tuple[float, float], ...]:
+    """Validated ``(level, value)`` quantile pairs of an expected-time vector.
+
+    The single quantile implementation shared by :func:`measure` and
+    :func:`completion_time_quantiles`; empty vectors (e.g. edge quantiles on
+    an edgeless graph) report 0.0 at every level.
+    """
+    levels = [float(q) for q in quantiles]
+    if any(not 0.0 <= q <= 1.0 for q in levels):
+        raise ValueError("quantile levels must lie in [0, 1]")
+    if expected.size == 0:
+        return tuple((q, 0.0) for q in levels)
+    values = np.quantile(expected, levels)
+    return tuple((q, float(value)) for q, value in zip(levels, values))
+
+
+def _mean(expected: np.ndarray) -> float:
+    return float(expected.mean()) if expected.size else 0.0
+
+
+def _max(expected: np.ndarray) -> float:
+    return float(expected.max()) if expected.size else 0.0
 
 
 # ---------------------------------------------------------------------- #
@@ -92,20 +157,12 @@ def _expected_edge_times(traces: List[ExecutionTrace]) -> List[float]:
 
 def node_averaged_complexity(traces: "ExecutionTrace | Iterable[ExecutionTrace]") -> float:
     """``AVG_V``: average over nodes of the expected completion time."""
-    ts = _as_list(traces)
-    expected = _expected_node_times(ts)
-    if not expected:
-        return 0.0
-    return mean(expected)
+    return _mean(_expected_node_times(_as_list(traces)))
 
 
 def edge_averaged_complexity(traces: "ExecutionTrace | Iterable[ExecutionTrace]") -> float:
     """``AVG_E``: average over edges of the expected completion time."""
-    ts = _as_list(traces)
-    expected = _expected_edge_times(ts)
-    if not expected:
-        return 0.0
-    return mean(expected)
+    return _mean(_expected_edge_times(_as_list(traces)))
 
 
 def worst_case_complexity(traces: "ExecutionTrace | Iterable[ExecutionTrace]") -> int:
@@ -132,14 +189,18 @@ def weighted_node_averaged_complexity(
     """
     ts = _as_list(traces)
     expected = _expected_node_times(ts)
-    if not expected:
+    if expected.size == 0:
         return 0.0
     if weights is None:
-        return max(expected)
-    total = sum(weights.get(v, 0.0) for v in range(len(expected)))
+        return _max(expected)
+    w = np.zeros(expected.size, dtype=np.float64)
+    for v, weight in weights.items():
+        if 0 <= v < expected.size:
+            w[v] = weight
+    total = float(w.sum())
     if total <= 0:
         raise ValueError("weights must have positive total mass")
-    return sum(weights.get(v, 0.0) * expected[v] for v in range(len(expected))) / total
+    return float(w @ expected) / total
 
 
 def weighted_edge_averaged_complexity(
@@ -149,29 +210,50 @@ def weighted_edge_averaged_complexity(
     """``AVG^w_E``: weighted average of expected edge completion times."""
     ts = _as_list(traces)
     expected = _expected_edge_times(ts)
-    if not expected:
+    if expected.size == 0:
         return 0.0
-    edges = list(ts[0].network.edges)
     if weights is None:
-        return max(expected)
-    total = sum(weights.get(e, 0.0) for e in edges)
+        return _max(expected)
+    edges = ts[0].network.edges
+    w = np.zeros(expected.size, dtype=np.float64)
+    for i, e in enumerate(edges):
+        w[i] = weights.get(e, 0.0)
+    total = float(w.sum())
     if total <= 0:
         raise ValueError("weights must have positive total mass")
-    return sum(weights.get(e, 0.0) * expected[i] for i, e in enumerate(edges)) / total
+    return float(w @ expected) / total
 
 
 def node_expected_complexity(traces: "ExecutionTrace | Iterable[ExecutionTrace]") -> float:
     """``EXP_V``: maximum over nodes of the expected completion time."""
-    ts = _as_list(traces)
-    expected = _expected_node_times(ts)
-    return max(expected) if expected else 0.0
+    return _max(_expected_node_times(_as_list(traces)))
 
 
 def edge_expected_complexity(traces: "ExecutionTrace | Iterable[ExecutionTrace]") -> float:
     """``EXP_E``: maximum over edges of the expected completion time."""
+    return _max(_expected_edge_times(_as_list(traces)))
+
+
+def completion_time_quantiles(
+    traces: "ExecutionTrace | Iterable[ExecutionTrace]",
+    quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    entity: str = "node",
+) -> Dict[float, float]:
+    """Quantiles of the expected completion-time distribution.
+
+    ``entity`` selects the node (``"node"``) or edge (``"edge"``) vector; the
+    quantiles are numpy's linear-interpolation quantiles over the expected
+    (per-trial averaged) completion times.  Empty vectors (e.g. edge
+    quantiles on an edgeless graph) report 0.0 at every level.
+    """
     ts = _as_list(traces)
-    expected = _expected_edge_times(ts)
-    return max(expected) if expected else 0.0
+    if entity == "node":
+        expected = _expected_node_times(ts)
+    elif entity == "edge":
+        expected = _expected_edge_times(ts)
+    else:
+        raise ValueError(f"entity must be 'node' or 'edge', got {entity!r}")
+    return dict(_quantile_pairs(expected, quantiles))
 
 
 # ---------------------------------------------------------------------- #
@@ -181,7 +263,12 @@ def edge_expected_complexity(traces: "ExecutionTrace | Iterable[ExecutionTrace]"
 
 @dataclass(frozen=True)
 class ComplexityMeasurement:
-    """All complexity measures of one algorithm on one graph (over trials)."""
+    """All complexity measures of one algorithm on one graph (over trials).
+
+    The quantile fields are optional extras (filled when :func:`measure` is
+    asked for them) and excluded from equality so that measurements with and
+    without quantiles of the same execution still compare equal.
+    """
 
     algorithm: str
     problem: str
@@ -193,10 +280,12 @@ class ComplexityMeasurement:
     node_expected: float
     edge_expected: float
     worst_case: int
+    node_quantiles: Tuple[Tuple[float, float], ...] = field(default=(), compare=False)
+    edge_quantiles: Tuple[Tuple[float, float], ...] = field(default=(), compare=False)
 
     def as_dict(self) -> Dict[str, object]:
         """Dictionary form, convenient for table rendering."""
-        return {
+        record: Dict[str, object] = {
             "algorithm": self.algorithm,
             "problem": self.problem,
             "n": self.n,
@@ -208,30 +297,46 @@ class ComplexityMeasurement:
             "edge_expected": round(self.edge_expected, 3),
             "worst_case": self.worst_case,
         }
+        for prefix, pairs in (("node_q", self.node_quantiles), ("edge_q", self.edge_quantiles)):
+            for level, value in pairs:
+                record[f"{prefix}{level:g}"] = round(value, 3)
+        return record
 
 
-def measure(traces: "ExecutionTrace | Iterable[ExecutionTrace]") -> ComplexityMeasurement:
+def measure(
+    traces: "ExecutionTrace | Iterable[ExecutionTrace]",
+    quantiles: Optional[Sequence[float]] = None,
+) -> ComplexityMeasurement:
     """Compute every complexity measure for a collection of traces.
 
-    The expected completion-time vectors are computed once and shared by the
-    averaged and expected measures (they are pure reductions of the same
-    vectors), which matters when measuring large graphs.
+    The expected completion-time vectors are computed once (as float64 numpy
+    arrays) and shared by the averaged, expected and quantile measures — they
+    are pure reductions of the same vectors, which matters when measuring
+    million-node graphs.  Pass ``quantiles`` (e.g. ``DEFAULT_QUANTILES``) to
+    additionally record completion-time quantiles in the measurement.
     """
     ts = _as_list(traces)
     first = ts[0]
     expected_nodes = _expected_node_times(ts)
     expected_edges = _expected_edge_times(ts)
+    node_quantiles: Tuple[Tuple[float, float], ...] = ()
+    edge_quantiles: Tuple[Tuple[float, float], ...] = ()
+    if quantiles is not None:
+        node_quantiles = _quantile_pairs(expected_nodes, quantiles)
+        edge_quantiles = _quantile_pairs(expected_edges, quantiles)
     return ComplexityMeasurement(
         algorithm=first.algorithm_name,
         problem=first.problem.name,
         n=first.network.n,
         m=first.network.m,
         trials=len(ts),
-        node_averaged=mean(expected_nodes) if expected_nodes else 0.0,
-        edge_averaged=mean(expected_edges) if expected_edges else 0.0,
-        node_expected=max(expected_nodes) if expected_nodes else 0.0,
-        edge_expected=max(expected_edges) if expected_edges else 0.0,
+        node_averaged=_mean(expected_nodes),
+        edge_averaged=_mean(expected_edges),
+        node_expected=_max(expected_nodes),
+        edge_expected=_max(expected_edges),
         worst_case=worst_case_complexity(ts),
+        node_quantiles=node_quantiles,
+        edge_quantiles=edge_quantiles,
     )
 
 

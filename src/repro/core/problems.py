@@ -146,8 +146,17 @@ class ProblemSpec:
         """
         if not isinstance(graph, nx.Graph):
             return self.validate_network(graph, node_outputs, edge_outputs)
-        node_outputs = dict(node_outputs or {})
-        edge_outputs = dict(edge_outputs or {})
+        # An explicit MISSING value in a mapping is equivalent to the key
+        # being absent (the sentinel means "never committed"); stripping the
+        # entries here keeps this reference path in verdict agreement with
+        # the CSR fast path, which normalises through slot sequences where
+        # the two cases are indistinguishable by construction.
+        node_outputs = {
+            v: value for v, value in (node_outputs or {}).items() if value is not MISSING
+        }
+        edge_outputs = {
+            e: value for e, value in (edge_outputs or {}).items() if value is not MISSING
+        }
         if self.labels_nodes:
             missing = [v for v in graph.nodes() if v not in node_outputs]
             if missing:
@@ -246,7 +255,14 @@ def _edge_slots(
         strays: List[Tuple[Edge, Any]] = []
         if sum(1 for s in slots if s is not MISSING) != len(edge_outputs):
             known = set(network.edges)
-            strays = [(e, value) for e, value in edge_outputs.items() if e not in known]
+            # Entries whose value is the MISSING sentinel are "never
+            # committed" and therefore not strays — the nx reference path
+            # strips them before it ever consults the graph.
+            strays = [
+                (e, value)
+                for e, value in edge_outputs.items()
+                if e not in known and value is not MISSING
+            ]
         return slots, strays
     values = edge_outputs if isinstance(edge_outputs, list) else list(edge_outputs)
     if len(values) != m:

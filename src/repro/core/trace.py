@@ -34,6 +34,8 @@ from __future__ import annotations
 from array import array
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.problems import MISSING, ProblemSpec, ValidationResult
 
 __all__ = ["ExecutionTrace"]
@@ -110,8 +112,12 @@ class ExecutionTrace:
         # Lazily computed completion-time vectors.  A trace is immutable once
         # the runner hands it out, and the metrics layer asks for the same
         # vectors several times per trace (averaged, expected, worst-case).
+        # The int64 numpy arrays are canonical; the list views derive from
+        # them for API compatibility.
         self._node_times: Optional[List[int]] = None
         self._edge_times: Optional[List[int]] = None
+        self._node_times_np: Optional[np.ndarray] = None
+        self._edge_times_np: Optional[np.ndarray] = None
 
     @classmethod
     def from_arrays(
@@ -240,6 +246,8 @@ class ExecutionTrace:
     def _invalidate_times(self) -> None:
         self._node_times = None
         self._edge_times = None
+        self._node_times_np = None
+        self._edge_times_np = None
 
     # ------------------------------------------------------------------ #
     # Flat array views (lazy; canonical when built via `from_arrays`)
@@ -327,66 +335,84 @@ class ExecutionTrace:
     def node_completion_times(self) -> List[int]:
         """Completion times of all nodes, indexed by vertex (cached)."""
         if self._node_times is None:
-            self._node_times = self._compute_node_times()
+            self._node_times = self.node_completion_array().tolist()
         return self._node_times
 
     def edge_completion_times(self) -> List[int]:
         """Completion times of all edges, in the network's edge order (cached)."""
         if self._edge_times is None:
-            self._edge_times = self._compute_edge_times()
+            self._edge_times = self.edge_completion_array().tolist()
         return self._edge_times
 
-    def _node_rounds_vector(self) -> List[int]:
+    def _node_rounds_np(self) -> np.ndarray:
         """Per-vertex commit rounds (uncommitted charged the full length)."""
-        rounds = self.rounds
-        return [r if r >= 0 else rounds for r in self.node_commit_rounds()]
+        rounds = np.frombuffer(self.node_commit_rounds(), dtype=np.int64)
+        return np.where(rounds >= 0, rounds, self.rounds)
 
-    def _edge_rounds_vector(self) -> List[int]:
+    def _edge_rounds_np(self) -> np.ndarray:
         """Per-edge commit rounds in network edge order."""
-        rounds = self.rounds
-        return [r if r >= 0 else rounds for r in self.edge_commit_rounds()]
+        rounds = np.frombuffer(self.edge_commit_rounds(), dtype=np.int64)
+        return np.where(rounds >= 0, rounds, self.rounds)
 
-    def _compute_node_times(self) -> List[int]:
-        labels_nodes = self.problem.labels_nodes
-        labels_edges = self.problem.labels_edges
-        n = self.network.n
-        if not labels_nodes and not labels_edges:
-            return [0] * n
-        acc = self._node_rounds_vector() if labels_nodes else [0] * n
-        if labels_edges:
-            edge_rounds = self._edge_rounds_vector()
-            for i, (u, v) in enumerate(self.network.edges):
-                t = edge_rounds[i]
-                if t > acc[u]:
-                    acc[u] = t
-                if t > acc[v]:
-                    acc[v] = t
-        return acc
+    def _endpoint_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Edge endpoint arrays ``(us, vs)`` aligned with the edge slots."""
+        endpoints = getattr(self.network, "edge_endpoints", None)
+        if endpoints is not None:
+            return endpoints()
+        pairs = np.asarray(self.network.edges, dtype=np.int64).reshape(-1, 2)
+        return pairs[:, 0], pairs[:, 1]
 
-    def _compute_edge_times(self) -> List[int]:
-        labels_nodes = self.problem.labels_nodes
-        labels_edges = self.problem.labels_edges
-        m = self.network.m
-        if not labels_nodes and not labels_edges:
-            return [0] * m
-        acc = self._edge_rounds_vector() if labels_edges else [0] * m
-        if labels_nodes:
-            node_rounds = self._node_rounds_vector()
-            for i, (u, v) in enumerate(self.network.edges):
-                t = node_rounds[u]
-                tv = node_rounds[v]
-                if tv > t:
-                    t = tv
-                if t > acc[i]:
-                    acc[i] = t
-        return acc
+    def node_completion_array(self) -> np.ndarray:
+        """Vectorised :meth:`node_completion_times`: an int64 numpy array.
+
+        Computed entirely over the trace's flat per-slot round arrays — no
+        per-node Python loop — and cached (the array is marked read-only so
+        the list view and repeated metric reductions stay consistent).
+        """
+        if self._node_times_np is None:
+            labels_nodes = self.problem.labels_nodes
+            labels_edges = self.problem.labels_edges
+            n = self.network.n
+            if labels_nodes:
+                acc = self._node_rounds_np()
+            else:
+                acc = np.zeros(n, dtype=np.int64)
+            if labels_edges:
+                edge_times = self._edge_rounds_np()
+                us, vs = self._endpoint_arrays()
+                np.maximum.at(acc, us, edge_times)
+                np.maximum.at(acc, vs, edge_times)
+            acc.setflags(write=False)
+            self._node_times_np = acc
+        return self._node_times_np
+
+    def edge_completion_array(self) -> np.ndarray:
+        """Vectorised :meth:`edge_completion_times`: an int64 numpy array."""
+        if self._edge_times_np is None:
+            labels_nodes = self.problem.labels_nodes
+            labels_edges = self.problem.labels_edges
+            m = self.network.m
+            if labels_edges:
+                acc = self._edge_rounds_np()
+            else:
+                acc = np.zeros(m, dtype=np.int64)
+            if labels_nodes:
+                node_rounds = self._node_rounds_np()
+                us, vs = self._endpoint_arrays()
+                np.maximum(acc, node_rounds[us], out=acc)
+                np.maximum(acc, node_rounds[vs], out=acc)
+            acc.setflags(write=False)
+            self._edge_times_np = acc
+        return self._edge_times_np
 
     def worst_case_rounds(self) -> int:
         """Maximum completion time over all nodes and edges."""
-        candidates = [0]
-        candidates.extend(self.node_completion_times())
-        candidates.extend(self.edge_completion_times())
-        return max(candidates)
+        return int(
+            max(
+                np.max(self.node_completion_array(), initial=0),
+                np.max(self.edge_completion_array(), initial=0),
+            )
+        )
 
     def _node_round(self, v: int) -> int:
         r = self.node_commit_rounds()[v]

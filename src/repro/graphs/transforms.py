@@ -103,13 +103,19 @@ def two_copies_with_perfect_matching(
     """
     union, map_a, map_b = disjoint_union(graph, graph)
     matching: List[Edge] = []
+    used_mates: set = set()
     for v in graph.nodes():
         mate = partner(v) if partner is not None else v
         if mate not in map_b:
             raise ValueError(f"partner({v}) = {mate} is not a vertex of the graph")
+        if mate in used_mates:
+            # Distinct edges are not enough: a repeated mate shares a copy-B
+            # endpoint, so the edge set would not be a perfect matching.
+            raise ValueError(
+                "partner function must be a bijection to obtain a perfect matching"
+            )
+        used_mates.add(mate)
         a, b = map_a[v], map_b[mate]
         union.add_edge(a, b)
         matching.append((a, b) if a < b else (b, a))
-    if len({e for e in matching}) != graph.number_of_nodes():
-        raise ValueError("partner function must be a bijection to obtain a perfect matching")
     return union, map_a, map_b, matching

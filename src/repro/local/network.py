@@ -144,6 +144,8 @@ class Network:
         self._min_degree: int = min((len(row) for row in rows), default=0)
         self._indptr: Optional[array] = None
         self._indices: Optional[array] = None
+        self._edge_us = None
+        self._edge_vs = None
         self._nx_export: Optional[nx.Graph] = None
 
         if identifiers is None:
@@ -282,6 +284,31 @@ class Network:
         if self._indices is None:
             self._build_csr()
         return self._indices
+
+    def edge_endpoints(self):
+        """Endpoint arrays ``(us, vs)`` of the canonical edge list (lazy).
+
+        Two int64 numpy arrays of length ``m`` such that edge slot ``i`` is
+        ``(us[i], vs[i])`` with ``us[i] < vs[i]`` — the vectorised twin of
+        :attr:`edges`, consumed by the numpy measurement path.  Derived from
+        the CSR views: because every row is sorted ascending and rows are
+        visited in vertex order, keeping only the ``neighbour > vertex`` half
+        reproduces the lexicographic canonical edge order exactly.
+        """
+        if self._edge_us is None:
+            import numpy as np
+
+            indptr = np.frombuffer(self.indptr, dtype=np.int64)
+            indices = np.frombuffer(self.indices, dtype=np.int64)
+            owners = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(indptr))
+            upper = indices > owners
+            us = owners[upper]
+            vs = indices[upper]
+            us.setflags(write=False)
+            vs.setflags(write=False)
+            self._edge_us = us
+            self._edge_vs = vs
+        return self._edge_us, self._edge_vs
 
     @property
     def vertices(self) -> range:

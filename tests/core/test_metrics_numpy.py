@@ -1,0 +1,249 @@
+"""Differential tests: numpy metric reductions vs the seed pure-Python path.
+
+PR 3 rewrote ``repro.core.metrics`` (and the completion-time computation in
+``repro.core.trace``) over numpy float64/int64 arrays.  The seed
+implementation survives, vendored verbatim, in
+``benchmarks/_legacy_metrics.py`` — per-entity completion times recomputed
+from the dict views, pure-Python float accumulation, ``statistics.mean``.
+These tests drive both implementations over randomized traces and pin
+agreement to ≤ 1e-12 relative:
+
+* hand-built **dict-first** traces with random commit rounds and random gaps
+  (uncommitted entities, the −1 sentinel after array conversion),
+* **runner-produced array traces** (``ExecutionTrace.from_arrays`` is the
+  canonical storage on that path),
+* node-labelled, edge-labelled and node+edge-labelled problems (the latter
+  exercises the scatter/gather fusion of Definition 1's completion rule),
+* edge cases: empty outputs, all-halted executions, empty graphs.
+
+Completion-time *vectors* must agree exactly (they are integer-valued);
+the scalar reductions to ≤ 1e-12 (numpy's pairwise-summed means may differ
+from ``statistics.mean`` in the last ulp).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+import sys
+from array import array
+
+import numpy as np
+import pytest
+
+BENCHMARKS = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+if str(BENCHMARKS) not in sys.path:
+    sys.path.insert(0, str(BENCHMARKS))
+
+import _legacy_metrics as legacy  # noqa: E402  (vendored seed implementation)
+
+from repro.algorithms.matching.randomized import RandomizedMaximalMatching  # noqa: E402
+from repro.algorithms.mis.luby import LubyMIS  # noqa: E402
+from repro.core import metrics, problems  # noqa: E402
+from repro.core.experiment import run_trials  # noqa: E402
+from repro.core.trace import ExecutionTrace  # noqa: E402
+from repro.graphs import generators as gen  # noqa: E402
+from repro.local.network import Network  # noqa: E402
+from repro.local.runner import Runner  # noqa: E402
+
+RTOL = 1e-12
+
+#: A problem that labels both nodes and edges (no built-in does), so the
+#: completion rule's edge→node scatter and node→edge gather both fire.
+BOTH_LABELS = problems.ProblemSpec(
+    name="node-and-edge-labels",
+    labels_nodes=True,
+    labels_edges=True,
+    validator=lambda graph, nodes, edges: problems.ValidationResult(True),
+)
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= RTOL * max(1.0, abs(a), abs(b))
+
+
+def _random_network(rng: random.Random) -> Network:
+    n = rng.randint(2, 40)
+    p = rng.uniform(0.05, 0.4)
+    edges = [(u, v) for u in range(n) for v in range(u + 1, n) if rng.random() < p]
+    return Network.from_edges(n, edges)
+
+
+def _random_dict_trace(network: Network, problem, rng: random.Random) -> ExecutionTrace:
+    """A dict-first trace with random commit rounds and random gaps."""
+    rounds = rng.randint(0, 12)
+    trace = ExecutionTrace(
+        network=network, problem=problem, rounds=rounds, algorithm_name="random"
+    )
+    if problem.labels_nodes:
+        trace.node_outputs = {
+            v: rng.randint(0, 1) for v in range(network.n) if rng.random() < 0.9
+        }
+        trace.node_commit_round = {
+            v: rng.randint(0, rounds) for v in trace.node_outputs
+        }
+    if problem.labels_edges:
+        trace.edge_outputs = {
+            e: rng.randint(0, 1) for e in network.edges if rng.random() < 0.9
+        }
+        trace.edge_commit_round = {
+            e: rng.randint(0, rounds) for e in trace.edge_outputs
+        }
+    trace.completed = False  # gaps are allowed; validation is not the point here
+    return trace
+
+
+def _assert_agreement(traces) -> None:
+    """Every metric of the numpy path agrees with the vendored seed path."""
+    for trace in traces:
+        assert trace.node_completion_times() == legacy.legacy_node_completion_times(trace)
+        assert trace.edge_completion_times() == legacy.legacy_edge_completion_times(trace)
+    seed = legacy.legacy_measure(list(traces))
+    new = metrics.measure(traces)
+    assert (seed.algorithm, seed.problem, seed.n, seed.m, seed.trials) == (
+        new.algorithm,
+        new.problem,
+        new.n,
+        new.m,
+        new.trials,
+    )
+    assert seed.worst_case == new.worst_case
+    assert _close(seed.node_averaged, new.node_averaged)
+    assert _close(seed.edge_averaged, new.edge_averaged)
+    assert _close(seed.node_expected, new.node_expected)
+    assert _close(seed.edge_expected, new.edge_expected)
+
+
+class TestRandomizedDictTraces:
+    @pytest.mark.parametrize("problem_key", ["nodes", "edges", "both"])
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_traces_agree(self, problem_key, seed):
+        problem = {
+            "nodes": problems.MIS,
+            "edges": problems.MAXIMAL_MATCHING,
+            "both": BOTH_LABELS,
+        }[problem_key]
+        rng = random.Random(1000 * seed + {"nodes": 1, "edges": 2, "both": 3}[problem_key])
+        network = _random_network(rng)
+        trials = rng.randint(1, 4)
+        _assert_agreement([_random_dict_trace(network, problem, rng) for _ in range(trials)])
+
+    def test_quantiles_match_numpy_reference(self):
+        rng = random.Random(7)
+        network = _random_network(rng)
+        traces = [_random_dict_trace(network, problems.MIS, rng) for _ in range(3)]
+        qs = metrics.completion_time_quantiles(traces, quantiles=(0.0, 0.5, 1.0))
+        expected = np.zeros(network.n)
+        for t in traces:
+            expected += np.asarray(t.node_completion_times())
+        expected /= len(traces)
+        assert qs[0.0] == pytest.approx(float(expected.min()))
+        assert qs[0.5] == pytest.approx(float(np.median(expected)))
+        assert qs[1.0] == pytest.approx(float(expected.max()))
+        measured = metrics.measure(traces, quantiles=(0.5,))
+        assert measured.node_quantiles == ((0.5, qs[0.5]),)
+        # Quantile fields never participate in equality.
+        assert measured == metrics.measure(traces)
+
+
+class TestRunnerArrayTraces:
+    def test_luby_traces_agree(self, network_factory):
+        import networkx as nx
+
+        network = network_factory(nx.gnp_random_graph(60, 0.1, seed=5), seed=2)
+        traces = run_trials(
+            LubyMIS, network, problems.MIS, trials=3, seed=4, runner=Runner(max_rounds=200)
+        )
+        _assert_agreement(traces)
+
+    def test_matching_traces_agree(self, network_factory):
+        import networkx as nx
+
+        network = network_factory(nx.random_regular_graph(4, 40, seed=6), seed=3)
+        traces = run_trials(
+            RandomizedMaximalMatching,
+            network,
+            problems.MAXIMAL_MATCHING,
+            trials=3,
+            seed=5,
+            runner=Runner(max_rounds=200),
+        )
+        _assert_agreement(traces)
+
+    def test_direct_edge_list_workload_agrees(self):
+        network = Network.from_edge_list(*gen.fast_gnp_edges(500, 8 / 499, seed=9))
+        traces = run_trials(
+            LubyMIS, network, problems.MIS, trials=2, seed=1, runner=Runner(max_rounds=200)
+        )
+        _assert_agreement(traces)
+
+
+class TestEdgeCases:
+    def test_empty_outputs_trace(self):
+        """No entity ever committed: every completion time is the full length."""
+        network = Network.from_edges(*gen.cycle_edges(5))
+        trace = ExecutionTrace(
+            network=network, problem=problems.MIS, rounds=9, completed=False
+        )
+        assert trace.node_completion_times() == [9] * 5
+        _assert_agreement([trace])
+
+    def test_all_halted_at_round_zero(self):
+        """Everyone commits immediately: all-zero vectors, zero averages."""
+        network = Network.from_edges(*gen.cycle_edges(6))
+        trace = ExecutionTrace(network=network, problem=problems.MIS, rounds=0)
+        trace.node_outputs = {v: v % 2 for v in range(6)}
+        trace.node_commit_round = {v: 0 for v in range(6)}
+        assert metrics.node_averaged_complexity(trace) == 0.0
+        assert metrics.worst_case_complexity(trace) == 0
+        _assert_agreement([trace])
+
+    def test_minus_one_sentinel_array_trace(self):
+        """Array-built trace with explicit −1 slots (never committed)."""
+        network = Network.from_edges(*gen.path_edges(4))
+        node_rounds = array("q", [0, -1, 2, -1])
+        trace = ExecutionTrace.from_arrays(
+            network,
+            problems.MIS,
+            [True, None, True, None],
+            node_rounds,
+            [None] * network.m,
+            array("q", [-1]) * network.m,
+            rounds=5,
+            completed=False,
+        )
+        # Uncommitted nodes are charged the full execution length.
+        assert trace.node_completion_times() == [0, 5, 2, 5]
+        _assert_agreement([trace])
+
+    def test_edgeless_network(self):
+        network = Network.from_edges(3, [])
+        trace = ExecutionTrace(network=network, problem=problems.MIS, rounds=2)
+        trace.node_outputs = {0: 1, 1: 1, 2: 1}
+        trace.node_commit_round = {0: 0, 1: 1, 2: 2}
+        assert metrics.edge_averaged_complexity(trace) == 0.0
+        assert metrics.edge_expected_complexity(trace) == 0.0
+        assert metrics.completion_time_quantiles(trace, entity="edge") == {
+            0.5: 0.0,
+            0.9: 0.0,
+            0.99: 0.0,
+        }
+        _assert_agreement([trace])
+
+    def test_quantiles_reject_bad_input(self):
+        network = Network.from_edges(*gen.cycle_edges(4))
+        trace = ExecutionTrace(network=network, problem=problems.MIS, rounds=0)
+        with pytest.raises(ValueError):
+            metrics.completion_time_quantiles(trace, quantiles=(1.5,))
+        with pytest.raises(ValueError):
+            metrics.completion_time_quantiles(trace, entity="faces")
+
+
+def test_measure_quantiles_validate_levels():
+    """measure() and completion_time_quantiles share one validated helper."""
+    network = Network.from_edges(*gen.cycle_edges(4))
+    trace = ExecutionTrace(network=network, problem=problems.MIS, rounds=0)
+    trace.node_outputs = {v: 1 for v in range(4)}
+    trace.node_commit_round = {v: 0 for v in range(4)}
+    with pytest.raises(ValueError):
+        metrics.measure(trace, quantiles=(1.5,))

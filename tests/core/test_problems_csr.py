@@ -320,3 +320,80 @@ class TestSlotSequenceInputs:
         assert spec.validate_network(network, outputs, None)
         outputs[0] = outputs[1] = True
         assert not spec.validate_network(network, outputs, None)
+
+
+class TestValidateNetworkEdgeCases:
+    """Regressions for ISSUE 3: short slot sequences and explicit MISSING.
+
+    The MISSING sentinel means "never committed", so an explicit
+    ``{key: MISSING}`` mapping entry must behave exactly like an absent key
+    on *both* validator paths.  Before PR 3 the nx reference path treated
+    the (truthy) sentinel object as a real committed value — an explicit
+    MISSING membership flag counted as "selected" for MIS — while the CSR
+    path reported a missing output: a verdict disagreement.  ``validate``
+    now strips sentinel entries before consulting the reference validators.
+    """
+
+    def test_node_sequence_shorter_than_n_raises(self):
+        network = _network(nx.cycle_graph(6))
+        with pytest.raises(ValueError, match="node output slots"):
+            problems.MIS.validate_network(network, [True] * 5, None)
+
+    def test_node_sequence_longer_than_n_raises(self):
+        network = _network(nx.cycle_graph(6))
+        with pytest.raises(ValueError, match="node output slots"):
+            problems.MIS.validate_network(network, [True] * 7, None)
+
+    def test_edge_sequence_wrong_length_raises(self):
+        network = _network(nx.path_graph(4))  # m = 3
+        with pytest.raises(ValueError, match="edge output slots"):
+            problems.MAXIMAL_MATCHING.validate_network(network, None, [True, False])
+
+    def test_mapping_with_explicit_missing_node_agrees_with_reference(self):
+        graph = nx.cycle_graph(5)
+        network = _network(graph)
+        outputs = _greedy_mis(graph, random.Random(3))
+        outputs[0] = problems.MISSING  # explicitly "never committed"
+        csr = problems.MIS.validate_network(network, outputs, None)
+        ref = problems.MIS.validate(graph, outputs, None)
+        assert bool(csr) == bool(ref) == False  # noqa: E712 - verdict agreement
+        assert "missing node outputs" in csr.reason
+        assert "missing node outputs" in ref.reason
+
+    def test_mapping_with_explicit_missing_edge_agrees_with_reference(self):
+        graph = nx.path_graph(4)
+        network = _network(graph)
+        outputs = {(0, 1): True, (1, 2): problems.MISSING, (2, 3): True}
+        csr = problems.MAXIMAL_MATCHING.validate_network(network, None, outputs)
+        ref = problems.MAXIMAL_MATCHING.validate(graph, None, outputs)
+        assert bool(csr) == bool(ref) == False  # noqa: E712
+        assert "missing edge outputs" in csr.reason
+        assert "missing edge outputs" in ref.reason
+
+    def test_stray_edge_with_missing_value_is_ignored_on_both_paths(self):
+        """A non-edge key carrying the sentinel is not a stray matched edge."""
+        graph = nx.path_graph(4)
+        network = _network(graph)
+        outputs = {(0, 1): True, (1, 2): False, (2, 3): True, (0, 3): problems.MISSING}
+        csr = problems.MAXIMAL_MATCHING.validate_network(network, None, outputs)
+        ref = problems.MAXIMAL_MATCHING.validate(graph, None, outputs)
+        assert bool(csr) == bool(ref) == True  # noqa: E712
+
+    def test_stray_edge_with_real_value_still_fails_on_both_paths(self):
+        graph = nx.path_graph(4)
+        network = _network(graph)
+        outputs = {(0, 1): True, (1, 2): False, (2, 3): True, (0, 3): True}
+        csr = problems.MAXIMAL_MATCHING.validate_network(network, None, outputs)
+        ref = problems.MAXIMAL_MATCHING.validate(graph, None, outputs)
+        assert bool(csr) == bool(ref) == False  # noqa: E712
+        assert "not in the graph" in csr.reason
+
+    def test_explicit_missing_everywhere_reads_as_empty(self):
+        """All-sentinel mappings behave like empty mappings on both paths."""
+        graph = nx.cycle_graph(4)
+        network = _network(graph)
+        node_out = {v: problems.MISSING for v in range(4)}
+        csr = problems.MIS.validate_network(network, node_out, None)
+        ref = problems.MIS.validate(graph, node_out, None)
+        assert bool(csr) == bool(ref) == False  # noqa: E712
+        assert "missing node outputs" in csr.reason and "missing node outputs" in ref.reason

@@ -1,0 +1,114 @@
+"""Tests for ``repro.graphs.girth`` (previously the only untested module
+alongside ``transforms``): exact girth, per-vertex shortest cycles,
+tree-like views, and the high-girth construction."""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs import girth as girth_mod
+
+
+class TestGirth:
+    @pytest.mark.parametrize("n", [3, 4, 7, 12])
+    def test_cycle_girth_is_n(self, n):
+        assert girth_mod.girth(gen.cycle_graph(n)) == n
+
+    def test_tree_girth_is_infinite(self):
+        assert girth_mod.girth(nx.balanced_tree(2, 3)) == math.inf
+        assert girth_mod.girth(nx.path_graph(10)) == math.inf
+
+    def test_grid_girth_is_four(self):
+        assert girth_mod.girth(gen.grid_graph(4, 5)) == 4
+
+    def test_complete_graph_girth_is_three(self):
+        assert girth_mod.girth(nx.complete_graph(5)) == 3
+
+    def test_two_cycles_take_the_shorter(self):
+        g = nx.disjoint_union(nx.cycle_graph(9), nx.cycle_graph(5))
+        assert girth_mod.girth(g) == 5
+
+    def test_chorded_cycle(self):
+        """C_8 plus the chord {0, 3} creates a 4-cycle."""
+        g = nx.cycle_graph(8)
+        g.add_edge(0, 3)
+        assert girth_mod.girth(g) == 4
+
+    def test_empty_and_isolated(self):
+        assert girth_mod.girth(nx.empty_graph(4)) == math.inf
+
+
+class TestShortestCycleThrough:
+    def test_on_cycle_every_vertex_sees_n(self):
+        g = nx.cycle_graph(6)
+        for v in g.nodes():
+            assert girth_mod.shortest_cycle_through(g, v) == 6
+
+    def test_vertex_off_the_cycle(self):
+        """A pendant path hanging off a triangle: its tip lies on no cycle."""
+        g = nx.cycle_graph(3)
+        g.add_edge(0, 3)
+        g.add_edge(3, 4)
+        assert girth_mod.shortest_cycle_through(g, 0) == 3
+        assert girth_mod.shortest_cycle_through(g, 4) == math.inf
+
+    def test_two_nested_cycles(self):
+        """Vertex on the long cycle only reports the long cycle."""
+        g = nx.cycle_graph(10)
+        g.add_edge(0, 3)  # creates a 4-cycle 0-1-2-3
+        assert girth_mod.shortest_cycle_through(g, 1) == 4
+        assert girth_mod.shortest_cycle_through(g, 6) == 8  # 3-4-5-6-7-8-9-0 via chord
+
+
+class TestTreeLikeViews:
+    def test_tree_views_always_tree_like(self):
+        g = nx.balanced_tree(2, 4)
+        for radius in (1, 2, 5):
+            assert girth_mod.nodes_with_tree_like_view(g, radius) == set(g.nodes())
+            assert girth_mod.tree_like_fraction(g, radius) == 1.0
+
+    def test_cycle_views_flip_at_half_girth(self):
+        g = nx.cycle_graph(12)
+        assert girth_mod.tree_like_fraction(g, 5) == 1.0
+        assert girth_mod.tree_like_fraction(g, 6) == 0.0
+
+    def test_has_cycle_within_distance_localises(self):
+        """Triangle with a long tail: only vertices near the triangle see it."""
+        g = nx.cycle_graph(3)
+        prev = 0
+        for i in range(3, 9):
+            g.add_edge(prev, i)
+            prev = i
+        # The radius-r view contains the edges incident to vertices at
+        # distance ≤ r−1: a triangle vertex sees the closing edge only at
+        # radius 2, not radius 1.
+        assert not girth_mod.has_cycle_within_distance(g, 0, 1)
+        assert girth_mod.has_cycle_within_distance(g, 0, 2)
+        assert not girth_mod.has_cycle_within_distance(g, 8, 3)
+        # The triangle's far vertices sit at distance 7 from the tail tip,
+        # and an edge between two radius-boundary vertices is not part of
+        # the radius-r view — the cycle only becomes visible at radius 8.
+        assert not girth_mod.has_cycle_within_distance(g, 8, 7)
+        assert girth_mod.has_cycle_within_distance(g, 8, 8)
+
+    def test_empty_graph_fraction_is_one(self):
+        assert girth_mod.tree_like_fraction(nx.empty_graph(0), 2) == 1.0
+
+
+class TestHighGirthConstruction:
+    def test_reaches_requested_girth(self):
+        g = girth_mod.high_girth_regular_graph(3, 60, min_girth=5, seed=1)
+        assert all(d == 3 for _, d in g.degree())
+        assert girth_mod.girth(g) >= 5
+
+    def test_min_girth_below_three_is_plain_regular(self):
+        g = girth_mod.high_girth_regular_graph(3, 20, min_girth=2, seed=0)
+        assert all(d == 3 for _, d in g.degree())
+
+    def test_impossible_girth_raises(self):
+        with pytest.raises(RuntimeError):
+            girth_mod.high_girth_regular_graph(4, 12, min_girth=12, seed=0, max_attempts=30)
