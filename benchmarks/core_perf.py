@@ -20,7 +20,7 @@ timing.  Results are written to ``BENCH_core.json`` (see
 ``benchmarks/README.md`` for the schema); this file is the start of the
 repo's perf trajectory — future PRs append comparable runs.
 
-Cells come in four kinds (schema ``bench-core/v3``):
+Cells come in five kinds (schema ``bench-core/v4``):
 
 * ``kind="pipeline"`` — the full generate → run → validate → measure
   pipeline is timed, phase by phase (``network_s``, ``runner_s``,
@@ -42,6 +42,15 @@ Cells come in four kinds (schema ``bench-core/v3``):
   documented seed schedules, so no edge-list identity is asserted — instead
   both edge counts must fall within a 6σ band of the expected
   ``n·(n−1)/2·p``.
+* ``kind="build"`` (v4) — ``Network`` construction alone is timed on one
+  shared workload: the tuple-row build (``Network.from_edges`` consuming a
+  tuple-per-edge list — the seed side) against the vectorised numpy CSR
+  build (``Network.from_endpoint_arrays`` consuming the ``EdgeArrays``
+  endpoint arrays).  Both networks are asserted **indistinguishable** after
+  timing — same canonical edge tuples, same adjacency rows, same CSR
+  arrays, same identifiers — which is what guarantees seed-for-seed
+  identical traces through the array path.  Identifiers are sequential so
+  the cell isolates the topology build itself.
 
 Since v3 the seed/new *measurement* comparison of pipeline and validate
 cells is asserted to ≤ 1e-12 relative rather than bitwise: the numpy means
@@ -92,7 +101,7 @@ from repro.local.network import Network
 from repro.local.runner import Runner
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
-SCHEMA = "bench-core/v3"
+SCHEMA = "bench-core/v4"
 ID_SEED = 7
 MAX_ROUNDS = 20_000
 #: Relative tolerance for seed-vs-new measurement agreement (see module doc).
@@ -196,6 +205,19 @@ def _cells(quick: bool) -> List[Cell]:
                 None,
                 None,
                 kind="generate",
+                expected_degree=8.0,
+            ),
+            # v4 cell kind, smoke-sized: the tuple-row vs numpy-CSR Network
+            # build race, with full network-indistinguishability asserted.
+            Cell(
+                "network-build",
+                "fast-gnp-8",
+                2_000,
+                0,
+                None,
+                None,
+                None,
+                kind="build",
                 expected_degree=8.0,
             ),
         ]
@@ -346,6 +368,35 @@ def _cells(quick: bool) -> List[Cell]:
             kind="generate",
             expected_degree=10.0,
             reps=1,
+        ),
+        # ---- Network-build race: tuple-row build vs numpy CSR build ----
+        # m = 10^5 and m = 10^6 G(n, 10/(n-1)) workloads (ISSUE 4): the
+        # tuple side consumes a tuple-per-edge list through from_edges, the
+        # array side consumes the same EdgeArrays through
+        # from_endpoint_arrays; indistinguishability is asserted after the
+        # timed reps.
+        Cell(
+            "network-build",
+            "fast-gnp-10",
+            20_000,
+            0,
+            None,
+            None,
+            None,
+            kind="build",
+            expected_degree=10.0,
+        ),
+        Cell(
+            "network-build",
+            "fast-gnp-10",
+            200_000,
+            0,
+            None,
+            None,
+            None,
+            kind="build",
+            expected_degree=10.0,
+            reps=2,
         ),
     ]
 
@@ -502,6 +553,8 @@ def run_cell(cell: Cell, reps: int = 3, validate: bool = True) -> Dict[str, obje
         reps = cell.reps
     if cell.kind == "generate":
         return _run_generate_cell(cell, reps)
+    if cell.kind == "build":
+        return _run_build_cell(cell, reps)
     n, edges, identifiers = _workload_inputs(cell)
     if cell.kind == "validate":
         return _run_validate_cell(cell, n, edges, identifiers, reps)
@@ -662,6 +715,77 @@ def _run_measure_cell(cell: Cell, n, edges, identifiers, reps: int) -> Dict[str,
     }
 
 
+def _run_build_cell(cell: Cell, reps: int) -> Dict[str, object]:
+    """A ``kind="build"`` cell: ``Network`` construction alone is timed.
+
+    One ``G(n, p)`` workload is generated untimed through the array-native
+    ``fast_gnp_edges(..., as_arrays=True)`` path; the **seed** side then
+    builds the network from the tuple-per-edge list (``Network.from_edges``
+    — the tuple-row build, today's default path), the **new** side from the
+    flat endpoint arrays (``Network.from_endpoint_arrays`` — the vectorised
+    numpy CSR build).  Identifiers are sequential on both sides so the cell
+    isolates the topology build.  After timing, the two networks are
+    asserted indistinguishable: same canonical edge tuples, same sorted
+    adjacency rows, same CSR arrays, same identifiers — the invariant that
+    makes traces through the array path seed-for-seed identical.
+    """
+    import numpy as np
+
+    n = cell.n
+    expected_degree = float(cell.expected_degree)
+    p = expected_degree / (n - 1)
+    arrays = gen.fast_gnp_edges(n, p, seed=cell.gen_seed, as_arrays=True)
+    edges = arrays.as_pairs()  # untimed: the tuple side's input
+
+    best_seed_s = best_new_s = None
+    tuple_network = array_network = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        tuple_network = Network.from_edges(n, edges)
+        seed_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        array_network = Network.from_endpoint_arrays(n, arrays.src, arrays.dst)
+        new_s = time.perf_counter() - t0
+        if best_seed_s is None or seed_s < best_seed_s:
+            best_seed_s = seed_s
+        if best_new_s is None or new_s < best_new_s:
+            best_new_s = new_s
+
+    assert tuple_network.n == array_network.n and tuple_network.m == array_network.m
+    assert tuple_network.edges == array_network.edges, f"edge mismatch on {cell}"
+    assert tuple_network._adjacency == array_network._adjacency, (
+        f"adjacency mismatch on {cell}"
+    )
+    assert tuple_network.identifiers == array_network.identifiers
+    assert np.array_equal(
+        np.frombuffer(tuple_network.indptr, dtype=np.int64),
+        np.asarray(array_network.indptr),
+    )
+    assert np.array_equal(
+        np.frombuffer(tuple_network.indices, dtype=np.int64),
+        np.asarray(array_network.indices),
+    )
+    assert (
+        tuple_network.max_degree() == array_network.max_degree()
+        and tuple_network.min_degree() == array_network.min_degree()
+        and tuple_network.id_bit_length() == array_network.id_bit_length()
+    )
+
+    return {
+        "algorithm": cell.algorithm,
+        "workload": cell.workload,
+        "kind": cell.kind,
+        "n": n,
+        "m": array_network.m,
+        "p": p,
+        "seed": {"network_s": round(best_seed_s, 6), "total_s": round(best_seed_s, 6)},
+        "new": {"network_s": round(best_new_s, 6), "total_s": round(best_new_s, 6)},
+        "speedup": round(best_seed_s / best_new_s, 3),
+        "build_speedup": round(best_seed_s / best_new_s, 3),
+        "identical_networks": True,
+    }
+
+
 def _run_generate_cell(cell: Cell, reps: int) -> Dict[str, object]:
     """A ``kind="generate"`` cell: the Erdős–Rényi generator race.
 
@@ -727,6 +851,8 @@ def run_suite(quick: bool = False, reps: int = 3, validate: bool = True) -> Dict
             detail = f"(measure ×{record['measure_speedup']:.2f})"
         elif record["kind"] == "generate":
             detail = f"(generate ×{record['generate_speedup']:.2f}, m={record['new_m']})"
+        elif record["kind"] == "build":
+            detail = f"(build ×{record['build_speedup']:.2f}, m={record['m']})"
         else:
             detail = f"(runner ×{record['runner_speedup']:.2f})"
         print(
@@ -753,7 +879,10 @@ def run_suite(quick: bool = False, reps: int = 3, validate: bool = True) -> Dict
             "the seed per-entity measurement loops against the numpy reductions "
             "on identical traces; generate cells race the O(n^2) Gilbert twin "
             "against the geometric-skip fast_gnp_edges (different documented "
-            "seed schedules, edge counts asserted within 6 sigma of n(n-1)/2*p)."
+            "seed schedules, edge counts asserted within 6 sigma of n(n-1)/2*p); "
+            "build cells race the tuple-row Network.from_edges build against "
+            "the numpy CSR Network.from_endpoint_arrays build on one shared "
+            "workload, asserting the two networks are indistinguishable."
         ),
         "cells": records,
     }

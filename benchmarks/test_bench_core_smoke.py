@@ -2,12 +2,14 @@
 
 Runs the ``--quick`` benchmark configuration once so that the harness itself
 — the vendored seed pipeline, the cell runner, and the JSON document
-builder — cannot silently rot.  The quick cells are tiny (n ≈ 100–400), so
+builder — cannot silently rot.  The quick cells are tiny (n ≈ 100–2000), so
 this stays well inside the tier-1 time budget; the speedup *values* are not
 asserted (meaningless at smoke sizes), only the invariants the harness is
 built on: both pipelines produce identical traces and measurements agreeing
-to ≤ 1e-12 relative, the v3 measure/generate cell kinds run, and the
-document has the ``bench-core/v3`` shape.
+to ≤ 1e-12 relative, the v3 measure/generate and v4 build cell kinds run,
+and the document has the ``bench-core/v4`` shape.  A second test pins the
+:class:`repro.core.experiment.Experiment` facade against the harness's
+hand-rolled plumbing: same seeds, bit-identical traces and measurement.
 """
 
 from __future__ import annotations
@@ -30,14 +32,14 @@ def test_quick_suite_produces_identical_pipelines(tmp_path):
     assert {"luby-mis", "randomized-matching", "sinkless-orientation"} <= algorithms
 
     for cell in cells:
-        assert cell["kind"] in ("pipeline", "validate", "measure", "generate")
+        assert cell["kind"] in ("pipeline", "validate", "measure", "generate", "build")
         assert cell["seed"]["total_s"] > 0 and cell["new"]["total_s"] > 0
         assert cell["speedup"] > 0
         if cell["kind"] in ("pipeline", "validate"):
             # run_cell asserts trace/measurement equality internally; the
             # flag records it in the committed document.
             assert cell["identical_traces"] is True
-        if cell["kind"] != "generate":
+        if cell["kind"] not in ("generate", "build"):
             assert len(cell["rounds"]) == cell["trials"]
             assert cell["measurement"]["n"] == cell["n"]
 
@@ -68,7 +70,66 @@ def test_quick_suite_produces_identical_pipelines(tmp_path):
         assert cell["seed_m"] > 0 and cell["new_m"] > 0
         assert cell["m"] == cell["new_m"]
 
+    # ... and the v4 cell kind: the tuple-row vs numpy-CSR Network build
+    # race (indistinguishability of the two networks is asserted inside
+    # _run_build_cell; the flag records it in the committed document).
+    build_cells = [cell for cell in cells if cell["kind"] == "build"]
+    assert build_cells, "quick suite lost its network-build cell"
+    for cell in build_cells:
+        assert cell["build_speedup"] > 0
+        assert cell["identical_networks"] is True
+        assert cell["m"] > 0
+        assert cell["seed"]["network_s"] > 0 and cell["new"]["network_s"] > 0
+
     # The document must be JSON-serialisable exactly as core_perf writes it.
     path = tmp_path / "BENCH_core.json"
     path.write_text(json.dumps(document, indent=2))
     assert json.loads(path.read_text())["cells"]
+
+
+@pytest.mark.bench_smoke
+def test_experiment_facade_matches_harness_plumbing():
+    """The Experiment facade reproduces the harness's hand-rolled pipeline.
+
+    Same workload, same identifiers, same per-trial seed schedule — the
+    facade must hand back bit-identical traces and an equal measurement, so
+    benchmark code can adopt it without changing any recorded number.
+    """
+    from repro.algorithms.mis.luby import LubyMIS
+    from repro.core import problems
+    from repro.core.experiment import Experiment, trial_seed
+    from repro.core.metrics import measure
+    from repro.graphs import generators as gen
+    from repro.local.network import Network
+    from repro.local.runner import Runner
+
+    arrays = gen.fast_gnp_edges(400, 8.0 / 399, seed=11, as_arrays=True)
+    trials = 2
+
+    # The harness's plumbing: explicit network, runner, per-trial seeds.
+    network = Network.from_edge_arrays(arrays, id_scheme="sequential")
+    runner = Runner(max_rounds=core_perf.MAX_ROUNDS)
+    traces = [
+        runner.run(LubyMIS(), network, problems.MIS, seed=trial_seed(0, i))
+        for i in range(trials)
+    ]
+    expected = measure(traces)
+
+    result = Experiment(
+        problem=problems.MIS,
+        algorithm=LubyMIS,
+        graphs=arrays,
+        trials=trials,
+        id_scheme="sequential",
+        max_rounds=core_perf.MAX_ROUNDS,
+        quantiles=None,
+    ).run()
+
+    run = result.run
+    assert run.ok
+    assert run.measurement == expected
+    assert [t.node_outputs for t in run.traces] == [t.node_outputs for t in traces]
+    assert [t.node_commit_round for t in run.traces] == [
+        t.node_commit_round for t in traces
+    ]
+    assert [t.rounds for t in run.traces] == [t.rounds for t in traces]

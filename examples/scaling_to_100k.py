@@ -1,25 +1,25 @@
-"""Scaling to 10⁵–10⁶ nodes: direct edge lists, CSR validation, numpy metrics.
+"""Scaling to 10⁵–10⁶ nodes: array-first edge lists, one Experiment facade call.
 
 This example stands up workloads far beyond what the networkx-based pipeline
 could handle interactively and walks the full trial pipeline — generate →
-network → run → validate → measure — without ever materialising a
-``networkx.Graph``:
+network → run → validate → measure — through the single documented entry
+point, :class:`repro.core.experiment.Experiment`, without ever materialising
+a ``networkx.Graph`` **or a Python tuple per edge**:
 
-* workload generation uses the **direct edge-list generators**
-  (``cycle_edges``, ``random_regular_edges``), which emit ``(n, edges)``
-  pairs while replaying the exact RNG streams of their networkx twins, and —
-  for the million-node finale — the **geometric-skip** ``fast_gnp_edges``
-  generator, which samples ``G(n, p)`` in ``O(n + m)`` with its own
-  documented seed schedule (the quadratic Gilbert twin would need hours at
-  n = 10⁶);
-* ``Network.from_edge_list`` builds the CSR-backed network straight from the
-  edge list;
-* ``trace.require_valid()`` checks the solution through the CSR-native
-  validators (``ProblemSpec.validate_network``) on the trace's flat array
-  storage;
-* ``measure()`` reduces the completion-time vectors over numpy float64
-  arrays (with tail quantiles), so the measurement phase stays in
-  milliseconds even at n = 10⁶.
+* workload generation uses the direct generators' ``as_arrays=True`` mode,
+  which emits :class:`repro.graphs.edgelist.EdgeArrays` — flat int64
+  endpoint arrays with provenance metadata.  The million-node finale uses
+  the **geometric-skip** ``fast_gnp_edges`` generator, which samples
+  ``G(n, p)`` in ``O(n + m)`` and hands its numpy arrays straight through
+  (the quadratic Gilbert twin would need hours at n = 10⁶, and the old
+  tuple round-trip would rebuild a million tuples just to throw them away);
+* the facade builds the network through the vectorised numpy CSR path
+  (``Network.from_endpoint_arrays`` — the ``kind="build"`` cells of
+  ``BENCH_core.json`` record the speedup over the tuple-row build), runs
+  the seeded trials, validates through the CSR-native validators, and
+  measures over numpy float64 reductions with tail quantiles;
+* per-phase wall-clock timings come back on the result
+  (``run.timings``), so the breakdown below is the facade's own record.
 
 Run with::
 
@@ -34,40 +34,35 @@ import time
 
 from repro.algorithms.mis.luby import LubyMIS
 from repro.core import problems
-from repro.core.metrics import DEFAULT_QUANTILES, measure
+from repro.core.experiment import Experiment
 from repro.graphs import generators as gen
-from repro.local.network import Network
-from repro.local.runner import Runner
 
 
-def run_workload(name: str, n: int, edges, trials: int = 2) -> None:
-    print(f"\n=== {name}: n={n:,}, m={len(edges):,} ===")
+def run_workload(name: str, arrays, trials: int = 2) -> None:
+    print(f"\n=== {name}: n={arrays.n:,}, m={arrays.m:,} ===")
 
-    t0 = time.perf_counter()
-    network = Network.from_edge_list(n, edges, id_scheme="sequential")
-    print(f"  network build   {time.perf_counter() - t0:7.2f} s  (CSR, no networkx)")
+    result = Experiment(
+        problem=problems.MIS,
+        algorithm=LubyMIS,
+        graphs={name: arrays},
+        seeds=range(trials),
+        id_scheme="sequential",
+        max_rounds=20_000,
+    ).run()
 
-    runner = Runner(max_rounds=20_000)
-    traces = []
-    t0 = time.perf_counter()
-    for trial in range(trials):
-        traces.append(runner.run(LubyMIS(), network, problems.MIS, seed=trial))
-    print(f"  {trials} Luby trials   {time.perf_counter() - t0:7.2f} s")
-
-    t0 = time.perf_counter()
-    for trace in traces:
-        trace.require_valid()
-    print(f"  CSR validation  {time.perf_counter() - t0:7.2f} s  (per-slot arrays)")
-
-    t0 = time.perf_counter()
-    measurement = measure(traces, quantiles=DEFAULT_QUANTILES)
-    print(f"  numpy measure   {time.perf_counter() - t0:7.2f} s")
+    run = result.run
+    timings = run.timings
+    print(f"  network build   {timings['network_s']:7.2f} s  (numpy CSR, no tuples)")
+    print(f"  {trials} Luby trials   {timings['runner_s']:7.2f} s")
+    print(f"  CSR validation  {timings['validate_s']:7.2f} s  (verdicts: {list(run.verdicts)})")
+    print(f"  numpy measure   {timings['measure_s']:7.2f} s")
+    measurement = run.measurement
     quantiles = "  ".join(f"q{level:g}={value:.1f}" for level, value in measurement.node_quantiles)
     print(
-        f"  rounds={[t.rounds for t in traces]}  "
+        f"  rounds={[t.rounds for t in run.traces]}  "
         f"AVG_V={measurement.node_averaged:.2f}  "
         f"WORST={measurement.worst_case}  "
-        f"|MIS|={len(traces[0].selected_nodes()):,}"
+        f"|MIS|={len(run.traces[0].selected_nodes()):,}"
     )
     print(f"  node completion quantiles: {quantiles}")
 
@@ -82,31 +77,31 @@ def main() -> None:
     args = parser.parse_args()
 
     t0 = time.perf_counter()
-    n, edges = gen.cycle_edges(100_000)
-    print(f"generated C_100000 edge list in {time.perf_counter() - t0:.2f} s")
-    run_workload("cycle", n, edges)
+    arrays = gen.cycle_edges(100_000, as_arrays=True)
+    print(f"generated C_100000 endpoint arrays in {time.perf_counter() - t0:.2f} s")
+    run_workload("cycle", arrays)
 
     t0 = time.perf_counter()
-    n, edges = gen.random_regular_edges(4, 50_000, seed=1)
-    print(f"\ngenerated random 4-regular (n=50k) edge list in {time.perf_counter() - t0:.2f} s")
-    run_workload("random-4-regular", n, edges)
+    arrays = gen.random_regular_edges(4, 50_000, seed=1, as_arrays=True)
+    print(f"\ngenerated random 4-regular (n=50k) arrays in {time.perf_counter() - t0:.2f} s")
+    run_workload("random-4-regular", arrays)
 
     if args.no_million:
         return
 
     # The million-node finale: G(n, 10/n) through the geometric-skip
-    # generator.  One trial — the point is that generate → network → run →
-    # validate → measure completes interactively at n = 10⁶, with the
-    # measurement phase (numpy reductions over the trace's flat arrays)
-    # a rounding error next to the simulation itself.
+    # generator, endpoint arrays end to end.  One trial — the point is that
+    # generate → network → run → validate → measure completes interactively
+    # at n = 10⁶, with the network build (vectorised CSR) and the
+    # measurement phase both rounding errors next to the simulation itself.
     big_n = 1_000_000
     t0 = time.perf_counter()
-    n, edges = gen.fast_gnp_edges(big_n, 10.0 / big_n, seed=1)
+    arrays = gen.fast_gnp_edges(big_n, 10.0 / big_n, seed=1, as_arrays=True)
     print(
-        f"\ngenerated G(n=10⁶, p=10/n) edge list in {time.perf_counter() - t0:.2f} s "
+        f"\ngenerated G(n=10⁶, p=10/n) endpoint arrays in {time.perf_counter() - t0:.2f} s "
         f"(geometric skip; the Gilbert loop would flip {big_n * (big_n - 1) // 2:,} coins)"
     )
-    run_workload("gnp-million", n, edges, trials=1)
+    run_workload("gnp-million", arrays, trials=1)
 
 
 if __name__ == "__main__":

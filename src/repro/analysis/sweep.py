@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-import random
 from array import array
 from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -25,9 +24,10 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Un
 import networkx as nx
 import numpy as np
 
-from repro.core.experiment import run_trials, trial_seed
+from repro.core.experiment import resolve_network, run_trials, trial_seed
 from repro.core.metrics import ComplexityMeasurement, measure
 from repro.core.problems import ProblemSpec
+from repro.graphs.edgelist import EdgeArrays
 from repro.local.algorithm import NodeAlgorithm
 from repro.local.network import Network
 from repro.local.runner import Runner
@@ -37,9 +37,13 @@ __all__ = ["SweepPoint", "sweep", "network_from"]
 AlgorithmFactory = Callable[[Network], NodeAlgorithm]
 ProblemFactory = Callable[[Network], ProblemSpec]
 #: What a sweep's ``graph_factory`` may return: a networkx graph (legacy), a
-#: ready-made :class:`Network`, or a ``(n, edges)`` pair from the direct
-#: edge-list generators — the latter two never touch networkx.
-GraphLike = Union[nx.Graph, Network, Tuple[int, Sequence[Tuple[int, int]]]]
+#: ready-made :class:`Network`, a ``(n, edges)`` pair from the direct
+#: edge-list generators, or an :class:`EdgeArrays` (the array-first
+#: interchange; the fastest option at large ``n``) — everything but the
+#: networkx graph stays off networkx entirely.
+GraphLike = Union[
+    nx.Graph, Network, EdgeArrays, Tuple[int, Sequence[Tuple[int, int]]]
+]
 
 
 @dataclass(frozen=True)
@@ -60,17 +64,19 @@ def network_from(graph: GraphLike, seed: int = 0, id_scheme: str = "permuted") -
     """Wrap a workload into a network with the benchmark's default ID scheme.
 
     Accepts a networkx graph, an ``(n, edges)`` pair (the direct edge-list
-    generators' output — no networkx object is ever built), or an existing
-    :class:`Network` (returned as-is, its identifiers already fixed).  A
-    graph and its ``(n, edges)`` form produce identical networks for the
-    same ``seed``.
+    generators' output — no networkx object is ever built), an
+    :class:`EdgeArrays` (the array-first interchange, built through the
+    vectorised :meth:`Network.from_endpoint_arrays` CSR path), or an
+    existing :class:`Network` (returned as-is, its identifiers already
+    fixed).  A graph, its ``(n, edges)`` form, and its :class:`EdgeArrays`
+    form all produce identical networks for the same ``seed``.
+
+    This is the sweep-facing name for
+    :func:`repro.core.experiment.resolve_network` — one dispatcher, so the
+    facade and the sweeps can never drift on which graph sources they
+    accept.
     """
-    if isinstance(graph, Network):
-        return graph
-    if isinstance(graph, tuple):
-        n, edges = graph
-        return Network.from_edge_list(n, edges, id_scheme=id_scheme, rng=random.Random(seed))
-    return Network.from_graph(graph, id_scheme=id_scheme, rng=random.Random(seed))
+    return resolve_network(graph, seed=seed, id_scheme=id_scheme)
 
 
 def sweep(
@@ -90,12 +96,14 @@ def sweep(
         parameter: name of the swept parameter (for reporting).
         values: the parameter values.
         graph_factory: builds the workload for a parameter value — a
-            networkx graph, an ``(n, edges)`` pair, or a :class:`Network`
-            (see :func:`network_from`).  Large-``n`` sweeps should return
-            ``(n, edges)`` from the direct generators so the hot path never
-            builds a networkx graph (for Erdős–Rényi workloads at
-            ``n ≥ 10⁵`` use the geometric-skip
-            :func:`repro.graphs.generators.fast_gnp_edges`).
+            networkx graph, an ``(n, edges)`` pair, an :class:`EdgeArrays`,
+            or a :class:`Network` (see :func:`network_from`).  Large-``n``
+            sweeps should return :class:`EdgeArrays` from the direct
+            generators' ``as_arrays=True`` mode so neither the factory nor
+            the network build touches per-edge Python objects (for
+            Erdős–Rényi workloads at ``n ≥ 10⁵`` use the geometric-skip
+            :func:`repro.graphs.generators.fast_gnp_edges` with
+            ``as_arrays=True``).
         algorithms: mapping from a display name to a pair
             ``(algorithm_factory, problem_factory)``; both factories receive
             the constructed :class:`Network` so that algorithms can consume

@@ -1,5 +1,14 @@
 """Core measurement framework: problems, traces, metrics, experiments."""
 
 from repro.core import experiment, metrics, problems, trace
+from repro.core.experiment import Experiment, ExperimentResult, ExperimentRun
 
-__all__ = ["problems", "metrics", "trace", "experiment"]
+__all__ = [
+    "problems",
+    "metrics",
+    "trace",
+    "experiment",
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentRun",
+]

@@ -1,4 +1,4 @@
-"""Trial running and aggregation helpers.
+"""Trial running, aggregation helpers, and the :class:`Experiment` facade.
 
 Randomized averaged complexities are expectations, so a single execution is a
 noisy estimate.  The helpers here run an algorithm several times (with
@@ -15,22 +15,68 @@ The functions take an *algorithm factory* (a zero-argument callable returning
 a fresh :class:`~repro.local.algorithm.NodeAlgorithm`) rather than an
 algorithm instance, so that algorithms are free to keep per-execution
 configuration on ``self`` without leaking state across trials.
+
+:class:`Experiment` is the single documented entry point over the whole
+generate → network → run → validate → measure plumbing.  It accepts graph
+sources in every interchange form the lower layers understand —
+ready-made :class:`Network` objects, legacy ``(n, edges)`` tuple pairs,
+:class:`repro.graphs.edgelist.EdgeArrays` (the array-first interchange, built
+through the vectorised numpy CSR path), networkx graphs, or zero-argument
+callables producing any of those — and returns structured results: the
+traces, per-trial validation verdicts, per-phase wall-clock timings, and a
+:class:`ComplexityMeasurement` with tail quantiles.  A complete run is three
+lines::
+
+    >>> from repro.core import problems
+    >>> from repro.core.experiment import Experiment
+    >>> from repro.algorithms.mis.luby import LubyMIS
+    >>> from repro.graphs.generators import fast_gnp_edges
+    >>> result = Experiment(
+    ...     problem=problems.MIS,
+    ...     algorithm=LubyMIS,
+    ...     graphs=fast_gnp_edges(10_000, 8 / 9_999, seed=3, as_arrays=True),
+    ...     seeds=range(3),
+    ... ).run()
+    >>> run = result.runs[0]
+    >>> run.ok, run.measurement.node_averaged <= run.measurement.worst_case
+    (True, True)
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+import inspect
+import numbers
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.core.metrics import ComplexityMeasurement, measure
+from repro.core.metrics import DEFAULT_QUANTILES, ComplexityMeasurement, measure
 from repro.core.problems import ProblemSpec
 from repro.core.trace import ExecutionTrace
+from repro.graphs.edgelist import EdgeArrays
 from repro.local.algorithm import NodeAlgorithm
 from repro.local.network import Network
 from repro.local.runner import Runner
 
-__all__ = ["run_trials", "evaluate", "trial_seed"]
+__all__ = [
+    "run_trials",
+    "evaluate",
+    "trial_seed",
+    "resolve_network",
+    "Experiment",
+    "ExperimentRun",
+    "ExperimentResult",
+]
 
 AlgorithmFactory = Callable[[], NodeAlgorithm]
+#: A graph source the facade understands: a finished :class:`Network`, a
+#: legacy ``(n, edges)`` pair, flat :class:`EdgeArrays` endpoints, a
+#: networkx-like graph, or a zero-argument callable producing any of those.
+#: Annotated as ``object`` (networkx is deliberately not imported here, so
+#: the set is not expressible as a Union); dispatch happens at runtime in
+#: :func:`resolve_network`.
+GraphSource = object
 
 
 def trial_seed(base_seed: int, trial: int) -> int:
@@ -100,3 +146,315 @@ def evaluate(
         validate=validate,
     )
     return measure(traces)
+
+
+# ---------------------------------------------------------------------- #
+# The Experiment facade
+# ---------------------------------------------------------------------- #
+
+
+def resolve_network(
+    source: GraphSource, seed: int = 0, id_scheme: str = "permuted"
+) -> Network:
+    """Turn any supported graph source into a :class:`Network`.
+
+    Accepts a ready-made :class:`Network` (returned as-is), an
+    :class:`EdgeArrays` (built through the vectorised
+    :meth:`Network.from_endpoint_arrays` CSR path), a legacy ``(n, edges)``
+    pair, a networkx-like graph (anything with ``number_of_nodes()``;
+    duck-typed so this module never imports networkx), or a zero-argument
+    callable producing any of those.  Equivalent sources produce identical
+    networks for the same ``seed`` — the same guarantee
+    :func:`repro.analysis.sweep.network_from` gives.
+    """
+    if callable(source) and not isinstance(source, Network):
+        source = source()
+    if isinstance(source, Network):
+        return source
+    if isinstance(source, EdgeArrays):
+        return Network.from_edge_arrays(source, id_scheme=id_scheme, rng=random.Random(seed))
+    if isinstance(source, tuple) and len(source) == 2:
+        n, edges = source
+        return Network.from_edge_list(n, edges, id_scheme=id_scheme, rng=random.Random(seed))
+    if callable(getattr(source, "number_of_nodes", None)):
+        return Network.from_graph(source, id_scheme=id_scheme, rng=random.Random(seed))
+    raise TypeError(
+        f"cannot interpret {type(source).__name__!r} as a graph source "
+        "(expected Network, EdgeArrays, (n, edges), a networkx graph, or a "
+        "callable producing one)"
+    )
+
+
+@dataclass(frozen=True)
+class ExperimentRun:
+    """One graph's worth of an :class:`Experiment`: traces, verdicts, measurement.
+
+    Attributes:
+        name: the graph's display name (mapping key, provenance family, or
+            positional fallback).
+        network: the resolved communication graph.
+        problem: the problem spec the trials were checked against.
+        seeds: the per-trial seeds, in trial order.
+        traces: one :class:`ExecutionTrace` per trial.
+        verdicts: per-trial validation verdicts (aligned with ``traces``).
+        measurement: the aggregate complexity measurement (with quantiles
+            when the experiment asked for them).
+        timings: per-phase wall-clock seconds (``generate_s`` for callable
+            sources, ``network_s``, ``runner_s``, ``validate_s``,
+            ``measure_s``, ``total_s``).
+    """
+
+    name: str
+    network: Network
+    problem: ProblemSpec
+    seeds: Tuple[int, ...]
+    traces: Tuple[ExecutionTrace, ...]
+    verdicts: Tuple[bool, ...]
+    measurement: ComplexityMeasurement
+    timings: Dict[str, float]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every trial produced a valid solution."""
+        return all(self.verdicts)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dictionary form (one table row per graph)."""
+        row: Dict[str, object] = {"graph": self.name, "valid": self.ok}
+        row.update(self.measurement.as_dict())
+        return row
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Structured results of :meth:`Experiment.run`, one entry per graph."""
+
+    runs: Tuple[ExperimentRun, ...]
+
+    def __iter__(self):
+        return iter(self.runs)
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    def __getitem__(self, index: int) -> ExperimentRun:
+        return self.runs[index]
+
+    @property
+    def run(self) -> ExperimentRun:
+        """The single run of a one-graph experiment (raises otherwise)."""
+        if len(self.runs) != 1:
+            raise ValueError(
+                f"experiment has {len(self.runs)} runs; index runs explicitly"
+            )
+        return self.runs[0]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every trial of every run validated."""
+        return all(run.ok for run in self.runs)
+
+    @property
+    def measurements(self) -> Tuple[ComplexityMeasurement, ...]:
+        return tuple(run.measurement for run in self.runs)
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        """One flat dictionary per graph (for table rendering)."""
+        return [run.as_row() for run in self.runs]
+
+
+def _make_algorithm_factory(algorithm: object) -> Callable[[Network], NodeAlgorithm]:
+    """Normalise the ``algorithm`` argument into a ``network -> algorithm`` maker.
+
+    Accepts an algorithm class / zero-argument factory (the
+    :func:`run_trials` convention) or a one-argument factory taking the
+    network (the :func:`repro.analysis.sweep.sweep` convention, for
+    algorithms that consume global knowledge such as Δ).
+    """
+    if not callable(algorithm):
+        raise TypeError("algorithm must be callable (a class or a factory)")
+    try:
+        signature = inspect.signature(algorithm)
+    except (TypeError, ValueError):  # builtins without introspectable signatures
+        return lambda network: algorithm()
+    required = [
+        parameter
+        for parameter in signature.parameters.values()
+        if parameter.kind
+        in (inspect.Parameter.POSITIONAL_ONLY, inspect.Parameter.POSITIONAL_OR_KEYWORD)
+        and parameter.default is inspect.Parameter.empty
+    ]
+    if inspect.isclass(algorithm):
+        # A class's required constructor parameters are configuration values,
+        # never the network — refusing here beats silently binding the
+        # network to the first config slot.
+        if required:
+            raise TypeError(
+                f"algorithm class {algorithm.__name__} takes required constructor "
+                "arguments; pass a factory instead, e.g. "
+                f"lambda network: {algorithm.__name__}(...)"
+            )
+        return lambda network: algorithm()
+    if len(required) == 1:
+        return lambda network: algorithm(network)
+    if len(required) > 1:
+        raise TypeError(
+            "algorithm factory must take zero arguments or only the network; "
+            f"{algorithm!r} requires {len(required)} positional arguments"
+        )
+    return lambda network: algorithm()
+
+
+def _source_name(source: object, index: int) -> str:
+    meta = getattr(source, "meta", None)
+    if isinstance(meta, Mapping) and meta.get("family"):
+        return str(meta["family"])
+    return f"graph-{index}"
+
+
+class Experiment:
+    """One-stop builder for the generate → network → run → validate → measure pipeline.
+
+    Args:
+        problem: a :class:`ProblemSpec`, or a callable receiving the resolved
+            :class:`Network` and returning one (for specs parameterised by
+            the topology, e.g. ``problems.coloring(delta + 1)``).
+        algorithm: the algorithm under test — a class or zero-argument
+            factory, or a one-argument factory receiving the network.
+        graphs: the workload(s): a single graph source, a sequence of them,
+            or a mapping ``name -> source`` (names appear in the results).
+            Every interchange form is accepted — :class:`Network`,
+            :class:`EdgeArrays`, ``(n, edges)`` pair, networkx graph, or a
+            zero-argument callable producing any of those (callables are
+            timed as the ``generate_s`` phase).
+        seeds: explicit per-trial seeds (one trial per entry).  Mutually
+            exclusive with ``trials``/``seed``, which derive the schedule
+            ``[trial_seed(seed, i) for i in range(trials)]`` — the exact
+            seeds :func:`run_trials` would use.
+        trials: number of trials when ``seeds`` is not given (default 5).
+        seed: base seed for the derived schedule (default 0).
+        id_scheme: identifier scheme for graph sources that are not already
+            networks (default ``"permuted"``, the benchmark convention).
+        graph_seed: base seed for identifier assignment; graph ``i`` uses
+            ``graph_seed + i`` (the :func:`repro.analysis.sweep.sweep`
+            convention).
+        max_rounds: round cap of the runner.
+        runner: a pre-configured :class:`Runner` (overrides ``max_rounds``).
+        require_valid: raise on the first invalid trial (default); when
+            ``False``, invalid trials are only recorded in ``verdicts``.
+        quantiles: completion-time quantile levels for the measurement
+            (default :data:`DEFAULT_QUANTILES`; pass ``None`` to skip).
+
+    ``run()`` executes the whole pipeline and returns an
+    :class:`ExperimentResult`; the builder itself is reusable (every call
+    runs the same schedule from scratch, so results are reproducible).
+    """
+
+    def __init__(
+        self,
+        *,
+        problem: Union[ProblemSpec, Callable[[Network], ProblemSpec]],
+        algorithm: object,
+        graphs: Union[GraphSource, Sequence[GraphSource], Mapping[str, GraphSource]],
+        seeds: Optional[Iterable[int]] = None,
+        trials: Optional[int] = None,
+        seed: int = 0,
+        id_scheme: str = "permuted",
+        graph_seed: int = 0,
+        max_rounds: int = 20_000,
+        runner: Optional[Runner] = None,
+        require_valid: bool = True,
+        quantiles: Optional[Sequence[float]] = DEFAULT_QUANTILES,
+    ) -> None:
+        if seeds is not None and (trials is not None or seed != 0):
+            raise ValueError(
+                "pass either an explicit seeds schedule or trials/seed, not both"
+            )
+        if seeds is not None:
+            self._seeds: Tuple[int, ...] = tuple(int(s) for s in seeds)
+        else:
+            self._seeds = tuple(trial_seed(seed, i) for i in range(trials if trials is not None else 5))
+        if not self._seeds:
+            raise ValueError("at least one trial seed is required")
+        self._make_problem = problem if callable(problem) and not isinstance(problem, ProblemSpec) else (lambda network: problem)
+        self._make_algorithm = _make_algorithm_factory(algorithm)
+        # Unnamed sources get ``None`` here and are named in :meth:`run`,
+        # *after* callables have produced their workload — so provenance
+        # metadata on generated EdgeArrays still reaches the display name.
+        if isinstance(graphs, Mapping):
+            self._graphs: List[Tuple[Optional[str], GraphSource]] = list(graphs.items())
+        elif isinstance(graphs, (list, tuple)) and not (
+            # A 2-tuple led by an integer (numpy integers included) is one
+            # legacy (n, edges) pair, not a sequence of two graph sources.
+            isinstance(graphs, tuple)
+            and len(graphs) == 2
+            and isinstance(graphs[0], numbers.Integral)
+        ):
+            self._graphs = [(None, g) for g in graphs]
+        else:
+            self._graphs = [(None, graphs)]
+        self._id_scheme = id_scheme
+        self._graph_seed = graph_seed
+        self._runner = runner or Runner(max_rounds=max_rounds)
+        self._require_valid = require_valid
+        self._quantiles = quantiles
+
+    def run(self) -> ExperimentResult:
+        """Execute every (graph, seed) cell and return the structured results."""
+        runs: List[ExperimentRun] = []
+        used_names: set = set()
+        for index, (name, source) in enumerate(self._graphs):
+            timings: Dict[str, float] = {}
+            if callable(source) and not isinstance(source, Network):
+                t0 = time.perf_counter()
+                source = source()
+                timings["generate_s"] = time.perf_counter() - t0
+            if name is None:
+                name = _source_name(source, index)
+                if name in used_names:
+                    # Two unnamed sources from the same generator family —
+                    # disambiguate so result rows stay tellable-apart.
+                    name = f"{name}-{index}"
+            used_names.add(name)
+
+            t0 = time.perf_counter()
+            network = resolve_network(
+                source, seed=self._graph_seed + index, id_scheme=self._id_scheme
+            )
+            timings["network_s"] = time.perf_counter() - t0
+
+            problem = self._make_problem(network)
+            t0 = time.perf_counter()
+            traces = tuple(
+                self._runner.run(
+                    self._make_algorithm(network), network, problem, seed=s
+                )
+                for s in self._seeds
+            )
+            timings["runner_s"] = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            verdicts = tuple(bool(trace.validate()) for trace in traces)
+            timings["validate_s"] = time.perf_counter() - t0
+            if self._require_valid and not all(verdicts):
+                bad = verdicts.index(False)
+                traces[bad].require_valid()  # raises with the validator's reason
+
+            t0 = time.perf_counter()
+            measurement = measure(traces, quantiles=self._quantiles)
+            timings["measure_s"] = time.perf_counter() - t0
+            timings["total_s"] = sum(timings.values())
+
+            runs.append(
+                ExperimentRun(
+                    name=name,
+                    network=network,
+                    problem=problem,
+                    seeds=self._seeds,
+                    traces=traces,
+                    verdicts=verdicts,
+                    measurement=measurement,
+                    timings=timings,
+                )
+            )
+        return ExperimentResult(runs=tuple(runs))

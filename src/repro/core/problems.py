@@ -373,10 +373,31 @@ def _selected_flags(n: int, node_values: Sequence[Any]) -> bytearray:
     return flags
 
 
+def _independence_violated(network: Any, selected: bytearray) -> bool:
+    """Whether any edge has both endpoints selected.
+
+    Vectorised over the network's endpoint arrays when it has them (one
+    fancy-indexed AND instead of a tuple-per-edge scan — the difference
+    between milliseconds and seconds at m = 5·10⁶); the tuple scan remains
+    for duck-typed networks without :meth:`edge_endpoints`.  Verdicts are
+    identical either way.
+    """
+    endpoints = getattr(network, "edge_endpoints", None)
+    if endpoints is not None:
+        import numpy as np
+
+        us, vs = endpoints()
+        if len(us) == 0:
+            return False
+        flags = np.frombuffer(selected, dtype=np.uint8)
+        return bool(np.any(flags[us] & flags[vs]))
+    return any(selected[u] and selected[v] for u, v in network.edges)
+
+
 def csr_is_independent_set(network: Any, node_values: Sequence[Any]) -> bool:
     """CSR-native :func:`is_independent_set` (slot-sequence input)."""
     selected = _selected_flags(network.n, node_values)
-    return all(not (selected[u] and selected[v]) for u, v in network.edges)
+    return not _independence_violated(network, selected)
 
 
 def csr_is_maximal_independent_set(
@@ -384,14 +405,13 @@ def csr_is_maximal_independent_set(
 ) -> ValidationResult:
     """CSR-native :func:`is_maximal_independent_set`.
 
-    Independence is checked over the canonical edge list; maximality scans
-    each unselected vertex's CSR row for a selected neighbour.
+    Independence is checked vectorised over the endpoint arrays; maximality
+    scans each unselected vertex's CSR row for a selected neighbour.
     """
     n = network.n
     selected = _selected_flags(n, node_values)
-    for u, v in network.edges:
-        if selected[u] and selected[v]:
-            return ValidationResult(False, "selected set is not independent")
+    if _independence_violated(network, selected):
+        return ValidationResult(False, "selected set is not independent")
     indptr = network.indptr
     indices = network.indices
     for v in range(n):

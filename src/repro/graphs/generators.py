@@ -17,7 +17,18 @@ Each family is additionally available as a **direct edge-list generator**
 (``cycle_edges``, ``random_regular_edges``, …) returning an ``(n, edges)``
 pair without ever instantiating a networkx graph — the construction path for
 ``n ≥ 10⁵`` sweeps, consumed by :meth:`Network.from_edge_list` and
-:func:`repro.analysis.sweep.network_from`.  The direct generators are
+:func:`repro.analysis.sweep.network_from`.  Every direct generator also
+accepts ``as_arrays=True`` and then returns the same edge list as an
+:class:`repro.graphs.edgelist.EdgeArrays` — flat int64 endpoint arrays with
+provenance metadata, the array-first interchange consumed by
+:meth:`Network.from_endpoint_arrays` / :meth:`Network.from_edge_arrays` and
+accepted everywhere ``(n, edges)`` pairs are.  The deterministic families
+(cycles, paths, stars, grids, complete graphs) and :func:`fast_gnp_edges`
+build those arrays **directly in numpy**, never materialising a Python tuple
+per edge; the stream-exact randomized twins necessarily replay their
+tuple-based reference algorithms first and convert at the end (the RNG
+stream, and hence the edge set, is identical either way).  The direct
+generators are
 **stream-exact** twins of their networkx counterparts: for a matching seed
 they produce the same edge set, because they replay the counterpart's RNG
 consumption call for call (the randomized ones replicate the algorithm of
@@ -43,9 +54,12 @@ import itertools
 import math
 import random
 from collections import defaultdict
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple, Union
 
 import networkx as nx
+import numpy as np
+
+from repro.graphs.edgelist import EdgeArrays
 
 __all__ = [
     "cycle_graph",
@@ -75,6 +89,9 @@ __all__ = [
 
 Edge = Tuple[int, int]
 EdgeList = Tuple[int, List[Edge]]
+#: What a direct generator returns: the legacy ``(n, edges)`` pair, or —
+#: with ``as_arrays=True`` — the flat :class:`EdgeArrays` interchange.
+EdgeResult = Union[EdgeList, EdgeArrays]
 
 
 def relabel_to_integers(graph: nx.Graph) -> nx.Graph:
@@ -292,45 +309,106 @@ def min_degree_graph(n: int, min_degree: int, seed: int = 0) -> nx.Graph:
 # ---------------------------------------------------------------------- #
 
 
-def cycle_edges(n: int) -> EdgeList:
-    """Edge-list twin of :func:`cycle_graph`: the n-cycle as ``(n, edges)``."""
+def cycle_edges(n: int, as_arrays: bool = False) -> EdgeResult:
+    """Edge-list twin of :func:`cycle_graph`: the n-cycle as ``(n, edges)``.
+
+    With ``as_arrays=True`` the endpoints are built directly as numpy arange
+    blocks (same edge order) and returned as :class:`EdgeArrays`.
+    """
     if n < 3:
         raise ValueError("a cycle needs at least 3 nodes")
+    if as_arrays:
+        body = np.arange(n - 1, dtype=np.int64)
+        src = np.concatenate((body, np.zeros(1, dtype=np.int64)))
+        dst = np.concatenate((body + 1, np.full(1, n - 1, dtype=np.int64)))
+        src.setflags(write=False)
+        dst.setflags(write=False)
+        return EdgeArrays(n=n, src=src, dst=dst, meta={"family": "cycle", "n": n})
     edges = [(i, i + 1) for i in range(n - 1)]
     edges.append((0, n - 1))
     return n, edges
 
 
-def path_edges(n: int) -> EdgeList:
-    """Edge-list twin of :func:`path_graph`."""
+def path_edges(n: int, as_arrays: bool = False) -> EdgeResult:
+    """Edge-list twin of :func:`path_graph` (arrays built natively in numpy)."""
     if n < 1:
         raise ValueError("a path needs at least 1 node")
+    if as_arrays:
+        src = np.arange(max(0, n - 1), dtype=np.int64)
+        dst = src + 1
+        src.setflags(write=False)
+        dst.setflags(write=False)
+        return EdgeArrays(n=n, src=src, dst=dst, meta={"family": "path", "n": n})
     return n, [(i, i + 1) for i in range(n - 1)]
 
 
-def complete_edges(n: int) -> EdgeList:
-    """Edge-list twin of :func:`complete_graph`."""
+def complete_edges(n: int, as_arrays: bool = False) -> EdgeResult:
+    """Edge-list twin of :func:`complete_graph`.
+
+    The array mode uses ``np.triu_indices`` — row-major upper-triangle order,
+    exactly the ``itertools.combinations`` order of the tuple mode.
+    """
     if n < 1:
         raise ValueError("a complete graph needs at least 1 node")
+    if as_arrays:
+        src, dst = np.triu_indices(n, k=1)
+        src = src.astype(np.int64, copy=False)
+        dst = dst.astype(np.int64, copy=False)
+        src.setflags(write=False)
+        dst.setflags(write=False)
+        return EdgeArrays(n=n, src=src, dst=dst, meta={"family": "complete", "n": n})
     return n, list(itertools.combinations(range(n), 2))
 
 
-def star_edges(leaves: int) -> EdgeList:
+def star_edges(leaves: int, as_arrays: bool = False) -> EdgeResult:
     """Edge-list twin of :func:`star_graph` (``n = leaves + 1``, centre 0)."""
     if leaves < 1:
         raise ValueError("a star needs at least one leaf")
+    if as_arrays:
+        src = np.zeros(leaves, dtype=np.int64)
+        dst = np.arange(1, leaves + 1, dtype=np.int64)
+        src.setflags(write=False)
+        dst.setflags(write=False)
+        return EdgeArrays(
+            n=leaves + 1, src=src, dst=dst, meta={"family": "star", "leaves": leaves}
+        )
     return leaves + 1, [(0, i) for i in range(1, leaves + 1)]
 
 
-def grid_edges(rows: int, cols: int) -> EdgeList:
+def grid_edges(rows: int, cols: int, as_arrays: bool = False) -> EdgeResult:
     """Edge-list twin of :func:`grid_graph`.
 
     Vertex ``(i, j)`` of the grid maps to ``i * cols + j`` — the same
     numbering :func:`relabel_to_integers` assigns (networkx inserts grid
-    nodes row-major), so the edge sets coincide exactly.
+    nodes row-major), so the edge sets coincide exactly.  The array mode
+    builds the right-going and down-going edge blocks vectorised and
+    interleaves them with one stable sort into the tuple mode's
+    per-vertex (right, down) order.
     """
     if rows < 1 or cols < 1:
         raise ValueError("grid dimensions must be positive")
+    if as_arrays:
+        ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+        right = ids[:, :-1].ravel()
+        down = ids[:-1, :].ravel()
+        src = np.concatenate((right, down))
+        dst = np.concatenate((right + 1, down + cols))
+        # Tuple order is per-vertex right-then-down: stable sort by source
+        # vertex with the right-block (priority 0) before the down-block.
+        priority = np.concatenate(
+            (np.zeros(right.size, dtype=np.int64), np.ones(down.size, dtype=np.int64))
+        )
+        order = np.lexsort((priority, src))
+        src = src[order]
+        dst = dst[order]
+        src.setflags(write=False)
+        dst.setflags(write=False)
+        return EdgeArrays(
+            n=rows * cols,
+            src=src,
+            dst=dst,
+            meta={"family": "grid", "rows": rows, "cols": cols},
+        )
     edges: List[Edge] = []
     for i in range(rows):
         base = i * cols
@@ -343,20 +421,26 @@ def grid_edges(rows: int, cols: int) -> EdgeList:
     return rows * cols, edges
 
 
-def random_regular_edges(degree: int, n: int, seed: int = 0) -> EdgeList:
+def random_regular_edges(
+    degree: int, n: int, seed: int = 0, as_arrays: bool = False
+) -> EdgeResult:
     """Edge-list twin of :func:`random_regular_graph` (stream-exact).
 
     Replays the Steger–Wormald pairing algorithm of the installed networkx
     ``random_regular_graph`` with a ``random.Random(seed)`` — the same RNG
     ``py_random_state`` would build — so a matching seed yields the same
-    graph, without constructing it as a networkx object.
+    graph, without constructing it as a networkx object.  ``as_arrays=True``
+    returns the identical edge set as :class:`EdgeArrays` (the pairing
+    algorithm itself stays tuple-based — that is the price of stream
+    exactness; see the module docstring).
     """
     if degree < 0 or n <= degree:
         raise ValueError("need 0 <= degree < n")
     if (degree * n) % 2 != 0:
         raise ValueError("degree * n must be even")
+    meta = {"family": "random_regular", "degree": degree, "n": n, "seed": seed}
     if degree == 0:
-        return n, []
+        return EdgeArrays.from_pairs(n, [], meta=meta) if as_arrays else (n, [])
     rng = random.Random(seed)
 
     def _suitable(edges: Set[Edge], potential_edges) -> bool:
@@ -399,10 +483,15 @@ def random_regular_edges(degree: int, n: int, seed: int = 0) -> EdgeList:
     edges = _try_creation()
     while edges is None:
         edges = _try_creation()
-    return n, sorted(edges)
+    ordered = sorted(edges)
+    if as_arrays:
+        return EdgeArrays.from_pairs(n, ordered, meta=meta)
+    return n, ordered
 
 
-def erdos_renyi_edges(n: int, expected_degree: float, seed: int = 0) -> EdgeList:
+def erdos_renyi_edges(
+    n: int, expected_degree: float, seed: int = 0, as_arrays: bool = False
+) -> EdgeResult:
     """Edge-list twin of :func:`erdos_renyi_graph` (stream-exact).
 
     Replays the O(n²) Gilbert loop of networkx's ``gnp_random_graph``
@@ -410,23 +499,39 @@ def erdos_renyi_edges(n: int, expected_degree: float, seed: int = 0) -> EdgeList
     same graph.  Because the pair loop is quadratic by construction, this
     stays stream-exact rather than fast at very large ``n``; the sparse
     families (cycles, regular graphs, grids) are the intended ``n ≥ 10⁵``
-    workloads.
+    workloads (and :func:`fast_gnp_edges` the intended large-``n``
+    Erdős–Rényi generator).  ``as_arrays=True`` converts the identical edge
+    list to :class:`EdgeArrays` after the replay.
     """
     if n < 1:
         raise ValueError("n must be positive")
+    meta = {
+        "family": "erdos_renyi",
+        "n": n,
+        "expected_degree": expected_degree,
+        "seed": seed,
+    }
+
+    def _result(num: int, edges: List[Edge]) -> EdgeResult:
+        if as_arrays:
+            return EdgeArrays.from_pairs(num, edges, meta=meta)
+        return num, edges
+
     if n == 1:
-        return 1, []
+        return _result(1, [])
     p = min(1.0, max(0.0, expected_degree / (n - 1)))
     if p >= 1.0:
-        return complete_edges(n)
+        return _result(*complete_edges(n))
     if p <= 0.0:
-        return n, []
+        return _result(n, [])
     rng = random.Random(seed)
     rnd = rng.random
-    return n, [e for e in itertools.combinations(range(n), 2) if rnd() < p]
+    return _result(n, [e for e in itertools.combinations(range(n), 2) if rnd() < p])
 
 
-def fast_gnp_edges(n: int, p: float, seed: int = 0) -> EdgeList:
+def fast_gnp_edges(
+    n: int, p: float, seed: int = 0, as_arrays: bool = False
+) -> EdgeResult:
     """Geometric-skip Erdős–Rényi generator: ``G(n, p)`` in ``O(n + m)`` time.
 
     The sub-quadratic twin of :func:`erdos_renyi_edges` for the ``n ≥ 10⁵``
@@ -454,21 +559,34 @@ def fast_gnp_edges(n: int, p: float, seed: int = 0) -> EdgeList:
     convention of the fast-generator literature); ``erdos_renyi_edges`` takes
     an expected degree.  Use ``p = expected_degree / (n - 1)`` to match.
 
-    Returns ``(n, edges)`` with canonical ``(u, v), u < v`` edges, ordered by
-    pair index (larger endpoint first, then smaller — the skip-walk order),
-    ready for :meth:`Network.from_edge_list`,
-    :func:`repro.analysis.sweep.network_from` and
-    ``sweep(graph_factory=...)``, all of which canonicalise order themselves.
+    Returns canonical ``(u, v), u < v`` edges, ordered by pair index (larger
+    endpoint first, then smaller — the skip-walk order), ready for
+    :meth:`Network.from_edge_list`, :func:`repro.analysis.sweep.network_from`
+    and ``sweep(graph_factory=...)``, all of which canonicalise order
+    themselves.  With ``as_arrays=True`` the endpoints are returned **as the
+    numpy arrays the skip walk computed them in** (an :class:`EdgeArrays`,
+    zero per-edge Python objects end to end) — the intended form for the
+    ``n ≥ 10⁵`` regime, feeding :meth:`Network.from_endpoint_arrays`
+    directly.  The default tuple mode is kept as a compatibility wrapper and
+    is **deprecated on the large-n path**: it rebuilds one tuple per edge
+    from the arrays (at ``m = 5·10⁶`` that round trip costs more than
+    generating the edges), and large-``n`` call sites should pass
+    ``as_arrays=True`` instead.  The same ``(n, p, seed)`` triple produces
+    the same edge list in either mode.
     """
-    import numpy as np
-
     if n < 1:
         raise ValueError("n must be positive")
     if not 0.0 <= p <= 1.0:
         raise ValueError("p must lie in [0, 1]")
+    meta = {"family": "fast_gnp", "n": n, "p": p, "seed": seed}
     if n == 1 or p == 0.0:
+        if as_arrays:
+            return EdgeArrays.from_pairs(n, [], meta=meta)
         return n, []
     if p >= 1.0:
+        if as_arrays:
+            # Keep the fast_gnp provenance (p, seed) on the delegated K_n.
+            return complete_edges(n, as_arrays=True).with_meta(**meta)
         return complete_edges(n)
 
     total_pairs = n * (n - 1) // 2
@@ -496,20 +614,36 @@ def fast_gnp_edges(n: int, p: float, seed: int = 0) -> EdgeList:
     v = np.where(v * (v - 1) // 2 > k, v - 1, v)
     v = np.where(v * (v + 1) // 2 <= k, v + 1, v)
     w = k - v * (v - 1) // 2
+    if as_arrays:
+        # Hand the skip walk's own arrays straight through — the large-n
+        # path, with zero per-edge Python objects.  Freezing them first lets
+        # EdgeArrays adopt the buffers instead of defensively copying.
+        w.setflags(write=False)
+        v.setflags(write=False)
+        return EdgeArrays(n=n, src=w, dst=v, meta=meta)
     return n, list(zip(w.tolist(), v.tolist()))
 
 
-def min_degree_edges(n: int, min_degree: int, seed: int = 0) -> EdgeList:
+def min_degree_edges(
+    n: int, min_degree: int, seed: int = 0, as_arrays: bool = False
+) -> EdgeResult:
     """Edge-list twin of :func:`min_degree_graph` (stream-exact).
 
     The even-parity case delegates to :func:`random_regular_edges`; the odd
     case replays the cycle-plus-repair loop with set-based adjacency, drawing
     from ``random.Random(seed)`` at exactly the same points as the networkx
-    version, so matching seeds produce the same graph.
+    version, so matching seeds produce the same graph.  ``as_arrays=True``
+    converts the identical edge list to :class:`EdgeArrays`.
     """
     if n <= min_degree:
         raise ValueError("need n > min_degree")
+    meta = {"family": "min_degree", "n": n, "min_degree": min_degree, "seed": seed}
     if (n * min_degree) % 2 == 0:
+        if as_arrays:
+            # Keep min_degree provenance on the delegated regular graph.
+            return random_regular_edges(
+                min_degree, n, seed=seed, as_arrays=True
+            ).with_meta(**meta)
         return random_regular_edges(min_degree, n, seed=seed)
     rng = random.Random(seed)
     edges = [(i, i + 1) for i in range(n - 1)]
@@ -536,4 +670,6 @@ def min_degree_edges(n: int, min_degree: int, seed: int = 0) -> EdgeList:
                 low.remove(u)
             if degrees[v] == min_degree:
                 low.remove(v)
+    if as_arrays:
+        return EdgeArrays.from_pairs(n, edges, meta=meta)
     return n, edges

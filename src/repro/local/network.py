@@ -11,16 +11,34 @@ Vertices are always the integers ``0..n-1``.  Edges are stored as sorted
 tuples ``(u, v)`` with ``u < v`` and are also given a dense integer index so
 that traces can be stored in arrays.
 
-The adjacency is built in one pass directly from the canonical edge list —
-no networkx object is required on the construction hot path
-(:meth:`Network.from_edges`, :meth:`Network.subnetwork`) — with each row
-stored as a sorted tuple (the representation the per-node simulator hot path
-consumes).  A CSR (compressed sparse row) view is available as two flat
-integer arrays ``indptr`` (length ``n + 1``) and ``indices`` (length ``2m``)
-such that the neighbours of ``v`` are ``indices[indptr[v]:indptr[v + 1]]``;
-it is derived lazily on first access so the topology is not stored twice.
-Degree statistics (``max_degree``, ``min_degree``) and the identifier bit
-length are computed once at construction time.
+Two construction families exist, and they are exact equivalents:
+
+* **Tuple path** (:meth:`Network.from_edges`, :meth:`Network.from_edge_list`,
+  :meth:`Network.subnetwork`): the adjacency is built in one pass directly
+  from a canonical edge list — no networkx object on the hot path — with each
+  row stored as a sorted tuple (the representation the per-node simulator
+  consumes).  The CSR (compressed sparse row) view — two flat integer arrays
+  ``indptr`` (length ``n + 1``) and ``indices`` (length ``2m``) such that the
+  neighbours of ``v`` are ``indices[indptr[v]:indptr[v + 1]]`` — is derived
+  lazily on first access so the topology is not stored twice.
+* **Array path** (:meth:`Network.from_endpoint_arrays`,
+  :meth:`Network.from_edge_arrays`): endpoints arrive as two flat int64 numpy
+  arrays (the :class:`repro.graphs.edgelist.EdgeArrays` interchange) and the
+  CSR arrays are built entirely inside numpy — vectorised canonicalisation,
+  lexicographic sort, duplicate removal — with **no Python tuple per edge
+  anywhere on the path**.  Here the relationship inverts: the CSR arrays are
+  the primary storage and the sorted-tuple rows (and the canonical
+  tuple-of-pairs :attr:`edges` view) are derived lazily, only if a per-node
+  consumer such as the round simulator asks for them.  This is the
+  construction path for ``m ≥ 10⁶`` workloads (see the ``kind="build"``
+  cells of ``BENCH_core.json``).
+
+Both paths produce indistinguishable networks for the same topology and
+identifiers — identical rows, edge order, CSR arrays, and therefore
+seed-for-seed identical execution traces (asserted by
+``benchmarks/core_perf.py``).  Degree statistics (``max_degree``,
+``min_degree``) and the identifier bit length are computed once at
+construction time on either path.
 """
 
 from __future__ import annotations
@@ -30,6 +48,7 @@ from array import array
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import networkx as nx
+import numpy as np
 
 from repro.local import ids as ids_module
 
@@ -41,6 +60,19 @@ def canonical_edge(u: int, v: int) -> Tuple[int, int]:
     if u == v:
         raise ValueError(f"self-loops are not supported in the LOCAL simulator: ({u}, {v})")
     return (u, v) if u < v else (v, u)
+
+
+def _as_int64(values, name: str) -> np.ndarray:
+    """Coerce an endpoint array to int64, refusing lossy (float) casts."""
+    array = np.asarray(values)
+    if array.dtype != np.int64:
+        # Empty inputs default to float64 under asarray; nothing to lose.
+        if array.size and not np.issubdtype(array.dtype, np.integer):
+            raise ValueError(
+                f"{name} must be an integer array, got dtype {array.dtype}"
+            )
+        array = array.astype(np.int64)
+    return array
 
 
 def _scheme_identifiers(
@@ -111,22 +143,24 @@ class Network:
         n: int,
         edges: List[Tuple[int, int]],
         identifiers: Optional[Mapping[int, int]],
-        original_labels: List,
+        original_labels: Optional[List],
     ) -> None:
         """Initialise from canonical ``(u, v), u < v`` edges on ``0..n-1``.
 
         ``edges`` may contain duplicates; they are removed.  Self-loops must
-        already have been rejected by the caller.
+        already have been rejected by the caller.  ``original_labels`` may be
+        ``None`` when the vertices were never relabelled (labels are then the
+        identity, stored implicitly).
         """
-        self._original_labels: List = original_labels
+        self._original_labels: Optional[List] = original_labels
         self.n = n
         # Deduplicate parallel edges (networkx Graph already does, but be safe).
         edges = sorted(set(edges))
-        self._edges: Tuple[Tuple[int, int], ...] = tuple(edges)
+        self._edges_cache: Optional[Tuple[Tuple[int, int], ...]] = tuple(edges)
         # The edge → dense-index map is built lazily: node-labelling workloads
         # never consult it.
         self._edge_index: Optional[Dict[Tuple[int, int], int]] = None
-        self.m: int = len(self._edges)
+        self.m: int = len(edges)
 
         # One-pass adjacency build.  Because the deduplicated edge list is
         # sorted lexicographically, every row comes out sorted ascending: row
@@ -139,20 +173,122 @@ class Network:
         for u, v in edges:
             rows[u].append(v)
             rows[v].append(u)
-        self._adjacency: List[Tuple[int, ...]] = [tuple(row) for row in rows]
+        self._rows: Optional[List[Tuple[int, ...]]] = [tuple(row) for row in rows]
         self._max_degree: int = max((len(row) for row in rows), default=0)
         self._min_degree: int = min((len(row) for row in rows), default=0)
-        self._indptr: Optional[array] = None
-        self._indices: Optional[array] = None
+        self._indptr = None
+        self._indices = None
         self._edge_us = None
         self._edge_vs = None
         self._nx_export: Optional[nx.Graph] = None
+        self._set_identifiers(identifiers)
 
+    def _init_from_endpoint_arrays(
+        self,
+        n: int,
+        src,
+        dst,
+        identifiers: Optional[Mapping[int, int]],
+    ) -> None:
+        """Initialise from flat endpoint arrays with a fully vectorised CSR build.
+
+        ``src``/``dst`` are parallel integer arrays (any orientation, possibly
+        with duplicate edges); canonicalisation, lexicographic sorting and
+        duplicate removal all happen inside numpy.  No per-edge Python object
+        is created: the sorted-tuple rows and the canonical tuple-of-pairs
+        edge view become lazy derivations of the CSR arrays
+        (:attr:`_adjacency`, :attr:`edges`).
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        self._original_labels = None
+        self.n = n
+        src = _as_int64(src, "src").ravel()
+        dst = _as_int64(dst, "dst").ravel()
+        if src.shape != dst.shape:
+            raise ValueError(
+                f"src and dst must have equal length, got {src.size} and {dst.size}"
+            )
+        if src.size:
+            lo = min(int(src.min()), int(dst.min()))
+            hi = max(int(src.max()), int(dst.max()))
+            if lo < 0 or hi >= n:
+                raise ValueError("edge list refers to vertices outside 0..n-1")
+            loops = src == dst
+            if loops.any():
+                offender = int(src[int(np.argmax(loops))])
+                canonical_edge(offender, offender)  # raises the canonical error
+
+        # Canonicalise (u < v), sort lexicographically, drop duplicates — the
+        # vectorised equivalent of ``sorted(set(canonical_edges))``.  Pairs
+        # are packed into single int64 keys ``u * n + v`` so both the edge
+        # sort and the symmetric row sort are plain ``np.sort`` calls on one
+        # flat key array (several times faster than the two-key ``lexsort``);
+        # the packing needs ``n² < 2⁶³``, so astronomically large vertex
+        # counts fall back to the lexsort formulation.
+        us = np.minimum(src, dst)
+        vs = np.maximum(src, dst)
+        if n < 3_000_000_000:
+            key = np.sort(us * n + vs)
+            if key.size:
+                keep = np.empty(key.size, dtype=bool)
+                keep[0] = True
+                np.not_equal(key[1:], key[:-1], out=keep[1:])
+                key = key[keep]
+            us = key // n
+            vs = key % n
+            # Doubled keys (owner * n + neighbour), sorted: rows come out in
+            # vertex order with each row ascending — exactly the row order
+            # the tuple-path build produces.
+            sym = np.concatenate((key, vs * n + us))
+            sym.sort()
+            heads = sym // n
+            indices = sym % n
+        else:  # pragma: no cover - needs n ≥ 3·10⁹ to exercise
+            order = np.lexsort((vs, us))
+            us = us[order]
+            vs = vs[order]
+            if us.size:
+                keep = np.empty(us.size, dtype=bool)
+                keep[0] = True
+                np.logical_or(us[1:] != us[:-1], vs[1:] != vs[:-1], out=keep[1:])
+                us = np.ascontiguousarray(us[keep])
+                vs = np.ascontiguousarray(vs[keep])
+            heads = np.concatenate((us, vs))
+            tails = np.concatenate((vs, us))
+            sym = np.lexsort((tails, heads))
+            heads = heads[sym]
+            indices = np.ascontiguousarray(tails[sym])
+        self.m = int(us.size)
+        counts = np.bincount(heads, minlength=n).astype(np.int64, copy=False)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        for frozen in (us, vs, indices, indptr):
+            frozen.setflags(write=False)
+
+        self._edges_cache = None
+        self._edge_index = None
+        self._rows = None
+        self._indptr = indptr
+        self._indices = indices
+        self._edge_us = us
+        self._edge_vs = vs
+        self._nx_export = None
+        self._max_degree = int(counts.max()) if n else 0
+        self._min_degree = int(counts.min()) if n else 0
+        self._set_identifiers(identifiers)
+
+    def _set_identifiers(self, identifiers: Optional[Mapping[int, int]]) -> None:
+        n = self.n
         if identifiers is None:
-            identifiers = ids_module.sequential_ids(list(range(n)))
+            # Sequential identifiers, materialised without the mapping round
+            # trip (identical to ``sequential_ids(range(n))``).
+            self._ids: Tuple[int, ...] = tuple(range(n))
+            self._id_bits: int = (n - 1).bit_length() if n > 0 else 0
+            return
         ids_module.validate_ids(identifiers, range(n))
-        self._ids: Tuple[int, ...] = tuple(identifiers[v] for v in range(n))
-        self._id_bits: int = max((int(i).bit_length() for i in self._ids), default=0)
+        self._ids = tuple(identifiers[v] for v in range(n))
+        self._id_bits = max((int(i).bit_length() for i in self._ids), default=0)
 
     @classmethod
     def _from_canonical(
@@ -163,7 +299,7 @@ class Network:
     ) -> "Network":
         """Build directly from canonical edges, bypassing networkx entirely."""
         net = cls.__new__(cls)
-        net._init_from_canonical(n, edges, identifiers, list(range(n)))
+        net._init_from_canonical(n, edges, identifiers, None)
         return net
 
     # ------------------------------------------------------------------ #
@@ -232,9 +368,89 @@ class Network:
                 canonical_edge(u, v)  # raises the canonical self-loop error
         return cls._from_canonical(n, canonical, identifiers)
 
+    @classmethod
+    def from_endpoint_arrays(
+        cls,
+        n: int,
+        src,
+        dst,
+        identifiers: Optional[Mapping[int, int]] = None,
+        *,
+        id_scheme: Optional[str] = None,
+        rng: Optional[random.Random] = None,
+    ) -> "Network":
+        """Build a network from flat endpoint arrays — the numpy CSR fast path.
+
+        The array twin of :meth:`from_edges`: ``src``/``dst`` are parallel
+        integer arrays (numpy arrays, or anything ``np.asarray`` accepts) such
+        that edge ``i`` is ``{src[i], dst[i]}``.  Endpoint order is free and
+        duplicate edges are removed; self-loops raise.  The CSR arrays are
+        built entirely inside numpy — no Python tuple per edge — which makes
+        this the cheapest way to stand up ``m ≥ 10⁶`` workloads (the
+        ``kind="build"`` cells of ``BENCH_core.json`` record the speedup over
+        the tuple-row build).  The sorted-tuple rows and the canonical
+        :attr:`edges` view are derived lazily, so networks that are only ever
+        consumed through the flat views never materialise them.
+
+        Identifiers may be given either as an explicit mapping (as in
+        :meth:`from_edges`) or via ``id_scheme``/``rng`` (as in
+        :meth:`from_edge_list`); passing both is an error.  Given the same
+        topology and identifiers, the resulting network is indistinguishable
+        from its tuple-path twin — same rows, edge order, CSR arrays, and
+        therefore seed-for-seed identical traces.
+        """
+        if id_scheme is not None:
+            if identifiers is not None:
+                raise ValueError("pass either identifiers or id_scheme, not both")
+            if id_scheme != "sequential":  # sequential is the fast default below
+                identifiers = _scheme_identifiers(n, id_scheme, rng)
+        net = cls.__new__(cls)
+        net._init_from_endpoint_arrays(n, src, dst, identifiers)
+        return net
+
+    @classmethod
+    def from_edge_arrays(
+        cls,
+        edge_arrays,
+        id_scheme: str = "sequential",
+        rng: Optional[random.Random] = None,
+    ) -> "Network":
+        """Build a network from an :class:`~repro.graphs.edgelist.EdgeArrays`.
+
+        The array twin of :meth:`from_edge_list`: accepts any object exposing
+        ``n``/``src``/``dst`` (duck-typed so this module needs no import from
+        :mod:`repro.graphs`) and applies a named ID scheme.  Given the same
+        topology and ``rng`` state it produces a network identical to the
+        tuple-path constructors.
+        """
+        return cls.from_endpoint_arrays(
+            edge_arrays.n,
+            edge_arrays.src,
+            edge_arrays.dst,
+            id_scheme=id_scheme,
+            rng=rng,
+        )
+
     # ------------------------------------------------------------------ #
     # Topology accessors
     # ------------------------------------------------------------------ #
+
+    @property
+    def _adjacency(self) -> List[Tuple[int, ...]]:
+        """Per-vertex sorted neighbour tuples (the simulator's representation).
+
+        Eager on the tuple construction path; derived lazily from the CSR
+        arrays on the array path, the first time a per-node consumer (the
+        round simulator, :meth:`subnetwork`) asks for it.
+        """
+        rows = self._rows
+        if rows is None:
+            flat = self._indices.tolist()
+            bounds = self._indptr.tolist()
+            rows = self._rows = [
+                tuple(flat[bounds[v] : bounds[v + 1]]) for v in range(self.n)
+            ]
+        return rows
 
     def neighbors(self, v: int) -> Tuple[int, ...]:
         """Neighbours of vertex ``v`` (sorted tuple of vertex indices)."""
@@ -268,18 +484,21 @@ class Network:
         self._indices = indices
 
     @property
-    def indptr(self) -> array:
+    def indptr(self):
         """CSR row pointers: neighbours of ``v`` are ``indices[indptr[v]:indptr[v+1]]``.
 
-        Derived from the adjacency on first access and cached; intended for
-        vectorised consumers that want the topology as flat arrays.
+        An int64 flat array — ``array('q')`` when derived lazily from the
+        tuple-path adjacency, a read-only numpy array when the network was
+        built on the array path (both support indexing, slicing, and the
+        buffer protocol identically).  Intended for vectorised consumers that
+        want the topology as flat arrays.
         """
         if self._indptr is None:
             self._build_csr()
         return self._indptr
 
     @property
-    def indices(self) -> array:
+    def indices(self):
         """CSR flat neighbour array (each row sorted ascending); see :attr:`indptr`."""
         if self._indices is None:
             self._build_csr()
@@ -290,14 +509,14 @@ class Network:
 
         Two int64 numpy arrays of length ``m`` such that edge slot ``i`` is
         ``(us[i], vs[i])`` with ``us[i] < vs[i]`` — the vectorised twin of
-        :attr:`edges`, consumed by the numpy measurement path.  Derived from
-        the CSR views: because every row is sorted ascending and rows are
-        visited in vertex order, keeping only the ``neighbour > vertex`` half
-        reproduces the lexicographic canonical edge order exactly.
+        :attr:`edges`, consumed by the numpy measurement path.  Primary
+        storage on the array construction path; on the tuple path they are
+        derived from the CSR views: because every row is sorted ascending and
+        rows are visited in vertex order, keeping only the
+        ``neighbour > vertex`` half reproduces the lexicographic canonical
+        edge order exactly.
         """
         if self._edge_us is None:
-            import numpy as np
-
             indptr = np.frombuffer(self.indptr, dtype=np.int64)
             indices = np.frombuffer(self.indices, dtype=np.int64)
             owners = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(indptr))
@@ -317,14 +536,23 @@ class Network:
 
     @property
     def edges(self) -> Tuple[Tuple[int, int], ...]:
-        """All edges as canonical ``(u, v)`` tuples with ``u < v``."""
-        return self._edges
+        """All edges as canonical ``(u, v)`` tuples with ``u < v``.
+
+        Eager on the tuple construction path; on the array path it is derived
+        lazily from the endpoint arrays (same lexicographic order), so flat
+        array consumers never pay for the per-edge tuples.
+        """
+        cached = self._edges_cache
+        if cached is None:
+            us, vs = self._edge_us, self._edge_vs
+            cached = self._edges_cache = tuple(zip(us.tolist(), vs.tolist()))
+        return cached
 
     def _edge_index_map(self) -> Dict[Tuple[int, int], int]:
         """Canonical edge → dense index mapping (built on first use)."""
         index = self._edge_index
         if index is None:
-            index = self._edge_index = {e: i for i, e in enumerate(self._edges)}
+            index = self._edge_index = {e: i for i, e in enumerate(self.edges)}
         return index
 
     def edge_index(self, u: int, v: int) -> int:
@@ -363,7 +591,11 @@ class Network:
 
     def with_identifiers(self, identifiers: Mapping[int, int]) -> "Network":
         """Return a copy of this network with different identifiers."""
-        return Network._from_canonical(self.n, list(self._edges), identifiers)
+        if self._edge_us is not None:
+            return Network.from_endpoint_arrays(
+                self.n, self._edge_us, self._edge_vs, identifiers
+            )
+        return Network._from_canonical(self.n, list(self.edges), identifiers)
 
     def id_bit_length(self) -> int:
         """Bits needed for the largest identifier; cached."""
@@ -384,12 +616,20 @@ class Network:
         if self._nx_export is None:
             g = nx.Graph()
             g.add_nodes_from(range(self.n))
-            g.add_edges_from(self._edges)
+            g.add_edges_from(self.edges)
             self._nx_export = g
         return self._nx_export
 
     def original_label(self, v: int) -> object:
-        """The label the vertex had in the graph the network was built from."""
+        """The label the vertex had in the graph the network was built from.
+
+        Networks built straight from edge lists or endpoint arrays were never
+        relabelled, so the label is the vertex index itself.
+        """
+        if self._original_labels is None:
+            if not 0 <= v < self.n:
+                raise IndexError(f"vertex {v} outside 0..{self.n - 1}")
+            return v
         return self._original_labels[v]
 
     def subnetwork(self, vertices: Sequence[int]) -> "Network":

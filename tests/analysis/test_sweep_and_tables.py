@@ -110,3 +110,37 @@ class TestTables:
         )
         text = format_sweep(points, title="E0")
         assert "E0" in text and "luby" in text and "node_averaged" in text
+
+
+class TestEdgeArraysWorkloads:
+    """sweep/network_from accept EdgeArrays everywhere tuple pairs work."""
+
+    def test_network_from_edge_arrays_equals_pair_and_graph_forms(self):
+        from repro.graphs import generators as gen
+
+        pair = gen.random_regular_edges(4, 60, seed=1)
+        arrays = gen.random_regular_edges(4, 60, seed=1, as_arrays=True)
+        graph = gen.random_regular_graph(4, 60, seed=1)
+        from_pair = network_from(pair, seed=5)
+        from_arrays = network_from(arrays, seed=5)
+        from_graph = network_from(graph, seed=5)
+        assert from_pair.edges == from_arrays.edges == from_graph.edges
+        assert from_pair.identifiers == from_arrays.identifiers == from_graph.identifiers
+
+    def test_sweep_identical_for_edge_arrays_and_tuple_factories(self):
+        from repro.graphs import generators as gen
+
+        algorithms = {"luby": (lambda net: LubyMIS(), lambda net: problems.MIS)}
+        tuple_points = sweep(
+            "n", [20, 30],
+            lambda n: gen.cycle_edges(n),
+            algorithms, trials=2, seed=3,
+        )
+        array_points = sweep(
+            "n", [20, 30],
+            lambda n: gen.cycle_edges(n, as_arrays=True),
+            algorithms, trials=2, seed=3,
+        )
+        assert [p.measurement for p in tuple_points] == [
+            p.measurement for p in array_points
+        ]

@@ -69,3 +69,297 @@ class TestEvaluate:
         )
         assert mis.problem == "maximal-independent-set"
         assert ruling.problem == "(2,2)-ruling-set"
+
+
+class TestResolveNetwork:
+    def test_network_returned_as_is(self, small_network):
+        from repro.core.experiment import resolve_network
+
+        assert resolve_network(small_network) is small_network
+
+    def test_equivalent_sources_produce_identical_networks(self):
+        from repro.core.experiment import resolve_network
+        from repro.graphs import generators as gen
+
+        pair = gen.cycle_edges(30)
+        arrays = gen.cycle_edges(30, as_arrays=True)
+        graph = gen.cycle_graph(30)
+        nets = [
+            resolve_network(pair, seed=4),
+            resolve_network(arrays, seed=4),
+            resolve_network(graph, seed=4),
+            resolve_network(lambda: gen.cycle_edges(30, as_arrays=True), seed=4),
+        ]
+        assert len({net.edges for net in nets}) == 1
+        assert len({net.identifiers for net in nets}) == 1
+
+    def test_unknown_source_rejected(self):
+        from repro.core.experiment import resolve_network
+
+        with pytest.raises(TypeError, match="graph source"):
+            resolve_network(3.14)
+
+
+class TestExperimentFacade:
+    def test_run_returns_structured_results(self):
+        from repro.core.experiment import Experiment
+        from repro.graphs import generators as gen
+
+        result = Experiment(
+            problem=problems.MIS,
+            algorithm=LubyMIS,
+            graphs=gen.fast_gnp_edges(120, 0.05, seed=2, as_arrays=True),
+            seeds=[0, 1, 2],
+        ).run()
+        run = result.run
+        assert run.name == "fast_gnp"
+        assert run.seeds == (0, 1, 2)
+        assert len(run.traces) == 3
+        assert run.verdicts == (True, True, True) and run.ok and result.ok
+        assert run.measurement.trials == 3
+        assert run.measurement.node_quantiles  # quantiles on by default
+        assert {"network_s", "runner_s", "validate_s", "measure_s", "total_s"} <= set(
+            run.timings
+        )
+
+    def test_matches_run_trials_seed_for_seed(self, small_network):
+        from repro.core.experiment import Experiment
+
+        result = Experiment(
+            problem=problems.MIS,
+            algorithm=LubyMIS,
+            graphs=small_network,
+            trials=3,
+            seed=7,
+            quantiles=None,
+        ).run()
+        reference = run_trials(LubyMIS, small_network, problems.MIS, trials=3, seed=7)
+        assert [t.node_outputs for t in result.run.traces] == [
+            t.node_outputs for t in reference
+        ]
+        from repro.core.metrics import measure
+
+        assert result.run.measurement == measure(reference)
+
+    def test_named_graphs_and_rows(self):
+        from repro.core.experiment import Experiment
+        from repro.graphs import generators as gen
+
+        result = Experiment(
+            problem=problems.MIS,
+            algorithm=LubyMIS,
+            graphs={
+                "cycle": gen.cycle_edges(24, as_arrays=True),
+                "grid": lambda: gen.grid_edges(4, 6, as_arrays=True),
+            },
+            seeds=[0],
+        ).run()
+        assert len(result) == 2
+        assert [run.name for run in result] == ["cycle", "grid"]
+        assert "generate_s" not in result[0].timings
+        assert "generate_s" in result[1].timings
+        rows = result.as_rows()
+        assert rows[0]["graph"] == "cycle" and rows[0]["valid"] is True
+        assert rows[0]["problem"] == "maximal-independent-set"
+        with pytest.raises(ValueError, match="2 runs"):
+            result.run
+
+    def test_sequence_of_graphs_gets_positional_names(self):
+        from repro.core.experiment import Experiment
+        from repro.graphs import generators as gen
+
+        result = Experiment(
+            problem=problems.MIS,
+            algorithm=LubyMIS,
+            graphs=[gen.path_edges(10), gen.path_edges(12)],
+            seeds=[0],
+        ).run()
+        assert [run.name for run in result] == ["graph-0", "graph-1"]
+
+    def test_single_pair_is_one_graph_not_a_sequence(self):
+        from repro.core.experiment import Experiment
+        from repro.graphs import generators as gen
+
+        result = Experiment(
+            problem=problems.MIS,
+            algorithm=LubyMIS,
+            graphs=gen.cycle_edges(12),
+            seeds=[0],
+        ).run()
+        assert len(result) == 1
+        assert result.run.network.n == 12
+
+    def test_problem_and_algorithm_factories_receive_network(self, small_network):
+        from repro.core.experiment import Experiment
+
+        seen = []
+
+        def problem_factory(network):
+            seen.append(network)
+            return problems.MIS
+
+        result = Experiment(
+            problem=problem_factory,
+            algorithm=lambda network: LubyMIS(),
+            graphs=small_network,
+            seeds=[0],
+        ).run()
+        assert seen == [small_network]
+        assert result.ok
+
+    def test_seeds_and_trials_mutually_exclusive(self, small_network):
+        from repro.core.experiment import Experiment
+
+        with pytest.raises(ValueError, match="not both"):
+            Experiment(
+                problem=problems.MIS,
+                algorithm=LubyMIS,
+                graphs=small_network,
+                seeds=[0],
+                trials=2,
+            )
+        with pytest.raises(ValueError, match="at least one"):
+            Experiment(
+                problem=problems.MIS,
+                algorithm=LubyMIS,
+                graphs=small_network,
+                seeds=[],
+            )
+
+    def test_invalid_solutions_surface_in_verdicts_when_not_required(self, small_network):
+        from repro.core.experiment import Experiment
+        from repro.local.runner import Runner
+
+        # A runner capped at 0 rounds leaves every node uncommitted, so the
+        # MIS validator must reject the (empty, non-maximal) output.
+        result = Experiment(
+            problem=problems.MIS,
+            algorithm=LubyMIS,
+            graphs=small_network,
+            seeds=[0],
+            runner=Runner(max_rounds=0, strict=False),
+            require_valid=False,
+        ).run()
+        assert result.run.verdicts == (False,)
+        assert not result.ok
+
+    def test_require_valid_raises_on_invalid_trial(self, small_network):
+        from repro.core.experiment import Experiment
+        from repro.local.runner import Runner
+
+        with pytest.raises(Exception):
+            Experiment(
+                problem=problems.MIS,
+                algorithm=LubyMIS,
+                graphs=small_network,
+                seeds=[0],
+                runner=Runner(max_rounds=0, strict=False),
+            ).run()
+
+    def test_reusable_builder_reproduces_results(self, small_network):
+        from repro.core.experiment import Experiment
+
+        experiment = Experiment(
+            problem=problems.MIS,
+            algorithm=LubyMIS,
+            graphs=small_network,
+            seeds=[3, 4],
+            quantiles=None,
+        )
+        first = experiment.run()
+        second = experiment.run()
+        assert first.run.measurement == second.run.measurement
+        assert [t.node_outputs for t in first.run.traces] == [
+            t.node_outputs for t in second.run.traces
+        ]
+
+    def test_parameterised_algorithm_class_needs_an_explicit_factory(self, small_network):
+        from repro.algorithms.ruling_set.deterministic import DeterministicRulingSet
+        from repro.core.experiment import Experiment
+
+        # A class whose required __init__ params are config values must not
+        # have the network silently bound to the first slot.
+        with pytest.raises(TypeError, match="pass a factory instead"):
+            Experiment(
+                problem=problems.MIS,
+                algorithm=DeterministicRulingSet,
+                graphs=small_network,
+                seeds=[0],
+            )
+
+    def test_many_argument_factory_rejected(self, small_network):
+        from repro.core.experiment import Experiment
+
+        with pytest.raises(TypeError, match="zero arguments or only the network"):
+            Experiment(
+                problem=problems.MIS,
+                algorithm=lambda network, extra: LubyMIS(),
+                graphs=small_network,
+                seeds=[0],
+            )
+
+    def test_pair_with_numpy_integer_n_is_one_graph(self):
+        import numpy as np
+
+        from repro.core.experiment import Experiment
+        from repro.graphs import generators as gen
+
+        n, edges = gen.cycle_edges(12)
+        result = Experiment(
+            problem=problems.MIS,
+            algorithm=LubyMIS,
+            graphs=(np.int64(n), edges),
+            seeds=[0],
+        ).run()
+        assert len(result) == 1
+        assert result.run.network.n == 12
+
+    def test_callable_sources_are_named_from_their_provenance(self):
+        from repro.core.experiment import Experiment
+        from repro.graphs import generators as gen
+
+        result = Experiment(
+            problem=problems.MIS,
+            algorithm=LubyMIS,
+            graphs=[
+                lambda: gen.fast_gnp_edges(60, 0.1, seed=1, as_arrays=True),
+                lambda: gen.path_edges(20),  # no provenance -> positional
+            ],
+            seeds=[0],
+        ).run()
+        assert [run.name for run in result] == ["fast_gnp", "graph-1"]
+
+    def test_float_endpoint_arrays_are_rejected_not_truncated(self):
+        import numpy as np
+
+        from repro.local.network import Network
+
+        with pytest.raises(ValueError, match="integer array"):
+            Network.from_endpoint_arrays(3, np.array([0.9]), np.array([1.2]))
+
+    def test_duplicate_family_names_are_disambiguated(self):
+        from repro.core.experiment import Experiment
+        from repro.graphs import generators as gen
+
+        result = Experiment(
+            problem=problems.MIS,
+            algorithm=LubyMIS,
+            graphs=[
+                gen.fast_gnp_edges(40, 0.1, seed=1, as_arrays=True),
+                gen.fast_gnp_edges(40, 0.1, seed=2, as_arrays=True),
+            ],
+            seeds=[0],
+        ).run()
+        assert [run.name for run in result] == ["fast_gnp", "fast_gnp-1"]
+
+    def test_seeds_with_base_seed_rejected(self, small_network):
+        from repro.core.experiment import Experiment
+
+        with pytest.raises(ValueError, match="not both"):
+            Experiment(
+                problem=problems.MIS,
+                algorithm=LubyMIS,
+                graphs=small_network,
+                seeds=[0, 1],
+                seed=42,
+            )

@@ -154,3 +154,38 @@ class TestDegreeDistributionChiSquare:
         # 99.9% quantile of chi-square with df ≤ 14 is < 38; a wrong gap law
         # sends the statistic into the hundreds.
         assert statistic < 38.0, f"chi-square {statistic:.1f} over {df} cells"
+
+
+class TestNativeArrayMode:
+    """``as_arrays=True`` hands the skip walk's numpy arrays straight through."""
+
+    def test_array_mode_equals_tuple_mode_exactly(self):
+        for n, p, seed in [(500, 0.02, 1), (1000, 0.004, 9), (50, 0.5, 3)]:
+            n_t, edges = gen.fast_gnp_edges(n, p, seed=seed)
+            arrays = gen.fast_gnp_edges(n, p, seed=seed, as_arrays=True)
+            assert arrays.n == n_t == n
+            assert arrays.as_pairs() == [tuple(e) for e in edges]
+            assert arrays.meta == {"family": "fast_gnp", "n": n, "p": p, "seed": seed}
+
+    def test_degenerate_parameters_in_array_mode(self):
+        assert gen.fast_gnp_edges(1, 0.5, as_arrays=True).m == 0
+        assert gen.fast_gnp_edges(10, 0.0, as_arrays=True).m == 0
+        full = gen.fast_gnp_edges(6, 1.0, as_arrays=True)
+        assert full.m == 15  # K_6, delegated to complete_edges
+
+    def test_arrays_feed_the_numpy_csr_network_build(self):
+        arrays = gen.fast_gnp_edges(800, 0.01, seed=4, as_arrays=True)
+        via_arrays = Network.from_edge_arrays(arrays)
+        n, edges = gen.fast_gnp_edges(800, 0.01, seed=4)
+        via_tuples = Network.from_edge_list(n, edges)
+        assert via_arrays.edges == via_tuples.edges
+        assert via_arrays.identifiers == via_tuples.identifiers
+        assert [via_arrays.neighbors(v) for v in range(20)] == [
+            via_tuples.neighbors(v) for v in range(20)
+        ]
+
+    def test_dense_delegation_keeps_fast_gnp_provenance(self):
+        full = gen.fast_gnp_edges(6, 1.0, seed=3, as_arrays=True)
+        assert full.m == 15
+        assert full.meta["family"] == "fast_gnp"
+        assert full.meta["p"] == 1.0 and full.meta["seed"] == 3

@@ -141,3 +141,74 @@ class TestNetworkIntegration:
         exported = net.to_networkx()
         assert exported.number_of_nodes() == 8
         assert _canon(exported.edges()) == _canon(net.edges)
+
+
+class TestAsArraysTwins:
+    """``as_arrays=True`` must emit the exact same edge list as tuple mode.
+
+    The deterministic families build their arrays natively in numpy, so this
+    pins that the vectorised constructions reproduce the Python loops
+    element for element (same order, not just the same set); the randomized
+    families replay the same RNG stream either way.
+    """
+
+    CASES = [
+        ("cycle_edges", (3,)),
+        ("cycle_edges", (17,)),
+        ("path_edges", (1,)),
+        ("path_edges", (23,)),
+        ("complete_edges", (1,)),
+        ("complete_edges", (9,)),
+        ("star_edges", (1,)),
+        ("star_edges", (12,)),
+        ("grid_edges", (1, 1)),
+        ("grid_edges", (1, 7)),
+        ("grid_edges", (5, 1)),
+        ("grid_edges", (4, 6)),
+        ("random_regular_edges", (3, 18, 4)),
+        ("random_regular_edges", (0, 5, 0)),
+        ("erdos_renyi_edges", (25, 4.0, 2)),
+        ("erdos_renyi_edges", (1, 3.0, 0)),
+        ("erdos_renyi_edges", (4, 0.0, 0)),
+        ("erdos_renyi_edges", (4, 99.0, 0)),
+        ("min_degree_edges", (11, 3, 5)),
+        ("min_degree_edges", (12, 3, 5)),
+    ]
+
+    @pytest.mark.parametrize("name,args", CASES)
+    def test_array_twin_matches_tuple_twin_exactly(self, name, args):
+        from repro.graphs.edgelist import EdgeArrays
+
+        generator = getattr(gen, name)
+        n, edges = generator(*args)
+        arrays = generator(*args, as_arrays=True)
+        assert isinstance(arrays, EdgeArrays)
+        assert arrays.n == n
+        assert arrays.as_pairs() == [tuple(e) for e in edges]
+
+    def test_provenance_metadata_names_the_family(self):
+        assert gen.cycle_edges(5, as_arrays=True).meta["family"] == "cycle"
+        assert gen.grid_edges(2, 3, as_arrays=True).meta == {
+            "family": "grid",
+            "rows": 2,
+            "cols": 3,
+        }
+        regular = gen.random_regular_edges(4, 10, seed=3, as_arrays=True)
+        assert regular.meta["family"] == "random_regular"
+        assert regular.meta["seed"] == 3
+        assert gen.min_degree_edges(11, 3, seed=5, as_arrays=True).meta["family"] == "min_degree"
+
+    def test_network_from_edge_arrays_equals_tuple_network(self):
+        arrays = gen.grid_edges(6, 5, as_arrays=True)
+        n, edges = gen.grid_edges(6, 5)
+        a = Network.from_edge_arrays(arrays)
+        b = Network.from_edge_list(n, edges)
+        assert a.edges == b.edges
+        assert [a.neighbors(v) for v in a.vertices] == [b.neighbors(v) for v in b.vertices]
+
+    def test_min_degree_even_parity_keeps_min_degree_provenance(self):
+        arrays = gen.min_degree_edges(12, 3, seed=5, as_arrays=True)
+        assert arrays.meta["family"] == "min_degree"
+        assert arrays.meta["min_degree"] == 3 and arrays.meta["seed"] == 5
+        n, edges = gen.min_degree_edges(12, 3, seed=5)
+        assert arrays.as_pairs() == [tuple(e) for e in edges]

@@ -193,3 +193,148 @@ class TestIdentifierSchemes:
         renamed = net.with_identifiers({0: 10, 1: 20, 2: 30})
         assert renamed.identifier(2) == 30
         assert renamed.m == net.m
+
+
+class TestFromEndpointArrays:
+    """The vectorised numpy CSR construction path (Network.from_endpoint_arrays)."""
+
+    def _assert_indistinguishable(self, a: Network, b: Network) -> None:
+        np = pytest.importorskip("numpy")
+        assert (a.n, a.m) == (b.n, b.m)
+        assert a.edges == b.edges
+        assert [a.neighbors(v) for v in a.vertices] == [b.neighbors(v) for v in b.vertices]
+        assert a.identifiers == b.identifiers
+        assert (a.max_degree(), a.min_degree()) == (b.max_degree(), b.min_degree())
+        assert a.id_bit_length() == b.id_bit_length()
+        assert np.array_equal(np.asarray(a.indptr), np.asarray(b.indptr))
+        assert np.array_equal(np.asarray(a.indices), np.asarray(b.indices))
+        ea, eb = a.edge_endpoints(), b.edge_endpoints()
+        assert np.array_equal(ea[0], eb[0]) and np.array_equal(ea[1], eb[1])
+
+    def test_matches_tuple_path_on_random_workload(self):
+        from repro.graphs.generators import random_regular_edges
+
+        n, edges = random_regular_edges(4, 200, seed=1)
+        identifiers = ids.permuted_ids(list(range(n)), random.Random(7))
+        tuple_net = Network.from_edges(n, edges, identifiers)
+        array_net = Network.from_endpoint_arrays(
+            n, [u for u, _ in edges], [v for _, v in edges], identifiers
+        )
+        self._assert_indistinguishable(tuple_net, array_net)
+
+    def test_endpoint_orientation_is_free(self):
+        swapped = Network.from_endpoint_arrays(4, [1, 3, 2], [0, 2, 1])
+        assert swapped.edges == ((0, 1), (1, 2), (2, 3))
+
+    def test_duplicate_edges_removed(self):
+        net = Network.from_endpoint_arrays(3, [0, 1, 1, 0], [1, 0, 2, 1])
+        assert net.m == 2
+        assert net.edges == ((0, 1), (1, 2))
+
+    def test_rows_and_edges_are_lazy_until_asked(self):
+        net = Network.from_endpoint_arrays(4, [0, 1, 2], [1, 2, 3])
+        assert net._rows is None and net._edges_cache is None
+        # flat consumers never materialise them
+        assert len(net.indices) == 2 * net.m
+        assert net._rows is None and net._edges_cache is None
+        # a per-node consumer derives them on demand, as plain-int tuples
+        assert net.neighbors(1) == (0, 2)
+        assert all(type(u) is int for u in net.neighbors(1))
+        assert net.edges[0] == (0, 1)
+        assert all(type(x) is int for x in net.edges[0])
+
+    def test_self_loops_rejected_with_canonical_error(self):
+        with pytest.raises(ValueError, match="self-loops"):
+            Network.from_endpoint_arrays(3, [0, 1], [1, 1])
+
+    def test_out_of_range_endpoints_rejected(self):
+        with pytest.raises(ValueError, match="outside 0"):
+            Network.from_endpoint_arrays(3, [0], [3])
+        with pytest.raises(ValueError, match="outside 0"):
+            Network.from_endpoint_arrays(3, [-1], [1])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            Network.from_endpoint_arrays(3, [0, 1], [1])
+
+    def test_empty_and_edgeless_graphs(self):
+        empty = Network.from_endpoint_arrays(0, [], [])
+        assert empty.n == 0 and empty.m == 0 and empty.edges == ()
+        edgeless = Network.from_endpoint_arrays(5, [], [])
+        assert edgeless.m == 0
+        assert edgeless.max_degree() == 0 and edgeless.min_degree() == 0
+        assert [edgeless.neighbors(v) for v in edgeless.vertices] == [()] * 5
+
+    def test_id_scheme_parity_with_from_edge_list(self):
+        from repro.graphs.generators import cycle_edges
+
+        n, edges = cycle_edges(40)
+        arrays = cycle_edges(40, as_arrays=True)
+        via_list = Network.from_edge_list(n, edges, id_scheme="permuted", rng=random.Random(3))
+        via_arrays = Network.from_endpoint_arrays(
+            n, arrays.src, arrays.dst, id_scheme="permuted", rng=random.Random(3)
+        )
+        self._assert_indistinguishable(via_list, via_arrays)
+
+    def test_identifiers_and_id_scheme_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            Network.from_endpoint_arrays(
+                3, [0], [1], identifiers={0: 0, 1: 1, 2: 2}, id_scheme="sequential"
+            )
+
+    def test_sequential_default_matches_explicit_sequential(self):
+        default = Network.from_endpoint_arrays(4, [0, 1], [1, 2])
+        explicit = Network.from_endpoint_arrays(
+            4, [0, 1], [1, 2], identifiers=ids.sequential_ids(list(range(4)))
+        )
+        assert default.identifiers == explicit.identifiers == (0, 1, 2, 3)
+        assert default.id_bit_length() == explicit.id_bit_length() == 2
+
+    def test_from_edge_arrays_consumes_the_interchange(self):
+        from repro.graphs.edgelist import EdgeArrays
+
+        arrays = EdgeArrays(n=4, src=[0, 1, 2], dst=[1, 2, 3])
+        net = Network.from_edge_arrays(arrays)
+        assert net.edges == ((0, 1), (1, 2), (2, 3))
+        assert net.identifiers == (0, 1, 2, 3)
+
+    def test_with_identifiers_on_array_built_network(self):
+        net = Network.from_endpoint_arrays(3, [0, 1], [1, 2])
+        renamed = net.with_identifiers({0: 5, 1: 6, 2: 7})
+        assert renamed.identifiers == (5, 6, 7)
+        assert renamed.edges == net.edges
+
+    def test_subnetwork_on_array_built_network(self):
+        net = Network.from_endpoint_arrays(5, [0, 1, 2, 3], [1, 2, 3, 4])
+        sub = net.subnetwork([1, 2, 3])
+        assert sub.n == 3
+        assert sub.edges == ((0, 1), (1, 2))
+        assert sub.identifiers == (1, 2, 3)
+
+    def test_original_labels_are_identity(self):
+        net = Network.from_endpoint_arrays(3, [0], [1])
+        assert net.original_label(2) == 2
+        with pytest.raises(IndexError):
+            net.original_label(3)
+
+    def test_traces_identical_across_construction_paths(self):
+        """Seed-for-seed trace identity: the acceptance invariant of the array path."""
+        from repro.algorithms.mis.luby import LubyMIS
+        from repro.core import problems
+        from repro.graphs.generators import random_regular_edges
+        from repro.local.runner import Runner
+
+        n, edges = random_regular_edges(4, 120, seed=2)
+        identifiers = ids.permuted_ids(list(range(n)), random.Random(9))
+        tuple_net = Network.from_edges(n, edges, identifiers)
+        array_net = Network.from_endpoint_arrays(
+            n, [u for u, _ in edges], [v for _, v in edges], identifiers
+        )
+        runner = Runner(max_rounds=500)
+        for seed in (0, 1):
+            a = runner.run(LubyMIS(), tuple_net, problems.MIS, seed=seed)
+            b = runner.run(LubyMIS(), array_net, problems.MIS, seed=seed)
+            assert a.node_outputs == b.node_outputs
+            assert a.node_commit_round == b.node_commit_round
+            assert a.rounds == b.rounds
+            assert a.total_messages == b.total_messages
