@@ -20,7 +20,7 @@ timing.  Results are written to ``BENCH_core.json`` (see
 ``benchmarks/README.md`` for the schema); this file is the start of the
 repo's perf trajectory — future PRs append comparable runs.
 
-Cells come in five kinds (schema ``bench-core/v4``):
+Cells come in six kinds (schema ``bench-core/v5``):
 
 * ``kind="pipeline"`` — the full generate → run → validate → measure
   pipeline is timed, phase by phase (``network_s``, ``runner_s``,
@@ -51,6 +51,18 @@ Cells come in five kinds (schema ``bench-core/v4``):
   arrays, same identifiers — which is what guarantees seed-for-seed
   identical traces through the array path.  Identifiers are sequential so
   the cell isolates the topology build itself.
+* ``kind="run"`` (v5) — the **execution-engine race**: the per-node
+  coroutine :class:`repro.local.runner.Runner` (the seed side here — it *is*
+  today's exact-reference path) against the vectorised
+  :class:`repro.local.engine.ArrayEngine` on one shared network, same
+  per-trial seed schedule.  The two follow different documented seed
+  schedules (per-node Mersenne vs block PCG64 — see
+  ``repro/local/engine.py``), so no trace identity exists to assert;
+  instead **every trace from both engines must pass the CSR validators**,
+  and the structural invariants shared by the two paths are asserted
+  (Luby commit-round parity, matching completion rounds ``≡ 3 (mod 4)``).
+  The distributional equivalence itself is pinned by the exhaustive seed
+  sweeps in ``tests/local/test_engine.py``.
 
 Since v3 the seed/new *measurement* comparison of pipeline and validate
 cells is asserted to ≤ 1e-12 relative rather than bitwise: the numpy means
@@ -97,11 +109,12 @@ from repro.core.metrics import measure
 from repro.graphs import generators as gen
 from repro.local import ids as ids_module
 from repro.local.coroutine import CoroutineAlgorithm
+from repro.local.engine import ArrayEngine
 from repro.local.network import Network
 from repro.local.runner import Runner
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
-SCHEMA = "bench-core/v4"
+SCHEMA = "bench-core/v5"
 ID_SEED = 7
 MAX_ROUNDS = 20_000
 #: Relative tolerance for seed-vs-new measurement agreement (see module doc).
@@ -219,6 +232,30 @@ def _cells(quick: bool) -> List[Cell]:
                 None,
                 kind="build",
                 expected_degree=8.0,
+            ),
+            # v5 cell kind, smoke-sized: the coroutine-runner vs array-engine
+            # race, with validator-verified outputs on both sides.
+            Cell(
+                "luby-mis",
+                "fast-gnp-8",
+                2_000,
+                2,
+                LubyMIS,
+                problems.MIS,
+                None,
+                kind="run",
+                expected_degree=8.0,
+            ),
+            Cell(
+                "randomized-matching",
+                "fast-gnp-5",
+                800,
+                1,
+                RandomizedMaximalMatching,
+                problems.MAXIMAL_MATCHING,
+                None,
+                kind="run",
+                expected_degree=5.0,
             ),
         ]
 
@@ -398,6 +435,46 @@ def _cells(quick: bool) -> List[Cell]:
             expected_degree=10.0,
             reps=2,
         ),
+        # ---- execution-engine race: coroutine runner vs array engine ----
+        # The acceptance cell of ISSUE 5: Luby MIS at n = 10^5 must be >= 5x
+        # faster on the array engine, with validator-verified outputs on
+        # both sides; the n = 10^6 cell documents the million-node frontier.
+        Cell(
+            "luby-mis",
+            "fast-gnp-10",
+            100_000,
+            2,
+            LubyMIS,
+            problems.MIS,
+            None,
+            kind="run",
+            expected_degree=10.0,
+            reps=2,
+        ),
+        Cell(
+            "randomized-matching",
+            "fast-gnp-10",
+            100_000,
+            1,
+            RandomizedMaximalMatching,
+            problems.MAXIMAL_MATCHING,
+            None,
+            kind="run",
+            expected_degree=10.0,
+            reps=1,
+        ),
+        Cell(
+            "luby-mis",
+            "fast-gnp-10",
+            1_000_000,
+            1,
+            LubyMIS,
+            problems.MIS,
+            None,
+            kind="run",
+            expected_degree=10.0,
+            reps=1,
+        ),
     ]
 
 
@@ -555,6 +632,8 @@ def run_cell(cell: Cell, reps: int = 3, validate: bool = True) -> Dict[str, obje
         return _run_generate_cell(cell, reps)
     if cell.kind == "build":
         return _run_build_cell(cell, reps)
+    if cell.kind == "run":
+        return _run_engine_cell(cell, reps)
     n, edges, identifiers = _workload_inputs(cell)
     if cell.kind == "validate":
         return _run_validate_cell(cell, n, edges, identifiers, reps)
@@ -786,6 +865,83 @@ def _run_build_cell(cell: Cell, reps: int) -> Dict[str, object]:
     }
 
 
+def _run_engine_cell(cell: Cell, reps: int) -> Dict[str, object]:
+    """A ``kind="run"`` cell: the coroutine-runner vs array-engine race.
+
+    One ``G(n, p)`` workload is generated untimed through
+    ``fast_gnp_edges(..., as_arrays=True)`` and stood up once through the
+    numpy CSR build (sequential identifiers); the **seed** side then runs
+    the trials on the per-node coroutine :class:`Runner` (today's exact
+    reference path), the **new** side on the vectorised
+    :class:`ArrayEngine`, both with the ``trial_seed`` schedule.  The two
+    follow different documented seed schedules (per-node Mersenne vs block
+    PCG64), so there is no trace identity to assert — instead every trace
+    from both engines is validator-verified, and the structural invariants
+    the two paths share are checked (Luby joins at odd rounds / removals at
+    even; matching completions at rounds ``≡ 3 (mod 4)``).  The
+    distributional equivalence is pinned separately by the exhaustive seed
+    sweeps in ``tests/local/test_engine.py``.
+    """
+    n = cell.n
+    expected_degree = float(cell.expected_degree)
+    p = expected_degree / (n - 1)
+    arrays = gen.fast_gnp_edges(n, p, seed=cell.gen_seed, as_arrays=True)
+    network = Network.from_endpoint_arrays(n, arrays.src, arrays.dst)
+
+    best_seed_s = best_new_s = None
+    seed_traces = new_traces = None
+    for _ in range(reps):
+        runner = Runner(max_rounds=MAX_ROUNDS)
+        t0 = time.perf_counter()
+        seed_traces = [
+            runner.run(cell.make_algorithm(), network, cell.problem, seed=trial_seed(0, i))
+            for i in range(cell.trials)
+        ]
+        seed_s = time.perf_counter() - t0
+        engine = ArrayEngine(max_rounds=MAX_ROUNDS)
+        t0 = time.perf_counter()
+        new_traces = [
+            engine.run(
+                cell.make_algorithm().as_array_algorithm(),
+                network,
+                cell.problem,
+                seed=trial_seed(0, i),
+            )
+            for i in range(cell.trials)
+        ]
+        new_s = time.perf_counter() - t0
+        if best_seed_s is None or seed_s < best_seed_s:
+            best_seed_s = seed_s
+        if best_new_s is None or new_s < best_new_s:
+            best_new_s = new_s
+
+    for trace in (*seed_traces, *new_traces):
+        trace.require_valid()
+    if cell.problem.labels_edges and not cell.problem.labels_nodes:
+        for trace in (*seed_traces, *new_traces):
+            assert trace.rounds % 4 == 3, f"matching completion round parity on {cell}"
+
+    return {
+        "algorithm": cell.algorithm,
+        "workload": cell.workload,
+        "kind": cell.kind,
+        "n": n,
+        "m": network.m,
+        "p": p,
+        "trials": cell.trials,
+        "rounds": [t.rounds for t in new_traces],
+        "seed_rounds": [t.rounds for t in seed_traces],
+        "total_messages": [t.total_messages for t in new_traces],
+        "seed_total_messages": [t.total_messages for t in seed_traces],
+        "seed": {"runner_s": round(best_seed_s, 6), "total_s": round(best_seed_s, 6)},
+        "new": {"runner_s": round(best_new_s, 6), "total_s": round(best_new_s, 6)},
+        "speedup": round(best_seed_s / best_new_s, 3),
+        "run_speedup": round(best_seed_s / best_new_s, 3),
+        "validated_outputs": True,
+        "measurement": measure(new_traces).as_dict(),
+    }
+
+
 def _run_generate_cell(cell: Cell, reps: int) -> Dict[str, object]:
     """A ``kind="generate"`` cell: the Erdős–Rényi generator race.
 
@@ -853,6 +1009,8 @@ def run_suite(quick: bool = False, reps: int = 3, validate: bool = True) -> Dict
             detail = f"(generate ×{record['generate_speedup']:.2f}, m={record['new_m']})"
         elif record["kind"] == "build":
             detail = f"(build ×{record['build_speedup']:.2f}, m={record['m']})"
+        elif record["kind"] == "run":
+            detail = f"(engine ×{record['run_speedup']:.2f}, m={record['m']})"
         else:
             detail = f"(runner ×{record['runner_speedup']:.2f})"
         print(
@@ -882,7 +1040,12 @@ def run_suite(quick: bool = False, reps: int = 3, validate: bool = True) -> Dict
             "seed schedules, edge counts asserted within 6 sigma of n(n-1)/2*p); "
             "build cells race the tuple-row Network.from_edges build against "
             "the numpy CSR Network.from_endpoint_arrays build on one shared "
-            "workload, asserting the two networks are indistinguishable."
+            "workload, asserting the two networks are indistinguishable; "
+            "run cells race the per-node coroutine Runner against the "
+            "vectorised ArrayEngine on one shared network (different "
+            "documented seed schedules -> no trace identity; every trace on "
+            "both sides is validator-verified, distributional equivalence is "
+            "pinned by tests/local/test_engine.py)."
         ),
         "cells": records,
     }

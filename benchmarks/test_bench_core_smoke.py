@@ -6,8 +6,8 @@ builder — cannot silently rot.  The quick cells are tiny (n ≈ 100–2000), s
 this stays well inside the tier-1 time budget; the speedup *values* are not
 asserted (meaningless at smoke sizes), only the invariants the harness is
 built on: both pipelines produce identical traces and measurements agreeing
-to ≤ 1e-12 relative, the v3 measure/generate and v4 build cell kinds run,
-and the document has the ``bench-core/v4`` shape.  A second test pins the
+to ≤ 1e-12 relative, the v3 measure/generate, v4 build and v5 run cell
+kinds run, and the document has the ``bench-core/v5`` shape.  A second test pins the
 :class:`repro.core.experiment.Experiment` facade against the harness's
 hand-rolled plumbing: same seeds, bit-identical traces and measurement.
 """
@@ -32,7 +32,14 @@ def test_quick_suite_produces_identical_pipelines(tmp_path):
     assert {"luby-mis", "randomized-matching", "sinkless-orientation"} <= algorithms
 
     for cell in cells:
-        assert cell["kind"] in ("pipeline", "validate", "measure", "generate", "build")
+        assert cell["kind"] in (
+            "pipeline",
+            "validate",
+            "measure",
+            "generate",
+            "build",
+            "run",
+        )
         assert cell["seed"]["total_s"] > 0 and cell["new"]["total_s"] > 0
         assert cell["speedup"] > 0
         if cell["kind"] in ("pipeline", "validate"):
@@ -80,6 +87,21 @@ def test_quick_suite_produces_identical_pipelines(tmp_path):
         assert cell["identical_networks"] is True
         assert cell["m"] > 0
         assert cell["seed"]["network_s"] > 0 and cell["new"]["network_s"] > 0
+
+    # ... and the v5 cell kind: the coroutine-runner vs array-engine race,
+    # with validator-verified outputs on both sides (asserted inside
+    # _run_engine_cell; the flag records it in the committed document).
+    run_cells = [cell for cell in cells if cell["kind"] == "run"]
+    assert run_cells, "quick suite lost its engine-race cell"
+    assert {cell["algorithm"] for cell in run_cells} >= {
+        "luby-mis",
+        "randomized-matching",
+    }
+    for cell in run_cells:
+        assert cell["run_speedup"] > 0
+        assert cell["validated_outputs"] is True
+        assert len(cell["seed_rounds"]) == cell["trials"]
+        assert cell["seed"]["runner_s"] > 0 and cell["new"]["runner_s"] > 0
 
     # The document must be JSON-serialisable exactly as core_perf writes it.
     path = tmp_path / "BENCH_core.json"

@@ -18,6 +18,13 @@ a ``networkx.Graph`` **or a Python tuple per edge**:
   ``BENCH_core.json`` record the speedup over the tuple-row build), runs
   the seeded trials, validates through the CSR-native validators, and
   measures over numpy float64 reductions with tail quantiles;
+* the trials themselves run with ``engine="auto"``: Luby MIS implements the
+  :class:`repro.local.engine.ArrayAlgorithm` protocol, so the round loop
+  executes as vectorised numpy operations over the CSR topology
+  (:class:`repro.local.engine.ArrayEngine`) instead of per-node coroutines —
+  the ``kind="run"`` cells of ``BENCH_core.json`` record the speedup
+  (pass ``--engine node`` to feel the difference: the n = 10⁶ finale's
+  runner phase drops from ≈ 60 s to well under a second);
 * per-phase wall-clock timings come back on the result
   (``run.timings``), so the breakdown below is the facade's own record.
 
@@ -25,6 +32,7 @@ Run with::
 
     PYTHONPATH=src python examples/scaling_to_100k.py            # full tour incl. n = 10⁶
     PYTHONPATH=src python examples/scaling_to_100k.py --no-million
+    PYTHONPATH=src python examples/scaling_to_100k.py --engine node   # coroutine runner
 """
 
 from __future__ import annotations
@@ -38,8 +46,8 @@ from repro.core.experiment import Experiment
 from repro.graphs import generators as gen
 
 
-def run_workload(name: str, arrays, trials: int = 2) -> None:
-    print(f"\n=== {name}: n={arrays.n:,}, m={arrays.m:,} ===")
+def run_workload(name: str, arrays, trials: int = 2, engine: str = "auto") -> None:
+    print(f"\n=== {name}: n={arrays.n:,}, m={arrays.m:,} (engine={engine}) ===")
 
     result = Experiment(
         problem=problems.MIS,
@@ -48,6 +56,7 @@ def run_workload(name: str, arrays, trials: int = 2) -> None:
         seeds=range(trials),
         id_scheme="sequential",
         max_rounds=20_000,
+        engine=engine,
     ).run()
 
     run = result.run
@@ -74,26 +83,33 @@ def main() -> None:
         action="store_true",
         help="skip the n = 10⁶ G(n, 10/n) finale (runs the 10⁵ workloads only)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=("node", "array", "auto"),
+        default="auto",
+        help="execution engine: auto (default) runs the vectorised array "
+        "engine, node the per-node coroutine runner",
+    )
     args = parser.parse_args()
 
     t0 = time.perf_counter()
     arrays = gen.cycle_edges(100_000, as_arrays=True)
     print(f"generated C_100000 endpoint arrays in {time.perf_counter() - t0:.2f} s")
-    run_workload("cycle", arrays)
+    run_workload("cycle", arrays, engine=args.engine)
 
     t0 = time.perf_counter()
     arrays = gen.random_regular_edges(4, 50_000, seed=1, as_arrays=True)
     print(f"\ngenerated random 4-regular (n=50k) arrays in {time.perf_counter() - t0:.2f} s")
-    run_workload("random-4-regular", arrays)
+    run_workload("random-4-regular", arrays, engine=args.engine)
 
     if args.no_million:
         return
 
     # The million-node finale: G(n, 10/n) through the geometric-skip
-    # generator, endpoint arrays end to end.  One trial — the point is that
-    # generate → network → run → validate → measure completes interactively
-    # at n = 10⁶, with the network build (vectorised CSR) and the
-    # measurement phase both rounding errors next to the simulation itself.
+    # generator, endpoint arrays end to end.  With engine="auto" the round
+    # loop itself runs vectorised over the CSR arrays, so the whole
+    # generate → network → run → validate → measure pipeline at n = 10⁶ is
+    # a matter of seconds — no phase is per-node Python any more.
     big_n = 1_000_000
     t0 = time.perf_counter()
     arrays = gen.fast_gnp_edges(big_n, 10.0 / big_n, seed=1, as_arrays=True)
@@ -101,7 +117,7 @@ def main() -> None:
         f"\ngenerated G(n=10⁶, p=10/n) endpoint arrays in {time.perf_counter() - t0:.2f} s "
         f"(geometric skip; the Gilbert loop would flip {big_n * (big_n - 1) // 2:,} coins)"
     )
-    run_workload("gnp-million", arrays, trials=1)
+    run_workload("gnp-million", arrays, trials=1, engine=args.engine)
 
 
 if __name__ == "__main__":

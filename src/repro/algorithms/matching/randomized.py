@@ -28,10 +28,13 @@ from __future__ import annotations
 
 from typing import Dict, Set
 
+import numpy as np
+
 from repro.local.coroutine import CoroutineAlgorithm
+from repro.local.engine import ArrayAlgorithm, ArrayState, ArrayTopology
 from repro.local.node import NodeRuntime
 
-__all__ = ["RandomizedMaximalMatching"]
+__all__ = ["RandomizedMaximalMatching", "RandomizedMatchingArray"]
 
 
 class RandomizedMaximalMatching(CoroutineAlgorithm):
@@ -102,3 +105,115 @@ class RandomizedMaximalMatching(CoroutineAlgorithm):
                     undecided.discard(u)
             if matched:
                 return
+
+    def as_array_algorithm(self) -> "RandomizedMatchingArray":
+        return RandomizedMatchingArray(self.marking_factor)
+
+
+class RandomizedMatchingArray(ArrayAlgorithm):
+    """Array-engine twin of :class:`RandomizedMaximalMatching`.
+
+    Iteration ``k`` spans rounds ``4k−3`` (undecided-degree exchange),
+    ``4k−2`` (edge marking), ``4k−1`` (isolated marked edges join; matched
+    nodes commit all their undecided edges) and ``4k`` (matched nodes
+    announce and retire).  Round stamps follow the coroutine twin exactly:
+
+    * a matched edge commits ``True`` at round ``4k−1``;
+    * every other undecided edge incident to a matched node commits
+      ``False`` at round ``4k−1`` (the matched endpoint's commit; the other
+      endpoint's duplicate round-``4k`` commit never lowers the recorded
+      minimum, so it is not re-recorded);
+    * completion is therefore always reached at a round ``≡ 3 (mod 4)``
+      (or round 0 on edgeless graphs), exactly as with the coroutine twin.
+
+    Marking draws one uniform per still-undecided edge at round ``4k−2``,
+    in canonical edge-slot order (the engine's documented seed schedule);
+    the edge is marked with probability ``1 / (factor · (d_u + d_v))`` over
+    the iteration-start undecided degrees — the coroutine rate exactly
+    (there the lower-identifier endpoint draws; here the engine draws per
+    edge — the same per-edge Bernoulli, one draw per undecided edge either
+    way).
+
+    Messages: rounds ``4k−3``/``4k−2``/``4k−1`` each send one message per
+    direction of every undecided edge (``2·U_k``); round ``4k`` sends
+    ``2·U_k − 2·M_k`` (the ``M_k`` matched partners dropped each other
+    before announcing), matching the coroutine count round for round.
+    """
+
+    name = "randomized-maximal-matching"
+    labels_edges = True
+
+    def __init__(self, marking_factor: float = 4.0) -> None:
+        if marking_factor <= 0:
+            raise ValueError("marking_factor must be positive")
+        self.marking_factor = marking_factor
+
+    def init_arrays(
+        self, topology: ArrayTopology, rng: np.random.Generator
+    ) -> ArrayState:
+        state = ArrayState(topology.n, topology.m, nodes=False, edges=True)
+        state.halted |= topology.degrees == 0
+        state.extra["undecided"] = np.ones(topology.m, dtype=bool)
+        return state
+
+    def step(
+        self,
+        round_index: int,
+        state: ArrayState,
+        topology: ArrayTopology,
+        rng: np.random.Generator,
+    ) -> None:
+        extra = state.extra
+        undecided = extra["undecided"]
+        us, vs = topology.edge_us, topology.edge_vs
+        phase = round_index % 4
+        if phase == 1:
+            # Degree exchange (4k−3): snapshot the iteration's undecided
+            # edge set and per-node undecided degrees.
+            live = np.flatnonzero(undecided)
+            degrees = np.bincount(us[live], minlength=topology.n) + np.bincount(
+                vs[live], minlength=topology.n
+            )
+            extra["iter_edges"] = live
+            extra["iter_degrees"] = degrees
+            state.messages += 2 * live.size
+        elif phase == 2:
+            # Marking (4k−2): one uniform per undecided edge, edge-slot
+            # order — the documented seed schedule.
+            live = extra["iter_edges"]
+            degrees = extra["iter_degrees"]
+            rate = 1.0 / (
+                self.marking_factor * (degrees[us[live]] + degrees[vs[live]])
+            )
+            extra["marked"] = rng.random(live.size) < rate
+            state.messages += 2 * live.size
+        elif phase == 3:
+            # Matching commits (4k−1): a marked edge with no other marked
+            # edge at either endpoint joins; its endpoints commit every
+            # undecided incident edge.
+            live = extra["iter_edges"]
+            marked = live[extra["marked"]]
+            mark_count = np.bincount(us[marked], minlength=topology.n) + np.bincount(
+                vs[marked], minlength=topology.n
+            )
+            matched = marked[
+                (mark_count[us[marked]] == 1) & (mark_count[vs[marked]] == 1)
+            ]
+            matched_node = np.zeros(topology.n, dtype=bool)
+            matched_node[us[matched]] = True
+            matched_node[vs[matched]] = True
+            removed = live[matched_node[us[live]] | matched_node[vs[live]]]
+            state.edge_rounds[removed] = round_index
+            state.edge_values[matched] = True
+            undecided[removed] = False
+            extra["iter_matched"] = int(matched.size)
+            state.messages += 2 * live.size
+        else:
+            # Announcement (4k): matched nodes tell their remaining
+            # neighbours and retire; no first-time commits happen here.
+            state.messages += 2 * extra["iter_edges"].size - 2 * extra["iter_matched"]
+            still = np.flatnonzero(undecided)
+            active = np.zeros(topology.n, dtype=bool)
+            active[us[still]] = True
+            active[vs[still]] = True
+            np.logical_not(active, out=state.halted)

@@ -20,11 +20,16 @@ phase, so no extra bookkeeping round is needed.
 
 from __future__ import annotations
 
+from typing import Optional
+
+import numpy as np
+
 from repro.local.algorithm import Broadcast
 from repro.local.coroutine import CoroutineAlgorithm
+from repro.local.engine import ArrayAlgorithm, ArrayState, ArrayTopology
 from repro.local.node import NodeRuntime
 
-__all__ = ["LubyMIS"]
+__all__ = ["LubyMIS", "LubyMISArray", "luby_joins"]
 
 
 class LubyMIS(CoroutineAlgorithm):
@@ -52,3 +57,119 @@ class LubyMIS(CoroutineAlgorithm):
             inbox = yield Broadcast(joined)
             if not node.has_committed and any(inbox.values()):
                 node.commit(False)
+
+    def as_array_algorithm(self) -> "LubyMISArray":
+        return LubyMISArray()
+
+
+def luby_joins(
+    priorities: np.ndarray,
+    undecided: np.ndarray,
+    topology: ArrayTopology,
+    identifiers: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Mask of undecided nodes whose priority beats every undecided neighbour.
+
+    ``priorities`` is per-vertex (entries of decided vertices are ignored);
+    comparisons are lexicographic on ``(priority, identifier)``, exactly the
+    coroutine twin's tuple comparison — the identifier only matters on exact
+    float ties, which a continuous draw hits with probability zero but a
+    test (or an adversarial caller) can force.  An undecided node with no
+    undecided neighbour joins unconditionally, like its coroutine twin does
+    when its inbox is empty.
+    """
+    us, vs = topology.edge_us, topology.edge_vs
+    ids = topology.identifiers if identifiers is None else identifiers
+    live = undecided[us] & undecided[vs]
+    lu, lv = us[live], vs[live]
+    best = np.full(topology.n, -1.0)
+    np.maximum.at(best, lu, priorities[lv])
+    np.maximum.at(best, lv, priorities[lu])
+    joins = undecided & (priorities > best)
+    ties = undecided & (priorities == best)
+    if ties.any():
+        # Exact priority tie against the neighbourhood maximum: the winner
+        # is the larger identifier among the tied (measure-zero for real
+        # draws; exercised directly by the unit tests).
+        best_id = np.full(topology.n, -1, dtype=np.int64)
+        tie_lo = priorities[lu] == priorities[lv]
+        tu, tv = lu[tie_lo], lv[tie_lo]
+        np.maximum.at(best_id, tu, ids[tv])
+        np.maximum.at(best_id, tv, ids[tu])
+        joins |= ties & (ids > best_id)
+    return joins
+
+
+class LubyMISArray(ArrayAlgorithm):
+    """Array-engine twin of :class:`LubyMIS` (vectorised rounds over CSR).
+
+    Phase ``k`` spans rounds ``2k−1`` (priority exchange) and ``2k``
+    (joiner announcement), with exactly the coroutine twin's timeline:
+
+    * round 0: isolated nodes commit ``True``;
+    * round ``2k−1``: every node still undecided at phase start draws a
+      fresh uniform priority (one ``rng.random`` block, ascending vertex
+      order — the engine's documented seed schedule); local maxima over the
+      undecided neighbourhood commit ``True`` at round ``2k−1``;
+    * round ``2k``: undecided neighbours of round-``2k−1`` joiners commit
+      ``False`` at round ``2k``; joiners and removed nodes halt.
+
+    Messages: every phase-``k`` participant broadcasts in both rounds of the
+    phase (priorities, then the joined flag), so each executed round adds
+    the summed degree of the phase's starting undecided set — the coroutine
+    twin's count exactly.
+    """
+
+    name = "luby-mis"
+    labels_nodes = True
+
+    def init_arrays(
+        self, topology: ArrayTopology, rng: np.random.Generator
+    ) -> ArrayState:
+        state = ArrayState(topology.n, topology.m, nodes=True, edges=False)
+        isolated = topology.degrees == 0
+        if isolated.any():
+            state.node_rounds[isolated] = 0
+            state.node_values[isolated] = True
+            state.halted |= isolated
+        state.extra["undecided"] = ~isolated
+        state.extra["phase_joined"] = None
+        state.extra["phase_messages"] = 0
+        return state
+
+    def step(
+        self,
+        round_index: int,
+        state: ArrayState,
+        topology: ArrayTopology,
+        rng: np.random.Generator,
+    ) -> None:
+        extra = state.extra
+        undecided = extra["undecided"]
+        if round_index % 2 == 1:
+            # Priority round (2k−1): one uniform per undecided node,
+            # ascending vertex order.
+            participants = np.flatnonzero(undecided)
+            priorities = np.full(topology.n, -1.0)
+            priorities[participants] = rng.random(participants.size)
+            joins = luby_joins(priorities, undecided, topology)
+            state.node_rounds[joins] = round_index
+            state.node_values[joins] = True
+            undecided &= ~joins
+            extra["phase_joined"] = joins
+            extra["phase_messages"] = int(topology.degrees[participants].sum())
+            state.messages += extra["phase_messages"]
+        else:
+            # Announcement round (2k): undecided neighbours of joiners
+            # commit False and everyone decided retires.
+            joined = extra["phase_joined"]
+            us, vs = topology.edge_us, topology.edge_vs
+            near_joiner = np.zeros(topology.n, dtype=bool)
+            near_joiner[vs[joined[us]]] = True
+            near_joiner[us[joined[vs]]] = True
+            removed = undecided & near_joiner
+            state.node_rounds[removed] = round_index
+            # node_values stays False in removed slots.
+            undecided &= ~removed
+            np.logical_not(undecided, out=state.halted)
+            state.messages += extra["phase_messages"]

@@ -89,6 +89,7 @@ def sweep(
     max_rounds: int = 20_000,
     validate: bool = True,
     parallel: Union[bool, int, None] = None,
+    engine: str = "node",
 ) -> List[SweepPoint]:
     """Run a one-dimensional parameter sweep.
 
@@ -127,6 +128,14 @@ def sweep(
             forked-at-pool-creation state, so a factory that draws from a
             shared RNG or mutates external state produces different graphs
             in parallel than serially.
+        engine: ``"node"`` (default, per-node coroutine runner — bit-exact
+            traces), ``"array"`` (the vectorised
+            :class:`repro.local.engine.ArrayEngine`; raises for algorithms
+            without an array twin), or ``"auto"`` (array engine exactly for
+            algorithms implementing the ArrayAlgorithm protocol).  Applies
+            to serial and parallel execution alike — a parallel sweep on
+            the array engine still produces measurements identical to the
+            serial array sweep (same per-cell seed schedule).
 
     Returns:
         One :class:`SweepPoint` per (value, algorithm) combination, in order.
@@ -144,6 +153,7 @@ def sweep(
             max_rounds=max_rounds,
             validate=validate,
             workers=min(workers, cells),
+            engine=engine,
         )
 
     points: List[SweepPoint] = []
@@ -161,6 +171,7 @@ def sweep(
                 seed=seed + 1000 * index,
                 runner=runner,
                 validate=validate,
+                engine=engine,
             )
             measurement = measure(traces)
             # Attach the display name chosen by the caller rather than the
@@ -280,11 +291,18 @@ def _parallel_worker(task: Tuple[int, str, int]) -> Tuple[int, str, int, Dict[st
         _WORKER_NETWORKS[index] = network
     algorithm_factory, problem_factory = spec["algorithms"][name]  # type: ignore[index]
     problem = problem_factory(network)
-    runner = Runner(max_rounds=spec["max_rounds"])  # type: ignore[arg-type]
     cell_seed = trial_seed(spec["seed"] + 1000 * index, trial)  # type: ignore[operator]
-    trace = runner.run(algorithm_factory(network), network, problem, seed=cell_seed)
-    if spec["validate"]:
-        trace.require_valid()
+    traces = run_trials(
+        lambda: algorithm_factory(network),
+        network,
+        problem,
+        trials=1,
+        seed=cell_seed,
+        runner=Runner(max_rounds=spec["max_rounds"]),  # type: ignore[arg-type]
+        validate=bool(spec["validate"]),
+        engine=str(spec.get("engine", "node")),
+    )
+    trace = traces[0]
     return (
         index,
         name,
@@ -313,6 +331,7 @@ def _sweep_parallel(
     max_rounds: int,
     validate: bool,
     workers: int,
+    engine: str = "node",
 ) -> List[SweepPoint]:
     global _PARALLEL_SPEC
     tasks = [
@@ -328,6 +347,7 @@ def _sweep_parallel(
         "seed": seed,
         "max_rounds": max_rounds,
         "validate": validate,
+        "engine": engine,
     }
     context = multiprocessing.get_context("fork")
     previous_spec = _PARALLEL_SPEC

@@ -56,6 +56,7 @@ from repro.core.problems import ProblemSpec
 from repro.core.trace import ExecutionTrace
 from repro.graphs.edgelist import EdgeArrays
 from repro.local.algorithm import NodeAlgorithm
+from repro.local.engine import ArrayEngine
 from repro.local.network import Network
 from repro.local.runner import Runner
 
@@ -64,10 +65,40 @@ __all__ = [
     "evaluate",
     "trial_seed",
     "resolve_network",
+    "resolve_engine",
     "Experiment",
     "ExperimentRun",
     "ExperimentResult",
 ]
+
+#: Valid values of the ``engine`` knob shared by :func:`run_trials`,
+#: :class:`Experiment` and :func:`repro.analysis.sweep.sweep`.
+ENGINES = ("node", "array", "auto")
+
+
+def resolve_engine(engine: str, algorithm: NodeAlgorithm) -> bool:
+    """Whether ``algorithm`` should run on the array engine under ``engine``.
+
+    ``"node"`` always uses the per-node coroutine
+    :class:`~repro.local.runner.Runner` (the exact-reference path — traces
+    stay seed-for-seed bit-identical to the vendored seed pipeline);
+    ``"array"`` demands the vectorised
+    :class:`~repro.local.engine.ArrayEngine` and raises ``TypeError`` when
+    the algorithm has no array twin; ``"auto"`` picks the array engine
+    exactly when ``algorithm.as_array_algorithm()`` returns one.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    if engine == "node":
+        return False
+    supported = getattr(algorithm, "as_array_algorithm", lambda: None)() is not None
+    if engine == "array" and not supported:
+        raise TypeError(
+            f"{type(algorithm).__name__} does not implement the ArrayAlgorithm "
+            "protocol (as_array_algorithm() returned None); use engine='node' "
+            "or engine='auto'"
+        )
+    return supported
 
 AlgorithmFactory = Callable[[], NodeAlgorithm]
 #: A graph source the facade understands: a finished :class:`Network`, a
@@ -97,6 +128,7 @@ def run_trials(
     seed: int = 0,
     runner: Optional[Runner] = None,
     validate: bool = True,
+    engine: str = "node",
 ) -> List[ExecutionTrace]:
     """Run ``trials`` independent executions and return their traces.
 
@@ -109,16 +141,50 @@ def run_trials(
         seed: base seed; trial ``i`` uses ``seed + i``.
         runner: runner to use (a default strict runner when omitted).
         validate: assert that every trial produced a valid solution.
+        engine: ``"node"`` (default) runs the per-node coroutine runner —
+            the exact-reference path with seed-for-seed bit-identical
+            traces; ``"array"`` runs the vectorised
+            :class:`~repro.local.engine.ArrayEngine` (raising ``TypeError``
+            for algorithms without an array twin); ``"auto"`` picks the
+            array engine exactly when the algorithm implements the
+            :class:`~repro.local.engine.ArrayAlgorithm` protocol.  The
+            array engine follows its own documented PCG64 seed schedule, so
+            its traces are reproducible but not bit-identical to the node
+            path (see :mod:`repro.local.engine`).
 
     Returns:
         One :class:`ExecutionTrace` per trial.
     """
     if trials < 1:
         raise ValueError("trials must be at least 1")
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+    # Probe the first trial's instance for engine dispatch (and reuse it for
+    # trial 0): the factory is called exactly `trials` times on every path,
+    # so stateful factories see the same invocation count as before the
+    # engine knob existed.
+    probe: Optional[NodeAlgorithm] = None
+    use_array = False
+    if engine != "node":
+        probe = algorithm_factory()
+        use_array = resolve_engine(engine, probe)
     active_runner = runner or Runner()
     traces: List[ExecutionTrace] = []
+    if use_array:
+        array_engine = ArrayEngine(
+            max_rounds=active_runner.max_rounds, strict=active_runner.strict
+        )
+        for i in range(trials):
+            algorithm = (probe if i == 0 else algorithm_factory()).as_array_algorithm()
+            trace = array_engine.run(
+                algorithm, network, problem, seed=trial_seed(seed, i)
+            )
+            if validate:
+                trace.require_valid()
+            traces.append(trace)
+        return traces
     for i in range(trials):
-        algorithm = algorithm_factory()
+        algorithm = probe if (i == 0 and probe is not None) else algorithm_factory()
         trace = active_runner.run(algorithm, network, problem, seed=trial_seed(seed, i))
         if validate:
             trace.require_valid()
@@ -134,6 +200,7 @@ def evaluate(
     seed: int = 0,
     runner: Optional[Runner] = None,
     validate: bool = True,
+    engine: str = "node",
 ) -> ComplexityMeasurement:
     """Run trials and aggregate them into a single complexity measurement."""
     traces = run_trials(
@@ -144,6 +211,7 @@ def evaluate(
         seed=seed,
         runner=runner,
         validate=validate,
+        engine=engine,
     )
     return measure(traces)
 
@@ -340,6 +408,11 @@ class Experiment:
             convention).
         max_rounds: round cap of the runner.
         runner: a pre-configured :class:`Runner` (overrides ``max_rounds``).
+        engine: execution engine — ``"node"`` (default, per-node coroutine
+            runner; bit-exact traces), ``"array"`` (the vectorised
+            :class:`~repro.local.engine.ArrayEngine`; raises for algorithms
+            without an array twin), or ``"auto"`` (array engine exactly when
+            the algorithm implements the ArrayAlgorithm protocol).
         require_valid: raise on the first invalid trial (default); when
             ``False``, invalid trials are only recorded in ``verdicts``.
         quantiles: completion-time quantile levels for the measurement
@@ -363,9 +436,12 @@ class Experiment:
         graph_seed: int = 0,
         max_rounds: int = 20_000,
         runner: Optional[Runner] = None,
+        engine: str = "node",
         require_valid: bool = True,
         quantiles: Optional[Sequence[float]] = DEFAULT_QUANTILES,
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
         if seeds is not None and (trials is not None or seed != 0):
             raise ValueError(
                 "pass either an explicit seeds schedule or trials/seed, not both"
@@ -396,6 +472,10 @@ class Experiment:
         self._id_scheme = id_scheme
         self._graph_seed = graph_seed
         self._runner = runner or Runner(max_rounds=max_rounds)
+        self._engine = engine
+        self._array_engine = ArrayEngine(
+            max_rounds=self._runner.max_rounds, strict=self._runner.strict
+        )
         self._require_valid = require_valid
         self._quantiles = quantiles
 
@@ -424,13 +504,33 @@ class Experiment:
             timings["network_s"] = time.perf_counter() - t0
 
             problem = self._make_problem(network)
+            # Probe the first trial's instance for engine dispatch and reuse
+            # it, so the algorithm factory runs once per trial exactly.
+            probe = self._make_algorithm(network)
+            use_array = resolve_engine(self._engine, probe)
             t0 = time.perf_counter()
-            traces = tuple(
-                self._runner.run(
-                    self._make_algorithm(network), network, problem, seed=s
+            if use_array:
+                traces = tuple(
+                    self._array_engine.run(
+                        (
+                            probe if i == 0 else self._make_algorithm(network)
+                        ).as_array_algorithm(),
+                        network,
+                        problem,
+                        seed=s,
+                    )
+                    for i, s in enumerate(self._seeds)
                 )
-                for s in self._seeds
-            )
+            else:
+                traces = tuple(
+                    self._runner.run(
+                        probe if i == 0 else self._make_algorithm(network),
+                        network,
+                        problem,
+                        seed=s,
+                    )
+                    for i, s in enumerate(self._seeds)
+                )
             timings["runner_s"] = time.perf_counter() - t0
 
             t0 = time.perf_counter()

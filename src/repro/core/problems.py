@@ -198,10 +198,14 @@ class ProblemSpec:
             if missing:
                 return ValidationResult(False, f"missing node outputs for {missing[:5]}")
         if self.labels_edges:
-            edges = network.edges
-            missing_edges = [edges[i] for i in range(network.m) if edge_values[i] is MISSING]
-            if missing_edges:
-                return ValidationResult(False, f"missing edge outputs for {missing_edges[:5]}")
+            missing_slots = [i for i in range(network.m) if edge_values[i] is MISSING]
+            if missing_slots:
+                # Materialise the tuple edge view only on the failure path —
+                # a complete assignment (the overwhelmingly common case)
+                # never pays for per-edge tuples here.
+                edges = network.edges
+                missing_edges = [edges[i] for i in missing_slots[:5]]
+                return ValidationResult(False, f"missing edge outputs for {missing_edges}")
         return self.csr_validator(network, node_values, edge_values, stray_edges)
 
 

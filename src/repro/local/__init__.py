@@ -2,6 +2,7 @@
 
 from repro.local.algorithm import NodeAlgorithm
 from repro.local.coroutine import CoroutineAlgorithm
+from repro.local.engine import ArrayAlgorithm, ArrayEngine, ArrayState, ArrayTopology
 from repro.local.network import Network, canonical_edge
 from repro.local.node import CommitError, NodeRuntime
 from repro.local.runner import Runner, RoundLimitExceeded, estimate_message_bits
@@ -11,6 +12,10 @@ __all__ = [
     "canonical_edge",
     "NodeAlgorithm",
     "CoroutineAlgorithm",
+    "ArrayAlgorithm",
+    "ArrayEngine",
+    "ArrayState",
+    "ArrayTopology",
     "NodeRuntime",
     "CommitError",
     "Runner",

@@ -96,3 +96,17 @@ class NodeAlgorithm:
         """One-line description used by the experiment harness."""
         kind = "randomized" if self.randomized else "deterministic"
         return f"{self.name} ({kind})"
+
+    def as_array_algorithm(self):
+        """This algorithm's vectorised twin for the array engine, if any.
+
+        Algorithms that implement the
+        :class:`repro.local.engine.ArrayAlgorithm` protocol override this to
+        return a configured instance of their array twin; the
+        ``engine="auto"`` knob of ``run_trials`` / ``Experiment`` / ``sweep``
+        routes execution through :class:`repro.local.engine.ArrayEngine`
+        exactly when this returns one.  The default is ``None``: the
+        algorithm only runs on the per-node coroutine
+        :class:`~repro.local.runner.Runner`.
+        """
+        return None

@@ -1,0 +1,294 @@
+"""Vectorised array-native execution engine for the LOCAL-model round loop.
+
+The per-node :class:`~repro.local.runner.Runner` simulates every node as a
+Python coroutine: at ``n = 10⁶`` the round loop is ~60 s of a ~65 s pipeline
+even after every other phase went array-native.  :class:`ArrayEngine` removes
+that last per-node cost for algorithms that implement the
+:class:`ArrayAlgorithm` protocol: a round is executed as a handful of numpy
+operations over flat per-node/per-edge state arrays and the network's CSR
+topology (``indptr``/``indices`` plus the canonical ``edge_endpoints()``
+arrays) — no :class:`~repro.local.node.NodeRuntime`, no inbox dicts, no
+per-node generator frames.
+
+Relation to the coroutine runner (the relaxed trace-identity story).  The
+coroutine path stays the **exact reference**: its traces remain seed-for-seed
+bit-identical to the vendored seed pipeline, as asserted by
+``benchmarks/core_perf.py``.  The array engine mirrors the precedent set by
+:func:`repro.graphs.generators.fast_gnp_edges`: exact RNG-stream parity with
+the per-node Mersenne path is mathematically impossible (one block-generated
+PCG64 stream cannot replay ``n`` interleaved per-node Mersenne streams), so
+the engine has its **own documented seed schedule** and is pinned by
+
+* validator-verified outputs (every engine trace passes the CSR validators),
+* identical round-stamp *semantics* (commit rounds, message counts and
+  completion rounds follow exactly the coroutine timeline for the same
+  decisions — see the algorithm classes for the round-by-round derivations),
+* round-distribution agreement with the coroutine twin over exhaustive
+  small-seed sweeps, plus statistical tests (``tests/local/test_engine.py``),
+* a pinned fixed-seed execution so the schedule cannot silently drift.
+
+Seed schedule.  All engine randomness for one run comes from a single
+``numpy.random.Generator(numpy.random.PCG64(seed))`` (``seed`` is the run's
+master seed, exactly the argument the coroutine runner feeds
+``random.Random``).  Algorithms draw **one block of uniforms per randomised
+round**, sized to the still-undecided entities of that round and assigned in
+ascending vertex / canonical-edge-slot order:
+
+* Luby MIS: phase ``k`` (rounds ``2k−1``/``2k``) draws ``rng.random(u_k)``
+  priorities at round ``2k−1``, one per still-undecided vertex, ascending.
+* Randomized matching: iteration ``k`` (rounds ``4k−3..4k``) draws
+  ``rng.random(U_k)`` mark uniforms at round ``4k−2``, one per
+  still-undecided edge, in canonical edge-slot order.
+
+The same ``(algorithm, network, seed)`` triple therefore always produces the
+same trace, on every platform numpy supports.
+
+Routing.  ``run_trials`` / ``evaluate`` / :class:`~repro.core.experiment.
+Experiment` / :func:`repro.analysis.sweep.sweep` accept
+``engine="node" | "array" | "auto"``: ``"node"`` is the coroutine runner
+(default — bit-exact traces), ``"array"`` demands the engine (raising if the
+algorithm has no array implementation), ``"auto"`` picks the engine exactly
+when ``algorithm.as_array_algorithm()`` returns one.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.problems import ProblemSpec
+from repro.core.trace import ExecutionTrace
+from repro.local.network import Network
+from repro.local.runner import RoundLimitExceeded
+
+__all__ = ["ArrayAlgorithm", "ArrayState", "ArrayTopology", "ArrayEngine"]
+
+
+class ArrayTopology:
+    """Flat numpy views of a :class:`Network`, shared by every engine run.
+
+    All arrays are int64 and read-only (or treated as such): ``indptr`` /
+    ``indices`` are the CSR adjacency, ``edge_us`` / ``edge_vs`` the
+    canonical edge endpoints in :attr:`Network.edges` slot order,
+    ``degrees`` the per-vertex degree vector and ``identifiers`` the
+    per-vertex unique IDs.  Built once per network and cached on the engine
+    (the conversion from the tuple path's ``array('q')`` buffers is
+    zero-copy via ``np.frombuffer``).
+    """
+
+    __slots__ = (
+        "n",
+        "m",
+        "indptr",
+        "indices",
+        "edge_us",
+        "edge_vs",
+        "degrees",
+        "identifiers",
+    )
+
+    def __init__(self, network: Network) -> None:
+        self.n = network.n
+        self.m = network.m
+        self.indptr = np.frombuffer(network.indptr, dtype=np.int64)
+        self.indices = np.frombuffer(network.indices, dtype=np.int64)
+        us, vs = network.edge_endpoints()
+        self.edge_us = np.asarray(us)
+        self.edge_vs = np.asarray(vs)
+        self.degrees = np.diff(self.indptr)
+        self.identifiers = np.asarray(network.identifiers, dtype=np.int64)
+
+
+class ArrayState:
+    """Per-run mutable state: the engine-facing half of the protocol.
+
+    Algorithms allocate one in :meth:`ArrayAlgorithm.init_arrays`, mutate it
+    in :meth:`ArrayAlgorithm.step`, and may hang any private per-run scratch
+    off ``extra``.  The engine reads:
+
+    * ``node_rounds`` / ``node_values`` — per-vertex commit rounds (int64,
+      ``-1`` = uncommitted) and committed values,
+    * ``edge_rounds`` / ``edge_values`` — the same per canonical edge slot,
+    * ``halted`` — bool mask of nodes that stopped participating,
+    * ``messages`` — cumulative point-to-point message count.
+
+    ``node_values`` / ``edge_values`` may be numpy arrays or ``None`` (for
+    the label side the problem does not use); slots whose round is ``-1``
+    are ignored when the trace is filled.
+    """
+
+    __slots__ = (
+        "node_rounds",
+        "node_values",
+        "edge_rounds",
+        "edge_values",
+        "halted",
+        "messages",
+        "extra",
+    )
+
+    def __init__(self, n: int, m: int, *, nodes: bool, edges: bool) -> None:
+        self.node_rounds = np.full(n, -1, dtype=np.int64)
+        self.node_values: Optional[np.ndarray] = (
+            np.zeros(n, dtype=bool) if nodes else None
+        )
+        self.edge_rounds = np.full(m, -1, dtype=np.int64)
+        self.edge_values: Optional[np.ndarray] = (
+            np.zeros(m, dtype=bool) if edges else None
+        )
+        self.halted = np.zeros(n, dtype=bool)
+        self.messages = 0
+        self.extra: dict = {}
+
+
+class ArrayAlgorithm:
+    """Protocol for algorithms executable by the :class:`ArrayEngine`.
+
+    An array algorithm is the vectorised twin of a per-node
+    :class:`~repro.local.algorithm.NodeAlgorithm`: instead of one coroutine
+    per node it expresses every synchronous round as whole-graph numpy
+    operations.  Subclasses implement:
+
+    * :meth:`init_arrays` — allocate the :class:`ArrayState` and perform the
+      round-0 work (e.g. isolated nodes committing immediately),
+    * :meth:`step` — execute one synchronous round, recording commits into
+      the state's round/value arrays with the *same round stamps and message
+      counts* the coroutine twin would produce for the same decisions.
+
+    The engine owns the loop, the round counter, the completion check and
+    the trace assembly; per-node coroutine twins advertise their array twin
+    through ``NodeAlgorithm.as_array_algorithm()``.
+    """
+
+    #: Human-readable name recorded on the trace (match the coroutine twin).
+    name: str = "array-algorithm"
+
+    #: Which entity kind(s) the algorithm commits outputs for.
+    labels_nodes: bool = False
+    labels_edges: bool = False
+
+    def init_arrays(
+        self, topology: ArrayTopology, rng: np.random.Generator
+    ) -> ArrayState:
+        """Allocate per-run state and perform round-0 initialisation."""
+        raise NotImplementedError
+
+    def step(
+        self,
+        round_index: int,
+        state: ArrayState,
+        topology: ArrayTopology,
+        rng: np.random.Generator,
+    ) -> None:
+        """Execute synchronous round ``round_index`` (1-based) in place."""
+        raise NotImplementedError
+
+
+class ArrayEngine:
+    """Drives an :class:`ArrayAlgorithm` and assembles the execution trace.
+
+    The array twin of :class:`~repro.local.runner.Runner`: same constructor
+    knobs (``max_rounds``, ``strict``), same completion semantics (node- /
+    edge-labelling problems complete when every node / edge committed,
+    problems labelling neither when every node halted), same strict-mode
+    :class:`~repro.local.runner.RoundLimitExceeded`.  The per-network
+    :class:`ArrayTopology` is cached single-entry, like the runner's node
+    pool, so trial loops on one network pay the (cheap, mostly zero-copy)
+    view construction once.
+    """
+
+    def __init__(self, max_rounds: int = 10_000, strict: bool = True) -> None:
+        if max_rounds < 0:
+            raise ValueError("max_rounds must be non-negative")
+        self.max_rounds = max_rounds
+        self.strict = strict
+        self._pool_network: Optional[Network] = None
+        self._pool_topology: Optional[ArrayTopology] = None
+
+    def _topology(self, network: Network) -> ArrayTopology:
+        if self._pool_network is not network:
+            self._pool_topology = ArrayTopology(network)
+            self._pool_network = network
+        return self._pool_topology
+
+    def run(
+        self,
+        algorithm: ArrayAlgorithm,
+        network: Network,
+        problem: ProblemSpec,
+        seed: Optional[int] = None,
+    ) -> ExecutionTrace:
+        """Execute ``algorithm`` on ``network`` under the documented seed schedule."""
+        topology = self._topology(network)
+        rng = np.random.Generator(np.random.PCG64(seed))
+        state = algorithm.init_arrays(topology, rng)
+
+        rounds = 0
+        completed = self._is_complete(state, problem)
+        while not completed and rounds < self.max_rounds:
+            rounds += 1
+            algorithm.step(rounds, state, topology, rng)
+            completed = self._is_complete(state, problem)
+
+        if not completed and self.strict:
+            raise RoundLimitExceeded(
+                f"{algorithm.name} did not finish {problem.name} on a graph with "
+                f"n={network.n}, m={network.m} within {self.max_rounds} rounds"
+            )
+
+        return self._collect_trace(
+            algorithm, network, problem, state, rounds, completed
+        )
+
+    @staticmethod
+    def _is_complete(state: ArrayState, problem: ProblemSpec) -> bool:
+        if problem.labels_nodes and (state.node_rounds < 0).any():
+            return False
+        if problem.labels_edges and (state.edge_rounds < 0).any():
+            return False
+        if not problem.labels_nodes and not problem.labels_edges:
+            return bool(state.halted.all())
+        return True
+
+    @staticmethod
+    def _collect_trace(
+        algorithm: ArrayAlgorithm,
+        network: Network,
+        problem: ProblemSpec,
+        state: ArrayState,
+        rounds: int,
+        completed: bool,
+    ) -> ExecutionTrace:
+        # Straight into the trace's flat per-slot storage: int64 rounds as
+        # array('q') buffers (one memcpy each), values as plain lists with
+        # None in never-committed slots.  No dict view is materialised.
+        node_rounds = array("q", state.node_rounds.tobytes())
+        node_values = _value_slots(state.node_values, state.node_rounds)
+        edge_rounds = array("q", state.edge_rounds.tobytes())
+        edge_values = _value_slots(state.edge_values, state.edge_rounds)
+        return ExecutionTrace.from_arrays(
+            network,
+            problem,
+            node_values,
+            node_rounds,
+            edge_values,
+            edge_rounds,
+            rounds=rounds,
+            completed=completed,
+            total_messages=state.messages,
+            max_message_bits=None,
+            algorithm_name=algorithm.name,
+        )
+
+
+def _value_slots(values: Optional[np.ndarray], rounds: np.ndarray) -> List[Any]:
+    """Per-slot value list for the trace: ``None`` where never committed."""
+    if values is None:
+        return [None] * len(rounds)
+    slots: List[Any] = values.tolist()
+    if (rounds < 0).any():
+        for i in np.flatnonzero(rounds < 0).tolist():
+            slots[i] = None
+    return slots

@@ -157,9 +157,10 @@ class Network:
         # Deduplicate parallel edges (networkx Graph already does, but be safe).
         edges = sorted(set(edges))
         self._edges_cache: Optional[Tuple[Tuple[int, int], ...]] = tuple(edges)
-        # The edge → dense-index map is built lazily: node-labelling workloads
-        # never consult it.
+        # The edge → dense-index maps are built lazily: node-labelling
+        # workloads never consult them.
         self._edge_index: Optional[Dict[Tuple[int, int], int]] = None
+        self._packed_index: Optional[Dict[int, int]] = None
         self.m: int = len(edges)
 
         # One-pass adjacency build.  Because the deduplicated edge list is
@@ -268,6 +269,7 @@ class Network:
 
         self._edges_cache = None
         self._edge_index = None
+        self._packed_index = None
         self._rows = None
         self._indptr = indptr
         self._indices = indices
@@ -549,21 +551,58 @@ class Network:
         return cached
 
     def _edge_index_map(self) -> Dict[Tuple[int, int], int]:
-        """Canonical edge → dense index mapping (built on first use)."""
+        """Canonical edge → dense index mapping (built on first use).
+
+        Kept for tuple-keyed callers; the hot paths (the runner's completion
+        tracker and trace collection) use :meth:`_packed_edge_index` instead,
+        which never materialises a tuple per edge.
+        """
         index = self._edge_index
         if index is None:
             index = self._edge_index = {e: i for i, e in enumerate(self.edges)}
         return index
 
+    def _packed_edge_index(self) -> Dict[int, int]:
+        """Packed-key edge → dense index mapping: ``u * n + v ↦ slot``.
+
+        The int-keyed twin of :meth:`_edge_index_map`, built straight from
+        the flat :meth:`edge_endpoints` arrays — no tuple per edge anywhere,
+        so array-built networks can resolve edge slots without materialising
+        their lazy :attr:`edges` view.  Keys are ``u * n + v`` for canonical
+        ``u < v`` (the same packing the vectorised CSR build sorts on).
+        """
+        index = self._packed_index
+        if index is None:
+            us, vs = self.edge_endpoints()
+            if self.n < 3_000_000_000:
+                keys = (np.asarray(us) * self.n + np.asarray(vs)).tolist()
+            else:  # pragma: no cover - needs n ≥ 3·10⁹ to exercise
+                # The int64 multiply would wrap exactly where the CSR build
+                # falls back to lexsort; Python ints never overflow.
+                n = self.n
+                keys = [u * n + v for u, v in zip(us.tolist(), vs.tolist())]
+            index = self._packed_index = dict(zip(keys, range(self.m)))
+        return index
+
     def edge_index(self, u: int, v: int) -> int:
         """Dense index of the edge ``{u, v}``; raises ``KeyError`` if absent."""
-        return self._edge_index_map()[canonical_edge(u, v)]
+        u, v = canonical_edge(u, v)
+        # Out-of-range endpoints must not alias another row's packed key.
+        if u < 0 or v >= self.n:
+            raise KeyError((u, v))
+        index = self._packed_edge_index().get(u * self.n + v)
+        if index is None:
+            raise KeyError((u, v))
+        return index
 
     def has_edge(self, u: int, v: int) -> bool:
         """Whether ``{u, v}`` is an edge of the network."""
         if u == v:
             return False
-        return canonical_edge(u, v) in self._edge_index_map()
+        u, v = canonical_edge(u, v)
+        if u < 0 or v >= self.n:
+            return False
+        return u * self.n + v in self._packed_edge_index()
 
     def incident_edges(self, v: int) -> List[Tuple[int, int]]:
         """Canonical edges incident to vertex ``v``."""
@@ -571,9 +610,11 @@ class Network:
 
     def incident_edge_indices(self, v: int) -> List[int]:
         """Dense indices of the edges incident to vertex ``v``."""
-        edge_index = self._edge_index_map()
+        edge_index = self._packed_edge_index()
+        n = self.n
         return [
-            edge_index[(v, u) if v < u else (u, v)] for u in self._adjacency[v]
+            edge_index[(v * n + u) if v < u else (u * n + v)]
+            for u in self._adjacency[v]
         ]
 
     # ------------------------------------------------------------------ #
@@ -637,9 +678,14 @@ class Network:
 
         Identifiers are preserved, which keeps the sub-network a legitimate
         LOCAL-model input.  Cost is O(sum of degrees of the kept vertices),
-        not O(m): only the adjacency rows of the kept vertices are scanned.
+        not O(m): only the adjacency rows of the kept vertices are scanned —
+        on array-built networks by slicing the CSR arrays directly (the lazy
+        sorted-tuple rows stay unmaterialised), on tuple-built networks over
+        the eager rows.
         """
         vertex_list = sorted(set(vertices))
+        if self._rows is None:
+            return self._subnetwork_csr(vertex_list)
         index = {v: i for i, v in enumerate(vertex_list)}
         edges: List[Tuple[int, int]] = []
         for v in vertex_list:
@@ -652,6 +698,42 @@ class Network:
                         edges.append((iv, iu))
         identifiers = {index[v]: self._ids[v] for v in vertex_list}
         return Network._from_canonical(len(vertex_list), edges, identifiers)
+
+    def _subnetwork_csr(self, vertex_list: List[int]) -> "Network":
+        """Array-path :meth:`subnetwork`: slice the kept rows out of the CSR.
+
+        Gathers only the CSR segments of the kept vertices (O(sum of kept
+        degrees)), keeps the neighbours that are themselves kept, re-indexes
+        vectorised, and rebuilds through the numpy CSR constructor — no
+        per-node tuple row and no per-edge tuple anywhere.
+        """
+        kept = np.asarray(vertex_list, dtype=np.int64)
+        k = int(kept.size)
+        if not k:
+            return Network.from_endpoint_arrays(0, kept, kept, {})
+        if kept[0] < 0 or kept[-1] >= self.n:
+            raise IndexError("subnetwork vertices outside 0..n-1")
+        indptr = np.asarray(self.indptr)
+        indices = np.asarray(self.indices)
+        starts = indptr[kept]
+        lengths = indptr[kept + 1] - starts
+        total = int(lengths.sum())
+        # Vectorised multi-arange: positions of the kept rows' CSR segments.
+        positions = (
+            np.repeat(starts - np.cumsum(lengths) + lengths, lengths)
+            + np.arange(total, dtype=np.int64)
+        )
+        owners = np.repeat(kept, lengths)
+        neighbors = indices[positions]
+        new_index = np.full(self.n, -1, dtype=np.int64)
+        new_index[kept] = np.arange(k, dtype=np.int64)
+        # Keep each induced edge once (owner < neighbour) with both ends kept.
+        keep_edge = (neighbors > owners) & (new_index[neighbors] >= 0)
+        src = new_index[owners[keep_edge]]
+        dst = new_index[neighbors[keep_edge]]
+        ids = self._ids
+        identifiers = {i: ids[v] for i, v in enumerate(vertex_list)}
+        return Network.from_endpoint_arrays(k, src, dst, identifiers)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Network(n={self.n}, m={self.m}, max_degree={self.max_degree()})"

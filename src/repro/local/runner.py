@@ -122,6 +122,7 @@ class _CompletionTracker:
         "_pending_edges",
         "_edge_decided",
         "_network",
+        "_n",
         "_edge_index",
         "halt_events",
         "edge_commit_events",
@@ -134,6 +135,7 @@ class _CompletionTracker:
         self._pending_edges = network.m
         self._edge_decided = bytearray(network.m)
         self._network = network
+        self._n = network.n
         self._edge_index = None
         self.halt_events = 0
         self.edge_commit_events = 0
@@ -143,11 +145,24 @@ class _CompletionTracker:
 
     def edge_committed(self, vertex: int, neighbor: int) -> None:
         self.edge_commit_events += 1
-        edge = (vertex, neighbor) if vertex < neighbor else (neighbor, vertex)
+        # Commits towards vertices outside 0..n-1 are ignored like any other
+        # non-neighbour commit — and must never reach the packed lookup,
+        # where an out-of-range endpoint would alias another row's key.
+        if not 0 <= neighbor < self._n:
+            return
         edge_index = self._edge_index
         if edge_index is None:
-            edge_index = self._edge_index = self._network._edge_index_map()
-        index = edge_index.get(edge)
+            # Packed-key int lookup (u * n + v for canonical u < v) built
+            # from the flat endpoint arrays: no tuple per edge, and on
+            # array-built networks no materialisation of the lazy `edges`
+            # tuple view either.
+            edge_index = self._edge_index = self._network._packed_edge_index()
+        key = (
+            vertex * self._n + neighbor
+            if vertex < neighbor
+            else neighbor * self._n + vertex
+        )
+        index = edge_index.get(key)
         # Commits towards non-neighbours are ignored, as the former edge scan
         # (which only ever looked at real edges) ignored them.
         if index is not None and not self._edge_decided[index]:
@@ -477,23 +492,42 @@ class Runner:
         edge_rounds = array("q", [-1]) * m
         edge_values: list = [None] * m
         if any_edge_commits:
-            # network.edges is already canonical, no per-edge normalisation
-            # needed; slot i of the arrays is edge i of network.edges.
-            for i, (u, v) in enumerate(network.edges):
-                commits = []
-                if nodes[u].has_committed_edge(v):
-                    commits.append((nodes[u]._edge_output_rounds[v], nodes[u].edge_output(v)))
-                if nodes[v].has_committed_edge(u):
-                    commits.append((nodes[v]._edge_output_rounds[u], nodes[v].edge_output(u)))
-                if not commits:
+            # Walk the committing nodes' own output dicts instead of scanning
+            # all m edges of the (possibly lazy) tuple edge view: cost is
+            # O(n + commits), and array-built networks never materialise a
+            # tuple per edge — slots resolve through the packed-key index.
+            packed = network._packed_edge_index()
+            for node in nodes:
+                outputs = node._edge_outputs
+                if not outputs:
                     continue
-                values = {value for _, value in commits}
-                if len(values) > 1:
-                    raise CommitError(
-                        f"endpoints of edge ({u}, {v}) committed conflicting outputs: {values}"
-                    )
-                edge_values[i] = commits[0][1]
-                edge_rounds[i] = min(rnd for rnd, _ in commits)
+                v = node.vertex
+                rounds_of = node._edge_output_rounds
+                for u, value in outputs.items():
+                    if not 0 <= u < n:
+                        # Out-of-range neighbour: ignored, and kept away
+                        # from the packed lookup where it would alias
+                        # another row's key.
+                        continue
+                    key = v * n + u if v < u else u * n + v
+                    i = packed.get(key)
+                    if i is None:
+                        # Commit towards a non-neighbour: ignored, as the
+                        # former per-edge scan never visited it.
+                        continue
+                    r = rounds_of[u]
+                    if edge_rounds[i] < 0:
+                        edge_rounds[i] = r
+                        edge_values[i] = value
+                        continue
+                    if edge_values[i] != value:
+                        a, b = (v, u) if v < u else (u, v)
+                        raise CommitError(
+                            f"endpoints of edge ({a}, {b}) committed conflicting "
+                            f"outputs: {{{edge_values[i]!r}, {value!r}}}"
+                        )
+                    if r < edge_rounds[i]:
+                        edge_rounds[i] = r
 
         return ExecutionTrace.from_arrays(
             network,

@@ -338,3 +338,80 @@ class TestFromEndpointArrays:
             assert a.node_commit_round == b.node_commit_round
             assert a.rounds == b.rounds
             assert a.total_messages == b.total_messages
+
+
+class TestHotPathLaziness:
+    """Regressions for the ISSUE-5 hot-path bugfixes: array-built networks
+    must not materialise their lazy per-edge/per-row tuple views on the
+    subnetwork or edge-index paths."""
+
+    def _gnp_array_network(self, n=200, seed=3):
+        from repro.graphs.generators import fast_gnp_edges
+
+        arrays = fast_gnp_edges(n, 6.0 / (n - 1), seed=seed, as_arrays=True)
+        return Network.from_endpoint_arrays(n, arrays.src, arrays.dst)
+
+    def test_subnetwork_keeps_rows_lazy_on_array_built_networks(self):
+        net = self._gnp_array_network()
+        sub = net.subnetwork(range(0, net.n, 3))
+        assert net._rows is None, "subnetwork materialised all adjacency rows"
+        assert net._edges_cache is None
+        assert sub.n == len(range(0, net.n, 3))
+
+    def test_csr_subnetwork_matches_the_tuple_path(self):
+        from repro.graphs.generators import erdos_renyi_edges
+
+        n, edges = erdos_renyi_edges(60, 5.0, seed=4)
+        identifiers = ids.permuted_ids(list(range(n)), random.Random(2))
+        tuple_net = Network.from_edges(n, edges, identifiers)
+        array_net = Network.from_endpoint_arrays(
+            n, [u for u, _ in edges], [v for _, v in edges], identifiers
+        )
+        kept = [1, 4, 5, 9, 13, 14, 20, 21, 33, 40, 41, 55, 59]
+        sub_tuple = tuple_net.subnetwork(kept)
+        sub_array = array_net.subnetwork(kept)
+        assert sub_array.n == sub_tuple.n
+        assert sub_array.edges == sub_tuple.edges
+        assert sub_array._adjacency == sub_tuple._adjacency
+        assert sub_array.identifiers == sub_tuple.identifiers
+
+    def test_csr_subnetwork_edge_cases(self):
+        net = self._gnp_array_network(n=30)
+        empty = net.subnetwork([])
+        assert empty.n == 0 and empty.m == 0
+        singleton = net.subnetwork([7])
+        assert singleton.n == 1 and singleton.m == 0
+        assert singleton.identifiers == (7,)
+        with pytest.raises(IndexError):
+            net.subnetwork([0, 30])
+
+    def test_packed_edge_index_avoids_the_tuple_views(self):
+        net = self._gnp_array_network()
+        us, vs = net.edge_endpoints()
+        u, v = int(us[0]), int(vs[0])
+        assert net.has_edge(u, v) and net.has_edge(v, u)
+        assert net.edge_index(u, v) == 0
+        with pytest.raises(KeyError):
+            net.edge_index(u, u + 1 if not net.has_edge(u, u + 1) else u + 2)
+        # Resolving edge slots went through the packed int index: neither
+        # the tuple edge view nor the tuple-keyed map was built.
+        assert net._edges_cache is None
+        assert net._edge_index is None
+
+    def test_packed_and_tuple_edge_index_agree(self):
+        net = Network.from_graph(nx.gnp_random_graph(40, 0.2, seed=1))
+        packed = net._packed_edge_index()
+        legacy = net._edge_index_map()
+        assert len(packed) == len(legacy) == net.m
+        for (u, v), slot in legacy.items():
+            assert packed[u * net.n + v] == slot
+
+    def test_out_of_range_lookups_do_not_alias_packed_keys(self):
+        # n=5: the out-of-range pair (0, 7) packs to 0*5+7 == 1*5+2, the
+        # key of the real edge (1, 2) — the lookup must range-check first.
+        net = Network.from_edges(5, [(1, 2), (0, 3)])
+        assert not net.has_edge(0, 7)
+        assert not net.has_edge(-5, 3)
+        with pytest.raises(KeyError):
+            net.edge_index(0, 7)
+        assert net.has_edge(1, 2) and net.edge_index(1, 2) == 1

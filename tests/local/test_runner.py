@@ -335,3 +335,106 @@ class TestCoroutineWrapper:
         chatty = runner.run(Talker(), net, _always_valid("p"), seed=0)
         assert all(v == 0 for v in silent.node_outputs.values())
         assert chatty.node_outputs[1] == 2
+
+
+class TestEdgeHotPathLaziness:
+    """ISSUE-5 regressions: edge-labelling runs resolve edge slots through
+    the packed-key int index, so array-built networks never materialise a
+    tuple per edge (neither the `edges` view nor the tuple-keyed map) on the
+    runner hot path."""
+
+    def _array_network(self, n=60, seed=4):
+        from repro.graphs.generators import fast_gnp_edges
+
+        arrays = fast_gnp_edges(n, 5.0 / (n - 1), seed=seed, as_arrays=True)
+        return Network.from_endpoint_arrays(n, arrays.src, arrays.dst)
+
+    def test_matching_run_keeps_edge_tuples_lazy(self):
+        from repro.algorithms.matching.randomized import RandomizedMaximalMatching
+
+        net = self._array_network()
+        runner = Runner(max_rounds=5000)
+        trace = runner.run(
+            RandomizedMaximalMatching(), net, problems.MAXIMAL_MATCHING, seed=0
+        )
+        assert trace.completed
+        # Tracker + trace collection went through the packed int index:
+        assert net._edges_cache is None, "edge tuple view was materialised"
+        assert net._edge_index is None, "tuple-keyed edge map was built"
+        assert net._rows is not None  # the per-node simulator does need rows
+
+    def test_packed_collection_matches_tuple_network_run(self):
+        from repro.algorithms.matching.randomized import RandomizedMaximalMatching
+        from repro.graphs.generators import erdos_renyi_edges
+
+        n, edges = erdos_renyi_edges(50, 4.0, seed=7)
+        tuple_net = Network.from_edges(n, edges)
+        array_net = Network.from_endpoint_arrays(
+            n, [u for u, _ in edges], [v for _, v in edges]
+        )
+        runner = Runner(max_rounds=5000)
+        a = runner.run(
+            RandomizedMaximalMatching(), tuple_net, problems.MAXIMAL_MATCHING, seed=3
+        )
+        b = Runner(max_rounds=5000).run(
+            RandomizedMaximalMatching(), array_net, problems.MAXIMAL_MATCHING, seed=3
+        )
+        assert a.edge_outputs == b.edge_outputs
+        assert a.edge_commit_round == b.edge_commit_round
+        assert a.rounds == b.rounds and a.total_messages == b.total_messages
+
+    def test_commits_towards_non_neighbours_still_ignored(self, runner):
+        class StrayCommitter(CoroutineAlgorithm):
+            name = "stray-committer"
+
+            def run(self, node):
+                # Commit the real incident edges plus a fake far-away one.
+                for u in node.neighbors:
+                    node.commit_edge(u, True)
+                node.commit_edge(node.vertex + 10_000, True)
+                return
+                yield {}
+
+        net = Network.from_graph(nx.path_graph(4))
+        problem = _always_valid("edges", labels_nodes=False, labels_edges=True)
+        trace = runner.run(StrayCommitter(), net, problem, seed=0)
+        assert set(trace.edge_outputs) == set(net.edges)
+        assert all(value is True for value in trace.edge_outputs.values())
+
+    def test_out_of_range_commits_do_not_alias_packed_keys(self, runner):
+        # n=5: a commit towards vertex 7 from vertex 0 packs to the same
+        # key as the real edge (1, 2); it must be ignored, not mark (1, 2)
+        # decided (premature completion) or leak into the trace.
+        class AliasingCommitter(CoroutineAlgorithm):
+            name = "aliasing-committer"
+
+            def run(self, node):
+                if node.vertex == 0:
+                    node.commit_edge(7, True)
+                inbox = yield {}
+                for u in node.neighbors:
+                    node.commit_edge(u, False)
+                return
+
+        net = Network.from_edges(5, [(1, 2), (0, 3)])
+        problem = _always_valid("edges", labels_nodes=False, labels_edges=True)
+        trace = runner.run(AliasingCommitter(), net, problem, seed=0)
+        assert trace.edge_outputs == {(0, 3): False, (1, 2): False}
+        assert trace.edge_commit_round == {(0, 3): 1, (1, 2): 1}
+
+
+class TestFactoryInvocationCount:
+    def test_run_trials_calls_the_factory_once_per_trial(self):
+        from repro.algorithms.mis.luby import LubyMIS
+        from repro.core.experiment import run_trials
+
+        net = Network.from_graph(nx.cycle_graph(12))
+        for engine in ("node", "array", "auto"):
+            calls = []
+
+            def factory():
+                calls.append(1)
+                return LubyMIS()
+
+            run_trials(factory, net, problems.MIS, trials=3, seed=0, engine=engine)
+            assert len(calls) == 3, f"engine={engine} called the factory {len(calls)}x"
