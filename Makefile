@@ -11,7 +11,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 .PHONY: test bench-smoke bench example
 
 test:
-	$(PYTHON) -m pytest -x -q
+	$(PYTHON) -m pytest -x -q $(PYTEST_FLAGS)
 
 bench-smoke:
 	$(PYTHON) -m pytest -m bench_smoke -q

@@ -30,8 +30,11 @@ from typing import Dict, Set
 
 import numpy as np
 
+from typing import Optional
+
 from repro.local.coroutine import CoroutineAlgorithm
 from repro.local.engine import ArrayAlgorithm, ArrayState, ArrayTopology
+from repro.local.faults import RoundFaults
 from repro.local.node import NodeRuntime
 
 __all__ = ["RandomizedMaximalMatching", "RandomizedMatchingArray"]
@@ -138,10 +141,30 @@ class RandomizedMatchingArray(ArrayAlgorithm):
     direction of every undecided edge (``2·U_k``); round ``4k`` sends
     ``2·U_k − 2·M_k`` (the ``M_k`` matched partners dropped each other
     before announcing), matching the coroutine count round for round.
+
+    Fault mode (``faults`` per round).  An edge participates in iteration
+    ``k`` iff it is undecided, both endpoints are alive, and *both*
+    directions of the degree exchange were delivered; per-node degrees stay
+    the global undecided counts (each node reports its own undecided
+    degree, which drops and crashes cannot change).  The mark block is
+    drawn over the iteration's participating edges in canonical slot order;
+    a mark is voided when the marker's notification direction (the
+    lower-identifier endpoint tells the other) was dropped — unlike the
+    coroutine, where one-sided mark knowledge can make the endpoints
+    disagree and commit conflicting values (a legitimate structured failure
+    under drops), the array model keeps mark knowledge symmetric, so its
+    fault-mode executions always commit conflict-free.  A match requires
+    both endpoints alive at the commit round with both ``others``-exchange
+    directions delivered.  Commit rounds and completion (edges with a dead
+    endpoint are excused by the engine) follow the coroutine timeline;
+    fault-mode *message* counts are engine-native approximations
+    (``2·|participating edges|`` per round) and not part of the cross-engine
+    parity contract — outputs, rounds and fault events are.
     """
 
     name = "randomized-maximal-matching"
     labels_edges = True
+    supports_faults = True
 
     def __init__(self, marking_factor: float = 4.0) -> None:
         if marking_factor <= 0:
@@ -162,6 +185,7 @@ class RandomizedMatchingArray(ArrayAlgorithm):
         state: ArrayState,
         topology: ArrayTopology,
         rng: np.random.Generator,
+        faults: Optional[RoundFaults] = None,
     ) -> None:
         extra = state.extra
         undecided = extra["undecided"]
@@ -170,39 +194,83 @@ class RandomizedMatchingArray(ArrayAlgorithm):
         if phase == 1:
             # Degree exchange (4k−3): snapshot the iteration's undecided
             # edge set and per-node undecided degrees.
-            live = np.flatnonzero(undecided)
-            degrees = np.bincount(us[live], minlength=topology.n) + np.bincount(
-                vs[live], minlength=topology.n
+            if faults is None:
+                live = np.flatnonzero(undecided)
+                state.messages += 2 * live.size
+            else:
+                # Participation needs both exchange directions through;
+                # messages are still charged per alive sender and undecided
+                # incident edge (sends happen whether or not they arrive).
+                live = np.flatnonzero(
+                    undecided & faults.deliver_uv & faults.deliver_vu
+                )
+                every = np.flatnonzero(undecided)
+                alive = faults.alive
+                state.messages += int(
+                    alive[us[every]].sum() + alive[vs[every]].sum()
+                )
+            # Degrees over *all* undecided edges: each node reports its own
+            # undecided degree, which message faults cannot alter.
+            every = np.flatnonzero(undecided)
+            degrees = np.bincount(us[every], minlength=topology.n) + np.bincount(
+                vs[every], minlength=topology.n
             )
             extra["iter_edges"] = live
             extra["iter_degrees"] = degrees
-            state.messages += 2 * live.size
         elif phase == 2:
-            # Marking (4k−2): one uniform per undecided edge, edge-slot
+            # Marking (4k−2): one uniform per participating edge, edge-slot
             # order — the documented seed schedule.
             live = extra["iter_edges"]
             degrees = extra["iter_degrees"]
             rate = 1.0 / (
                 self.marking_factor * (degrees[us[live]] + degrees[vs[live]])
             )
-            extra["marked"] = rng.random(live.size) < rate
+            marked = rng.random(live.size) < rate
+            if faults is not None:
+                alive = faults.alive
+                marked &= alive[us[live]] & alive[vs[live]]
+                # Void marks whose marker → other notification was dropped
+                # (marker = lower-identifier endpoint), keeping mark
+                # knowledge symmetric.
+                ids = topology.identifiers
+                marker_is_u = ids[us[live]] < ids[vs[live]]
+                notified = np.where(
+                    marker_is_u, faults.deliver_uv[live], faults.deliver_vu[live]
+                )
+                marked &= notified
+            extra["marked"] = marked
             state.messages += 2 * live.size
         elif phase == 3:
             # Matching commits (4k−1): a marked edge with no other marked
             # edge at either endpoint joins; its endpoints commit every
             # undecided incident edge.
             live = extra["iter_edges"]
-            marked = live[extra["marked"]]
+            marked_mask = extra["marked"]
+            if faults is not None:
+                alive = faults.alive
+                marked_mask = marked_mask & alive[us[live]] & alive[vs[live]]
+            marked = live[marked_mask]
             mark_count = np.bincount(us[marked], minlength=topology.n) + np.bincount(
                 vs[marked], minlength=topology.n
             )
-            matched = marked[
-                (mark_count[us[marked]] == 1) & (mark_count[vs[marked]] == 1)
-            ]
+            isolated = (mark_count[us[marked]] == 1) & (mark_count[vs[marked]] == 1)
+            if faults is not None:
+                # The mutual "no other marks" confirmation needs both
+                # directions delivered this round.
+                isolated &= faults.deliver_uv[marked] & faults.deliver_vu[marked]
+            matched = marked[isolated]
             matched_node = np.zeros(topology.n, dtype=bool)
             matched_node[us[matched]] = True
             matched_node[vs[matched]] = True
-            removed = live[matched_node[us[live]] | matched_node[vs[live]]]
+            if faults is None:
+                removed = live[matched_node[us[live]] | matched_node[vs[live]]]
+            else:
+                # A matched node commits *all* its undecided edges, not just
+                # the iteration's participating ones (edges to crashed or
+                # silenced neighbours included) — coroutine semantics.
+                removed = np.flatnonzero(
+                    undecided & (matched_node[us] | matched_node[vs])
+                )
             state.edge_rounds[removed] = round_index
             state.edge_values[matched] = True
             undecided[removed] = False

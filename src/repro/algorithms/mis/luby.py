@@ -27,6 +27,7 @@ import numpy as np
 from repro.local.algorithm import Broadcast
 from repro.local.coroutine import CoroutineAlgorithm
 from repro.local.engine import ArrayAlgorithm, ArrayState, ArrayTopology
+from repro.local.faults import RoundFaults
 from repro.local.node import NodeRuntime
 
 __all__ = ["LubyMIS", "LubyMISArray", "luby_joins"]
@@ -100,6 +101,44 @@ def luby_joins(
     return joins
 
 
+def _luby_joins_masked(
+    priorities: np.ndarray,
+    participants: np.ndarray,
+    topology: ArrayTopology,
+    deliver_uv: np.ndarray,
+    deliver_vu: np.ndarray,
+    identifiers: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """:func:`luby_joins` under per-direction delivery masks (fault mode).
+
+    ``participants`` is the mask of alive, still-undecided nodes;
+    ``deliver_uv`` / ``deliver_vu`` say which directed messages of the
+    priority round arrive.  A participant beats only the priorities it
+    *received* — exactly the coroutine semantics, where a dropped or
+    crashed neighbour is as silent as a decided one (a participant whose
+    whole inbox was dropped joins unconditionally).
+    """
+    us, vs = topology.edge_us, topology.edge_vs
+    ids = topology.identifiers if identifiers is None else identifiers
+    both = participants[us] & participants[vs]
+    live_uv = both & deliver_uv
+    live_vu = both & deliver_vu
+    best = np.full(topology.n, -1.0)
+    np.maximum.at(best, vs[live_uv], priorities[us[live_uv]])
+    np.maximum.at(best, us[live_vu], priorities[vs[live_vu]])
+    joins = participants & (priorities > best)
+    ties = participants & (priorities == best)
+    if ties.any():
+        best_id = np.full(topology.n, -1, dtype=np.int64)
+        tie = priorities[us] == priorities[vs]
+        e_uv = live_uv & tie
+        e_vu = live_vu & tie
+        np.maximum.at(best_id, vs[e_uv], ids[us[e_uv]])
+        np.maximum.at(best_id, us[e_vu], ids[vs[e_vu]])
+        joins |= ties & (ids > best_id)
+    return joins
+
+
 class LubyMISArray(ArrayAlgorithm):
     """Array-engine twin of :class:`LubyMIS` (vectorised rounds over CSR).
 
@@ -118,10 +157,21 @@ class LubyMISArray(ArrayAlgorithm):
     phase (priorities, then the joined flag), so each executed round adds
     the summed degree of the phase's starting undecided set — the coroutine
     twin's count exactly.
+
+    Fault mode (``faults`` is a :class:`~repro.local.faults.RoundFaults`):
+    only alive undecided nodes participate — the priority block is drawn
+    over them in ascending vertex order — and a priority / announcement only
+    counts at its receiver if the schedule delivered that direction; a
+    crashed or silenced neighbour looks exactly like a decided one, as in
+    the coroutine.  A joiner that crashes at the announcement round never
+    announces, so its neighbours stay undecided.  Message counts charge the
+    degrees of the alive senders of each round — the coroutine count
+    exactly, drops included (drops lose deliveries, not sends).
     """
 
     name = "luby-mis"
     labels_nodes = True
+    supports_faults = True
 
     def init_arrays(
         self, topology: ArrayTopology, rng: np.random.Generator
@@ -134,6 +184,7 @@ class LubyMISArray(ArrayAlgorithm):
             state.halted |= isolated
         state.extra["undecided"] = ~isolated
         state.extra["phase_joined"] = None
+        state.extra["phase_participants"] = None
         state.extra["phase_messages"] = 0
         return state
 
@@ -143,20 +194,35 @@ class LubyMISArray(ArrayAlgorithm):
         state: ArrayState,
         topology: ArrayTopology,
         rng: np.random.Generator,
+        faults: Optional[RoundFaults] = None,
     ) -> None:
         extra = state.extra
         undecided = extra["undecided"]
         if round_index % 2 == 1:
-            # Priority round (2k−1): one uniform per undecided node,
+            # Priority round (2k−1): one uniform per (alive) undecided node,
             # ascending vertex order.
-            participants = np.flatnonzero(undecided)
+            if faults is None:
+                participants_mask = undecided
+            else:
+                participants_mask = undecided & faults.alive
+            participants = np.flatnonzero(participants_mask)
             priorities = np.full(topology.n, -1.0)
             priorities[participants] = rng.random(participants.size)
-            joins = luby_joins(priorities, undecided, topology)
+            if faults is None:
+                joins = luby_joins(priorities, undecided, topology)
+            else:
+                joins = _luby_joins_masked(
+                    priorities,
+                    participants_mask,
+                    topology,
+                    faults.deliver_uv,
+                    faults.deliver_vu,
+                )
             state.node_rounds[joins] = round_index
             state.node_values[joins] = True
             undecided &= ~joins
             extra["phase_joined"] = joins
+            extra["phase_participants"] = participants_mask if faults is not None else None
             extra["phase_messages"] = int(topology.degrees[participants].sum())
             state.messages += extra["phase_messages"]
         else:
@@ -164,12 +230,29 @@ class LubyMISArray(ArrayAlgorithm):
             # commit False and everyone decided retires.
             joined = extra["phase_joined"]
             us, vs = topology.edge_us, topology.edge_vs
-            near_joiner = np.zeros(topology.n, dtype=bool)
-            near_joiner[vs[joined[us]]] = True
-            near_joiner[us[joined[vs]]] = True
-            removed = undecided & near_joiner
-            state.node_rounds[removed] = round_index
-            # node_values stays False in removed slots.
-            undecided &= ~removed
-            np.logical_not(undecided, out=state.halted)
-            state.messages += extra["phase_messages"]
+            if faults is None:
+                near_joiner = np.zeros(topology.n, dtype=bool)
+                near_joiner[vs[joined[us]]] = True
+                near_joiner[us[joined[vs]]] = True
+                removed = undecided & near_joiner
+                state.node_rounds[removed] = round_index
+                # node_values stays False in removed slots.
+                undecided &= ~removed
+                np.logical_not(undecided, out=state.halted)
+                state.messages += extra["phase_messages"]
+            else:
+                # A joiner crashed at this round never announces; delivery
+                # masks silence the dropped directions.
+                alive = faults.alive
+                announcer = joined & alive
+                heard = np.zeros(topology.n, dtype=bool)
+                heard[vs[announcer[us] & faults.deliver_uv]] = True
+                heard[us[announcer[vs] & faults.deliver_vu]] = True
+                removed = undecided & alive & heard
+                state.node_rounds[removed] = round_index
+                undecided &= ~removed
+                np.logical_not(undecided, out=state.halted)
+                # Senders this round: the phase's participants (joiners and
+                # all) that are still alive — they all broadcast the flag.
+                senders = extra["phase_participants"] & alive
+                state.messages += int(topology.degrees[senders].sum())

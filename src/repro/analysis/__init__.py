@@ -1,6 +1,20 @@
 """Experiment sweeps and table rendering for the benchmark harness."""
 
-from repro.analysis.sweep import SweepPoint, network_from, sweep
+from repro.analysis.sweep import (
+    CellFailure,
+    SweepPoint,
+    SweepResult,
+    network_from,
+    sweep,
+)
 from repro.analysis.tables import format_sweep, format_table
 
-__all__ = ["sweep", "SweepPoint", "network_from", "format_table", "format_sweep"]
+__all__ = [
+    "sweep",
+    "SweepPoint",
+    "SweepResult",
+    "CellFailure",
+    "network_from",
+    "format_table",
+    "format_sweep",
+]

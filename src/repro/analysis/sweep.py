@@ -11,10 +11,35 @@ the same deterministic schedule as the serial path
 (:func:`repro.core.experiment.trial_seed`), so a parallel sweep produces
 **identical measurements** to a serial one — parallelism only changes
 wall-clock time, never results.
+
+Crash safety.  Long sweeps die for boring reasons — an OOM-killed pool
+worker, a wall-clock limit, a Ctrl-C — and before this module grew its
+resilience layer any of those lost the whole run.  The layer has three
+parts, all opt-in:
+
+* ``on_error="record"`` turns per-cell exceptions (validation failures,
+  round-limit overruns, :class:`~repro.core.errors.CellTimeout` when
+  ``cell_timeout`` is set) into structured :class:`CellFailure` rows on the
+  returned :class:`SweepResult` instead of aborting the sweep;
+* ``checkpoint=<path>`` journals every finished cell to a JSON-lines file
+  (format ``sweep-checkpoint/v1``: one header line, then one row per cell).
+  Re-running the same sweep with the same checkpoint path skips cells whose
+  ``ok`` rows are already journaled and retries recorded failures, so an
+  interrupted sweep resumes cell-exactly — the per-cell seed schedule makes
+  the resumed results identical to an uninterrupted run;
+* the parallel path survives *lost* workers: a pool worker that dies
+  without reporting (the classic OOM SIGKILL, which would hang
+  ``Pool.map`` forever) is detected via a result stall, the pool is torn
+  down, and every unfinished cell is re-run serially in the parent with its
+  original seed.  A cell that fails again is recorded as a
+  :class:`~repro.core.errors.WorkerCrashed` failure row (or re-raised under
+  ``on_error="raise"``).  ``KeyboardInterrupt`` tears the pool down, flushes
+  the checkpoint, and re-raises.
 """
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 from array import array
@@ -24,15 +49,24 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Un
 import networkx as nx
 import numpy as np
 
+from repro.core.errors import WorkerCrashed, classify_failure
 from repro.core.experiment import resolve_network, run_trials, trial_seed
 from repro.core.metrics import ComplexityMeasurement, measure
 from repro.core.problems import ProblemSpec
 from repro.graphs.edgelist import EdgeArrays
 from repro.local.algorithm import NodeAlgorithm
+from repro.local.faults import FaultSchedule
 from repro.local.network import Network
 from repro.local.runner import Runner
 
-__all__ = ["SweepPoint", "sweep", "network_from"]
+__all__ = [
+    "SweepPoint",
+    "SweepResult",
+    "CellFailure",
+    "CHECKPOINT_FORMAT",
+    "sweep",
+    "network_from",
+]
 
 AlgorithmFactory = Callable[[Network], NodeAlgorithm]
 ProblemFactory = Callable[[Network], ProblemSpec]
@@ -44,6 +78,19 @@ ProblemFactory = Callable[[Network], ProblemSpec]
 GraphLike = Union[
     nx.Graph, Network, EdgeArrays, Tuple[int, Sequence[Tuple[int, int]]]
 ]
+
+#: Identifier of the checkpoint file format written by ``checkpoint=``.
+CHECKPOINT_FORMAT = "sweep-checkpoint/v1"
+
+#: Result-stall window (seconds) used to detect lost pool workers when no
+#: ``cell_timeout`` bounds the cells.  With a ``cell_timeout``, the window is
+#: the timeout plus :data:`_STALL_GRACE`.  Module-level so tests can shrink it.
+_DEFAULT_STALL_TIMEOUT = 300.0
+_STALL_GRACE = 60.0
+
+#: Test seam: when set, called with each checkpoint row right after it is
+#: written and flushed (used to inject interrupts at precise points).
+_test_hook: Optional[Callable[[Dict[str, object]], None]] = None
 
 
 @dataclass(frozen=True)
@@ -58,6 +105,59 @@ class SweepPoint:
         row = {"parameter": self.parameter, "value": self.value}
         row.update(self.measurement.as_dict())
         return row
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A (value, algorithm, trial) cell that failed under ``on_error="record"``.
+
+    ``kind`` is the :func:`repro.core.errors.classify_failure` slug of the
+    error (``"validation-failed"``, ``"round-limit"``, ``"timeout"``,
+    ``"worker-crashed"``, or ``"exception:<TypeName>"``); ``seed`` is the
+    cell's trial seed, so the failure reproduces with a single serial run.
+    """
+
+    parameter: str
+    value: object
+    algorithm: str
+    trial: int
+    seed: int
+    kind: str
+    message: str
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "parameter": self.parameter,
+            "value": self.value,
+            "algorithm": self.algorithm,
+            "trial": self.trial,
+            "seed": self.seed,
+            "kind": self.kind,
+            "message": self.message,
+        }
+
+
+class SweepResult(List[SweepPoint]):
+    """The points of a sweep plus the structured failures it recorded.
+
+    A plain ``list`` subclass: every existing consumer of ``sweep()`` (which
+    returned ``List[SweepPoint]``) keeps working unchanged, and ``==``
+    against a plain list of points still holds.  ``failures`` is empty
+    unless ``on_error="record"`` turned broken cells into rows.
+    """
+
+    def __init__(
+        self,
+        points: Iterable[SweepPoint] = (),
+        failures: Iterable[CellFailure] = (),
+    ) -> None:
+        super().__init__(points)
+        self.failures: List[CellFailure] = list(failures)
+
+    @property
+    def ok(self) -> bool:
+        """Whether no cell failed."""
+        return not self.failures
 
 
 def network_from(graph: GraphLike, seed: int = 0, id_scheme: str = "permuted") -> Network:
@@ -90,7 +190,11 @@ def sweep(
     validate: bool = True,
     parallel: Union[bool, int, None] = None,
     engine: str = "node",
-) -> List[SweepPoint]:
+    faults: Optional[FaultSchedule] = None,
+    cell_timeout: Optional[float] = None,
+    checkpoint: Optional[str] = None,
+    on_error: str = "raise",
+) -> "SweepResult":
     """Run a one-dimensional parameter sweep.
 
     Args:
@@ -136,26 +240,61 @@ def sweep(
             to serial and parallel execution alike — a parallel sweep on
             the array engine still produces measurements identical to the
             serial array sweep (same per-cell seed schedule).
+        faults: optional :class:`~repro.local.faults.FaultSchedule` injected
+            into every trial of every cell (see :mod:`repro.local.faults`
+            for the engine-independent seed schedule).
+        cell_timeout: optional wall-clock budget in seconds per
+            ``(value, algorithm, trial)`` cell; an expired cell raises
+            :class:`~repro.core.errors.CellTimeout` (a recorded failure row
+            under ``on_error="record"``).  Enforced via ``SIGALRM``, in the
+            worker itself on the parallel path.
+        checkpoint: optional path to a JSON-lines journal of finished
+            cells (format ``sweep-checkpoint/v1``).  When the file already
+            holds rows for the same sweep (validated against a header),
+            cells with ``ok`` rows are skipped and recorded failures are
+            retried — interrupted sweeps resume cell-exactly.
+        on_error: ``"raise"`` (default) propagates the first broken cell's
+            exception; ``"record"`` converts broken cells into
+            :class:`CellFailure` rows on the result and keeps sweeping.
 
     Returns:
-        One :class:`SweepPoint` per (value, algorithm) combination, in order.
+        A :class:`SweepResult` (a ``list`` of one :class:`SweepPoint` per
+        (value, algorithm) combination with at least one finished trial, in
+        order) whose ``failures`` lists the recorded broken cells.
     """
+    if on_error not in ("raise", "record"):
+        raise ValueError(f"on_error must be 'raise' or 'record', got {on_error!r}")
+    spec: Dict[str, object] = {
+        "parameter": parameter,
+        "values": list(values),
+        "graph_factory": graph_factory,
+        "algorithms": dict(algorithms),
+        "trials": trials,
+        "seed": seed,
+        "max_rounds": max_rounds,
+        "validate": validate,
+        "engine": engine,
+        "faults": faults,
+        "cell_timeout": cell_timeout,
+        "on_error": on_error,
+    }
     workers = _resolve_workers(parallel)
     cells = len(values) * len(algorithms) * trials
-    if workers > 1 and cells > 1 and _fork_available():
-        return _sweep_parallel(
-            parameter=parameter,
-            values=values,
-            graph_factory=graph_factory,
-            algorithms=algorithms,
-            trials=trials,
-            seed=seed,
-            max_rounds=max_rounds,
-            validate=validate,
-            workers=min(workers, cells),
-            engine=engine,
+    journal = _Checkpoint(checkpoint, spec) if checkpoint is not None else None
+    try:
+        if workers > 1 and cells > 1 and _fork_available():
+            return _sweep_parallel(spec, min(workers, cells), journal)
+        resilient = (
+            journal is not None or on_error == "record" or cell_timeout is not None
         )
+        if resilient:
+            return _sweep_serial_resilient(spec, journal)
+    finally:
+        if journal is not None:
+            journal.close()
 
+    # The historical serial fast path: one run_trials batch per
+    # (value, algorithm), identical factory invocation counts and traces.
     points: List[SweepPoint] = []
     runner = Runner(max_rounds=max_rounds)
     for index, value in enumerate(values):
@@ -172,6 +311,7 @@ def sweep(
                 runner=runner,
                 validate=validate,
                 engine=engine,
+                faults=faults,
             )
             measurement = measure(traces)
             # Attach the display name chosen by the caller rather than the
@@ -179,7 +319,7 @@ def sweep(
             # algorithm can be compared in one sweep.
             measurement = _renamed(measurement, name)
             points.append(SweepPoint(parameter=parameter, value=value, measurement=measurement))
-    return points
+    return SweepResult(points)
 
 
 def _renamed(measurement: ComplexityMeasurement, name: str) -> ComplexityMeasurement:
@@ -206,26 +346,93 @@ def _fork_available() -> bool:
 
 
 # ---------------------------------------------------------------------- #
-# Parallel execution
+# Cells
 # ---------------------------------------------------------------------- #
 #
-# The graph/algorithm/problem factories handed to sweep() are commonly
-# closures or lambdas, which cannot be pickled.  The pool therefore uses the
-# `fork` start method and the workers read the sweep specification from a
-# module global inherited from the parent process at fork time; the task
-# tuples sent through the pool are plain picklable (index, name, trial)
-# triples, and the results are plain lists of completion times.
+# A cell is one (value index, algorithm name, trial) triple; its seed is the
+# same trial_seed schedule the serial batch path uses, which is what makes
+# the serial, parallel, and resumed-from-checkpoint paths produce identical
+# measurements.  Cell results travel as plain dict rows — "ok" rows carry
+# the flat completion-time buffers that measure() consumes, "failure" rows
+# the classify_failure slug — so the same row format serves the pool
+# protocol, the checkpoint journal, and the aggregation step.
 
-_PARALLEL_SPEC: Optional[Dict[str, object]] = None
-_WORKER_NETWORKS: Dict[int, Network] = {}
+CellKey = Tuple[int, str, int]
+
+
+def _cell_seed(spec: Dict[str, object], index: int, trial: int) -> int:
+    return trial_seed(int(spec["seed"]) + 1000 * index, trial)
+
+
+def _cell_network(
+    spec: Dict[str, object], index: int, cache: Dict[int, Network]
+) -> Network:
+    network = cache.get(index)
+    if network is None:
+        graph = spec["graph_factory"](spec["values"][index])  # type: ignore[operator, index]
+        network = network_from(graph, seed=int(spec["seed"]) + index)
+        cache[index] = network
+    return network
+
+
+def _run_cell(
+    spec: Dict[str, object], index: int, name: str, trial: int, cache: Dict[int, Network]
+) -> Dict[str, object]:
+    """Execute one cell and return its ``ok`` row."""
+    network = _cell_network(spec, index, cache)
+    algorithm_factory, problem_factory = spec["algorithms"][name]  # type: ignore[index]
+    problem = problem_factory(network)
+    traces = run_trials(
+        lambda: algorithm_factory(network),
+        network,
+        problem,
+        trials=1,
+        seed=_cell_seed(spec, index, trial),
+        runner=Runner(max_rounds=int(spec["max_rounds"])),  # type: ignore[arg-type]
+        validate=bool(spec["validate"]),
+        engine=str(spec["engine"]),
+        faults=spec["faults"],  # type: ignore[arg-type]
+        timeout_s=spec["cell_timeout"],  # type: ignore[arg-type]
+    )
+    trace = traces[0]
+    return {
+        "status": "ok",
+        "index": index,
+        "name": name,
+        "trial": trial,
+        "n": network.n,
+        "m": network.m,
+        "problem": problem.name,
+        "algorithm": trace.algorithm_name,
+        # Flat int64 buffers: they pickle through the pool as raw bytes
+        # (8 B/entry) instead of per-int list items, and measure() consumes
+        # them exactly like lists (identical arithmetic).
+        "node_times": array("q", trace.node_completion_array().tobytes()),
+        "edge_times": array("q", trace.edge_completion_array().tobytes()),
+    }
+
+
+def _failure_row(
+    spec: Dict[str, object], index: int, name: str, trial: int, kind: str, message: str
+) -> Dict[str, object]:
+    return {
+        "status": "failure",
+        "index": index,
+        "name": name,
+        "trial": trial,
+        "seed": _cell_seed(spec, index, trial),
+        "failure": kind,
+        "message": message,
+    }
 
 
 class _CellTrace:
-    """Duck-typed stand-in for :class:`ExecutionTrace` built from worker results.
+    """Duck-typed stand-in for :class:`ExecutionTrace` built from cell rows.
 
     Exposes exactly what :func:`repro.core.metrics.measure` consumes, so the
-    parent process can aggregate parallel cells through the same code path as
-    serial traces (and hence produce bit-identical measurements).
+    parent process can aggregate parallel / checkpointed cells through the
+    same code path as serial traces (and hence produce bit-identical
+    measurements).
     """
 
     class _Net:
@@ -253,9 +460,9 @@ class _CellTrace:
         self.network = _CellTrace._Net(n, m)
         self.problem = _CellTrace._Problem(problem_name)
         self.algorithm_name = algorithm_name
-        # The worker ships flat array('q') buffers; np.asarray wraps them
-        # zero-copy, so the parent-side aggregation runs on int64 arrays
-        # exactly like the serial measurement path.
+        # np.asarray wraps array('q') buffers zero-copy; JSON-revived lists
+        # convert once.  Either way aggregation runs on int64 arrays exactly
+        # like the serial measurement path.
         self._node_times = np.asarray(node_times, dtype=np.int64)
         self._edge_times = np.asarray(edge_times, dtype=np.int64)
 
@@ -280,102 +487,295 @@ class _CellTrace:
         )
 
 
-def _parallel_worker(task: Tuple[int, str, int]) -> Tuple[int, str, int, Dict[str, object]]:
+def _row_to_trace(row: Dict[str, object]) -> _CellTrace:
+    return _CellTrace(
+        n=row["n"],  # type: ignore[arg-type]
+        m=row["m"],  # type: ignore[arg-type]
+        problem_name=row["problem"],  # type: ignore[arg-type]
+        algorithm_name=row["algorithm"],  # type: ignore[arg-type]
+        node_times=row["node_times"],  # type: ignore[arg-type]
+        edge_times=row["edge_times"],  # type: ignore[arg-type]
+    )
+
+
+def _collect(spec: Dict[str, object], rows: Dict[CellKey, Dict[str, object]]) -> SweepResult:
+    """Aggregate cell rows into points (per value × algorithm) and failures."""
+    parameter = str(spec["parameter"])
+    values: List[object] = spec["values"]  # type: ignore[assignment]
+    algorithms: Dict[str, object] = spec["algorithms"]  # type: ignore[assignment]
+    trials = int(spec["trials"])
+    points: List[SweepPoint] = []
+    failures: List[CellFailure] = []
+    for index, value in enumerate(values):
+        for name in algorithms:
+            traces: List[_CellTrace] = []
+            for trial in range(trials):
+                row = rows.get((index, name, trial))
+                if row is None:
+                    continue
+                if row["status"] == "ok":
+                    traces.append(_row_to_trace(row))
+                else:
+                    failures.append(
+                        CellFailure(
+                            parameter=parameter,
+                            value=value,
+                            algorithm=name,
+                            trial=trial,
+                            seed=int(row["seed"]),  # type: ignore[arg-type]
+                            kind=str(row["failure"]),
+                            message=str(row["message"]),
+                        )
+                    )
+            if traces:
+                measurement = _renamed(measure(traces), name)
+                points.append(
+                    SweepPoint(parameter=parameter, value=value, measurement=measurement)
+                )
+    return SweepResult(points, failures)
+
+
+# ---------------------------------------------------------------------- #
+# Checkpointing
+# ---------------------------------------------------------------------- #
+
+
+class _Checkpoint:
+    """JSON-lines journal of finished cells (format ``sweep-checkpoint/v1``).
+
+    Line 1 is a header identifying the sweep (parameter, value count,
+    algorithm names, trials, seed, engine); every further line is one cell
+    row — ``{"status": "ok", ...}`` with the completion-time lists, or
+    ``{"status": "failure", ...}`` with the failure slug, seed and message.
+    Rows are flushed as they are written, so a killed process loses at most
+    the cell it was computing.  On re-open the header is validated against
+    the current sweep, finished ``ok`` rows are skipped by the caller, and
+    failure rows are retried (a later row for the same cell wins).  A
+    truncated trailing line (the process died mid-write) is ignored.
+    """
+
+    def __init__(self, path: str, spec: Dict[str, object]) -> None:
+        self.path = path
+        self.rows: Dict[CellKey, Dict[str, object]] = {}
+        header = self._header(spec)
+        if os.path.exists(path) and os.path.getsize(path) > 0:
+            self._load(path, header)
+            self._fh = open(path, "a", encoding="utf-8")
+        else:
+            self._fh = open(path, "w", encoding="utf-8")
+            self._fh.write(json.dumps(header, sort_keys=True) + "\n")
+            self._fh.flush()
+
+    @staticmethod
+    def _header(spec: Dict[str, object]) -> Dict[str, object]:
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "parameter": spec["parameter"],
+            "values": [repr(v) for v in spec["values"]],  # type: ignore[union-attr]
+            "algorithms": sorted(spec["algorithms"]),  # type: ignore[arg-type]
+            "trials": spec["trials"],
+            "seed": spec["seed"],
+            "engine": spec["engine"],
+        }
+
+    def _load(self, path: str, header: Dict[str, object]) -> None:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        try:
+            existing = json.loads(lines[0])
+        except (json.JSONDecodeError, IndexError):
+            raise ValueError(f"{path} is not a {CHECKPOINT_FORMAT} checkpoint file")
+        if existing.get("format") != CHECKPOINT_FORMAT:
+            raise ValueError(
+                f"{path} has checkpoint format {existing.get('format')!r}, "
+                f"expected {CHECKPOINT_FORMAT!r}"
+            )
+        mismatched = [
+            key
+            for key in ("parameter", "values", "algorithms", "trials", "seed", "engine")
+            if existing.get(key) != header[key]
+        ]
+        if mismatched:
+            raise ValueError(
+                f"checkpoint {path} belongs to a different sweep "
+                f"(mismatched {', '.join(mismatched)}); delete it or pass "
+                "another path"
+            )
+        for line in lines[1:]:
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # truncated trailing line from a killed process
+            self.rows[(row["index"], row["name"], row["trial"])] = row
+
+    def finished(self, key: CellKey) -> Optional[Dict[str, object]]:
+        """The journaled ``ok`` row for ``key``, if any (failures are retried)."""
+        row = self.rows.get(key)
+        return row if row is not None and row["status"] == "ok" else None
+
+    def record(self, row: Dict[str, object]) -> None:
+        serialisable = dict(row)
+        for field in ("node_times", "edge_times"):
+            if field in serialisable:
+                serialisable[field] = list(serialisable[field])  # type: ignore[arg-type]
+        self._fh.write(json.dumps(serialisable, sort_keys=True) + "\n")
+        self._fh.flush()
+        self.rows[(row["index"], row["name"], row["trial"])] = row  # type: ignore[index]
+        if _test_hook is not None:
+            _test_hook(row)
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            self._fh.close()
+
+
+# ---------------------------------------------------------------------- #
+# Serial resilient execution
+# ---------------------------------------------------------------------- #
+
+
+def _cell_keys(spec: Dict[str, object]) -> List[CellKey]:
+    return [
+        (index, name, trial)
+        for index in range(len(spec["values"]))  # type: ignore[arg-type]
+        for name in spec["algorithms"]  # type: ignore[union-attr]
+        for trial in range(int(spec["trials"]))
+    ]
+
+
+def _sweep_serial_resilient(
+    spec: Dict[str, object], journal: Optional[_Checkpoint]
+) -> SweepResult:
+    rows: Dict[CellKey, Dict[str, object]] = dict(journal.rows) if journal else {}
+    cache: Dict[int, Network] = {}
+    for key in _cell_keys(spec):
+        index, name, trial = key
+        if journal is not None and journal.finished(key):
+            continue
+        try:
+            row = _run_cell(spec, index, name, trial, cache)
+        except KeyboardInterrupt:
+            raise  # the journal already holds every finished cell
+        except Exception as error:
+            row = _failure_row(
+                spec, index, name, trial, classify_failure(error), str(error)
+            )
+            if spec["on_error"] == "raise":
+                if journal is not None:
+                    journal.record(row)
+                raise
+        rows[key] = row
+        if journal is not None:
+            journal.record(row)
+    return _collect(spec, rows)
+
+
+# ---------------------------------------------------------------------- #
+# Parallel execution
+# ---------------------------------------------------------------------- #
+#
+# The graph/algorithm/problem factories handed to sweep() are commonly
+# closures or lambdas, which cannot be pickled.  The pool therefore uses the
+# `fork` start method and the workers read the sweep specification from a
+# module global inherited from the parent process at fork time; the task
+# tuples sent through the pool are plain picklable (index, name, trial)
+# triples, and the results are plain row dicts.
+
+_PARALLEL_SPEC: Optional[Dict[str, object]] = None
+_WORKER_NETWORKS: Dict[int, Network] = {}
+
+
+def _parallel_worker(task: CellKey) -> Dict[str, object]:
     index, name, trial = task
     spec = _PARALLEL_SPEC
     assert spec is not None, "worker forked without a sweep specification"
-    network = _WORKER_NETWORKS.get(index)
-    if network is None:
-        graph = spec["graph_factory"](spec["values"][index])  # type: ignore[operator]
-        network = network_from(graph, seed=spec["seed"] + index)  # type: ignore[operator]
-        _WORKER_NETWORKS[index] = network
-    algorithm_factory, problem_factory = spec["algorithms"][name]  # type: ignore[index]
-    problem = problem_factory(network)
-    cell_seed = trial_seed(spec["seed"] + 1000 * index, trial)  # type: ignore[operator]
-    traces = run_trials(
-        lambda: algorithm_factory(network),
-        network,
-        problem,
-        trials=1,
-        seed=cell_seed,
-        runner=Runner(max_rounds=spec["max_rounds"]),  # type: ignore[arg-type]
-        validate=bool(spec["validate"]),
-        engine=str(spec.get("engine", "node")),
-    )
-    trace = traces[0]
-    return (
-        index,
-        name,
-        trial,
-        {
-            "n": network.n,
-            "m": network.m,
-            "problem": problem.name,
-            "algorithm": trace.algorithm_name,
-            # Ship flat int64 arrays through the pool: they pickle as raw
-            # bytes (8 B/entry) instead of per-int list items, and measure()
-            # consumes them exactly like lists (identical arithmetic).
-            "node_times": array("q", trace.node_completion_array().tobytes()),
-            "edge_times": array("q", trace.edge_completion_array().tobytes()),
-        },
-    )
+    try:
+        return _run_cell(spec, index, name, trial, _WORKER_NETWORKS)
+    except Exception as error:
+        if spec["on_error"] == "raise":
+            raise
+        return _failure_row(
+            spec, index, name, trial, classify_failure(error), str(error)
+        )
+
+
+def _stall_timeout(spec: Dict[str, object]) -> float:
+    cell_timeout = spec["cell_timeout"]
+    if cell_timeout is not None:
+        return float(cell_timeout) + _STALL_GRACE  # type: ignore[arg-type]
+    return _DEFAULT_STALL_TIMEOUT
 
 
 def _sweep_parallel(
-    parameter: str,
-    values: Sequence[object],
-    graph_factory: Callable[[object], GraphLike],
-    algorithms: Dict[str, Tuple[AlgorithmFactory, ProblemFactory]],
-    trials: int,
-    seed: int,
-    max_rounds: int,
-    validate: bool,
-    workers: int,
-    engine: str = "node",
-) -> List[SweepPoint]:
+    spec: Dict[str, object], workers: int, journal: Optional[_Checkpoint]
+) -> SweepResult:
     global _PARALLEL_SPEC
+    rows: Dict[CellKey, Dict[str, object]] = dict(journal.rows) if journal else {}
     tasks = [
-        (index, name, trial)
-        for index in range(len(values))
-        for name in algorithms
-        for trial in range(trials)
+        key
+        for key in _cell_keys(spec)
+        if journal is None or not journal.finished(key)
     ]
-    spec: Dict[str, object] = {
-        "values": list(values),
-        "graph_factory": graph_factory,
-        "algorithms": dict(algorithms),
-        "seed": seed,
-        "max_rounds": max_rounds,
-        "validate": validate,
-        "engine": engine,
-    }
-    context = multiprocessing.get_context("fork")
-    previous_spec = _PARALLEL_SPEC
-    _PARALLEL_SPEC = spec
-    try:
-        with context.Pool(processes=workers) as pool:
-            results = pool.map(_parallel_worker, tasks)
-    finally:
-        _PARALLEL_SPEC = previous_spec
+    pending = set(tasks)
 
-    by_cell: Dict[Tuple[int, str], List[Optional[_CellTrace]]] = {
-        (index, name): [None] * trials for index in range(len(values)) for name in algorithms
-    }
-    for index, name, trial, payload in results:
-        by_cell[(index, name)][trial] = _CellTrace(
-            n=payload["n"],
-            m=payload["m"],
-            problem_name=payload["problem"],
-            algorithm_name=payload["algorithm"],
-            node_times=payload["node_times"],
-            edge_times=payload["edge_times"],
-        )
+    def take(row: Dict[str, object]) -> None:
+        key = (row["index"], row["name"], row["trial"])
+        pending.discard(key)  # type: ignore[arg-type]
+        rows[key] = row  # type: ignore[index]
+        if journal is not None:
+            journal.record(row)
 
-    points: List[SweepPoint] = []
-    for index, value in enumerate(values):
-        for name in algorithms:
-            traces = by_cell[(index, name)]
-            assert all(t is not None for t in traces)
-            measurement = _renamed(measure(traces), name)
-            points.append(SweepPoint(parameter=parameter, value=value, measurement=measurement))
-    return points
+    if tasks:
+        context = multiprocessing.get_context("fork")
+        previous_spec = _PARALLEL_SPEC
+        _PARALLEL_SPEC = spec
+        stall = _stall_timeout(spec)
+        stalled = False
+        try:
+            # Pool.__exit__ terminates the pool, which is exactly the clean
+            # teardown both the KeyboardInterrupt and the lost-worker paths
+            # need (never join a pool whose worker was SIGKILLed mid-task —
+            # the task is lost and the join would hang forever).
+            with context.Pool(processes=workers) as pool:
+                results = pool.imap_unordered(_parallel_worker, tasks)
+                while pending:
+                    try:
+                        row = results.next(timeout=stall)
+                    except StopIteration:  # pragma: no cover - pending guards this
+                        break
+                    except multiprocessing.TimeoutError:
+                        # No result for a full stall window: a worker died
+                        # without reporting (OOM killer).  Fall back to the
+                        # parent for every unfinished cell.
+                        stalled = True
+                        break
+                    take(row)
+        except KeyboardInterrupt:
+            if journal is not None:
+                journal.close()
+            raise
+        finally:
+            _PARALLEL_SPEC = previous_spec
+
+        if stalled and pending:
+            cache: Dict[int, Network] = {}
+            for key in sorted(pending):
+                index, name, trial = key
+                try:
+                    row = _run_cell(spec, index, name, trial, cache)
+                except Exception as retry_error:
+                    message = (
+                        f"pool worker was lost (no result within {stall:.0f}s) and "
+                        f"the serial re-run failed: {retry_error}"
+                    )
+                    row = _failure_row(
+                        spec, index, name, trial, WorkerCrashed.kind, message
+                    )
+                    if spec["on_error"] == "raise":
+                        if journal is not None:
+                            journal.record(row)
+                        raise WorkerCrashed(message) from retry_error
+                take(row)
+
+    return _collect(spec, rows)

@@ -1,0 +1,131 @@
+"""Structured failure taxonomy for executions, cells, and sweeps.
+
+Every way a trial or sweep cell can fail maps to one exception type here, so
+the harness layers (:func:`repro.core.experiment.run_trials`,
+:class:`repro.core.experiment.Experiment`, :func:`repro.analysis.sweep.sweep`)
+can classify failures into structured failure rows instead of letting an
+arbitrary exception abort a multi-hour sweep:
+
+* :class:`RoundLimitExceeded` — an execution hit the runner/engine round cap
+  in strict mode (moved here from ``repro.local.runner``, which re-exports it
+  for compatibility).
+* :class:`CellTimeout` — a cell exceeded its wall-clock budget (raised by
+  :func:`cell_deadline`, the SIGALRM-based guard used by the resilient sweep
+  workers and ``run_trials(timeout_s=...)``).
+* :class:`WorkerCrashed` — a fork-pool worker died (e.g. OOM-killed) and the
+  bounded same-seed serial retry failed as well.
+* :class:`ValidationFailed` — an execution produced an invalid solution
+  (raised by ``ExecutionTrace.require_valid``; subclasses ``AssertionError``
+  so pre-taxonomy callers catching that keep working).
+
+All types carry a stable machine-readable :attr:`ReproError.kind` slug — the
+``kind`` field of the failure rows the sweep checkpoint records (schema
+documented in ``benchmarks/README.md``).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+__all__ = [
+    "ReproError",
+    "RoundLimitExceeded",
+    "CellTimeout",
+    "WorkerCrashed",
+    "ValidationFailed",
+    "classify_failure",
+    "cell_deadline",
+]
+
+
+class ReproError(RuntimeError):
+    """Base class of the harness failure taxonomy.
+
+    Subclasses ``RuntimeError`` because the pre-taxonomy
+    ``RoundLimitExceeded`` did; ``kind`` is the stable slug recorded in
+    structured failure rows.
+    """
+
+    kind: str = "error"
+
+
+class RoundLimitExceeded(ReproError):
+    """Raised when an execution hits the round limit and ``strict`` is set."""
+
+    kind = "round-limit"
+
+
+class CellTimeout(ReproError):
+    """Raised when a cell exceeds its wall-clock budget."""
+
+    kind = "timeout"
+
+
+class WorkerCrashed(ReproError):
+    """A pool worker died running a cell and the serial retry failed too."""
+
+    kind = "worker-crashed"
+
+
+class ValidationFailed(ReproError, AssertionError):
+    """An execution produced an invalid solution.
+
+    Also an ``AssertionError``: ``require_valid`` raised that before the
+    taxonomy existed, and callers catching it must keep working.
+    """
+
+    kind = "validation-failed"
+
+
+def classify_failure(error: BaseException) -> str:
+    """Stable ``kind`` slug for an arbitrary exception (for failure rows)."""
+    if isinstance(error, ReproError):
+        return error.kind
+    if isinstance(error, AssertionError):
+        return ValidationFailed.kind
+    if isinstance(error, TimeoutError):
+        return CellTimeout.kind
+    return f"exception:{type(error).__name__}"
+
+
+def _deadline_supported() -> bool:
+    """Whether the SIGALRM wall-clock guard can be armed here.
+
+    SIGALRM exists on Unix only and signal handlers can only be installed
+    from the main thread; everywhere else :func:`cell_deadline` degrades to
+    a no-op (documented best-effort behaviour — the resilient sweep's fork
+    workers are Unix main threads, so the guard is always live where it
+    matters).
+    """
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+@contextmanager
+def cell_deadline(seconds: Optional[float], what: str = "cell") -> Iterator[None]:
+    """Raise :class:`CellTimeout` if the body runs longer than ``seconds``.
+
+    ``None`` (or a non-positive value, or an unsupported platform/thread)
+    disables the guard.  Uses ``signal.setitimer`` so fractional budgets
+    work; the previous handler and timer are restored on exit, making the
+    guard safe to nest under an outer deadline.
+    """
+    if seconds is None or seconds <= 0 or not _deadline_supported():
+        yield
+        return
+
+    def _on_alarm(signum, frame):  # pragma: no cover - exercised via raise
+        raise CellTimeout(f"{what} exceeded its {seconds:g}s wall-clock budget")
+
+    previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+    previous_timer = signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, *previous_timer)
+        signal.signal(signal.SIGALRM, previous_handler)

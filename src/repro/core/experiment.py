@@ -51,12 +51,14 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.core.errors import cell_deadline
 from repro.core.metrics import DEFAULT_QUANTILES, ComplexityMeasurement, measure
 from repro.core.problems import ProblemSpec
 from repro.core.trace import ExecutionTrace
 from repro.graphs.edgelist import EdgeArrays
 from repro.local.algorithm import NodeAlgorithm
 from repro.local.engine import ArrayEngine
+from repro.local.faults import FaultSchedule
 from repro.local.network import Network
 from repro.local.runner import Runner
 
@@ -100,6 +102,18 @@ def resolve_engine(engine: str, algorithm: NodeAlgorithm) -> bool:
         )
     return supported
 
+
+def _faults_active(faults: Optional[FaultSchedule]) -> bool:
+    """Whether ``faults`` actually injects anything (empty schedules are inert)."""
+    return faults is not None and (bool(faults.crashes) or faults.has_message_faults)
+
+
+def _array_supports_faults(algorithm: NodeAlgorithm) -> bool:
+    """Whether ``algorithm``'s array twin implements fault-aware stepping."""
+    twin = getattr(algorithm, "as_array_algorithm", lambda: None)()
+    return twin is not None and getattr(twin, "supports_faults", False)
+
+
 AlgorithmFactory = Callable[[], NodeAlgorithm]
 #: A graph source the facade understands: a finished :class:`Network`, a
 #: legacy ``(n, edges)`` pair, flat :class:`EdgeArrays` endpoints, a
@@ -129,6 +143,8 @@ def run_trials(
     runner: Optional[Runner] = None,
     validate: bool = True,
     engine: str = "node",
+    faults: Optional[FaultSchedule] = None,
+    timeout_s: Optional[float] = None,
 ) -> List[ExecutionTrace]:
     """Run ``trials`` independent executions and return their traces.
 
@@ -151,6 +167,16 @@ def run_trials(
             array engine follows its own documented PCG64 seed schedule, so
             its traces are reproducible but not bit-identical to the node
             path (see :mod:`repro.local.engine`).
+        faults: optional :class:`~repro.local.faults.FaultSchedule` injected
+            into every trial (the schedule is engine-independent, so trial
+            ``i`` sees the same crash rounds and message fates on either
+            engine).  Under ``engine="auto"``, an algorithm whose array twin
+            does not implement fault-aware stepping silently falls back to
+            the coroutine runner; ``engine="array"`` raises ``TypeError``
+            for such algorithms, like the engine itself does.
+        timeout_s: optional wall-clock budget in seconds for the whole batch
+            of trials; on expiry a :class:`~repro.core.errors.CellTimeout`
+            is raised (main-thread POSIX only — a no-op elsewhere).
 
     Returns:
         One :class:`ExecutionTrace` per trial.
@@ -168,27 +194,36 @@ def run_trials(
     if engine != "node":
         probe = algorithm_factory()
         use_array = resolve_engine(engine, probe)
+        if use_array and engine == "auto" and _faults_active(faults):
+            # "auto" prefers the array engine but never at the cost of
+            # refusing a fault schedule the coroutine runner can honour.
+            use_array = _array_supports_faults(probe)
     active_runner = runner or Runner()
     traces: List[ExecutionTrace] = []
-    if use_array:
-        array_engine = ArrayEngine(
-            max_rounds=active_runner.max_rounds, strict=active_runner.strict
-        )
+    with cell_deadline(timeout_s, what=f"run_trials({trials} trials)"):
+        if use_array:
+            array_engine = ArrayEngine(
+                max_rounds=active_runner.max_rounds, strict=active_runner.strict
+            )
+            for i in range(trials):
+                algorithm = (
+                    probe if i == 0 else algorithm_factory()
+                ).as_array_algorithm()
+                trace = array_engine.run(
+                    algorithm, network, problem, seed=trial_seed(seed, i), faults=faults
+                )
+                if validate:
+                    trace.require_valid()
+                traces.append(trace)
+            return traces
         for i in range(trials):
-            algorithm = (probe if i == 0 else algorithm_factory()).as_array_algorithm()
-            trace = array_engine.run(
-                algorithm, network, problem, seed=trial_seed(seed, i)
+            algorithm = probe if (i == 0 and probe is not None) else algorithm_factory()
+            trace = active_runner.run(
+                algorithm, network, problem, seed=trial_seed(seed, i), faults=faults
             )
             if validate:
                 trace.require_valid()
             traces.append(trace)
-        return traces
-    for i in range(trials):
-        algorithm = probe if (i == 0 and probe is not None) else algorithm_factory()
-        trace = active_runner.run(algorithm, network, problem, seed=trial_seed(seed, i))
-        if validate:
-            trace.require_valid()
-        traces.append(trace)
     return traces
 
 
@@ -201,6 +236,8 @@ def evaluate(
     runner: Optional[Runner] = None,
     validate: bool = True,
     engine: str = "node",
+    faults: Optional[FaultSchedule] = None,
+    timeout_s: Optional[float] = None,
 ) -> ComplexityMeasurement:
     """Run trials and aggregate them into a single complexity measurement."""
     traces = run_trials(
@@ -212,6 +249,8 @@ def evaluate(
         runner=runner,
         validate=validate,
         engine=engine,
+        faults=faults,
+        timeout_s=timeout_s,
     )
     return measure(traces)
 
@@ -413,6 +452,13 @@ class Experiment:
             :class:`~repro.local.engine.ArrayEngine`; raises for algorithms
             without an array twin), or ``"auto"`` (array engine exactly when
             the algorithm implements the ArrayAlgorithm protocol).
+        faults: optional :class:`~repro.local.faults.FaultSchedule` injected
+            into every trial of every graph.  ``"auto"`` falls back to the
+            coroutine runner for algorithms whose array twin is not
+            fault-aware; ``"array"`` raises ``TypeError`` for them.
+        timeout_s: optional wall-clock budget in seconds per graph (covers
+            that graph's whole trial batch); expiry raises
+            :class:`~repro.core.errors.CellTimeout`.
         require_valid: raise on the first invalid trial (default); when
             ``False``, invalid trials are only recorded in ``verdicts``.
         quantiles: completion-time quantile levels for the measurement
@@ -437,6 +483,8 @@ class Experiment:
         max_rounds: int = 20_000,
         runner: Optional[Runner] = None,
         engine: str = "node",
+        faults: Optional[FaultSchedule] = None,
+        timeout_s: Optional[float] = None,
         require_valid: bool = True,
         quantiles: Optional[Sequence[float]] = DEFAULT_QUANTILES,
     ) -> None:
@@ -476,6 +524,8 @@ class Experiment:
         self._array_engine = ArrayEngine(
             max_rounds=self._runner.max_rounds, strict=self._runner.strict
         )
+        self._faults = faults
+        self._timeout_s = timeout_s
         self._require_valid = require_valid
         self._quantiles = quantiles
 
@@ -508,29 +558,34 @@ class Experiment:
             # it, so the algorithm factory runs once per trial exactly.
             probe = self._make_algorithm(network)
             use_array = resolve_engine(self._engine, probe)
+            if use_array and self._engine == "auto" and _faults_active(self._faults):
+                use_array = _array_supports_faults(probe)
             t0 = time.perf_counter()
-            if use_array:
-                traces = tuple(
-                    self._array_engine.run(
-                        (
-                            probe if i == 0 else self._make_algorithm(network)
-                        ).as_array_algorithm(),
-                        network,
-                        problem,
-                        seed=s,
+            with cell_deadline(self._timeout_s, what=f"experiment graph {name!r}"):
+                if use_array:
+                    traces = tuple(
+                        self._array_engine.run(
+                            (
+                                probe if i == 0 else self._make_algorithm(network)
+                            ).as_array_algorithm(),
+                            network,
+                            problem,
+                            seed=s,
+                            faults=self._faults,
+                        )
+                        for i, s in enumerate(self._seeds)
                     )
-                    for i, s in enumerate(self._seeds)
-                )
-            else:
-                traces = tuple(
-                    self._runner.run(
-                        probe if i == 0 else self._make_algorithm(network),
-                        network,
-                        problem,
-                        seed=s,
+                else:
+                    traces = tuple(
+                        self._runner.run(
+                            probe if i == 0 else self._make_algorithm(network),
+                            network,
+                            problem,
+                            seed=s,
+                            faults=self._faults,
+                        )
+                        for i, s in enumerate(self._seeds)
                     )
-                    for i, s in enumerate(self._seeds)
-                )
             timings["runner_s"] = time.perf_counter() - t0
 
             t0 = time.perf_counter()

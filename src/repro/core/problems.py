@@ -68,6 +68,8 @@ __all__ = [
     "csr_is_maximal_matching",
     "csr_is_proper_coloring",
     "csr_is_sinkless_orientation",
+    "csr_is_surviving_mis",
+    "csr_is_surviving_maximal_matching",
 ]
 
 Edge = Tuple[int, int]
@@ -120,6 +122,15 @@ class ProblemSpec:
             ``((u, v), value)`` entries of a mapping input that are not edges
             of the network.  When ``None``, :meth:`validate_network` falls
             back to the networkx validator via the network's cached export.
+        surviving_validator: fault-aware validator
+            ``(network, node_values, edge_values, crashed) -> ValidationResult``
+            scoring outputs on the **surviving subgraph** after crash-stop
+            node faults (``crashed`` is a set of dead vertices).  Unlike a
+            plain re-validation on the induced survivor graph, a surviving
+            validator may credit commitments towards crashed nodes (e.g. an
+            MIS survivor covered by a crashed-but-committed ``True``
+            neighbour).  When ``None``, :meth:`validate_surviving` falls
+            back to strict validation on the induced survivor subnetwork.
     """
 
     name: str
@@ -129,6 +140,9 @@ class ProblemSpec:
     params: Mapping[str, Any] = field(default_factory=dict)
     csr_validator: Optional[
         Callable[[Any, Sequence[Any], Sequence[Any], Sequence[Tuple[Edge, Any]]], ValidationResult]
+    ] = None
+    surviving_validator: Optional[
+        Callable[[Any, Sequence[Any], Sequence[Any], "frozenset[int]"], ValidationResult]
     ] = None
 
     def validate(
@@ -207,6 +221,95 @@ class ProblemSpec:
                 missing_edges = [edges[i] for i in missing_slots[:5]]
                 return ValidationResult(False, f"missing edge outputs for {missing_edges}")
         return self.csr_validator(network, node_values, edge_values, stray_edges)
+
+    def validate_surviving(
+        self,
+        network: Any,
+        node_outputs: "Optional[Union[Mapping[int, Any], Sequence[Any]]]" = None,
+        edge_outputs: "Optional[Union[Mapping[Edge, Any], Sequence[Any]]]" = None,
+        crashed: Sequence[int] = (),
+    ) -> ValidationResult:
+        """Score outputs on the surviving subgraph after crash-stop faults.
+
+        ``crashed`` lists the dead vertices.  Missing outputs are only
+        required of survivors (node problems) and survivor–survivor edges
+        (edge problems): a crashed node that never committed — or an edge
+        whose endpoint died before the edge was decided — is excused, not a
+        failure.  Whatever a crashed node *did* commit before dying stands
+        and is visible to the validator (it can, e.g., cover a surviving
+        MIS non-member).
+
+        Problems registering a :attr:`surviving_validator` get the
+        fault-aware semantics; otherwise the outputs are strictly
+        re-validated on the induced survivor subnetwork (correct for purely
+        local constraints such as colouring, conservative for problems with
+        maximality-style constraints).
+        """
+        crashed_set = frozenset(crashed)
+        if not crashed_set:
+            return self.validate_network(network, node_outputs, edge_outputs)
+        node_values = _node_slots(network, node_outputs)
+        edge_values, _stray = _edge_slots(network, edge_outputs)
+        if self.labels_nodes:
+            missing = [
+                v
+                for v in range(network.n)
+                if v not in crashed_set and node_values[v] is MISSING
+            ]
+            if missing:
+                return ValidationResult(
+                    False, f"missing node outputs for survivors {missing[:5]}"
+                )
+        if self.labels_edges:
+            missing_edges = [
+                e
+                for i, e in enumerate(network.edges)
+                if edge_values[i] is MISSING
+                and e[0] not in crashed_set
+                and e[1] not in crashed_set
+            ]
+            if missing_edges:
+                return ValidationResult(
+                    False,
+                    f"missing edge outputs for surviving edges {missing_edges[:5]}",
+                )
+        if self.surviving_validator is not None:
+            return self.surviving_validator(network, node_values, edge_values, crashed_set)
+        return self._validate_on_survivor_subnetwork(
+            network, node_values, edge_values, crashed_set
+        )
+
+    def _validate_on_survivor_subnetwork(
+        self,
+        network: Any,
+        node_values: Sequence[Any],
+        edge_values: Sequence[Any],
+        crashed_set: "frozenset[int]",
+    ) -> ValidationResult:
+        """Strict fallback: re-validate on the induced survivor subnetwork.
+
+        Outputs are re-indexed to the subnetwork's vertex numbering
+        (``subnetwork`` relabels sorted survivors to ``0..k-1``).  Output
+        *values* are passed through unchanged, so problems whose values
+        reference vertex ids (e.g. orientation heads) need a dedicated
+        surviving validator instead of this fallback.
+        """
+        survivors = [v for v in range(network.n) if v not in crashed_set]
+        sub = network.subnetwork(survivors)
+        relabel = {v: i for i, v in enumerate(survivors)}
+        sub_nodes = {
+            relabel[v]: node_values[v]
+            for v in survivors
+            if node_values[v] is not MISSING
+        }
+        sub_edges: Dict[Edge, Any] = {}
+        for i, (u, v) in enumerate(network.edges):
+            value = edge_values[i]
+            if value is MISSING or u in crashed_set or v in crashed_set:
+                continue
+            a, b = relabel[u], relabel[v]
+            sub_edges[(a, b) if a < b else (b, a)] = value
+        return self.validate_network(sub, sub_nodes, sub_edges)
 
 
 def _canon(u: int, v: int) -> Edge:
@@ -490,6 +593,60 @@ def csr_is_ruling_set(
     return ValidationResult(True)
 
 
+def csr_is_surviving_mis(
+    network: Any, node_values: Sequence[Any], crashed: "frozenset[int]"
+) -> ValidationResult:
+    """MIS scored on the surviving subgraph after crash-stop faults.
+
+    * every survivor must have committed (checked by the caller,
+      :meth:`ProblemSpec.validate_surviving`; crashed nodes are excused),
+    * independence is required on **survivor–survivor** edges only (a
+      survivor may legitimately sit next to a crashed ``True`` node it
+      never heard retire),
+    * a ``False`` survivor is covered iff *some* neighbour — surviving or
+      crashed — committed ``True``.  This is exact for crash-stop faults:
+      any neighbour that caused a ``False`` commit had itself committed
+      ``True`` before announcing, so counting committed-``True`` crashed
+      neighbours repairs maximality precisely.
+    """
+    n = network.n
+    selected = _selected_flags(n, node_values)
+    endpoints = getattr(network, "edge_endpoints", None)
+    if endpoints is not None and network.m:
+        import numpy as np
+
+        us, vs = endpoints()
+        flags = np.frombuffer(selected, dtype=np.uint8).astype(bool)
+        alive = np.ones(n, dtype=bool)
+        alive[list(crashed)] = False
+        bad = flags[us] & flags[vs] & alive[us] & alive[vs]
+        if bad.any():
+            i = int(np.flatnonzero(bad)[0])
+            return ValidationResult(
+                False,
+                f"surviving edge ({int(us[i])}, {int(vs[i])}) has both endpoints selected",
+            )
+    else:
+        for u, v in network.edges:
+            if selected[u] and selected[v] and u not in crashed and v not in crashed:
+                return ValidationResult(
+                    False, f"surviving edge ({u}, {v}) has both endpoints selected"
+                )
+    indptr = network.indptr
+    indices = network.indices
+    for v in range(n):
+        if selected[v] or v in crashed:
+            continue
+        for k in range(indptr[v], indptr[v + 1]):
+            if selected[indices[k]]:
+                break
+        else:
+            return ValidationResult(
+                False, f"surviving node {v} is uncovered (not maximal)"
+            )
+    return ValidationResult(True)
+
+
 def _mis_validator(
     graph: nx.Graph, node_outputs: Mapping[int, Any], _: Mapping[Edge, Any]
 ) -> ValidationResult:
@@ -505,12 +662,22 @@ def _mis_csr_validator(
     return csr_is_maximal_independent_set(network, node_values)
 
 
+def _mis_surviving_validator(
+    network: Any,
+    node_values: Sequence[Any],
+    _edge_values: Sequence[Any],
+    crashed: "frozenset[int]",
+) -> ValidationResult:
+    return csr_is_surviving_mis(network, node_values, crashed)
+
+
 MIS = ProblemSpec(
     name="maximal-independent-set",
     labels_nodes=True,
     labels_edges=False,
     validator=_mis_validator,
     csr_validator=_mis_csr_validator,
+    surviving_validator=_mis_surviving_validator,
 )
 
 
@@ -622,6 +789,41 @@ def csr_is_maximal_matching(
     return ValidationResult(True)
 
 
+def csr_is_surviving_maximal_matching(
+    network: Any, edge_values: Sequence[Any], crashed: "frozenset[int]"
+) -> ValidationResult:
+    """Maximal matching scored on the surviving subgraph after crashes.
+
+    * every survivor–survivor edge must have committed (checked by the
+      caller; edges with a crashed endpoint are excused),
+    * the matching constraint (≤ 1 incident ``True`` edge) is enforced for
+      **all** nodes over all ``True`` edges — a crashed node cannot be
+      matched twice either, its surviving partners both believe the match,
+    * a ``False`` survivor–survivor edge is justified iff one endpoint is
+      matched via *some* ``True`` edge, possibly towards a crashed node
+      (the match happened before the partner died; that does not free the
+      surviving endpoint).
+    """
+    matched = bytearray(network.n)
+    edges = network.edges
+    for i, (u, v) in enumerate(edges):
+        value = edge_values[i]
+        if value is MISSING or not value:
+            continue
+        if matched[u] or matched[v]:
+            return ValidationResult(False, "selected edges are not a matching")
+        matched[u] = 1
+        matched[v] = 1
+    for i, (u, v) in enumerate(edges):
+        if u in crashed or v in crashed:
+            continue
+        if not matched[u] and not matched[v]:
+            return ValidationResult(
+                False, f"surviving edge ({u}, {v}) could be added (not maximal)"
+            )
+    return ValidationResult(True)
+
+
 def _matching_validator(
     graph: nx.Graph, _: Mapping[int, Any], edge_outputs: Mapping[Edge, Any]
 ) -> ValidationResult:
@@ -637,12 +839,22 @@ def _matching_csr_validator(
     return csr_is_maximal_matching(network, edge_values, stray_edges)
 
 
+def _matching_surviving_validator(
+    network: Any,
+    _node_values: Sequence[Any],
+    edge_values: Sequence[Any],
+    crashed: "frozenset[int]",
+) -> ValidationResult:
+    return csr_is_surviving_maximal_matching(network, edge_values, crashed)
+
+
 MAXIMAL_MATCHING = ProblemSpec(
     name="maximal-matching",
     labels_nodes=False,
     labels_edges=True,
     validator=_matching_validator,
     csr_validator=_matching_csr_validator,
+    surviving_validator=_matching_surviving_validator,
 )
 
 

@@ -36,6 +36,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.errors import ValidationFailed
 from repro.core.problems import MISSING, ProblemSpec, ValidationResult
 
 __all__ = ["ExecutionTrace"]
@@ -65,6 +66,15 @@ class ExecutionTrace:
         max_message_bits: rough upper bound on the largest message size in
             bits (only tracked when the runner is asked to).
         algorithm_name: name of the executed algorithm (for reports).
+        fault_events: injected fault events, in execution order — tuples
+            ``("crash", round, vertex)``, ``("drop", round, source, target)``
+            or ``("delay", round, source, target)`` (empty for fault-free
+            runs).  Derived purely from the :class:`~repro.local.faults.
+            FaultSchedule`, so both engines record identical lists for the
+            rounds they execute.
+        crashed: sorted vertices that crashed during the execution.  When
+            non-empty, :meth:`validate` scores the outputs on the surviving
+            subgraph (:meth:`ProblemSpec.validate_surviving`).
     """
 
     def __init__(
@@ -80,6 +90,8 @@ class ExecutionTrace:
         total_messages: int = 0,
         max_message_bits: Optional[int] = None,
         algorithm_name: str = "",
+        fault_events: Tuple = (),
+        crashed: Tuple[int, ...] = (),
     ) -> None:
         self.network = network
         self.problem = problem
@@ -88,6 +100,8 @@ class ExecutionTrace:
         self.total_messages = total_messages
         self.max_message_bits = max_message_bits
         self.algorithm_name = algorithm_name
+        self.fault_events = tuple(fault_events)
+        self.crashed = tuple(crashed)
         # Dict-canonical storage (legacy construction path).  ``None`` means
         # the corresponding flat arrays below are canonical instead.
         self._node_outputs: Optional[Dict[int, Any]] = (
@@ -134,6 +148,8 @@ class ExecutionTrace:
         total_messages: int = 0,
         max_message_bits: Optional[int] = None,
         algorithm_name: str = "",
+        fault_events: Tuple = (),
+        crashed: Tuple[int, ...] = (),
     ) -> "ExecutionTrace":
         """Build a trace directly from flat per-slot arrays (the hot path).
 
@@ -149,6 +165,8 @@ class ExecutionTrace:
             total_messages=total_messages,
             max_message_bits=max_message_bits,
             algorithm_name=algorithm_name,
+            fault_events=fault_events,
+            crashed=crashed,
         )
         trace._node_outputs = None
         trace._node_commit_round = None
@@ -437,10 +455,19 @@ class ExecutionTrace:
 
         Uses the CSR-native fast path (:meth:`ProblemSpec.validate_network`)
         when both the network and the problem support it — the topology is
-        never exported back to networkx on this path.
+        never exported back to networkx on this path.  Executions with
+        crash-stop faults (:attr:`crashed` non-empty) are scored on the
+        surviving subgraph via :meth:`ProblemSpec.validate_surviving`.
         """
         network = self.network
         problem = self.problem
+        if self.crashed and hasattr(problem, "validate_surviving"):
+            return problem.validate_surviving(
+                network,
+                self._node_value_slots(),
+                self._edge_value_slots(),
+                self.crashed,
+            )
         if hasattr(problem, "validate_network") and hasattr(network, "indptr"):
             return problem.validate_network(
                 network, self._node_value_slots(), self._edge_value_slots()
@@ -449,10 +476,14 @@ class ExecutionTrace:
         return problem.validate(graph, self.node_outputs, self.edge_outputs)
 
     def require_valid(self) -> "ExecutionTrace":
-        """Raise ``AssertionError`` unless the outputs are a valid solution."""
+        """Raise :class:`ValidationFailed` unless the outputs are valid.
+
+        ``ValidationFailed`` subclasses ``AssertionError``, preserving the
+        historical contract of this method.
+        """
         result = self.validate()
         if not result:
-            raise AssertionError(
+            raise ValidationFailed(
                 f"{self.algorithm_name or 'algorithm'} produced an invalid "
                 f"{self.problem.name} solution: {result.reason}"
             )

@@ -58,10 +58,11 @@ from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.errors import RoundLimitExceeded
 from repro.core.problems import ProblemSpec
 from repro.core.trace import ExecutionTrace
+from repro.local.faults import FaultSchedule, RoundFaults
 from repro.local.network import Network
-from repro.local.runner import RoundLimitExceeded
 
 __all__ = ["ArrayAlgorithm", "ArrayState", "ArrayTopology", "ArrayEngine"]
 
@@ -169,6 +170,12 @@ class ArrayAlgorithm:
     labels_nodes: bool = False
     labels_edges: bool = False
 
+    #: Whether :meth:`step` accepts a ``faults`` keyword (a per-round
+    #: :class:`~repro.local.faults.RoundFaults` view) and implements the
+    #: crash/drop semantics.  The engine refuses fault schedules for
+    #: algorithms that do not opt in.
+    supports_faults: bool = False
+
     def init_arrays(
         self, topology: ArrayTopology, rng: np.random.Generator
     ) -> ArrayState:
@@ -219,10 +226,35 @@ class ArrayEngine:
         network: Network,
         problem: ProblemSpec,
         seed: Optional[int] = None,
+        faults: Optional[FaultSchedule] = None,
     ) -> ExecutionTrace:
-        """Execute ``algorithm`` on ``network`` under the documented seed schedule."""
+        """Execute ``algorithm`` on ``network`` under the documented seed schedule.
+
+        With a ``faults`` schedule, each round the engine computes the
+        schedule's :class:`~repro.local.faults.RoundFaults` view (alive mask
+        plus per-direction delivery masks) and hands it to
+        ``algorithm.step(..., faults=...)``; completion excuses entities
+        only a crashed node could still decide, fault events are recorded
+        on the trace, and validation scores the surviving subgraph.  Delay
+        faults are a coroutine-runner-only feature (the engine has no
+        per-message mailboxes to re-queue) and are rejected.
+        """
         topology = self._topology(network)
         rng = np.random.Generator(np.random.PCG64(seed))
+
+        if faults is not None and (faults.crashes or faults.has_message_faults):
+            if not getattr(algorithm, "supports_faults", False):
+                raise TypeError(
+                    f"{algorithm.name} has no fault-aware array implementation; "
+                    f"use the coroutine runner (engine='node') for fault injection"
+                )
+            if faults.delay_rate > 0.0:
+                raise ValueError(
+                    "message delays are only supported by the coroutine runner; "
+                    "the array engine accepts crash and drop faults"
+                )
+            return self._run_faulted(algorithm, network, problem, rng, faults, topology)
+
         state = algorithm.init_arrays(topology, rng)
 
         rounds = 0
@@ -242,6 +274,51 @@ class ArrayEngine:
             algorithm, network, problem, state, rounds, completed
         )
 
+    def _run_faulted(
+        self,
+        algorithm: ArrayAlgorithm,
+        network: Network,
+        problem: ProblemSpec,
+        rng: np.random.Generator,
+        faults: FaultSchedule,
+        topology: ArrayTopology,
+    ) -> ExecutionTrace:
+        state = algorithm.init_arrays(topology, rng)
+
+        fault_events: list = []
+        rounds = 0
+        round_faults = faults.round_faults(
+            0, topology.n, topology.m, topology.edge_us, topology.edge_vs
+        )
+        completed = self._is_complete_faulted(state, problem, round_faults, topology)
+        while not completed and rounds < self.max_rounds:
+            rounds += 1
+            round_faults = faults.round_faults(
+                rounds, topology.n, topology.m, topology.edge_us, topology.edge_vs
+            )
+            fault_events.extend(
+                faults.round_events(rounds, topology.edge_us, topology.edge_vs)
+            )
+            algorithm.step(rounds, state, topology, rng, faults=round_faults)
+            completed = self._is_complete_faulted(state, problem, round_faults, topology)
+
+        if not completed and self.strict:
+            raise RoundLimitExceeded(
+                f"{algorithm.name} did not finish {problem.name} on a graph with "
+                f"n={network.n}, m={network.m} within {self.max_rounds} rounds"
+            )
+
+        return self._collect_trace(
+            algorithm,
+            network,
+            problem,
+            state,
+            rounds,
+            completed,
+            fault_events=tuple(fault_events),
+            crashed=faults.crashed_within(rounds),
+        )
+
     @staticmethod
     def _is_complete(state: ArrayState, problem: ProblemSpec) -> bool:
         if problem.labels_nodes and (state.node_rounds < 0).any():
@@ -253,6 +330,34 @@ class ArrayEngine:
         return True
 
     @staticmethod
+    def _is_complete_faulted(
+        state: ArrayState,
+        problem: ProblemSpec,
+        round_faults: RoundFaults,
+        topology: ArrayTopology,
+    ) -> bool:
+        """Completion with crash excusals (mirrors ``_CompletionTracker``).
+
+        Uncommitted nodes only block completion while alive; uncommitted
+        edges only while both endpoints are alive; halting-only problems
+        complete when every node has halted or crashed.
+        """
+        alive = round_faults.alive
+        if problem.labels_nodes and ((state.node_rounds < 0) & alive).any():
+            return False
+        if problem.labels_edges:
+            pending = (
+                (state.edge_rounds < 0)
+                & alive[topology.edge_us]
+                & alive[topology.edge_vs]
+            )
+            if pending.any():
+                return False
+        if not problem.labels_nodes and not problem.labels_edges:
+            return bool((state.halted | ~alive).all())
+        return True
+
+    @staticmethod
     def _collect_trace(
         algorithm: ArrayAlgorithm,
         network: Network,
@@ -260,6 +365,8 @@ class ArrayEngine:
         state: ArrayState,
         rounds: int,
         completed: bool,
+        fault_events: Tuple = (),
+        crashed: Tuple[int, ...] = (),
     ) -> ExecutionTrace:
         # Straight into the trace's flat per-slot storage: int64 rounds as
         # array('q') buffers (one memcpy each), values as plain lists with
@@ -280,6 +387,8 @@ class ArrayEngine:
             total_messages=state.messages,
             max_message_bits=None,
             algorithm_name=algorithm.name,
+            fault_events=fault_events,
+            crashed=crashed,
         )
 
 

@@ -1,0 +1,285 @@
+"""Deterministic fault injection for the LOCAL-model simulators.
+
+A :class:`FaultSchedule` describes an adversary for one execution:
+
+* **crash-stop node faults** — ``crashes`` maps a vertex to the round at
+  whose *start* it crashes (rounds are 1-based, like the runner's round
+  counter).  A node crashed at round ``r`` sends nothing at round ``r``,
+  never processes an inbox again and never commits again; whatever it
+  committed in rounds ``< r`` stands.  Survivors keep running — graceful
+  degradation, not abort.
+* **seeded message drops/delays** — every directed message of round ``r``
+  is independently dropped with probability ``drop_rate`` or delayed by one
+  round with probability ``delay_rate`` (coroutine runner only; the array
+  engine rejects delays).  A delayed message is delivered together with
+  round ``r + 1``'s messages, so a fresh round-``r+1`` message from the same
+  sender overwrites it; it is lost if the target has crashed or halted by
+  then.  Round-synchronous algorithms whose message *types* vary by phase
+  (e.g. Luby's alternating priority/announcement broadcasts) can therefore
+  observe a cross-phase straggler whenever the overwriting fresh message is
+  itself dropped or the sender has retired — an algorithm-level exception
+  under such an adversary is a legitimate structured outcome, not a harness
+  bug: resilient sweeps (``on_error="record"``) record it as an
+  ``exception:<Type>`` failure row instead of crashing.
+
+Seed schedule (the ``fast_gnp_edges`` relaxed-randomness precedent).  Fault
+randomness is engine-independent: it comes from the schedule's own PCG64
+streams, never from the algorithm's RNG, so the *same* ``FaultSchedule``
+object injects bit-identical faults into the coroutine :class:`~repro.local.
+runner.Runner` and the :class:`~repro.local.engine.ArrayEngine`.  Round ``r``
+draws one block
+
+    ``numpy.random.Generator(PCG64(SeedSequence([seed, r]))).random(2 m)``
+
+of uniforms over the **directed edge slots**: canonical edge slot ``i``
+(endpoints ``u < v`` in :meth:`Network.edge_endpoints` order) owns direction
+``u → v`` at ``2 i`` and ``v → u`` at ``2 i + 1``.  A directed uniform ``x``
+means dropped if ``x < drop_rate``, delayed if
+``drop_rate ≤ x < drop_rate + delay_rate``, delivered otherwise.  Keying the
+generator by ``(seed, round)`` makes the schedule independent of how many
+rounds the run executes and of the order the engines query it in.
+
+Fault events.  :meth:`FaultSchedule.round_events` derives the per-round
+event list *purely from the schedule* (crash rounds + directed masks +
+topology), never from engine state: a drop/delay event is recorded iff the
+mask selects the direction **and** neither endpoint has crashed by that
+round — whether or not the source actually had a message to send.  The
+events describe the adversary, not observed message loss; because both
+engines call the same helper for each executed round, their recorded events
+are identical by construction (differential tests pin this).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["FaultSchedule", "RoundFaults", "FaultEvent"]
+
+#: ("crash", round, vertex) | ("drop", round, source, target)
+#: | ("delay", round, source, target)
+FaultEvent = Tuple
+
+
+#: Directed-fate codes of the per-round mask.
+_DELIVER, _DROP, _DELAY = 0, 1, 2
+
+
+class RoundFaults:
+    """The faults of one engine round, in array form.
+
+    Built by :meth:`FaultSchedule.round_faults` and handed to fault-aware
+    :class:`~repro.local.engine.ArrayAlgorithm` steps:
+
+    * ``alive`` — bool per vertex; ``False`` from the crash round onwards
+      (a node crashing at round ``r`` is already dead *during* round ``r``),
+    * ``newly_crashed`` — vertices whose crash round is exactly this round,
+    * ``deliver_uv`` / ``deliver_vu`` — bool per canonical edge slot:
+      whether a message along ``u → v`` / ``v → u`` would be delivered this
+      round (not dropped, and both endpoints alive).
+    """
+
+    __slots__ = ("round_index", "alive", "newly_crashed", "deliver_uv", "deliver_vu")
+
+    def __init__(
+        self,
+        round_index: int,
+        alive: np.ndarray,
+        newly_crashed: Tuple[int, ...],
+        deliver_uv: np.ndarray,
+        deliver_vu: np.ndarray,
+    ) -> None:
+        self.round_index = round_index
+        self.alive = alive
+        self.newly_crashed = newly_crashed
+        self.deliver_uv = deliver_uv
+        self.deliver_vu = deliver_vu
+
+
+class FaultSchedule:
+    """A deterministic crash/drop/delay adversary for one execution.
+
+    A schedule is immutable and engine-independent; the same instance may be
+    threaded through any number of runs on any engine (an internal per-round
+    mask cache only memoises deterministic draws).
+
+    Args:
+        crashes: mapping ``vertex → crash round`` (1-based; the node is dead
+            from the start of that round).
+        drop_rate: per-directed-message drop probability in ``[0, 1]``.
+        delay_rate: per-directed-message one-round delay probability
+            (coroutine runner only; ``drop_rate + delay_rate ≤ 1``).
+        seed: master seed of the schedule's own PCG64 streams.
+    """
+
+    __slots__ = ("crashes", "drop_rate", "delay_rate", "seed", "_mask_cache")
+
+    def __init__(
+        self,
+        crashes: Optional[Mapping[int, int]] = None,
+        drop_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        crashes = dict(crashes or {})
+        for vertex, crash_round in crashes.items():
+            if not isinstance(vertex, int) or vertex < 0:
+                raise ValueError(f"crash vertex must be a non-negative int, got {vertex!r}")
+            if not isinstance(crash_round, int) or crash_round < 1:
+                raise ValueError(
+                    f"crash round for vertex {vertex} must be an int >= 1, got {crash_round!r}"
+                )
+        if not 0.0 <= drop_rate <= 1.0:
+            raise ValueError("drop_rate must lie in [0, 1]")
+        if not 0.0 <= delay_rate <= 1.0:
+            raise ValueError("delay_rate must lie in [0, 1]")
+        if drop_rate + delay_rate > 1.0:
+            raise ValueError("drop_rate + delay_rate must not exceed 1")
+        self.crashes: Dict[int, int] = crashes
+        self.drop_rate = float(drop_rate)
+        self.delay_rate = float(delay_rate)
+        self.seed = int(seed)
+        # round → int8 directed-fate array (deterministic, so safe to cache).
+        self._mask_cache: Dict[Tuple[int, int], Optional[np.ndarray]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Crash queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def has_message_faults(self) -> bool:
+        """Whether any directed message can be dropped or delayed."""
+        return self.drop_rate > 0.0 or self.delay_rate > 0.0
+
+    def crash_round(self, vertex: int) -> Optional[int]:
+        """The round at whose start ``vertex`` crashes, or ``None``."""
+        return self.crashes.get(vertex)
+
+    def crashes_at(self, round_index: int) -> Tuple[int, ...]:
+        """Vertices crashing exactly at the start of ``round_index`` (sorted)."""
+        return tuple(
+            sorted(v for v, r in self.crashes.items() if r == round_index)
+        )
+
+    def crashed_by(self, round_index: int) -> Tuple[int, ...]:
+        """Vertices dead during ``round_index`` (crash round ≤ it), sorted."""
+        return tuple(
+            sorted(v for v, r in self.crashes.items() if r <= round_index)
+        )
+
+    def alive_mask(self, round_index: int, n: int) -> np.ndarray:
+        """Bool per vertex: alive during ``round_index``."""
+        alive = np.ones(n, dtype=bool)
+        for vertex, crash_round in self.crashes.items():
+            if crash_round <= round_index and vertex < n:
+                alive[vertex] = False
+        return alive
+
+    # ------------------------------------------------------------------ #
+    # Directed message fates
+    # ------------------------------------------------------------------ #
+
+    def directed_fates(self, round_index: int, m: int) -> Optional[np.ndarray]:
+        """Fate per directed slot for ``round_index`` (``None`` = all delivered).
+
+        The returned int8 array has length ``2 m``: slot ``i``'s direction
+        ``u → v`` at ``2 i`` and ``v → u`` at ``2 i + 1``; values are
+        ``0`` = delivered, ``1`` = dropped, ``2`` = delayed.  One PCG64 block
+        keyed ``SeedSequence([seed, round_index])`` per round — the
+        documented schedule.
+        """
+        if not self.has_message_faults or m == 0:
+            return None
+        key = (round_index, m)
+        fates = self._mask_cache.get(key)
+        if fates is None:
+            rng = np.random.Generator(
+                np.random.PCG64(np.random.SeedSequence([self.seed, round_index]))
+            )
+            draws = rng.random(2 * m)
+            fates = np.zeros(2 * m, dtype=np.int8)
+            fates[draws < self.drop_rate] = _DROP
+            if self.delay_rate > 0.0:
+                fates[
+                    (draws >= self.drop_rate)
+                    & (draws < self.drop_rate + self.delay_rate)
+                ] = _DELAY
+            fates.setflags(write=False)
+            self._mask_cache[key] = fates
+        return fates
+
+    # ------------------------------------------------------------------ #
+    # Engine-facing round view
+    # ------------------------------------------------------------------ #
+
+    def round_faults(
+        self,
+        round_index: int,
+        n: int,
+        m: int,
+        edge_us: np.ndarray,
+        edge_vs: np.ndarray,
+    ) -> RoundFaults:
+        """The :class:`RoundFaults` view of ``round_index`` for an ``n``/``m`` graph."""
+        alive = self.alive_mask(round_index, n)
+        fates = self.directed_fates(round_index, m)
+        both_alive = alive[edge_us] & alive[edge_vs]
+        if fates is None:
+            deliver_uv = both_alive
+            deliver_vu = both_alive.copy()
+        else:
+            deliver_uv = (fates[0::2] == _DELIVER) & both_alive
+            deliver_vu = (fates[1::2] == _DELIVER) & both_alive
+        return RoundFaults(
+            round_index=round_index,
+            alive=alive,
+            newly_crashed=self.crashes_at(round_index),
+            deliver_uv=deliver_uv,
+            deliver_vu=deliver_vu,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Engine-independent event log
+    # ------------------------------------------------------------------ #
+
+    def round_events(
+        self,
+        round_index: int,
+        edge_us: np.ndarray,
+        edge_vs: np.ndarray,
+    ) -> List[FaultEvent]:
+        """The fault events of ``round_index``, derived from the schedule alone.
+
+        Ordering is fixed (crashes by vertex, then drops, then delays, each
+        in ascending directed-slot order) so both engines record literally
+        identical lists for the rounds they execute.
+        """
+        events: List[FaultEvent] = [
+            ("crash", round_index, vertex) for vertex in self.crashes_at(round_index)
+        ]
+        fates = self.directed_fates(round_index, len(edge_us))
+        if fates is None:
+            return events
+        crashed_now = {v for v, r in self.crashes.items() if r <= round_index}
+        for kind_code, kind in ((_DROP, "drop"), (_DELAY, "delay")):
+            for direction in np.flatnonzero(fates == kind_code).tolist():
+                slot, reverse = divmod(direction, 2)
+                if reverse:
+                    source, target = int(edge_vs[slot]), int(edge_us[slot])
+                else:
+                    source, target = int(edge_us[slot]), int(edge_vs[slot])
+                if source in crashed_now or target in crashed_now:
+                    continue
+                events.append((kind, round_index, source, target))
+        return events
+
+    def crashed_within(self, rounds_executed: int) -> Tuple[int, ...]:
+        """Vertices that crashed during the execution (for the trace), sorted."""
+        return self.crashed_by(rounds_executed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"FaultSchedule(crashes={self.crashes!r}, drop_rate={self.drop_rate}, "
+            f"delay_rate={self.delay_rate}, seed={self.seed})"
+        )

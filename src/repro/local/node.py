@@ -47,6 +47,7 @@ class NodeRuntime:
         "rng",
         "state",
         "_halted",
+        "_crashed",
         "_output",
         "_output_round",
         "_edge_outputs",
@@ -73,6 +74,7 @@ class NodeRuntime:
         self.rng = rng
         self.state: Dict[str, Any] = {}
         self._halted = False
+        self._crashed = False
         self._output: Any = None
         self._output_round: Optional[int] = None
         self._edge_outputs: Dict[int, Any] = {}
@@ -170,6 +172,16 @@ class NodeRuntime:
     def halted(self) -> bool:
         """Whether the node has stopped participating."""
         return self._halted
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the node was killed by an injected crash-stop fault.
+
+        Set by the runner when a :class:`~repro.local.faults.FaultSchedule`
+        crashes the node; a crashed node sends nothing, processes nothing
+        and never commits again.
+        """
+        return self._crashed
 
     @property
     def round(self) -> int:

@@ -30,13 +30,18 @@ import random
 from array import array
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.core.errors import RoundLimitExceeded
 from repro.core.problems import ProblemSpec
 from repro.core.trace import ExecutionTrace
 from repro.local.algorithm import Broadcast, NodeAlgorithm
 from repro.local.coroutine import CoroutineAlgorithm
+from repro.local.faults import FaultSchedule
 from repro.local.network import Network
 from repro.local.node import CommitError, NodeRuntime
 
+# RoundLimitExceeded moved to repro.core.errors (the structured failure
+# taxonomy); re-exported here because it was born in this module and callers
+# import it from both places.
 __all__ = ["Runner", "RoundLimitExceeded", "estimate_message_bits"]
 
 
@@ -69,10 +74,6 @@ except (ImportError, AttributeError):  # pragma: no cover
 
     def _make_node_rng(key: int) -> random.Random:
         return random.Random(key)
-
-
-class RoundLimitExceeded(RuntimeError):
-    """Raised when an execution hits the round limit and ``strict`` is set."""
 
 
 def estimate_message_bits(payload: Any) -> int:
@@ -172,6 +173,23 @@ class _CompletionTracker:
     def node_halted(self, vertex: int) -> None:
         self.halt_events += 1
 
+    def node_crashed(self, vertex: int, committed: bool) -> None:
+        """Excuse a crash-stop casualty from the completion requirements.
+
+        A crashed node that never committed can never commit, so it stops
+        blocking node-labelling completion; likewise its still-undecided
+        incident edges are excused for edge-labelling problems (marking them
+        decided here also guards against a double decrement if the surviving
+        endpoint commits the edge later).
+        """
+        if self.labels_nodes and not committed:
+            self._pending_nodes -= 1
+        if self.labels_edges:
+            for index in self._network.incident_edge_indices(vertex):
+                if not self._edge_decided[index]:
+                    self._edge_decided[index] = 1
+                    self._pending_edges -= 1
+
     def is_complete(self, unhalted: int) -> bool:
         if self.labels_nodes and self._pending_nodes:
             return False
@@ -239,6 +257,7 @@ class Runner:
         network: Network,
         problem: ProblemSpec,
         seed: Optional[int] = None,
+        faults: Optional[FaultSchedule] = None,
     ) -> ExecutionTrace:
         """Simulate ``algorithm`` on ``network`` for ``problem``.
 
@@ -250,6 +269,14 @@ class Runner:
                 and how completion times are derived.
             seed: master seed for all private node randomness.  Two runs with
                 the same seed on the same network are identical.
+            faults: optional :class:`~repro.local.faults.FaultSchedule` to
+                inject crash-stop node faults and seeded message drops /
+                delays.  Crashed nodes stop sending and committing; survivors
+                keep running, and completion only waits for entities the
+                survivors can still decide (uncommitted crashed nodes, and
+                edges with a crashed endpoint, are excused).  Fault events
+                and crashed vertices are recorded on the trace, and
+                validation scores the surviving subgraph.
 
         Returns:
             The :class:`ExecutionTrace` of the execution.
@@ -258,6 +285,8 @@ class Runner:
         if gc_was_enabled:
             gc.disable()
         try:
+            if faults is not None and (faults.crashes or faults.has_message_faults):
+                return self._run_faulted(algorithm, network, problem, seed, faults)
             return self._run(algorithm, network, problem, seed)
         finally:
             if gc_was_enabled:
@@ -409,6 +438,223 @@ class Runner:
             any_edge_commits=tracker.edge_commit_events > 0,
         )
 
+    def _run_faulted(
+        self,
+        algorithm: NodeAlgorithm,
+        network: Network,
+        problem: ProblemSpec,
+        seed: Optional[int],
+        faults: FaultSchedule,
+    ) -> ExecutionTrace:
+        """The round loop with fault injection (reference semantics).
+
+        A separate loop so the fault-free hot path of :meth:`_run` stays
+        untouched.  Faults are applied in a fixed order per round: crashes
+        at the round start (a node crashing at round ``r`` sends nothing at
+        ``r``), then the previous round's delayed messages are delivered
+        (so a fresh round-``r`` message from the same source overwrites
+        them), then sends with per-directed-edge drop/delay fates from the
+        schedule's documented per-round PCG64 block.  Node randomness is
+        seeded exactly as in the fault-free path, so a run with an empty
+        schedule is bit-identical to one without a schedule.
+        """
+        master_rng = random.Random(seed)
+        tracker = _CompletionTracker(network, problem)
+        nodes = self._acquire_nodes(network, master_rng, tracker)
+
+        total_messages = 0
+        max_message_bits = 0
+        track_bits = self.track_message_bits
+
+        for node in nodes:
+            node._current_round = 0
+            algorithm.init(node)
+
+        active: List[NodeRuntime] = [node for node in nodes if not node._halted]
+        inbox_of: List[Optional[Dict[int, Any]]] = [None] * network.n
+        for node in active:
+            inbox_of[node.vertex] = {}
+        seen_halt_events = tracker.halt_events
+
+        n = network.n
+        m = network.m
+        edge_us, edge_vs = network.edge_endpoints()
+        packed = network._packed_edge_index() if faults.has_message_faults else None
+
+        fault_events: List[Tuple] = []
+        # Messages delayed by one round: (target, source, payload), delivered
+        # before the next round's sends.
+        delayed_messages: List[Tuple[int, int, Any]] = []
+
+        rounds_executed = 0
+        completed = tracker.is_complete(len(active))
+        send = algorithm.send
+        algorithm_type = type(algorithm)
+        direct_outbox = (
+            isinstance(algorithm, CoroutineAlgorithm)
+            and algorithm_type.send is CoroutineAlgorithm.send
+        )
+        direct_receive = (
+            isinstance(algorithm, CoroutineAlgorithm)
+            and algorithm_type.receive is CoroutineAlgorithm.receive
+        )
+        receive = algorithm.receive
+
+        while not completed and rounds_executed < self.max_rounds:
+            current_round = rounds_executed + 1
+
+            # Crash-stop faults land at the start of the round: the casualty
+            # is dead *during* the round (sends nothing, processes nothing).
+            newly_crashed = faults.crashes_at(current_round)
+            if newly_crashed:
+                for v in newly_crashed:
+                    node = nodes[v]
+                    if not node._crashed:
+                        node._crashed = True
+                        inbox_of[v] = None
+                        tracker.node_crashed(v, node._output_round is not None)
+                active = [node for node in active if not node._crashed]
+
+            fault_events.extend(faults.round_events(current_round, edge_us, edge_vs))
+            fates = faults.directed_fates(current_round, m)
+            fates_list = fates.tolist() if fates is not None else None
+
+            # Last round's delayed messages arrive with this round's batch;
+            # delivering them first lets a newer message from the same
+            # source overwrite, and dead/halted targets (inbox None) lose
+            # them silently.
+            if delayed_messages:
+                for target, source, payload in delayed_messages:
+                    box = inbox_of[target]
+                    if box is not None:
+                        box[source] = payload
+                delayed_messages = []
+
+            # Phase 1: sends.  Counts are charged at the sender (a dropped
+            # message was still sent); drops and delays apply per directed
+            # edge slot via the schedule's fate block.
+            for node in active:
+                outgoing = node._coro_outbox if direct_outbox else send(node)
+                if not outgoing:
+                    continue
+                source = node.vertex
+                if type(outgoing) is Broadcast:
+                    payload = outgoing.payload
+                    neighbors = node.neighbors
+                    total_messages += len(neighbors)
+                    if track_bits:
+                        max_message_bits = max(
+                            max_message_bits, estimate_message_bits(payload)
+                        )
+                    for target in neighbors:
+                        if fates_list is not None:
+                            key = (
+                                source * n + target
+                                if source < target
+                                else target * n + source
+                            )
+                            fate = fates_list[
+                                2 * packed[key] + (0 if source < target else 1)
+                            ]
+                            if fate == 1:
+                                continue
+                            if fate == 2:
+                                delayed_messages.append((target, source, payload))
+                                continue
+                        box = inbox_of[target]
+                        if box is not None:
+                            box[source] = payload
+                    continue
+                neighbor_set = node._neighbor_set
+                for target, payload in outgoing.items():
+                    if target not in neighbor_set:
+                        raise ValueError(
+                            f"node {source} attempted to send to non-neighbour {target}"
+                        )
+                    total_messages += 1
+                    if track_bits:
+                        max_message_bits = max(
+                            max_message_bits, estimate_message_bits(payload)
+                        )
+                    if fates_list is not None:
+                        key = (
+                            source * n + target
+                            if source < target
+                            else target * n + source
+                        )
+                        fate = fates_list[
+                            2 * packed[key] + (0 if source < target else 1)
+                        ]
+                        if fate == 1:
+                            continue
+                        if fate == 2:
+                            delayed_messages.append((target, source, payload))
+                            continue
+                    box = inbox_of[target]
+                    if box is not None:
+                        box[source] = payload
+
+            # Phase 2: simultaneous delivery and processing (survivors only).
+            if direct_receive:
+                for node in active:
+                    if node._halted:
+                        continue
+                    node._current_round = current_round
+                    box = inbox_of[node.vertex]
+                    program = node._coro_program
+                    if program is not None:
+                        try:
+                            node._coro_outbox = program.send(box or {})
+                        except StopIteration:
+                            node._coro_program = None
+                            node._coro_outbox = None
+                            node.halt()
+                    if box:
+                        box.clear()
+            else:
+                for node in active:
+                    if node._halted:
+                        continue
+                    node._current_round = current_round
+                    box = inbox_of[node.vertex]
+                    receive(node, box)
+                    if box:
+                        box.clear()
+
+            rounds_executed = current_round
+
+            if tracker.halt_events != seen_halt_events:
+                seen_halt_events = tracker.halt_events
+                still_active: List[NodeRuntime] = []
+                for node in active:
+                    if node._halted:
+                        inbox_of[node.vertex] = None
+                    else:
+                        still_active.append(node)
+                active = still_active
+
+            completed = tracker.is_complete(len(active))
+
+        if not completed and self.strict:
+            raise RoundLimitExceeded(
+                f"{algorithm.name} did not finish {problem.name} on a graph with "
+                f"n={network.n}, m={network.m} within {self.max_rounds} rounds"
+            )
+
+        return self._collect_trace(
+            algorithm,
+            network,
+            problem,
+            nodes,
+            rounds_executed,
+            completed,
+            total_messages,
+            max_message_bits if self.track_message_bits else None,
+            any_edge_commits=tracker.edge_commit_events > 0,
+            fault_events=tuple(fault_events),
+            crashed=faults.crashed_within(rounds_executed),
+        )
+
     # ------------------------------------------------------------------ #
 
     def _acquire_nodes(
@@ -431,6 +677,7 @@ class Runner:
             if node.state:
                 node.state = {}
             node._halted = False
+            node._crashed = False
             node._output = None
             node._output_round = None
             if node._edge_outputs:
@@ -474,6 +721,8 @@ class Runner:
         total_messages: int,
         max_message_bits: Optional[int],
         any_edge_commits: bool = True,
+        fault_events: Tuple = (),
+        crashed: Tuple[int, ...] = (),
     ) -> ExecutionTrace:
         # Outputs and commit rounds go straight into the trace's flat
         # per-slot arrays (-1 = never committed); the historical dict views
@@ -541,4 +790,6 @@ class Runner:
             total_messages=total_messages,
             max_message_bits=max_message_bits,
             algorithm_name=algorithm.name,
+            fault_events=fault_events,
+            crashed=crashed,
         )

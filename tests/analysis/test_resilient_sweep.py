@@ -1,0 +1,314 @@
+"""Tests for the crash-safe sweep layer (checkpointing, failure rows, lost
+workers) in `repro.analysis.sweep`.
+
+The invariant under test throughout: resilience must never change results.
+A sweep that is checkpointed, interrupted and resumed, fanned across a pool,
+or recovered from a SIGKILLed worker produces measurements identical to the
+plain serial sweep, because every ``(value, algorithm, trial)`` cell derives
+its seed from the same deterministic schedule.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import sys
+import time
+
+import pytest
+
+from repro.algorithms.mis.luby import LubyMIS
+from repro.core import problems
+from repro.core.errors import WorkerCrashed
+from repro.core.experiment import trial_seed
+from repro.graphs import generators as gen
+from repro.local.faults import FaultSchedule
+
+# ``repro.analysis.sweep`` the *module*: the package __init__ rebinds the
+# attribute ``sweep`` to the function, so ``import repro.analysis.sweep as x``
+# would hand back the function instead.
+import repro.analysis.sweep  # noqa: F401  (loads the module into sys.modules)
+
+sweepmod = sys.modules["repro.analysis.sweep"]
+sweep = sweepmod.sweep
+
+
+def luby_algorithms():
+    return {"luby": (lambda net: LubyMIS(), lambda net: problems.MIS)}
+
+
+def run_sweep(**overrides):
+    settings = dict(
+        parameter="n",
+        values=[8, 10],
+        graph_factory=gen.cycle_edges,
+        algorithms=luby_algorithms(),
+        trials=2,
+        seed=3,
+    )
+    settings.update(overrides)
+    return sweep(**settings)
+
+
+@pytest.fixture
+def row_hook(monkeypatch):
+    """Install a checkpoint-row hook; returns the list of observed rows."""
+
+    def install(callback):
+        monkeypatch.setattr(sweepmod, "_test_hook", callback)
+
+    return install
+
+
+class TestResultShape:
+    def test_resilient_serial_path_matches_the_fast_path(self):
+        fast = run_sweep()
+        resilient = run_sweep(on_error="record")
+        assert resilient == fast  # SweepResult is list-compatible
+        assert resilient.ok
+        assert resilient.failures == []
+
+    def test_single_cell_sweeps_stay_serial_even_when_parallel(self):
+        # 1 cell fails the cells > 1 gate: no pool is spun up, results match.
+        serial = run_sweep(values=[8], trials=1)
+        parallel = run_sweep(values=[8], trials=1, parallel=2)
+        assert parallel == serial
+
+
+class TestCheckpointing:
+    def test_full_run_resume_recomputes_nothing(self, tmp_path, row_hook):
+        path = str(tmp_path / "sweep.jsonl")
+        first = run_sweep(checkpoint=path)
+        recomputed = []
+        row_hook(recomputed.append)
+        second = run_sweep(checkpoint=path)
+        assert second == first
+        assert recomputed == []
+
+    def test_checkpoint_file_has_header_and_ok_rows(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        run_sweep(checkpoint=path)
+        lines = [json.loads(line) for line in open(path, encoding="utf-8")]
+        header, rows = lines[0], lines[1:]
+        assert header["format"] == sweepmod.CHECKPOINT_FORMAT
+        assert header["parameter"] == "n"
+        assert header["algorithms"] == ["luby"]
+        assert len(rows) == 2 * 2  # values x trials
+        assert all(row["status"] == "ok" for row in rows)
+        assert all(isinstance(row["node_times"], list) for row in rows)
+
+    def test_interrupted_sweep_resumes_to_identical_results(self, tmp_path, row_hook):
+        baseline = run_sweep()
+        path = str(tmp_path / "sweep.jsonl")
+
+        written = []
+
+        def interrupt_after_two(row):
+            written.append(row)
+            if len(written) == 2:
+                raise KeyboardInterrupt
+
+        row_hook(interrupt_after_two)
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(checkpoint=path)
+        assert len(written) == 2
+
+        row_hook(written.append)
+        resumed = run_sweep(checkpoint=path)
+        assert resumed == baseline
+        # Only the two unfinished cells were recomputed.
+        assert len(written) == 4
+
+    def test_keyboard_interrupt_in_parallel_sweep_flushes_and_reraises(
+        self, tmp_path, row_hook
+    ):
+        baseline = run_sweep()
+        path = str(tmp_path / "sweep.jsonl")
+
+        def interrupt_immediately(row):
+            raise KeyboardInterrupt
+
+        row_hook(interrupt_immediately)
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(checkpoint=path, parallel=2)
+        # The flushed journal holds the interrupting cell; resuming serially
+        # from it reproduces the uninterrupted sweep.
+        lines = open(path, encoding="utf-8").read().splitlines()
+        assert len(lines) >= 2  # header + at least the recorded row
+        row_hook(lambda row: None)
+        resumed = run_sweep(checkpoint=path)
+        assert resumed == baseline
+
+    def test_checkpoint_of_a_different_sweep_is_rejected(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        run_sweep(checkpoint=path)
+        with pytest.raises(ValueError, match="different sweep"):
+            run_sweep(checkpoint=path, seed=4)
+
+    def test_truncated_trailing_line_is_ignored(self, tmp_path):
+        baseline = run_sweep()
+        path = str(tmp_path / "sweep.jsonl")
+        run_sweep(checkpoint=path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"status": "ok", "index": 1, "na')  # killed mid-write
+        assert run_sweep(checkpoint=path) == baseline
+
+
+class TestFailureRows:
+    def test_record_converts_broken_cells_into_failure_rows(self):
+        algorithms = dict(luby_algorithms())
+
+        def broken_factory(net):
+            raise RuntimeError("factory exploded")
+
+        algorithms["broken"] = (broken_factory, lambda net: problems.MIS)
+        result = run_sweep(algorithms=algorithms, on_error="record")
+        assert not result.ok
+        # The healthy algorithm still produced one point per value...
+        assert [p.measurement.algorithm for p in result] == ["luby", "luby"]
+        assert result == run_sweep()  # ...identical to a luby-only sweep.
+        # ...and every broken cell became a classified, reproducible row.
+        assert len(result.failures) == 2 * 2
+        for failure in result.failures:
+            assert failure.algorithm == "broken"
+            assert failure.kind == "exception:RuntimeError"
+            assert "factory exploded" in failure.message
+        first = result.failures[0]
+        assert first.seed == trial_seed(3 + 1000 * 0, first.trial)
+
+    def test_raise_propagates_the_first_broken_cell(self):
+        def broken_factory(net):
+            raise RuntimeError("factory exploded")
+
+        with pytest.raises(RuntimeError, match="factory exploded"):
+            run_sweep(
+                algorithms={"broken": (broken_factory, lambda net: problems.MIS)},
+                on_error="raise",
+            )
+
+    def test_round_limit_overruns_are_recorded(self):
+        result = run_sweep(values=[12], max_rounds=1, on_error="record")
+        assert result == []
+        assert len(result.failures) == 2
+        assert all(f.kind == "round-limit" for f in result.failures)
+
+    def test_failure_rows_checkpoint_and_are_retried_on_resume(self, tmp_path):
+        path = str(tmp_path / "sweep.jsonl")
+        result = run_sweep(values=[12], max_rounds=1, on_error="record", checkpoint=path)
+        assert len(result.failures) == 2
+        # The same sweep with a workable round budget retries the recorded
+        # failures (only ok rows are skipped) and succeeds.
+        healthy = run_sweep(values=[12], on_error="record", checkpoint=path)
+        assert healthy.ok
+        assert healthy == run_sweep(values=[12])
+
+
+class TestCellTimeouts:
+    def test_expired_cells_record_timeout_rows(self):
+        def slow_factory(net):
+            time.sleep(5.0)
+            return LubyMIS()  # pragma: no cover - the deadline fires first
+
+        result = run_sweep(
+            values=[8],
+            algorithms={"slow": (slow_factory, lambda net: problems.MIS)},
+            cell_timeout=0.2,
+            on_error="record",
+        )
+        assert result == []
+        assert len(result.failures) == 2
+        for failure in result.failures:
+            assert failure.kind == "timeout"
+            assert "wall-clock budget" in failure.message
+
+    def test_generous_timeout_changes_nothing(self):
+        assert run_sweep(cell_timeout=60.0) == run_sweep()
+
+
+def _kill_if_pool_worker():
+    if multiprocessing.parent_process() is not None:
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+class TestParallelResilience:
+    def test_parallel_with_checkpoint_equals_serial(self, tmp_path, row_hook):
+        serial = run_sweep()
+        path = str(tmp_path / "sweep.jsonl")
+        parallel = run_sweep(parallel=2, checkpoint=path)
+        assert parallel == serial
+        # Cross-path resume: the parallel-written journal seeds a serial
+        # resume that recomputes nothing.
+        recomputed = []
+        row_hook(recomputed.append)
+        resumed = run_sweep(checkpoint=path)
+        assert resumed == serial
+        assert recomputed == []
+
+    def test_sigkilled_workers_are_detected_and_rerun_serially(self, monkeypatch):
+        monkeypatch.setattr(sweepmod, "_DEFAULT_STALL_TIMEOUT", 2.0)
+
+        def fragile_factory(net):
+            _kill_if_pool_worker()  # every worker dies; the parent survives
+            return LubyMIS()
+
+        result = run_sweep(
+            algorithms={"luby": (fragile_factory, lambda net: problems.MIS)},
+            parallel=2,
+        )
+        assert result.ok
+        assert result == run_sweep()  # serial rerun used the original seeds
+
+    def test_worker_crash_with_failing_retry_records_rows(self, monkeypatch):
+        monkeypatch.setattr(sweepmod, "_DEFAULT_STALL_TIMEOUT", 2.0)
+
+        def doomed_factory(net):
+            _kill_if_pool_worker()
+            raise RuntimeError("still broken in the parent")
+
+        result = run_sweep(
+            values=[8],
+            algorithms={"doomed": (doomed_factory, lambda net: problems.MIS)},
+            parallel=2,
+            on_error="record",
+        )
+        assert result == []
+        assert len(result.failures) == 2
+        for failure in result.failures:
+            assert failure.kind == "worker-crashed"
+            assert "worker was lost" in failure.message
+            assert "still broken in the parent" in failure.message
+
+    def test_worker_crash_with_failing_retry_raises_by_default(self, monkeypatch):
+        monkeypatch.setattr(sweepmod, "_DEFAULT_STALL_TIMEOUT", 2.0)
+
+        def doomed_factory(net):
+            _kill_if_pool_worker()
+            raise RuntimeError("still broken in the parent")
+
+        with pytest.raises(WorkerCrashed, match="worker was lost"):
+            run_sweep(
+                values=[8],
+                algorithms={"doomed": (doomed_factory, lambda net: problems.MIS)},
+                parallel=2,
+            )
+
+
+class TestFaultedSweeps:
+    def test_faulted_sweep_is_parallel_invariant(self):
+        faults = FaultSchedule(crashes={0: 2, 3: 1})
+        serial = run_sweep(faults=faults)
+        parallel = run_sweep(faults=faults, parallel=2)
+        assert parallel == serial
+
+    def test_faulted_sweep_checkpoints_and_resumes(self, tmp_path, row_hook):
+        faults = FaultSchedule(crashes={0: 2}, drop_rate=0.1, seed=6)
+        baseline = run_sweep(faults=faults, validate=False)
+        path = str(tmp_path / "sweep.jsonl")
+        first = run_sweep(faults=faults, validate=False, checkpoint=path)
+        assert first == baseline
+        recomputed = []
+        row_hook(recomputed.append)
+        assert run_sweep(faults=faults, validate=False, checkpoint=path) == baseline
+        assert recomputed == []

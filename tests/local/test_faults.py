@@ -1,0 +1,464 @@
+"""Tests for fault injection (`repro.local.faults`) through both engines.
+
+The cross-engine parity contract under faults is deliberately layered:
+
+* **fault events and crash sets** come from the engine-independent
+  :class:`FaultSchedule` (PCG64 keyed by ``(seed, round)``), so both engines
+  record literally identical events for the rounds they execute — pinned
+  here on the common round prefix;
+* **committed outputs** only coincide where the adversary forces them (a
+  crashed neighbour silencing a K2, a drop-everything schedule): the two
+  engines draw algorithm randomness from different documented streams, so
+  generic executions diverge while both stay valid on the surviving
+  subgraph;
+* **validity on the surviving subgraph** is engine-invariant for crash-only
+  Luby schedules (announcements never mislead under crash-stop), and is
+  checked per engine elsewhere.  Under message drops, invalid outputs are a
+  legitimate recorded outcome (two neighbours can both join when both
+  announcement directions drop), so no cross-engine validity invariant is
+  asserted there.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms.matching.randomized import RandomizedMaximalMatching
+from repro.algorithms.mis.luby import LubyMIS
+from repro.core import problems
+from repro.core.errors import classify_failure
+from repro.core.problems import (
+    MISSING,
+    csr_is_surviving_maximal_matching,
+    csr_is_surviving_mis,
+)
+from repro.graphs import generators as gen
+from repro.local.algorithm import Broadcast
+from repro.local.coroutine import CoroutineAlgorithm
+from repro.local.engine import ArrayAlgorithm, ArrayEngine, ArrayState
+from repro.local.faults import FaultSchedule
+from repro.local.network import Network
+from repro.local.runner import Runner
+
+
+def k2() -> Network:
+    return Network.from_edge_list(2, [(0, 1)])
+
+
+def p3() -> Network:
+    return Network.from_edge_list(3, [(0, 1), (1, 2)])
+
+
+def pinned_network() -> Network:
+    """The n=12, m=19 G(n, p) instance all pinned fault executions use."""
+    return Network.from_edge_list(
+        *gen.erdos_renyi_edges(12, 3.0, seed=7), id_scheme="permuted"
+    )
+
+
+def run_both(algorithm, net, problem, seed, faults, max_rounds=200):
+    runner_trace = Runner(strict=False, max_rounds=max_rounds).run(
+        algorithm, net, problem, seed=seed, faults=faults
+    )
+    array_trace = ArrayEngine(strict=False, max_rounds=max_rounds).run(
+        algorithm.as_array_algorithm(), net, problem, seed=seed, faults=faults
+    )
+    return runner_trace, array_trace
+
+
+class TestFaultScheduleValidation:
+    def test_rejects_bad_crash_vertex(self):
+        with pytest.raises(ValueError, match="crash vertex"):
+            FaultSchedule(crashes={-1: 3})
+
+    def test_rejects_bad_crash_round(self):
+        with pytest.raises(ValueError, match="crash round"):
+            FaultSchedule(crashes={0: 0})
+
+    @pytest.mark.parametrize("rates", [(-0.1, 0.0), (1.5, 0.0), (0.0, -0.2), (0.0, 2.0)])
+    def test_rejects_out_of_range_rates(self, rates):
+        drop, delay = rates
+        with pytest.raises(ValueError):
+            FaultSchedule(drop_rate=drop, delay_rate=delay)
+
+    def test_rejects_rate_sum_above_one(self):
+        with pytest.raises(ValueError, match="must not exceed 1"):
+            FaultSchedule(drop_rate=0.6, delay_rate=0.6)
+
+    def test_crash_queries(self):
+        fs = FaultSchedule(crashes={4: 2, 1: 2, 7: 5})
+        assert fs.crashes_at(2) == (1, 4)
+        assert fs.crashes_at(3) == ()
+        assert fs.crashed_by(4) == (1, 4)
+        assert fs.crashed_by(5) == (1, 4, 7)
+        assert fs.crashed_within(1) == ()
+        alive = fs.alive_mask(2, 8)
+        assert not alive[1] and not alive[4] and alive[7]
+
+    def test_directed_fates_are_deterministic_and_round_keyed(self):
+        fs = FaultSchedule(drop_rate=0.3, delay_rate=0.2, seed=11)
+        again = FaultSchedule(drop_rate=0.3, delay_rate=0.2, seed=11)
+        for r in (1, 2, 7):
+            assert (fs.directed_fates(r, 10) == again.directed_fates(r, 10)).all()
+        # Different rounds draw different blocks.
+        assert (fs.directed_fates(1, 10) != fs.directed_fates(2, 10)).any()
+        # No message faults => no mask at all.
+        assert FaultSchedule(crashes={0: 1}).directed_fates(1, 10) is None
+
+    def test_round_events_skip_crashed_endpoints_and_keep_order(self):
+        net = pinned_network()
+        us, vs = net.edge_endpoints()
+        fs = FaultSchedule(crashes={3: 2, 8: 4}, drop_rate=0.2, seed=5)
+        crash_events = [e for e in fs.round_events(2, us, vs) if e[0] == "crash"]
+        assert crash_events == [("crash", 2, 3)]
+        for r in (2, 3, 4):
+            for event in fs.round_events(r, us, vs):
+                if event[0] == "crash":
+                    continue
+                _, _, source, target = event
+                assert source not in fs.crashed_by(r)
+                assert target not in fs.crashed_by(r)
+
+
+class TestForcedParity:
+    """Adversaries strong enough to force identical outputs on both engines."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_k2_crash_silences_the_neighbour(self, seed):
+        fs = FaultSchedule(crashes={1: 1})
+        for trace in run_both(LubyMIS(), k2(), problems.MIS, seed, fs):
+            assert dict(trace.node_outputs) == {0: True}
+            assert trace.rounds == 1
+            assert trace.completed
+            assert trace.crashed == (1,)
+            assert trace.fault_events == (("crash", 1, 1),)
+            assert trace.validate().valid
+
+    @pytest.mark.parametrize("seed", [0, 5])
+    def test_p3_middle_crash_isolates_the_endpoints(self, seed):
+        fs = FaultSchedule(crashes={1: 1})
+        for trace in run_both(LubyMIS(), p3(), problems.MIS, seed, fs):
+            assert dict(trace.node_outputs) == {0: True, 2: True}
+            assert trace.rounds == 1
+            assert trace.validate().valid
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_k2_total_drop_makes_both_join(self, seed):
+        """With every message dropped, both K2 nodes see silence and join.
+
+        The resulting outputs are *invalid* as an MIS — a legitimate
+        recorded outcome of the adversary, identical on both engines.
+        """
+        fs = FaultSchedule(drop_rate=1.0, seed=3)
+        for trace in run_both(LubyMIS(), k2(), problems.MIS, seed, fs):
+            assert dict(trace.node_outputs) == {0: True, 1: True}
+            assert trace.rounds == 1
+            assert trace.fault_events == (("drop", 1, 0, 1), ("drop", 1, 1, 0))
+            assert not trace.validate().valid
+
+    def test_k2_matching_crash_excuses_the_edge(self):
+        fs = FaultSchedule(crashes={1: 1})
+        for trace in run_both(
+            RandomizedMaximalMatching(), k2(), problems.MAXIMAL_MATCHING, 0, fs
+        ):
+            assert dict(trace.edge_outputs) == {}
+            assert trace.rounds == 1
+            assert trace.completed
+            assert trace.validate().valid
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_empty_schedule_is_bit_identical_to_no_faults(self, seed):
+        """``FaultSchedule()`` must not perturb either engine in any way."""
+        net = Network.from_edge_list(
+            *gen.erdos_renyi_edges(10, 2.5, seed=3), id_scheme="permuted"
+        )
+        fs = FaultSchedule()
+        plain = Runner(max_rounds=500).run(LubyMIS(), net, problems.MIS, seed=seed)
+        faulted = Runner(max_rounds=500).run(
+            LubyMIS(), net, problems.MIS, seed=seed, faults=fs
+        )
+        assert plain == faulted
+        assert faulted.fault_events == ()
+        assert faulted.crashed == ()
+        engine = ArrayEngine(max_rounds=500)
+        array_plain = engine.run(
+            LubyMIS().as_array_algorithm(), net, problems.MIS, seed=seed
+        )
+        array_faulted = engine.run(
+            LubyMIS().as_array_algorithm(), net, problems.MIS, seed=seed, faults=fs
+        )
+        assert array_plain == array_faulted
+
+
+class TestPinnedFaultedExecutions:
+    """Fixed-seed pins so neither the fault schedule nor either engine drifts."""
+
+    LUBY_FAULTS = dict(crashes={3: 2, 8: 4}, drop_rate=0.2, seed=5)
+
+    COMMON_EVENTS = (
+        ("drop", 1, 9, 0),
+        ("drop", 1, 5, 1),
+        ("drop", 1, 7, 2),
+        ("drop", 1, 6, 7),
+        ("crash", 2, 3),
+        ("drop", 2, 0, 7),
+        ("drop", 2, 0, 9),
+        ("drop", 2, 9, 0),
+        ("drop", 2, 11, 0),
+        ("drop", 2, 2, 7),
+        ("drop", 3, 2, 0),
+        ("drop", 3, 0, 7),
+        ("drop", 3, 7, 0),
+        ("drop", 3, 0, 11),
+        ("drop", 3, 2, 1),
+        ("drop", 3, 2, 7),
+        ("drop", 3, 7, 2),
+        ("drop", 3, 7, 6),
+        ("drop", 3, 6, 10),
+        ("drop", 3, 7, 8),
+        ("drop", 3, 8, 7),
+    )
+
+    def test_runner_luby_crash_and_drop_pin(self):
+        fs = FaultSchedule(**self.LUBY_FAULTS)
+        trace = Runner(strict=False, max_rounds=200).run(
+            LubyMIS(), pinned_network(), problems.MIS, seed=1, faults=fs
+        )
+        assert dict(trace.node_outputs) == {
+            0: False, 1: True, 2: False, 4: True, 5: False, 6: False,
+            7: False, 8: True, 9: True, 10: True, 11: False,
+        }
+        assert trace.rounds == 3
+        assert trace.total_messages == 74
+        # Node 8's crash is scheduled for round 4, after this run finished.
+        assert trace.crashed == (3,)
+        assert trace.fault_events == self.COMMON_EVENTS
+        assert trace.validate().valid
+
+    def test_array_luby_crash_and_drop_pin(self):
+        fs = FaultSchedule(**self.LUBY_FAULTS)
+        trace = ArrayEngine(strict=False, max_rounds=200).run(
+            LubyMIS().as_array_algorithm(),
+            pinned_network(),
+            problems.MIS,
+            seed=1,
+            faults=fs,
+        )
+        assert dict(trace.node_outputs) == {
+            0: False, 1: True, 2: False, 3: True, 4: False, 5: False,
+            6: False, 7: True, 8: True, 9: True, 10: True, 11: True,
+        }
+        assert trace.rounds == 4
+        assert trace.total_messages == 102
+        assert trace.crashed == (3, 8)
+        assert trace.fault_events == self.COMMON_EVENTS + (
+            ("crash", 4, 8),
+            ("drop", 4, 2, 0),
+            ("drop", 4, 7, 0),
+            ("drop", 4, 1, 2),
+            ("drop", 4, 1, 5),
+            ("drop", 4, 6, 1),
+            ("drop", 4, 2, 7),
+        )
+        assert trace.validate().valid
+
+    def test_matching_crash_pin_both_engines(self):
+        fs = FaultSchedule(crashes={0: 3})
+        runner_trace, array_trace = run_both(
+            RandomizedMaximalMatching(),
+            pinned_network(),
+            problems.MAXIMAL_MATCHING,
+            2,
+            fs,
+            max_rounds=400,
+        )
+        assert runner_trace.rounds == 67
+        assert array_trace.rounds == 39
+        for trace in (runner_trace, array_trace):
+            assert trace.completed
+            assert trace.crashed == (0,)
+            assert trace.validate().valid
+        matched = {e for e, flag in runner_trace.edge_outputs.items() if flag}
+        assert matched == {(1, 5), (2, 6), (3, 9), (4, 11), (7, 8)}
+        array_matched = {e for e, flag in array_trace.edge_outputs.items() if flag}
+        assert array_matched == {(1, 5), (2, 3), (4, 11), (6, 10), (7, 8)}
+
+
+class TestCrossEngineContract:
+    """The engine-invariant parts of faulted executions, over seed sweeps."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_crash_only_luby_is_always_surviving_valid(self, seed):
+        net = pinned_network()
+        fs = FaultSchedule(crashes={seed % net.n: 1 + seed % 3, (seed + 5) % net.n: 2})
+        for trace in run_both(LubyMIS(), net, problems.MIS, seed, fs):
+            assert trace.completed
+            verdict = trace.validate()
+            assert verdict.valid, verdict.reason
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fault_events_agree_on_the_common_round_prefix(self, seed):
+        """Both engines record the schedule's events for the rounds they ran."""
+        net = pinned_network()
+        fs = FaultSchedule(crashes={2: 2}, drop_rate=0.15, seed=seed)
+        runner_trace, array_trace = run_both(LubyMIS(), net, problems.MIS, seed, fs)
+        common = min(runner_trace.rounds, array_trace.rounds)
+        runner_prefix = tuple(e for e in runner_trace.fault_events if e[1] <= common)
+        array_prefix = tuple(e for e in array_trace.fault_events if e[1] <= common)
+        assert runner_prefix == array_prefix
+        for trace in (runner_trace, array_trace):
+            assert trace.crashed == fs.crashed_within(trace.rounds)
+
+    def test_unsupported_array_algorithm_is_rejected(self):
+        class Opaque(ArrayAlgorithm):
+            name = "opaque"
+
+            def init_arrays(self, topology, rng):
+                return ArrayState(topology.n, topology.m, nodes=True, edges=False)
+
+            def step(self, round_index, state, topology, rng):
+                state.node_values[:] = True
+                state.node_rounds[:] = round_index
+                state.halted[:] = True
+
+        with pytest.raises(TypeError, match="no fault-aware array implementation"):
+            ArrayEngine().run(
+                Opaque(), k2(), problems.MIS, seed=0, faults=FaultSchedule(crashes={0: 1})
+            )
+
+    def test_array_engine_rejects_delays(self):
+        with pytest.raises(ValueError, match="coroutine runner"):
+            ArrayEngine().run(
+                LubyMIS().as_array_algorithm(),
+                k2(),
+                problems.MIS,
+                seed=0,
+                faults=FaultSchedule(delay_rate=0.5),
+            )
+
+
+class TestSurvivingValidators:
+    def test_mis_adjacent_joins_excused_only_via_crashes(self):
+        net = p3()
+        values = [True, True, False]
+        assert not csr_is_surviving_mis(net, values, frozenset()).valid
+        # Crashing one endpoint of the violating edge excuses it...
+        assert csr_is_surviving_mis(net, values, frozenset({0})).valid
+        # ...but an unrelated crash does not.
+        assert not csr_is_surviving_mis(net, values, frozenset({2})).valid
+
+    def test_mis_coverage_may_come_from_a_crashed_true_neighbour(self):
+        net = p3()
+        values = [True, False, False]
+        # Node 2 is uncovered: no True neighbour, crashed or not.
+        assert not csr_is_surviving_mis(net, values, frozenset()).valid
+        # A crashed-but-committed True neighbour covers it exactly.
+        covered = [True, False, True]
+        assert csr_is_surviving_mis(net, covered, frozenset({2})).valid
+
+    def test_matching_crashed_node_cannot_be_matched_twice(self):
+        net = p3()
+        both_matched = [True, True]
+        verdict = csr_is_surviving_maximal_matching(net, both_matched, frozenset({1}))
+        assert not verdict.valid
+        assert "not a matching" in verdict.reason
+
+    def test_matching_maximality_excuses_crashed_endpoints(self):
+        net = p3()
+        nothing_matched = [False, False]
+        assert not csr_is_surviving_maximal_matching(net, nothing_matched, frozenset()).valid
+        # Edge (0, 1) is excused by node 0's crash; (1, 2) still addable.
+        assert not csr_is_surviving_maximal_matching(
+            net, nothing_matched, frozenset({0})
+        ).valid
+        # Crashing the middle node excuses both edges.
+        assert csr_is_surviving_maximal_matching(
+            net, nothing_matched, frozenset({1})
+        ).valid
+
+    def test_matching_match_towards_crashed_node_justifies_false_edges(self):
+        net = p3()
+        values = [True, False]
+        assert csr_is_surviving_maximal_matching(net, values, frozenset({0})).valid
+        assert csr_is_surviving_maximal_matching(net, values, frozenset()).valid
+
+    def test_missing_values_count_as_unmatched(self):
+        net = p3()
+        values = [MISSING, False]
+        verdict = csr_is_surviving_maximal_matching(net, values, frozenset())
+        assert not verdict.valid
+
+
+class _GossipMax(CoroutineAlgorithm):
+    """Delay-tolerant probe: flood the maximum identifier for a fixed horizon.
+
+    Every round sends the same message type, so one-round-late stragglers are
+    processed like any other message — the delay fault model's clean case.
+    """
+
+    name = "gossip-max"
+
+    def __init__(self, rounds: int) -> None:
+        self.rounds = rounds
+
+    def run(self, node):
+        best = node.identifier
+        for _ in range(self.rounds):
+            inbox = yield Broadcast(best)
+            for value in inbox.values():
+                if value > best:
+                    best = value
+        node.commit(best)
+
+
+_GOSSIP = problems.ProblemSpec(
+    name="gossip-max",
+    labels_nodes=True,
+    labels_edges=False,
+    validator=lambda graph, nodes_out, edges_out: problems.ValidationResult(True),
+)
+
+
+class TestDelays:
+    def test_all_delay_shifts_information_flow_by_one_round(self):
+        net = p3()
+        fs = FaultSchedule(delay_rate=1.0, seed=0)
+        fault_free = Runner(max_rounds=50).run(_GossipMax(2), net, _GOSSIP, seed=0)
+        assert dict(fault_free.node_outputs) == {0: 2, 1: 2, 2: 2}
+        # Under all-delay, round-r information arrives at round r+1: after
+        # two rounds node 0 only knows node 1's *initial* value.
+        delayed = Runner(max_rounds=50).run(
+            _GossipMax(2), net, _GOSSIP, seed=0, faults=fs
+        )
+        assert dict(delayed.node_outputs) == {0: 1, 1: 2, 2: 2}
+        # Two extra rounds recover exactly the fault-free fixpoint.
+        recovered = Runner(max_rounds=50).run(
+            _GossipMax(4), net, _GOSSIP, seed=0, faults=fs
+        )
+        assert dict(recovered.node_outputs) == {0: 2, 1: 2, 2: 2}
+        assert recovered.rounds == 4
+        # Every directed message of every executed round was delayed.
+        assert len(recovered.fault_events) == 16
+        assert all(event[0] == "delay" for event in recovered.fault_events)
+        assert delayed.fault_events == (
+            ("delay", 1, 0, 1),
+            ("delay", 1, 1, 0),
+            ("delay", 1, 1, 2),
+            ("delay", 1, 2, 1),
+            ("delay", 2, 0, 1),
+            ("delay", 2, 1, 0),
+            ("delay", 2, 1, 2),
+            ("delay", 2, 2, 1),
+        )
+
+    def test_cross_phase_straggler_is_a_classified_algorithm_failure(self):
+        """Luby's message types alternate by phase, so a delayed announcement
+        can land in a priority-round inbox — the documented structured
+        failure mode of delay injection, surfaced as the algorithm's own
+        exception (``exception:TypeError`` under the failure taxonomy)."""
+        fs = FaultSchedule(drop_rate=0.1, delay_rate=0.3, seed=9)
+        with pytest.raises(TypeError) as excinfo:
+            Runner(strict=False, max_rounds=100).run(
+                LubyMIS(), pinned_network(), problems.MIS, seed=4, faults=fs
+            )
+        assert classify_failure(excinfo.value) == "exception:TypeError"

@@ -1,0 +1,211 @@
+"""Direct tests for `repro.lowerbound.analysis` and
+`repro.lowerbound.matching_construction`.
+
+Both modules were previously only touched incidentally (one lift test);
+these tests pin their observable contracts on small instances — the
+per-cluster structural reports and covering bound backing Theorem 16, and
+the two-copy perfect-matching construction backing Theorem 17.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.lowerbound.analysis import (
+    ClusterReport,
+    cluster_reports,
+    max_covered_fraction_of_s0,
+    tree_like_fraction_of_cluster,
+)
+from repro.lowerbound.base_graph import build_base_graph
+from repro.lowerbound.matching_construction import build_matching_lower_bound_graph
+
+
+@pytest.fixture(scope="module")
+def gk():
+    """The smallest interesting base graph: k=0, beta=4 (24 nodes)."""
+    return build_base_graph(k=0, beta=4)
+
+
+class TestClusterReports:
+    def test_one_report_per_skeleton_node(self, gk):
+        reports = cluster_reports(gk, attempts=2)
+        assert [r.skeleton_node for r in reports] == [
+            node.index for node in gk.skeleton.nodes
+        ]
+        for report in reports:
+            assert report.size == len(gk.clusters[report.skeleton_node])
+            assert report.depth == gk.skeleton.depth(report.skeleton_node)
+            assert report.psi == gk.skeleton.psi(report.skeleton_node)
+
+    def test_s0_report_has_no_alpha_bound(self, gk):
+        report = next(
+            r for r in cluster_reports(gk, attempts=2)
+            if r.skeleton_node == gk.skeleton.c0
+        )
+        # S(c0) is an independent set: psi undefined, alpha = |S(c0)|.
+        assert report.psi is None
+        assert report.independence_upper_bound is None
+        assert report.greedy_independent_set == report.size
+
+    def test_other_clusters_respect_the_lemma_13_bound(self, gk):
+        for report in cluster_reports(gk, attempts=4):
+            if report.psi is None:
+                continue
+            expected_bound = report.size // (gk.beta**report.psi)
+            assert report.independence_upper_bound == expected_bound
+            # The greedy witness can never beat the upper bound...
+            assert 1 <= report.greedy_independent_set <= expected_bound
+            # ...and on these dense small clusters it should reach it.
+            assert report.greedy_independent_set == expected_bound
+
+    def test_as_dict_round_trip(self):
+        report = ClusterReport(
+            skeleton_node=3,
+            depth=1,
+            psi=2,
+            size=8,
+            independence_upper_bound=2,
+            greedy_independent_set=2,
+        )
+        assert report.as_dict() == {
+            "cluster": 3,
+            "depth": 1,
+            "psi": 2,
+            "size": 8,
+            "alpha_bound": 2,
+            "greedy_alpha": 2,
+        }
+
+
+class TestTreeLikeFraction:
+    def test_one_hop_views_are_always_trees(self, gk):
+        for node in gk.skeleton.nodes:
+            assert tree_like_fraction_of_cluster(gk, node.index, 1) == 1.0
+
+    def test_the_base_graph_is_not_two_hop_tree_like(self, gk):
+        # The k=0, beta=4 base graph is dense enough that every vertex sees
+        # a cycle within two hops — exactly what the lift is for (Lemma 14).
+        assert tree_like_fraction_of_cluster(gk, gk.skeleton.c0, 2) == 0.0
+
+    def test_fractions_are_probabilities(self, gk):
+        for node in gk.skeleton.nodes:
+            for radius in (1, 2, 3):
+                fraction = tree_like_fraction_of_cluster(gk, node.index, radius)
+                assert 0.0 <= fraction <= 1.0
+
+
+class TestMaxCoveredFraction:
+    def test_k0_beta4_bound_is_pinned(self, gk):
+        # One neighbouring cluster of size 8 with psi=1: it contributes at
+        # most 8 // 4 = 2 independent nodes, each covering beta^1 = 4 nodes
+        # of S(c0) — 8 of the 16 S(c0) nodes, a fraction of 1/2.
+        assert max_covered_fraction_of_s0(gk) == 0.5
+
+    def test_matches_the_manual_counting_formula(self):
+        gk1 = build_base_graph(k=1, beta=2)
+        skeleton = gk1.skeleton
+        covered = 0
+        for child in skeleton.children(skeleton.c0):
+            psi = skeleton.psi(child)
+            cluster_size = len(gk1.clusters[child])
+            covered += (cluster_size // (gk1.beta**psi)) * (gk1.beta**psi)
+        expected = covered / len(gk1.clusters[skeleton.c0])
+        assert max_covered_fraction_of_s0(gk1) == expected
+
+    def test_every_maximal_independent_set_obeys_the_bound(self, gk):
+        """Theorem 16's counting step, checked against real MIS instances:
+        at least a ``1 - bound`` fraction of S(c0) joins any MIS."""
+        bound = max_covered_fraction_of_s0(gk)
+        s0 = set(gk.special_cluster(0))
+        floor = (1.0 - bound) * len(s0)
+        for seed in range(5):
+            mis = set(nx.maximal_independent_set(gk.graph, seed=seed))
+            assert len(mis & s0) >= floor
+
+
+class TestMatchingConstruction:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        return build_matching_lower_bound_graph(k=0, beta=4, seed=0)
+
+    def test_two_disjoint_copies_plus_a_perfect_matching(self, instance):
+        base = instance.base
+        assert instance.n == 2 * base.n
+        assert (
+            instance.graph.number_of_edges()
+            == 2 * base.graph.number_of_edges() + base.n
+        )
+        images_a = set(instance.copy_a.values())
+        images_b = set(instance.copy_b.values())
+        assert images_a.isdisjoint(images_b)
+        assert images_a | images_b == set(instance.graph.nodes())
+
+    def test_cross_matching_joins_every_node_to_its_twin(self, instance):
+        base = instance.base
+        assert len(instance.cross_matching) == base.n
+        twins = {
+            frozenset((instance.copy_a[v], instance.copy_b[v]))
+            for v in range(base.n)
+        }
+        assert {frozenset(e) for e in instance.cross_matching} == twins
+        for u, v in instance.cross_matching:
+            assert instance.graph.has_edge(u, v)
+        # Perfect: each node is covered exactly once.
+        covered = [v for edge in instance.cross_matching for v in edge]
+        assert len(covered) == len(set(covered)) == instance.n
+
+    def test_matching_stays_inside_the_cluster(self, instance):
+        base = instance.base
+        inverse_a = {image: v for v, image in instance.copy_a.items()}
+        inverse_b = {image: v for v, image in instance.copy_b.items()}
+        for u, v in instance.cross_matching:
+            original_u = inverse_a.get(u, inverse_b.get(u))
+            original_v = inverse_a.get(v, inverse_b.get(v))
+            assert base.cluster_of[original_u] == base.cluster_of[original_v]
+
+    def test_s0_copies_carry_the_node_mass(self, instance):
+        s0 = instance.base.special_cluster(0)
+        assert instance.s0_copy_a == sorted(instance.copy_a[v] for v in s0)
+        assert instance.s0_copy_b == sorted(instance.copy_b[v] for v in s0)
+        assert instance.s0_fraction() == pytest.approx(2 * len(s0) / instance.n)
+        # Each S(c0) copy stays an independent set in the union graph.
+        for copy in (instance.s0_copy_a, instance.s0_copy_b):
+            members = set(copy)
+            for u, v in instance.graph.edges():
+                assert not (u in members and v in members)
+
+    def test_cross_matching_between_s0_pairs_the_two_copies(self, instance):
+        s0_edges = instance.cross_matching_between_s0()
+        assert len(s0_edges) == len(instance.s0_copy_a)
+        s0_a, s0_b = set(instance.s0_copy_a), set(instance.s0_copy_b)
+        for u, v in s0_edges:
+            assert (u in s0_a and v in s0_b) or (u in s0_b and v in s0_a)
+
+    def test_lift_order_scales_the_instance(self):
+        plain = build_matching_lower_bound_graph(k=0, beta=4, seed=0)
+        lifted = build_matching_lower_bound_graph(k=0, beta=4, lift_order=2, seed=0)
+        assert lifted.n == 2 * plain.n
+        assert lifted.s0_fraction() == pytest.approx(plain.s0_fraction())
+        lifted.base.validate_degrees()
+
+    def test_any_maximal_matching_covers_s0_mostly_via_cross_edges(self, instance):
+        """The Theorem 17 mechanism on a concrete instance: nodes of the
+        S(c0) copies outnumber all other nodes, so maximal matchings must
+        pick many of the cross S(c0)–S(c0) twin edges."""
+        s0_nodes = set(instance.s0_copy_a) | set(instance.s0_copy_b)
+        others = instance.n - len(s0_nodes)
+        matching = nx.maximal_matching(instance.graph)
+        twin = {frozenset(e) for e in instance.cross_matching_between_s0()}
+        picked_twins = sum(1 for e in matching if frozenset(e) in twin)
+        matched = {v for e in matching for v in e}
+        uncovered_s0 = len(s0_nodes - matched)
+        # Every S(c0) node is matched via a twin edge, matched towards a
+        # small cluster, or unmatched with all neighbours exhausted; the
+        # small clusters can absorb at most `others` of them.
+        assert 2 * picked_twins + others >= len(s0_nodes) - uncovered_s0
+        # And maximality forbids leaving a twin edge with both ends free.
+        for edge in twin:
+            u, v = tuple(edge)
+            assert u in matched or v in matched
