@@ -20,7 +20,7 @@ timing.  Results are written to ``BENCH_core.json`` (see
 ``benchmarks/README.md`` for the schema); this file is the start of the
 repo's perf trajectory — future PRs append comparable runs.
 
-Cells come in six kinds (schema ``bench-core/v5``):
+Cells come in seven kinds (schema ``bench-core/v6``):
 
 * ``kind="pipeline"`` — the full generate → run → validate → measure
   pipeline is timed, phase by phase (``network_s``, ``runner_s``,
@@ -63,6 +63,19 @@ Cells come in six kinds (schema ``bench-core/v5``):
   (Luby commit-round parity, matching completion rounds ``≡ 3 (mod 4)``).
   The distributional equivalence itself is pinned by the exhaustive seed
   sweeps in ``tests/local/test_engine.py``.
+* ``kind="faulted_run"`` (v6) — the engine race **under fault injection**:
+  the self-stabilising Luby MIS runs through a deterministic multi-wave
+  crash :class:`repro.local.faults.FaultSchedule` on both engines.  The
+  timed region includes everything the robustness layer adds per round —
+  alive-mask application, fault-event derivation, crashed-neighbour
+  restart handling, and the per-round recovery bookkeeping
+  (``RecoveryTimeline``).  After timing, every trace on both sides must be
+  surviving-valid **and** strictly valid on the induced survivor
+  subnetwork, the recorded fault events must agree literally over each
+  trial's common round prefix (they derive from the engine-independent
+  schedule), and every crash epoch must have restabilised; the committed
+  measurement carries the new ``recovery_epochs`` /
+  ``mean_time_to_restabilize`` fields.
 
 Since v3 the seed/new *measurement* comparison of pipeline and validate
 cells is asserted to ≤ 1e-12 relative rather than bitwise: the numpy means
@@ -103,6 +116,7 @@ from _legacy_runner import LegacyCoroutineDriver, LegacyRunner
 from repro.algorithms.matching.randomized import RandomizedMaximalMatching
 from repro.algorithms.mis.luby import LubyMIS
 from repro.algorithms.orientation.randomized import RandomizedSinklessOrientation
+from repro.algorithms.selfstab import SelfStabilizingLubyMIS
 from repro.core import problems
 from repro.core.experiment import trial_seed
 from repro.core.metrics import measure
@@ -110,11 +124,12 @@ from repro.graphs import generators as gen
 from repro.local import ids as ids_module
 from repro.local.coroutine import CoroutineAlgorithm
 from repro.local.engine import ArrayEngine
+from repro.local.faults import FaultSchedule
 from repro.local.network import Network
 from repro.local.runner import Runner
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
-SCHEMA = "bench-core/v5"
+SCHEMA = "bench-core/v6"
 ID_SEED = 7
 MAX_ROUNDS = 20_000
 #: Relative tolerance for seed-vs-new measurement agreement (see module doc).
@@ -152,6 +167,16 @@ class Cell:
     #: (``p = expected_degree / (n - 1)``) and the generator seed.
     expected_degree: Optional[float] = None
     gen_seed: int = 1
+    #: ``kind="faulted_run"`` only: builds the cell's ``FaultSchedule``
+    #: from ``n`` (the schedule is deterministic in ``n`` alone).
+    make_faults: Optional[Callable[[int], FaultSchedule]] = None
+
+
+def _crash_waves(n: int, victims: int, rounds: Tuple[int, ...]) -> FaultSchedule:
+    """Deterministic multi-wave crash schedule over evenly-spread vertices."""
+    stride = max(1, n // victims)
+    crashes = {(i * stride) % n: rounds[i % len(rounds)] for i in range(victims)}
+    return FaultSchedule(crashes=crashes, seed=0)
 
 
 def _cells(quick: bool) -> List[Cell]:
@@ -256,6 +281,21 @@ def _cells(quick: bool) -> List[Cell]:
                 None,
                 kind="run",
                 expected_degree=5.0,
+            ),
+            # v6 cell kind, smoke-sized: the fault-injected engine race on
+            # the self-stabilising Luby MIS, two crash waves, recovery
+            # asserted on both sides.
+            Cell(
+                "selfstab-luby-mis",
+                "fast-gnp-8",
+                1_000,
+                2,
+                SelfStabilizingLubyMIS,
+                problems.MIS,
+                None,
+                kind="faulted_run",
+                expected_degree=8.0,
+                make_faults=lambda n: _crash_waves(n, 12, (2, 14)),
             ),
         ]
 
@@ -475,6 +515,36 @@ def _cells(quick: bool) -> List[Cell]:
             expected_degree=10.0,
             reps=1,
         ),
+        # ---- fault-injected engine race: self-stabilising Luby MIS ----
+        # Three crash waves; both engines must re-stabilise after every
+        # wave, with engine-identical fault events and strict validity on
+        # the induced survivor subnetwork (ISSUE 7).
+        Cell(
+            "selfstab-luby-mis",
+            "fast-gnp-10",
+            20_000,
+            2,
+            SelfStabilizingLubyMIS,
+            problems.MIS,
+            None,
+            kind="faulted_run",
+            expected_degree=10.0,
+            reps=2,
+            make_faults=lambda n: _crash_waves(n, 200, (2, 14, 26)),
+        ),
+        Cell(
+            "selfstab-luby-mis",
+            "fast-gnp-10",
+            100_000,
+            2,
+            SelfStabilizingLubyMIS,
+            problems.MIS,
+            None,
+            kind="faulted_run",
+            expected_degree=10.0,
+            reps=1,
+            make_faults=lambda n: _crash_waves(n, 1_000, (2, 14, 26)),
+        ),
     ]
 
 
@@ -634,6 +704,8 @@ def run_cell(cell: Cell, reps: int = 3, validate: bool = True) -> Dict[str, obje
         return _run_build_cell(cell, reps)
     if cell.kind == "run":
         return _run_engine_cell(cell, reps)
+    if cell.kind == "faulted_run":
+        return _run_faulted_cell(cell, reps)
     n, edges, identifiers = _workload_inputs(cell)
     if cell.kind == "validate":
         return _run_validate_cell(cell, n, edges, identifiers, reps)
@@ -942,6 +1014,111 @@ def _run_engine_cell(cell: Cell, reps: int) -> Dict[str, object]:
     }
 
 
+def _run_faulted_cell(cell: Cell, reps: int) -> Dict[str, object]:
+    """A ``kind="faulted_run"`` cell: the engine race under fault injection.
+
+    Same shape as :func:`_run_engine_cell` — one untimed ``G(n, p)``
+    workload, one shared CSR network, the coroutine :class:`Runner` as the
+    seed side and the :class:`ArrayEngine` as the new side — but every run
+    executes through the cell's deterministic crash-wave
+    :class:`FaultSchedule`, so the timed region includes the robustness
+    layer: alive-mask application, fault-event derivation, restart-on-crash
+    handling, and the per-round recovery bookkeeping of self-stabilising
+    algorithms.  After timing the harness asserts, for every trace on both
+    sides: surviving-subgraph validity (``require_valid``), strict validity
+    on the induced survivor subnetwork (``validate_induced`` — recovery may
+    not be credited to crashed nodes), literal fault-event agreement over
+    each trial's common round prefix (the schedule is engine-independent),
+    and — when the algorithm is self-stabilising — a complete
+    :class:`RecoveryTimeline` in which **every crash epoch restabilised**.
+    """
+    n = cell.n
+    expected_degree = float(cell.expected_degree)
+    p = expected_degree / (n - 1)
+    arrays = gen.fast_gnp_edges(n, p, seed=cell.gen_seed, as_arrays=True)
+    network = Network.from_endpoint_arrays(n, arrays.src, arrays.dst)
+    faults = cell.make_faults(n)
+
+    best_seed_s = best_new_s = None
+    seed_traces = new_traces = None
+    for _ in range(reps):
+        runner = Runner(max_rounds=MAX_ROUNDS)
+        t0 = time.perf_counter()
+        seed_traces = [
+            runner.run(
+                cell.make_algorithm(),
+                network,
+                cell.problem,
+                seed=trial_seed(0, i),
+                faults=faults,
+            )
+            for i in range(cell.trials)
+        ]
+        seed_s = time.perf_counter() - t0
+        engine = ArrayEngine(max_rounds=MAX_ROUNDS)
+        t0 = time.perf_counter()
+        new_traces = [
+            engine.run(
+                cell.make_algorithm().as_array_algorithm(),
+                network,
+                cell.problem,
+                seed=trial_seed(0, i),
+                faults=faults,
+            )
+            for i in range(cell.trials)
+        ]
+        new_s = time.perf_counter() - t0
+        if best_seed_s is None or seed_s < best_seed_s:
+            best_seed_s = seed_s
+        if best_new_s is None or new_s < best_new_s:
+            best_new_s = new_s
+
+    self_stabilizing = bool(getattr(cell.make_algorithm(), "self_stabilizing", False))
+    for trace in (*seed_traces, *new_traces):
+        trace.require_valid()  # surviving-subgraph verdict
+        assert cell.problem.validate_induced(
+            network,
+            trace._node_value_slots(),
+            trace._edge_value_slots(),
+            trace.crashed,
+        ), f"induced-survivor validity on {cell}"
+        if self_stabilizing:
+            timeline = trace.recovery
+            assert timeline is not None, f"missing recovery timeline on {cell}"
+            assert all(
+                t is not None for t in timeline.time_to_restabilize()
+            ), f"unrecovered crash epoch on {cell}"
+    for a, b in zip(seed_traces, new_traces):
+        common = min(a.rounds, b.rounds)
+        assert tuple(e for e in a.fault_events if e[1] <= common) == tuple(
+            e for e in b.fault_events if e[1] <= common
+        ), f"fault-event mismatch on {cell}"
+
+    return {
+        "algorithm": cell.algorithm,
+        "workload": cell.workload,
+        "kind": cell.kind,
+        "n": n,
+        "m": network.m,
+        "p": p,
+        "trials": cell.trials,
+        "crashes": len(faults.crashes),
+        "crash_rounds": sorted(set(faults.crashes.values())),
+        "rounds": [t.rounds for t in new_traces],
+        "seed_rounds": [t.rounds for t in seed_traces],
+        "total_messages": [t.total_messages for t in new_traces],
+        "seed_total_messages": [t.total_messages for t in seed_traces],
+        "seed": {"runner_s": round(best_seed_s, 6), "total_s": round(best_seed_s, 6)},
+        "new": {"runner_s": round(best_new_s, 6), "total_s": round(best_new_s, 6)},
+        "speedup": round(best_seed_s / best_new_s, 3),
+        "faulted_speedup": round(best_seed_s / best_new_s, 3),
+        "validated_outputs": True,
+        "identical_fault_events": True,
+        "survivor_valid": True,
+        "measurement": measure(new_traces).as_dict(),
+    }
+
+
 def _run_generate_cell(cell: Cell, reps: int) -> Dict[str, object]:
     """A ``kind="generate"`` cell: the Erdős–Rényi generator race.
 
@@ -1011,6 +1188,11 @@ def run_suite(quick: bool = False, reps: int = 3, validate: bool = True) -> Dict
             detail = f"(build ×{record['build_speedup']:.2f}, m={record['m']})"
         elif record["kind"] == "run":
             detail = f"(engine ×{record['run_speedup']:.2f}, m={record['m']})"
+        elif record["kind"] == "faulted_run":
+            detail = (
+                f"(faulted ×{record['faulted_speedup']:.2f}, "
+                f"crashes={record['crashes']})"
+            )
         else:
             detail = f"(runner ×{record['runner_speedup']:.2f})"
         print(
@@ -1045,7 +1227,12 @@ def run_suite(quick: bool = False, reps: int = 3, validate: bool = True) -> Dict
             "vectorised ArrayEngine on one shared network (different "
             "documented seed schedules -> no trace identity; every trace on "
             "both sides is validator-verified, distributional equivalence is "
-            "pinned by tests/local/test_engine.py)."
+            "pinned by tests/local/test_engine.py); faulted_run cells repeat "
+            "the engine race under a deterministic crash-wave FaultSchedule "
+            "with the self-stabilising Luby MIS, asserting "
+            "surviving+induced-survivor validity, literal fault-event "
+            "agreement over common round prefixes, and full recovery of "
+            "every crash epoch on both sides."
         ),
         "cells": records,
     }

@@ -6,8 +6,9 @@ builder — cannot silently rot.  The quick cells are tiny (n ≈ 100–2000), s
 this stays well inside the tier-1 time budget; the speedup *values* are not
 asserted (meaningless at smoke sizes), only the invariants the harness is
 built on: both pipelines produce identical traces and measurements agreeing
-to ≤ 1e-12 relative, the v3 measure/generate, v4 build and v5 run cell
-kinds run, and the document has the ``bench-core/v5`` shape.  A second test pins the
+to ≤ 1e-12 relative, the v3 measure/generate, v4 build, v5 run and v6
+faulted_run cell kinds run, and the document has the ``bench-core/v6``
+shape.  A second test pins the
 :class:`repro.core.experiment.Experiment` facade against the harness's
 hand-rolled plumbing: same seeds, bit-identical traces and measurement.
 """
@@ -39,6 +40,7 @@ def test_quick_suite_produces_identical_pipelines(tmp_path):
             "generate",
             "build",
             "run",
+            "faulted_run",
         )
         assert cell["seed"]["total_s"] > 0 and cell["new"]["total_s"] > 0
         assert cell["speedup"] > 0
@@ -102,6 +104,25 @@ def test_quick_suite_produces_identical_pipelines(tmp_path):
         assert cell["validated_outputs"] is True
         assert len(cell["seed_rounds"]) == cell["trials"]
         assert cell["seed"]["runner_s"] > 0 and cell["new"]["runner_s"] > 0
+
+    # ... and the v6 cell kind: the fault-injected engine race on the
+    # self-stabilising Luby MIS (surviving + induced-survivor validity,
+    # fault-event agreement and full epoch recovery are asserted inside
+    # _run_faulted_cell; the flags record them in the committed document).
+    faulted_cells = [cell for cell in cells if cell["kind"] == "faulted_run"]
+    assert faulted_cells, "quick suite lost its fault-injection cell"
+    for cell in faulted_cells:
+        assert cell["faulted_speedup"] > 0
+        assert cell["validated_outputs"] is True
+        assert cell["identical_fault_events"] is True
+        assert cell["survivor_valid"] is True
+        assert cell["crashes"] > 0 and cell["crash_rounds"]
+        assert len(cell["seed_rounds"]) == cell["trials"]
+        # measure() flattens epochs over the cell's trials.
+        assert cell["measurement"]["recovery_epochs"] == cell["trials"] * len(
+            cell["crash_rounds"]
+        )
+        assert cell["measurement"]["unrecovered_epochs"] == 0
 
     # The document must be JSON-serialisable exactly as core_perf writes it.
     path = tmp_path / "BENCH_core.json"

@@ -5,9 +5,15 @@ This example demonstrates the robustness layer:
 1. run Luby's MIS under a crash/drop :class:`FaultSchedule` on *both*
    engines — the recorded fault events come from the engine-independent
    schedule, and each trace is validated on the **surviving subgraph**;
-2. inject one-round message delays (a coroutine-runner-only feature) and
-   show both the clean outcome and the structured failure mode;
-3. run a checkpointed, failure-recording sweep, interrupt it half-way, and
+2. inject one-round message delays on *both* engines (the array engine
+   carries late messages in per-edge one-round buffers) and show the
+   clean outcomes plus the structured failure mode a cross-phase
+   straggler can provoke from phase-typed coroutine algorithms;
+3. run the **self-stabilising** Luby MIS through two crash waves on both
+   engines: survivors detect crashed neighbours, revoke, and locally
+   restart, and the trace's :class:`RecoveryTimeline` records the
+   per-epoch time to restabilise;
+4. run a checkpointed, failure-recording sweep, interrupt it half-way, and
    resume it cell-exactly — the resumed results are identical to an
    uninterrupted run.
 
@@ -22,8 +28,10 @@ import os
 import tempfile
 
 from repro.algorithms.mis import LubyMIS
+from repro.algorithms.selfstab import SelfStabilizingLubyMIS, SelfStabilizingLubyMISArray
 from repro.analysis import sweep
 from repro.core import problems
+from repro.core.metrics import measure
 from repro.graphs import generators as gen
 from repro.local.engine import ArrayEngine
 from repro.local.faults import FaultSchedule
@@ -56,20 +64,29 @@ def crash_and_drop_on_both_engines() -> None:
     print(f"  fault events identical over the common {common} rounds")
 
 
-def delays_on_the_coroutine_runner() -> None:
-    print("\n=== one-round message delays (coroutine runner) ===")
+def delays_on_both_engines() -> None:
+    print("\n=== one-round message delays through both engines ===")
     network = Network.from_edge_list(*gen.cycle_edges(16), id_scheme="permuted")
-    # A mild delay schedule usually just slows Luby down...
-    trace = Runner(strict=False, max_rounds=500).run(
-        LubyMIS(), network, problems.MIS, seed=1,
-        faults=FaultSchedule(delay_rate=0.15, seed=1),
+    faults = FaultSchedule(delay_rate=0.05, seed=1)
+    # A mild delay schedule usually just slows Luby down.  The same schedule
+    # object drives both engines: the coroutine runner re-queues each delayed
+    # message, the array engine carries it in per-directed-edge late masks.
+    runner_trace = Runner(strict=False, max_rounds=500).run(
+        LubyMIS(), network, problems.MIS, seed=1, faults=faults
     )
-    delays = sum(1 for e in trace.fault_events if e[0] == "delay")
-    print(
-        f"  delayed {delays} messages: rounds={trace.rounds}, "
-        f"valid={trace.validate().valid}"
+    array_trace = ArrayEngine(strict=False, max_rounds=500).run(
+        LubyMIS().as_array_algorithm(), network, problems.MIS, seed=1, faults=faults
     )
-    # ...but a cross-phase straggler can also surface as the algorithm's own
+    for name, trace in (("coroutine", runner_trace), ("array", array_trace)):
+        delays = sum(1 for e in trace.fault_events if e[0] == "delay")
+        print(
+            f"  {name:9s} delayed {delays:2d} messages: rounds={trace.rounds}, "
+            f"valid={trace.validate().valid}"
+        )
+    common = min(runner_trace.rounds, array_trace.rounds)
+    prefix = lambda t: tuple(e for e in t.fault_events if e[1] <= common)  # noqa: E731
+    assert prefix(runner_trace) == prefix(array_trace), "schedules must agree"
+    # A cross-phase straggler can also surface as the algorithm's own
     # exception — a structured outcome the sweep layer records as a row.
     result = sweep(
         parameter="n",
@@ -88,6 +105,43 @@ def delays_on_the_coroutine_runner() -> None:
     )
     for failure in result.failures:
         print(f"    trial {failure.trial}: kind={failure.kind}")
+
+
+def self_stabilizing_recovery() -> None:
+    print("\n=== self-stabilising Luby MIS: crash waves, then recovery ===")
+    network = Network.from_edge_list(*gen.erdos_renyi_edges(40, 3.0, seed=3))
+    # Two crash waves: three vertices die at round 2, three more at round 6.
+    crashes = {5: 2, 17: 2, 29: 2, 8: 6, 23: 6, 36: 6}
+    faults = FaultSchedule(crashes=crashes, seed=5)
+    runner_trace = Runner(max_rounds=500).run(
+        SelfStabilizingLubyMIS(), network, problems.MIS, seed=1, faults=faults
+    )
+    array_trace = ArrayEngine(max_rounds=500).run(
+        SelfStabilizingLubyMISArray(), network, problems.MIS, seed=1, faults=faults
+    )
+    for name, trace in (("coroutine", runner_trace), ("array", array_trace)):
+        timeline = trace.recovery
+        strict = problems.MIS.validate_induced(
+            network,
+            trace._node_value_slots(),
+            trace._edge_value_slots(),
+            trace.crashed,
+        )
+        print(
+            f"  {name:9s} rounds={trace.rounds:2d} crashed={sorted(trace.crashed)} "
+            f"survivor-valid={bool(strict)}"
+        )
+        for crash_round, ttr in zip(timeline.crash_rounds, timeline.time_to_restabilize()):
+            print(f"    crash wave at round {crash_round}: restabilised after {ttr} round(s)")
+        assert bool(strict), "survivors must re-form a valid MIS"
+        assert all(t is not None for t in timeline.time_to_restabilize())
+    # The same timeline aggregates through the measurement layer.
+    measurement = measure([runner_trace]).as_dict()
+    print(
+        f"  measured: recovery_epochs={measurement['recovery_epochs']} "
+        f"mean_time_to_restabilize={measurement['mean_time_to_restabilize']} "
+        f"unrecovered_epochs={measurement['unrecovered_epochs']}"
+    )
 
 
 def checkpointed_sweep_resumes_exactly() -> None:
@@ -139,7 +193,8 @@ def checkpointed_sweep_resumes_exactly() -> None:
 
 def main() -> None:
     crash_and_drop_on_both_engines()
-    delays_on_the_coroutine_runner()
+    delays_on_both_engines()
+    self_stabilizing_recovery()
     checkpointed_sweep_resumes_exactly()
 
 

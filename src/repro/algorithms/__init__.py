@@ -1,5 +1,5 @@
 """Distributed algorithms for the problems studied in the paper."""
 
-from repro.algorithms import coloring, matching, mis, orientation, ruling_set
+from repro.algorithms import coloring, matching, mis, orientation, ruling_set, selfstab
 
-__all__ = ["mis", "ruling_set", "matching", "coloring", "orientation"]
+__all__ = ["mis", "ruling_set", "matching", "coloring", "orientation", "selfstab"]

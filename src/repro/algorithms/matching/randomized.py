@@ -160,6 +160,18 @@ class RandomizedMatchingArray(ArrayAlgorithm):
     fault-mode *message* counts are engine-native approximations
     (``2·|participating edges|`` per round) and not part of the cross-engine
     parity contract — outputs, rounds and fault events are.
+
+    Delay mode: the matching's payloads carry no cross-round meaning (a
+    stale degree or mark from the previous round is filtered by the
+    coroutine's ``u in undecided`` / ``u in info`` guards or superseded by
+    the fresh exchange), so the array twin treats a delayed direction
+    simply as *not delivered this round* — ``deliver_uv`` / ``deliver_vu``
+    already exclude delayed fates, and the edge sits out the iteration.
+    This is an engine-native approximation, like the message counts: under
+    delays the coroutine's surviving one-sided payloads can still commit
+    conflicting edge values (a structured failure), which the symmetric
+    array model never reproduces; outputs agree with the coroutine under
+    crash+drop schedules, and fault events agree under all schedules.
     """
 
     name = "randomized-maximal-matching"

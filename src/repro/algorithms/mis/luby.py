@@ -20,7 +20,7 @@ phase, so no extra bookkeeping round is needed.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -167,6 +167,25 @@ class LubyMISArray(ArrayAlgorithm):
     announces, so its neighbours stay undecided.  Message counts charge the
     degrees of the alive senders of each round — the coroutine count
     exactly, drops included (drops lose deliveries, not sends).
+
+    Delay mode consumes the round view's ``late_uv`` / ``late_vu`` carry
+    masks with the coroutine's one-round-buffer semantics: a stale message
+    is *visible* iff its sender actually broadcast in the previous round and
+    no fresh same-direction delivery overwrites it this round.  Because the
+    phases alternate message types, a visible straggler always crosses
+    phases, exactly as in the coroutine:
+
+    * a stale **priority** arriving at an announcement round is a truthy
+      payload in the receiver's flag inbox — an undecided alive receiver
+      spuriously commits ``False``;
+    * a stale **announcement flag** arriving at a priority round makes the
+      receiver's ``max``-over-inbox comparison heterogeneous — the
+      coroutine raises ``TypeError``, and the array twin raises the same
+      type for the same structural condition (a visible cross-phase
+      straggler at a participant).  The *seed* at which this fires differs
+      between engines (different RNG schedules reach different undecided
+      sets), which is why the differential tests pin fault-*event* parity,
+      not outcome parity, under delays.
     """
 
     name = "luby-mis"
@@ -186,7 +205,39 @@ class LubyMISArray(ArrayAlgorithm):
         state.extra["phase_joined"] = None
         state.extra["phase_participants"] = None
         state.extra["phase_messages"] = 0
+        state.extra["prev_senders"] = None
         return state
+
+    @staticmethod
+    def _visible_stale(
+        faults: RoundFaults,
+        topology: ArrayTopology,
+        prev_senders: Optional[np.ndarray],
+        senders_now: np.ndarray,
+    ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Directed masks of last round's delayed messages visible this round.
+
+        Visible along ``u → v`` iff the schedule delayed that direction last
+        round, ``u`` actually broadcast then, and no fresh ``u → v``
+        delivery overwrites the stale payload now (the coroutine's
+        ``delayed_messages``-before-fresh-sends order).
+        """
+        if faults.late_uv is None or prev_senders is None:
+            return None
+        us, vs = topology.edge_us, topology.edge_vs
+        stale_uv = (
+            faults.late_uv
+            & prev_senders[us]
+            & ~(senders_now[us] & faults.deliver_uv)
+        )
+        stale_vu = (
+            faults.late_vu
+            & prev_senders[vs]
+            & ~(senders_now[vs] & faults.deliver_vu)
+        )
+        if not stale_uv.any() and not stale_vu.any():
+            return None
+        return stale_uv, stale_vu
 
     def step(
         self,
@@ -205,6 +256,24 @@ class LubyMISArray(ArrayAlgorithm):
                 participants_mask = undecided
             else:
                 participants_mask = undecided & faults.alive
+                stale = self._visible_stale(
+                    faults, topology, extra["prev_senders"], participants_mask
+                )
+                if stale is not None:
+                    stale_uv, stale_vu = stale
+                    us, vs = topology.edge_us, topology.edge_vs
+                    struck = np.zeros(topology.n, dtype=bool)
+                    struck[vs[stale_uv]] = True
+                    struck[us[stale_vu]] = True
+                    if (struck & participants_mask).any():
+                        # A stale announcement flag in a priority inbox: the
+                        # coroutine's max-over-inbox comparison mixes bool
+                        # and tuple payloads and raises — same type here.
+                        raise TypeError(
+                            "'>' not supported between cross-phase straggler "
+                            "payloads: a delayed announcement flag reached a "
+                            "priority-round inbox"
+                        )
             participants = np.flatnonzero(participants_mask)
             priorities = np.full(topology.n, -1.0)
             priorities[participants] = rng.random(participants.size)
@@ -224,6 +293,7 @@ class LubyMISArray(ArrayAlgorithm):
             extra["phase_joined"] = joins
             extra["phase_participants"] = participants_mask if faults is not None else None
             extra["phase_messages"] = int(topology.degrees[participants].sum())
+            extra["prev_senders"] = participants_mask if faults is not None else None
             state.messages += extra["phase_messages"]
         else:
             # Announcement round (2k): undecided neighbours of joiners
@@ -245,14 +315,25 @@ class LubyMISArray(ArrayAlgorithm):
                 # masks silence the dropped directions.
                 alive = faults.alive
                 announcer = joined & alive
+                # Senders this round: the phase's participants (joiners and
+                # all) that are still alive — they all broadcast the flag.
+                senders = extra["phase_participants"] & alive
                 heard = np.zeros(topology.n, dtype=bool)
                 heard[vs[announcer[us] & faults.deliver_uv]] = True
                 heard[us[announcer[vs] & faults.deliver_vu]] = True
+                stale = self._visible_stale(
+                    faults, topology, extra["prev_senders"], senders
+                )
+                if stale is not None:
+                    # A stale priority tuple is truthy in the flag inbox, so
+                    # its receiver "hears a joiner" whether or not one is
+                    # adjacent — the coroutine's spurious-False-commit path.
+                    stale_uv, stale_vu = stale
+                    heard[vs[stale_uv]] = True
+                    heard[us[stale_vu]] = True
                 removed = undecided & alive & heard
                 state.node_rounds[removed] = round_index
                 undecided &= ~removed
                 np.logical_not(undecided, out=state.halted)
-                # Senders this round: the phase's participants (joiners and
-                # all) that are still alive — they all broadcast the flag.
-                senders = extra["phase_participants"] & alive
+                extra["prev_senders"] = senders
                 state.messages += int(topology.degrees[senders].sum())

@@ -51,7 +51,7 @@ import numpy as np
 
 from repro.core.errors import WorkerCrashed, classify_failure
 from repro.core.experiment import resolve_network, run_trials, trial_seed
-from repro.core.metrics import ComplexityMeasurement, measure
+from repro.core.metrics import ComplexityMeasurement, RecoveryTimeline, measure
 from repro.core.problems import ProblemSpec
 from repro.graphs.edgelist import EdgeArrays
 from repro.local.algorithm import NodeAlgorithm
@@ -395,7 +395,7 @@ def _run_cell(
         timeout_s=spec["cell_timeout"],  # type: ignore[arg-type]
     )
     trace = traces[0]
-    return {
+    row = {
         "status": "ok",
         "index": index,
         "name": name,
@@ -410,6 +410,18 @@ def _run_cell(
         "node_times": array("q", trace.node_completion_array().tobytes()),
         "edge_times": array("q", trace.edge_completion_array().tobytes()),
     }
+    recovery = getattr(trace, "recovery", None)
+    if recovery is not None:
+        # Self-stabilising runs carry a per-round recovery timeline; ship it
+        # as plain lists so the row survives both pickling and the JSON
+        # checkpoint journal, and measure() can aggregate restabilisation
+        # times in the parent exactly like on the serial path.
+        row["recovery"] = {
+            "crash_rounds": list(recovery.crash_rounds),
+            "pending": list(recovery.pending),
+            "valid": list(recovery.valid),
+        }
+    return row
 
 
 def _failure_row(
@@ -456,10 +468,12 @@ class _CellTrace:
         algorithm_name: str,
         node_times: Sequence[int],
         edge_times: Sequence[int],
+        recovery: Optional[RecoveryTimeline] = None,
     ) -> None:
         self.network = _CellTrace._Net(n, m)
         self.problem = _CellTrace._Problem(problem_name)
         self.algorithm_name = algorithm_name
+        self.recovery = recovery
         # np.asarray wraps array('q') buffers zero-copy; JSON-revived lists
         # convert once.  Either way aggregation runs on int64 arrays exactly
         # like the serial measurement path.
@@ -488,6 +502,14 @@ class _CellTrace:
 
 
 def _row_to_trace(row: Dict[str, object]) -> _CellTrace:
+    recovery_row = row.get("recovery")
+    recovery = None
+    if recovery_row is not None:
+        recovery = RecoveryTimeline(
+            crash_rounds=tuple(int(r) for r in recovery_row["crash_rounds"]),  # type: ignore[index]
+            pending=tuple(int(p) for p in recovery_row["pending"]),  # type: ignore[index]
+            valid=tuple(bool(v) for v in recovery_row["valid"]),  # type: ignore[index]
+        )
     return _CellTrace(
         n=row["n"],  # type: ignore[arg-type]
         m=row["m"],  # type: ignore[arg-type]
@@ -495,6 +517,7 @@ def _row_to_trace(row: Dict[str, object]) -> _CellTrace:
         algorithm_name=row["algorithm"],  # type: ignore[arg-type]
         node_times=row["node_times"],  # type: ignore[arg-type]
         edge_times=row["edge_times"],  # type: ignore[arg-type]
+        recovery=recovery,
     )
 
 

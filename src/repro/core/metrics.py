@@ -61,6 +61,7 @@ __all__ = [
     "edge_expected_complexity",
     "completion_time_quantiles",
     "ComplexityMeasurement",
+    "RecoveryTimeline",
     "measure",
     "complexity_hierarchy",
 ]
@@ -257,6 +258,67 @@ def completion_time_quantiles(
 
 
 # ---------------------------------------------------------------------- #
+# Self-stabilisation recovery metrics
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class RecoveryTimeline:
+    """Per-round recovery bookkeeping of one self-stabilising execution.
+
+    Recorded by the engines for algorithms with
+    ``self_stabilizing = True`` and attached to the trace as
+    ``trace.recovery``.  Entry ``i`` of :attr:`pending` / :attr:`valid`
+    describes the configuration **after executing round ``i + 1``**:
+
+    * ``pending[i]`` — required outputs still undecided among the survivors
+      (0 means the configuration is output-complete for the survivors),
+    * ``valid[i]`` — whether the configuration is *strictly* valid on the
+      induced survivor subnetwork (:meth:`~repro.core.problems.ProblemSpec.
+      validate_induced`).  Always ``False`` while ``pending[i] > 0``;
+      validity is only evaluated on survivor-complete configurations, and
+      deliberately never credits commitments of crashed nodes — recovery
+      must be earned by the survivors alone.
+
+    :attr:`crash_rounds` lists the distinct (ascending) rounds at which
+    crash faults landed; each opens a *fault epoch* that ends just before
+    the next crash round (or at the end of the run).
+    """
+
+    crash_rounds: Tuple[int, ...]
+    pending: Tuple[int, ...]
+    valid: Tuple[bool, ...]
+
+    def time_to_restabilize(self) -> Tuple[Optional[int], ...]:
+        """Rounds needed to regain survivor-validity after each crash epoch.
+
+        For a crash landing at round ``c`` (next crash at ``c'``), the
+        recovery time is ``r - c`` for the first round ``r`` with
+        ``c ≤ r < c'`` whose configuration is valid, or ``None`` when the
+        epoch never restabilised before the next crash (or the run ended).
+        A value of ``0`` means the configuration was already valid again at
+        the end of the crash round itself.
+        """
+        out: List[Optional[int]] = []
+        crash_rounds = self.crash_rounds
+        horizon = len(self.valid) + 1  # rounds are 1-based; valid[r-1] = after round r
+        for k, c in enumerate(crash_rounds):
+            end = crash_rounds[k + 1] if k + 1 < len(crash_rounds) else horizon
+            time: Optional[int] = None
+            for r in range(c, end):
+                if 1 <= r <= len(self.valid) and self.valid[r - 1]:
+                    time = r - c
+                    break
+            out.append(time)
+        return tuple(out)
+
+    @property
+    def epochs(self) -> int:
+        """Number of fault epochs (distinct crash rounds)."""
+        return len(self.crash_rounds)
+
+
+# ---------------------------------------------------------------------- #
 # Bundled measurement
 # ---------------------------------------------------------------------- #
 
@@ -267,7 +329,10 @@ class ComplexityMeasurement:
 
     The quantile fields are optional extras (filled when :func:`measure` is
     asked for them) and excluded from equality so that measurements with and
-    without quantiles of the same execution still compare equal.
+    without quantiles of the same execution still compare equal.  The
+    recovery fields are filled only when the measured traces carry
+    :class:`RecoveryTimeline` records (self-stabilising executions) and are
+    likewise excluded from equality.
     """
 
     algorithm: str
@@ -282,6 +347,16 @@ class ComplexityMeasurement:
     worst_case: int
     node_quantiles: Tuple[Tuple[float, float], ...] = field(default=(), compare=False)
     edge_quantiles: Tuple[Tuple[float, float], ...] = field(default=(), compare=False)
+    #: Total fault epochs across all measured traces (None = no recovery data).
+    recovery_epochs: Optional[int] = field(default=None, compare=False)
+    #: Mean rounds-to-restabilise over the recovered epochs (None when no
+    #: epoch recovered or no recovery data).
+    mean_time_to_restabilize: Optional[float] = field(default=None, compare=False)
+    #: Worst rounds-to-restabilise over the recovered epochs.
+    max_time_to_restabilize: Optional[int] = field(default=None, compare=False)
+    #: Epochs that never regained survivor-validity before the next crash
+    #: (or the end of the run).
+    unrecovered_epochs: Optional[int] = field(default=None, compare=False)
 
     def as_dict(self) -> Dict[str, object]:
         """Dictionary form, convenient for table rendering."""
@@ -300,6 +375,15 @@ class ComplexityMeasurement:
         for prefix, pairs in (("node_q", self.node_quantiles), ("edge_q", self.edge_quantiles)):
             for level, value in pairs:
                 record[f"{prefix}{level:g}"] = round(value, 3)
+        if self.recovery_epochs is not None:
+            record["recovery_epochs"] = self.recovery_epochs
+            record["unrecovered_epochs"] = self.unrecovered_epochs
+            if self.mean_time_to_restabilize is not None:
+                record["mean_time_to_restabilize"] = round(
+                    self.mean_time_to_restabilize, 3
+                )
+            if self.max_time_to_restabilize is not None:
+                record["max_time_to_restabilize"] = self.max_time_to_restabilize
         return record
 
 
@@ -324,6 +408,20 @@ def measure(
     if quantiles is not None:
         node_quantiles = _quantile_pairs(expected_nodes, quantiles)
         edge_quantiles = _quantile_pairs(expected_edges, quantiles)
+    recovery_epochs = mean_restab = max_restab = unrecovered = None
+    timelines = [
+        timeline
+        for timeline in (getattr(t, "recovery", None) for t in ts)
+        if timeline is not None
+    ]
+    if timelines:
+        times = [t for tl in timelines for t in tl.time_to_restabilize()]
+        recovered = [t for t in times if t is not None]
+        recovery_epochs = len(times)
+        unrecovered = len(times) - len(recovered)
+        if recovered:
+            mean_restab = float(sum(recovered)) / len(recovered)
+            max_restab = max(recovered)
     return ComplexityMeasurement(
         algorithm=first.algorithm_name,
         problem=first.problem.name,
@@ -337,6 +435,10 @@ def measure(
         worst_case=worst_case_complexity(ts),
         node_quantiles=node_quantiles,
         edge_quantiles=edge_quantiles,
+        recovery_epochs=recovery_epochs,
+        mean_time_to_restabilize=mean_restab,
+        max_time_to_restabilize=max_restab,
+        unrecovered_epochs=unrecovered,
     )
 
 

@@ -36,6 +36,16 @@ for nodes, :attr:`Network.edges`-indexed for edges) with the module sentinel
 :data:`MISSING` marking absent outputs; :meth:`ProblemSpec.validate_network`
 accepts either mappings (the trace representation) or such sequences and
 normalises.
+
+Every problem additionally carries a **surviving** validator
+(``csr_is_surviving_mis`` and friends) used by
+:meth:`ProblemSpec.validate_surviving` to score executions under crash-stop
+faults: crashed nodes and crash-adjacent edges are excused from committing,
+constraints are enforced on the surviving subgraph, and commitments a node
+made before dying still count where crash-stop semantics say they must
+(coverage, matchedness, domination, orientation heads).  The stricter
+:meth:`ProblemSpec.validate_induced` — validity of the plain induced
+subgraph, no concessions — backs the self-stabilisation recovery metrics.
 """
 
 from __future__ import annotations
@@ -70,6 +80,9 @@ __all__ = [
     "csr_is_sinkless_orientation",
     "csr_is_surviving_mis",
     "csr_is_surviving_maximal_matching",
+    "csr_is_surviving_coloring",
+    "csr_is_surviving_ruling_set",
+    "csr_is_surviving_sinkless_orientation",
 ]
 
 Edge = Tuple[int, int]
@@ -275,6 +288,31 @@ class ProblemSpec:
                 )
         if self.surviving_validator is not None:
             return self.surviving_validator(network, node_values, edge_values, crashed_set)
+        return self._validate_on_survivor_subnetwork(
+            network, node_values, edge_values, crashed_set
+        )
+
+    def validate_induced(
+        self,
+        network: Any,
+        node_outputs: "Optional[Union[Mapping[int, Any], Sequence[Any]]]" = None,
+        edge_outputs: "Optional[Union[Mapping[Edge, Any], Sequence[Any]]]" = None,
+        crashed: Sequence[int] = (),
+    ) -> ValidationResult:
+        """Strictly validate outputs on the induced survivor subnetwork.
+
+        Unlike :meth:`validate_surviving`, this never consults the (lenient)
+        :attr:`surviving_validator`: commitments of crashed nodes are
+        discarded and the survivors' outputs must stand on their own on the
+        induced subgraph.  Self-stabilisation metrics use this form — a
+        recovered configuration must be valid *for the survivors alone*, or
+        "recovery" would be vacuously credited to pre-crash commitments.
+        """
+        crashed_set = frozenset(crashed)
+        if not crashed_set:
+            return self.validate_network(network, node_outputs, edge_outputs)
+        node_values = _node_slots(network, node_outputs)
+        edge_values, _stray = _edge_slots(network, edge_outputs)
         return self._validate_on_survivor_subnetwork(
             network, node_values, edge_values, crashed_set
         )
@@ -593,6 +631,90 @@ def csr_is_ruling_set(
     return ValidationResult(True)
 
 
+def csr_is_surviving_ruling_set(
+    network: Any,
+    node_values: Sequence[Any],
+    crashed: "frozenset[int]",
+    alpha: int,
+    beta: int,
+) -> ValidationResult:
+    """``(α, β)``-ruling set scored on the surviving subgraph after crashes.
+
+    * every survivor must have committed (checked by the caller; crashed
+      nodes are excused),
+    * **independence** is required between *surviving* rulers only, at
+      distance ≥ α measured through surviving vertices — paths through a
+      corpse no longer exist, so they cannot bring two live rulers "close",
+    * **domination**: every surviving non-member needs a committed ruler
+      within distance ≤ β, where the ruler itself may be crashed (its
+      commitment stands — the survivor retired because of it, exactly the
+      crash-stop concession :func:`csr_is_surviving_mis` makes for
+      coverage) but every *relay* vertex on the path must be alive: coverage
+      is a property of the current surviving configuration, not of paths
+      that died with their relays.
+    """
+    n = network.n
+    member_flags = _selected_flags(n, node_values)
+    alive = bytearray(1 for _ in range(n))
+    for v in crashed:
+        alive[v] = 0
+    members = [v for v in range(n) if member_flags[v]]
+    if not any(alive[v] for v in range(n)):
+        return ValidationResult(True)
+    if not members:
+        return ValidationResult(False, "ruling set is empty")
+    indptr = network.indptr
+    indices = network.indices
+    # Domination: BFS from every committed member (alive or crashed), but
+    # only alive vertices relay the frontier onward.
+    covered = bytearray(n)
+    for v in members:
+        covered[v] = 1
+    frontier = list(members)
+    depth = 0
+    while frontier and depth < beta:
+        depth += 1
+        new_frontier: List[int] = []
+        for v in frontier:
+            for k in range(indptr[v], indptr[v + 1]):
+                u = indices[k]
+                if not covered[u]:
+                    covered[u] = 1
+                    if alive[u]:
+                        new_frontier.append(u)
+        frontier = new_frontier
+    uncovered = [v for v in range(n) if alive[v] and not covered[v]]
+    if uncovered:
+        return ValidationResult(
+            False,
+            f"{len(uncovered)} surviving nodes (e.g. {uncovered[:5]}) have no "
+            f"ruler within distance {beta}",
+        )
+    # Independence between surviving rulers, through surviving vertices only.
+    surviving_members = [v for v in members if alive[v]]
+    stamps = [0] * n
+    token = 0
+    for s in surviving_members:
+        token += 1
+        stamps[s] = token
+        frontier = [s]
+        for d in range(1, alpha):
+            nxt: List[int] = []
+            for v in frontier:
+                for k in range(indptr[v], indptr[v + 1]):
+                    u = indices[k]
+                    if alive[u] and stamps[u] != token:
+                        stamps[u] = token
+                        nxt.append(u)
+                        if member_flags[u] and u != s:
+                            return ValidationResult(
+                                False,
+                                f"surviving rulers {s} and {u} are at distance {d} < {alpha}",
+                            )
+            frontier = nxt
+    return ValidationResult(True)
+
+
 def csr_is_surviving_mis(
     network: Any, node_values: Sequence[Any], crashed: "frozenset[int]"
 ) -> ValidationResult:
@@ -699,6 +821,14 @@ def ruling_set(alpha: int, beta: int) -> ProblemSpec:
     ) -> ValidationResult:
         return csr_is_ruling_set(network, node_values, alpha, beta)
 
+    def _surviving_validator(
+        network: Any,
+        node_values: Sequence[Any],
+        _edge_values: Sequence[Any],
+        crashed: "frozenset[int]",
+    ) -> ValidationResult:
+        return csr_is_surviving_ruling_set(network, node_values, crashed, alpha, beta)
+
     return ProblemSpec(
         name=f"({alpha},{beta})-ruling-set",
         labels_nodes=True,
@@ -706,6 +836,7 @@ def ruling_set(alpha: int, beta: int) -> ProblemSpec:
         validator=_validator,
         params={"alpha": alpha, "beta": beta},
         csr_validator=_csr_validator,
+        surviving_validator=_surviving_validator,
     )
 
 
@@ -902,6 +1033,45 @@ def csr_is_proper_coloring(
     return ValidationResult(True)
 
 
+def csr_is_surviving_coloring(
+    network: Any,
+    node_values: Sequence[Any],
+    crashed: "frozenset[int]",
+    num_colors: Optional[int] = None,
+) -> ValidationResult:
+    """Proper colouring scored on the surviving subgraph after crashes.
+
+    * every survivor must have committed (checked by the caller; crashed
+      nodes are excused),
+    * the monochromatic check runs on **survivor–survivor** edges only — a
+      colour clash against a corpse constrains nobody (the edge is gone from
+      the surviving subgraph),
+    * the palette bound applies to the colours survivors actually use;
+      whatever a crashed node committed before dying is not held against the
+      configuration.
+    """
+    for u, v in network.edges:
+        if u in crashed or v in crashed:
+            continue
+        if node_values[u] == node_values[v]:
+            return ValidationResult(
+                False, f"surviving edge ({u}, {v}) is monochromatic"
+            )
+    if num_colors is not None:
+        used = {
+            node_values[v]
+            for v in range(network.n)
+            if v not in crashed and node_values[v] is not MISSING
+        }
+        bad = [c for c in used if not (isinstance(c, int) and 0 <= c < num_colors)]
+        if bad:
+            return ValidationResult(
+                False,
+                f"colours {bad[:5]} are outside the allowed palette [0, {num_colors})",
+            )
+    return ValidationResult(True)
+
+
 def coloring(num_colors: Optional[int] = None, name: Optional[str] = None) -> ProblemSpec:
     """Problem spec for proper vertex colouring with palette ``[0, num_colors)``."""
 
@@ -918,6 +1088,14 @@ def coloring(num_colors: Optional[int] = None, name: Optional[str] = None) -> Pr
     ) -> ValidationResult:
         return csr_is_proper_coloring(network, node_values, num_colors)
 
+    def _surviving_validator(
+        network: Any,
+        node_values: Sequence[Any],
+        _edge_values: Sequence[Any],
+        crashed: "frozenset[int]",
+    ) -> ValidationResult:
+        return csr_is_surviving_coloring(network, node_values, crashed, num_colors)
+
     label = name or (f"{num_colors}-coloring" if num_colors is not None else "coloring")
     return ProblemSpec(
         name=label,
@@ -926,6 +1104,7 @@ def coloring(num_colors: Optional[int] = None, name: Optional[str] = None) -> Pr
         validator=_validator,
         params={"num_colors": num_colors},
         csr_validator=_csr_validator,
+        surviving_validator=_surviving_validator,
     )
 
 
@@ -996,6 +1175,52 @@ def csr_is_sinkless_orientation(
     return ValidationResult(True)
 
 
+def csr_is_surviving_sinkless_orientation(
+    network: Any,
+    edge_values: Sequence[Any],
+    crashed: "frozenset[int]",
+    min_degree: int = 3,
+) -> ValidationResult:
+    """Sinkless orientation scored on the surviving subgraph after crashes.
+
+    * every survivor–survivor edge must have committed (checked by the
+      caller; edges with a crashed endpoint are excused),
+    * committed orientations must still point at an endpoint of their edge,
+      wherever they sit — a malformed head is a bug, not a casualty,
+    * the sink check applies to surviving nodes whose **original** degree is
+      ≥ ``min_degree`` (the paper poses the problem for minimum degree ≥ 3;
+      a crash does not re-pose it), and an outgoing edge whose head has
+      since crashed still counts: under crash-stop the edge physically
+      remains, the orientation was committed while both endpoints ran, and
+      the tail is no sink along it.
+    """
+    n = network.n
+    has_out = bytearray(n)
+    for i, (u, v) in enumerate(network.edges):
+        head = edge_values[i]
+        if head is MISSING:
+            continue
+        if head == v:
+            has_out[u] = 1
+        elif head == u:
+            has_out[v] = 1
+        else:
+            return ValidationResult(
+                False,
+                f"edge ({u}, {v}) oriented towards {head}, which is not an endpoint",
+            )
+    indptr = network.indptr
+    for v in range(n):
+        if v in crashed:
+            continue
+        degree = indptr[v + 1] - indptr[v]
+        if degree >= min_degree and not has_out[v]:
+            return ValidationResult(
+                False, f"surviving node {v} (degree {degree}) is a sink"
+            )
+    return ValidationResult(True)
+
+
 def _sinkless_validator(
     graph: nx.Graph, _: Mapping[int, Any], edge_outputs: Mapping[Edge, Any]
 ) -> ValidationResult:
@@ -1011,10 +1236,20 @@ def _sinkless_csr_validator(
     return csr_is_sinkless_orientation(network, edge_values, stray_edges)
 
 
+def _sinkless_surviving_validator(
+    network: Any,
+    _node_values: Sequence[Any],
+    edge_values: Sequence[Any],
+    crashed: "frozenset[int]",
+) -> ValidationResult:
+    return csr_is_surviving_sinkless_orientation(network, edge_values, crashed)
+
+
 SINKLESS_ORIENTATION = ProblemSpec(
     name="sinkless-orientation",
     labels_nodes=False,
     labels_edges=True,
     validator=_sinkless_validator,
     csr_validator=_sinkless_csr_validator,
+    surviving_validator=_sinkless_surviving_validator,
 )

@@ -75,6 +75,11 @@ class ExecutionTrace:
         crashed: sorted vertices that crashed during the execution.  When
             non-empty, :meth:`validate` scores the outputs on the surviving
             subgraph (:meth:`ProblemSpec.validate_surviving`).
+        recovery: per-round :class:`~repro.core.metrics.RecoveryTimeline`
+            of a self-stabilising execution (``None`` otherwise).
+            :func:`repro.core.metrics.measure` aggregates it into
+            time-to-restabilise statistics.  Excluded from trace equality,
+            like the other lazily derived extras.
     """
 
     def __init__(
@@ -92,6 +97,7 @@ class ExecutionTrace:
         algorithm_name: str = "",
         fault_events: Tuple = (),
         crashed: Tuple[int, ...] = (),
+        recovery: Optional[Any] = None,
     ) -> None:
         self.network = network
         self.problem = problem
@@ -102,6 +108,7 @@ class ExecutionTrace:
         self.algorithm_name = algorithm_name
         self.fault_events = tuple(fault_events)
         self.crashed = tuple(crashed)
+        self.recovery = recovery
         # Dict-canonical storage (legacy construction path).  ``None`` means
         # the corresponding flat arrays below are canonical instead.
         self._node_outputs: Optional[Dict[int, Any]] = (
@@ -150,6 +157,7 @@ class ExecutionTrace:
         algorithm_name: str = "",
         fault_events: Tuple = (),
         crashed: Tuple[int, ...] = (),
+        recovery: Optional[Any] = None,
     ) -> "ExecutionTrace":
         """Build a trace directly from flat per-slot arrays (the hot path).
 
@@ -167,6 +175,7 @@ class ExecutionTrace:
             algorithm_name=algorithm_name,
             fault_events=fault_events,
             crashed=crashed,
+            recovery=recovery,
         )
         trace._node_outputs = None
         trace._node_commit_round = None

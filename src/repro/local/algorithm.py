@@ -69,6 +69,16 @@ class NodeAlgorithm:
     #: Whether the algorithm uses private randomness.  Purely informational.
     randomized: bool = False
 
+    #: Self-stabilising algorithms recover from crash-stop faults: the runner
+    #: notifies survivors of crashed neighbours (:meth:`neighbor_crashed`),
+    #: allows them to revoke and recompute outputs
+    #: (:meth:`~repro.local.node.NodeRuntime.revoke` /
+    #: :meth:`~repro.local.node.NodeRuntime.revoke_edge`), keeps the
+    #: execution running until the last scheduled crash has landed, and
+    #: records a per-round :class:`~repro.core.metrics.RecoveryTimeline` on
+    #: the trace.
+    self_stabilizing: bool = False
+
     def init(self, node: NodeRuntime) -> None:
         """Initialise the local state of ``node`` (round 0)."""
 
@@ -90,6 +100,16 @@ class NodeAlgorithm:
                 this round.  Neighbours that sent nothing are absent.  The
                 mapping is owned by the runner and is reused between rounds —
                 copy it if you need its contents beyond this call.
+        """
+
+    def neighbor_crashed(self, node: NodeRuntime, neighbor: int) -> None:
+        """Notification that ``neighbor`` just crashed (self-stabilising runs).
+
+        Called by the runner at the start of the crash round, after the
+        casualty has been marked dead and before any round-``r`` messages
+        are produced, for every live, unhalted neighbour of the casualty.
+        Only algorithms with :attr:`self_stabilizing` set receive the
+        callback; the default is a no-op.
         """
 
     def describe(self) -> str:

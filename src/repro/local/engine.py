@@ -59,7 +59,8 @@ from typing import Any, List, Optional, Tuple
 import numpy as np
 
 from repro.core.errors import RoundLimitExceeded
-from repro.core.problems import ProblemSpec
+from repro.core.metrics import RecoveryTimeline
+from repro.core.problems import MISSING, ProblemSpec
 from repro.core.trace import ExecutionTrace
 from repro.local.faults import FaultSchedule, RoundFaults
 from repro.local.network import Network
@@ -176,6 +177,15 @@ class ArrayAlgorithm:
     #: algorithms that do not opt in.
     supports_faults: bool = False
 
+    #: Self-stabilising array algorithms detect crashed neighbours straight
+    #: from the round view's ``newly_crashed`` (no engine callback needed,
+    #: unlike the coroutine runner's ``neighbor_crashed`` hook) and restart
+    #: affected nodes by resetting their ``node_rounds`` slots to ``-1``.
+    #: The engine keeps such runs going until the last scheduled crash has
+    #: landed and records a per-round
+    #: :class:`~repro.core.metrics.RecoveryTimeline` on the trace.
+    self_stabilizing: bool = False
+
     def init_arrays(
         self, topology: ArrayTopology, rng: np.random.Generator
     ) -> ArrayState:
@@ -236,8 +246,9 @@ class ArrayEngine:
         ``algorithm.step(..., faults=...)``; completion excuses entities
         only a crashed node could still decide, fault events are recorded
         on the trace, and validation scores the surviving subgraph.  Delay
-        faults are a coroutine-runner-only feature (the engine has no
-        per-message mailboxes to re-queue) and are rejected.
+        faults are exposed to the algorithm as the round view's
+        ``late_uv`` / ``late_vu`` one-round carry masks; fault-aware array
+        algorithms document how their message kernels consume them.
         """
         topology = self._topology(network)
         rng = np.random.Generator(np.random.PCG64(seed))
@@ -247,11 +258,6 @@ class ArrayEngine:
                 raise TypeError(
                     f"{algorithm.name} has no fault-aware array implementation; "
                     f"use the coroutine runner (engine='node') for fault injection"
-                )
-            if faults.delay_rate > 0.0:
-                raise ValueError(
-                    "message delays are only supported by the coroutine runner; "
-                    "the array engine accepts crash and drop faults"
                 )
             return self._run_faulted(algorithm, network, problem, rng, faults, topology)
 
@@ -285,22 +291,46 @@ class ArrayEngine:
     ) -> ExecutionTrace:
         state = algorithm.init_arrays(topology, rng)
 
+        # Self-stabilising runs mirror the coroutine runner: completion is
+        # additionally gated on the last scheduled crash having landed, and
+        # every executed round appends a (pending, survivor-valid) entry to
+        # the recovery timeline.
+        selfstab = bool(getattr(algorithm, "self_stabilizing", False))
+        final_crash = max(faults.crashes.values(), default=0) if selfstab else 0
+        crash_rounds: list = []
+        recovery_pending: list = []
+        recovery_valid: list = []
+
         fault_events: list = []
         rounds = 0
         round_faults = faults.round_faults(
             0, topology.n, topology.m, topology.edge_us, topology.edge_vs
         )
-        completed = self._is_complete_faulted(state, problem, round_faults, topology)
+        completed = (
+            self._is_complete_faulted(state, problem, round_faults, topology)
+            and rounds >= final_crash
+        )
         while not completed and rounds < self.max_rounds:
             rounds += 1
             round_faults = faults.round_faults(
                 rounds, topology.n, topology.m, topology.edge_us, topology.edge_vs
             )
+            if round_faults.newly_crashed:
+                crash_rounds.append(rounds)
             fault_events.extend(
                 faults.round_events(rounds, topology.edge_us, topology.edge_vs)
             )
             algorithm.step(rounds, state, topology, rng, faults=round_faults)
-            completed = self._is_complete_faulted(state, problem, round_faults, topology)
+            completed = self._is_complete_faulted(
+                state, problem, round_faults, topology
+            ) and (not selfstab or rounds >= final_crash)
+            if selfstab:
+                pending, valid = self._recovery_round_entry(
+                    state, problem, round_faults, topology, network,
+                    faults.crashed_by(rounds),
+                )
+                recovery_pending.append(pending)
+                recovery_valid.append(valid)
 
         if not completed and self.strict:
             raise RoundLimitExceeded(
@@ -308,6 +338,13 @@ class ArrayEngine:
                 f"n={network.n}, m={network.m} within {self.max_rounds} rounds"
             )
 
+        recovery = None
+        if selfstab:
+            recovery = RecoveryTimeline(
+                crash_rounds=tuple(crash_rounds),
+                pending=tuple(recovery_pending),
+                valid=tuple(recovery_valid),
+            )
         return self._collect_trace(
             algorithm,
             network,
@@ -317,6 +354,7 @@ class ArrayEngine:
             completed,
             fault_events=tuple(fault_events),
             crashed=faults.crashed_within(rounds),
+            recovery=recovery,
         )
 
     @staticmethod
@@ -358,6 +396,41 @@ class ArrayEngine:
         return True
 
     @staticmethod
+    def _recovery_round_entry(
+        state: ArrayState,
+        problem: ProblemSpec,
+        round_faults: RoundFaults,
+        topology: ArrayTopology,
+        network: Network,
+        crashed: Tuple[int, ...],
+    ) -> Tuple[int, bool]:
+        """One ``(pending, valid)`` recovery-timeline entry (array form).
+
+        Mirrors the coroutine runner's helper: ``pending`` counts required
+        outputs still undecided among survivors; survivor-complete
+        configurations are strictly validated on the induced survivor
+        subnetwork so crashed commitments never carry an epoch.
+        """
+        alive = round_faults.alive
+        pending = 0
+        if problem.labels_nodes:
+            pending += int(((state.node_rounds < 0) & alive).sum())
+        if problem.labels_edges:
+            pending += int(
+                (
+                    (state.edge_rounds < 0)
+                    & alive[topology.edge_us]
+                    & alive[topology.edge_vs]
+                ).sum()
+            )
+        if pending > 0:
+            return pending, False
+        node_slots = _missing_slots(state.node_values, state.node_rounds)
+        edge_slots = _missing_slots(state.edge_values, state.edge_rounds)
+        result = problem.validate_induced(network, node_slots, edge_slots, crashed)
+        return 0, bool(result)
+
+    @staticmethod
     def _collect_trace(
         algorithm: ArrayAlgorithm,
         network: Network,
@@ -367,6 +440,7 @@ class ArrayEngine:
         completed: bool,
         fault_events: Tuple = (),
         crashed: Tuple[int, ...] = (),
+        recovery: Optional[RecoveryTimeline] = None,
     ) -> ExecutionTrace:
         # Straight into the trace's flat per-slot storage: int64 rounds as
         # array('q') buffers (one memcpy each), values as plain lists with
@@ -389,6 +463,7 @@ class ArrayEngine:
             algorithm_name=algorithm.name,
             fault_events=fault_events,
             crashed=crashed,
+            recovery=recovery,
         )
 
 
@@ -400,4 +475,14 @@ def _value_slots(values: Optional[np.ndarray], rounds: np.ndarray) -> List[Any]:
     if (rounds < 0).any():
         for i in np.flatnonzero(rounds < 0).tolist():
             slots[i] = None
+    return slots
+
+
+def _missing_slots(values: Optional[np.ndarray], rounds: np.ndarray) -> List[Any]:
+    """Per-slot value list for validators: ``MISSING`` where never committed."""
+    if values is None:
+        return [MISSING] * len(rounds)
+    slots: List[Any] = values.tolist()
+    for i in np.flatnonzero(rounds < 0).tolist():
+        slots[i] = MISSING
     return slots

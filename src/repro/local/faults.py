@@ -10,11 +10,13 @@ A :class:`FaultSchedule` describes an adversary for one execution:
   degradation, not abort.
 * **seeded message drops/delays** — every directed message of round ``r``
   is independently dropped with probability ``drop_rate`` or delayed by one
-  round with probability ``delay_rate`` (coroutine runner only; the array
-  engine rejects delays).  A delayed message is delivered together with
-  round ``r + 1``'s messages, so a fresh round-``r+1`` message from the same
-  sender overwrites it; it is lost if the target has crashed or halted by
-  then.  Round-synchronous algorithms whose message *types* vary by phase
+  round with probability ``delay_rate``.  Both engines honour delays: the
+  coroutine runner re-queues the concrete payload, the array engine exposes
+  the equivalent ``late_uv`` / ``late_vu`` carry masks on
+  :class:`RoundFaults` for fault-aware array algorithms.  A delayed message
+  is delivered together with round ``r + 1``'s messages, so a fresh
+  round-``r+1`` message from the same sender overwrites it; it is lost if
+  the target has crashed or halted by then.  Round-synchronous algorithms whose message *types* vary by phase
   (e.g. Luby's alternating priority/announcement broadcasts) can therefore
   observe a cross-phase straggler whenever the overwriting fresh message is
   itself dropped or the sender has retired — an algorithm-level exception
@@ -51,6 +53,7 @@ are identical by construction (differential tests pin this).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -65,6 +68,13 @@ FaultEvent = Tuple
 #: Directed-fate codes of the per-round mask.
 _DELIVER, _DROP, _DELAY = 0, 1, 2
 
+#: Capacity of the per-schedule fate-mask LRU.  The engines query at most
+#: the current and the previous round (for late-delivery masks), so a small
+#: window never misses on the sequential access pattern while keeping
+#: memory flat over arbitrarily long runs (each entry is a ``2m`` int8
+#: array; an unbounded cache grew one per executed round).
+_MASK_CACHE_SIZE = 8
+
 
 class RoundFaults:
     """The faults of one engine round, in array form.
@@ -77,10 +87,26 @@ class RoundFaults:
     * ``newly_crashed`` — vertices whose crash round is exactly this round,
     * ``deliver_uv`` / ``deliver_vu`` — bool per canonical edge slot:
       whether a message along ``u → v`` / ``v → u`` would be delivered this
-      round (not dropped, and both endpoints alive).
+      round (not dropped or delayed, and both endpoints alive),
+    * ``late_uv`` / ``late_vu`` — bool per canonical edge slot: whether a
+      message *delayed in the previous round* arrives late along
+      ``u → v`` / ``v → u`` at the start of this round (the sender was
+      alive when it sent, the target is alive now).  ``None`` when the
+      schedule has no delays or this is round 1 (nothing in flight).  A
+      late arrival carries the **previous round's** payload and is
+      overwritten by a same-sender fresh delivery, exactly like the
+      coroutine runner's ``delayed_messages`` queue.
     """
 
-    __slots__ = ("round_index", "alive", "newly_crashed", "deliver_uv", "deliver_vu")
+    __slots__ = (
+        "round_index",
+        "alive",
+        "newly_crashed",
+        "deliver_uv",
+        "deliver_vu",
+        "late_uv",
+        "late_vu",
+    )
 
     def __init__(
         self,
@@ -89,12 +115,16 @@ class RoundFaults:
         newly_crashed: Tuple[int, ...],
         deliver_uv: np.ndarray,
         deliver_vu: np.ndarray,
+        late_uv: Optional[np.ndarray] = None,
+        late_vu: Optional[np.ndarray] = None,
     ) -> None:
         self.round_index = round_index
         self.alive = alive
         self.newly_crashed = newly_crashed
         self.deliver_uv = deliver_uv
         self.deliver_vu = deliver_vu
+        self.late_uv = late_uv
+        self.late_vu = late_vu
 
 
 class FaultSchedule:
@@ -108,8 +138,8 @@ class FaultSchedule:
         crashes: mapping ``vertex → crash round`` (1-based; the node is dead
             from the start of that round).
         drop_rate: per-directed-message drop probability in ``[0, 1]``.
-        delay_rate: per-directed-message one-round delay probability
-            (coroutine runner only; ``drop_rate + delay_rate ≤ 1``).
+        delay_rate: per-directed-message one-round delay probability,
+            honoured by both engines (``drop_rate + delay_rate ≤ 1``).
         seed: master seed of the schedule's own PCG64 streams.
     """
 
@@ -140,8 +170,10 @@ class FaultSchedule:
         self.drop_rate = float(drop_rate)
         self.delay_rate = float(delay_rate)
         self.seed = int(seed)
-        # round → int8 directed-fate array (deterministic, so safe to cache).
-        self._mask_cache: Dict[Tuple[int, int], Optional[np.ndarray]] = {}
+        # (round, m) → int8 directed-fate array.  Draws are deterministic,
+        # so eviction is safe (a re-query recomputes the identical array);
+        # a small LRU keeps memory flat over long runs.
+        self._mask_cache: "OrderedDict[Tuple[int, int], np.ndarray]" = OrderedDict()
 
     # ------------------------------------------------------------------ #
     # Crash queries
@@ -207,6 +239,10 @@ class FaultSchedule:
                 ] = _DELAY
             fates.setflags(write=False)
             self._mask_cache[key] = fates
+            if len(self._mask_cache) > _MASK_CACHE_SIZE:
+                self._mask_cache.popitem(last=False)
+        else:
+            self._mask_cache.move_to_end(key)
         return fates
 
     # ------------------------------------------------------------------ #
@@ -231,12 +267,33 @@ class FaultSchedule:
         else:
             deliver_uv = (fates[0::2] == _DELIVER) & both_alive
             deliver_vu = (fates[1::2] == _DELIVER) & both_alive
+        late_uv = late_vu = None
+        if self.delay_rate > 0.0 and round_index >= 2:
+            prev_fates = self.directed_fates(round_index - 1, m)
+            if prev_fates is not None:
+                # Late iff delayed last round, the sender was alive *then*
+                # (a crashed node sent nothing) and the target is alive now
+                # (the coroutine runner drops in-flight payloads whose
+                # target inbox is gone).
+                alive_prev = self.alive_mask(round_index - 1, n)
+                late_uv = (
+                    (prev_fates[0::2] == _DELAY)
+                    & alive_prev[edge_us]
+                    & alive[edge_vs]
+                )
+                late_vu = (
+                    (prev_fates[1::2] == _DELAY)
+                    & alive_prev[edge_vs]
+                    & alive[edge_us]
+                )
         return RoundFaults(
             round_index=round_index,
             alive=alive,
             newly_crashed=self.crashes_at(round_index),
             deliver_uv=deliver_uv,
             deliver_vu=deliver_vu,
+            late_uv=late_uv,
+            late_vu=late_vu,
         )
 
     # ------------------------------------------------------------------ #

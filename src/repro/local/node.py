@@ -134,6 +134,35 @@ class NodeRuntime:
                 f"{value!r} (already committed {self._edge_outputs[neighbor]!r})"
             )
 
+    def revoke(self) -> None:
+        """Withdraw this node's committed output (self-stabilisation only).
+
+        Ordinary algorithms treat commits as final; a self-stabilising
+        algorithm reacting to a crashed neighbour may revoke its own output
+        and recompute.  A no-op when nothing was committed.
+        """
+        if self._output_round is None:
+            return
+        self._output = None
+        self._output_round = None
+        if self._observer is not None:
+            self._observer.node_revoked(self.vertex)
+
+    def revoke_edge(self, neighbor: int) -> None:
+        """Withdraw this node's commit for the edge towards ``neighbor``.
+
+        Only removes *this endpoint's* record; the runner's completion
+        tracker decides whether the edge as a whole becomes undecided again
+        (it stays decided while the other live endpoint's commit stands).
+        A no-op when this node never committed that edge.
+        """
+        if neighbor not in self._edge_outputs:
+            return
+        del self._edge_outputs[neighbor]
+        del self._edge_output_rounds[neighbor]
+        if self._observer is not None:
+            self._observer.edge_revoked(self.vertex, neighbor)
+
     @property
     def has_committed(self) -> bool:
         """Whether this node has committed its own output."""

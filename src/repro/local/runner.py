@@ -31,7 +31,8 @@ from array import array
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.errors import RoundLimitExceeded
-from repro.core.problems import ProblemSpec
+from repro.core.metrics import RecoveryTimeline
+from repro.core.problems import MISSING, ProblemSpec
 from repro.core.trace import ExecutionTrace
 from repro.local.algorithm import Broadcast, NodeAlgorithm
 from repro.local.coroutine import CoroutineAlgorithm
@@ -125,6 +126,8 @@ class _CompletionTracker:
         "_network",
         "_n",
         "_edge_index",
+        "_nodes",
+        "_crashed_set",
         "halt_events",
         "edge_commit_events",
     )
@@ -138,6 +141,11 @@ class _CompletionTracker:
         self._network = network
         self._n = network.n
         self._edge_index = None
+        # The runtime nodes of the execution (attached by the runner once
+        # they exist) and the crash casualties so far — both consulted only
+        # on the revocation paths of self-stabilising runs.
+        self._nodes: Optional[Tuple[NodeRuntime, ...]] = None
+        self._crashed_set: set = set()
         self.halt_events = 0
         self.edge_commit_events = 0
 
@@ -173,6 +181,43 @@ class _CompletionTracker:
     def node_halted(self, vertex: int) -> None:
         self.halt_events += 1
 
+    def node_revoked(self, vertex: int) -> None:
+        """A node withdrew its committed output: it is pending again."""
+        self._pending_nodes += 1
+
+    def edge_revoked(self, vertex: int, neighbor: int) -> None:
+        """``vertex`` withdrew its commit for the edge towards ``neighbor``.
+
+        The edge only becomes pending again when no other commitment keeps
+        it decided: a crashed endpoint keeps it excused (but a dead
+        counterpart's stale record is expunged so the revocation is not
+        resurrected at trace collection), and a live counterpart's own
+        commit keeps it decided.
+        """
+        if not 0 <= neighbor < self._n:
+            return
+        edge_index = self._edge_index
+        if edge_index is None:
+            edge_index = self._edge_index = self._network._packed_edge_index()
+        key = (
+            vertex * self._n + neighbor
+            if vertex < neighbor
+            else neighbor * self._n + vertex
+        )
+        index = edge_index.get(key)
+        if index is None or not self._edge_decided[index]:
+            return
+        if vertex in self._crashed_set or neighbor in self._crashed_set:
+            if self._nodes is not None and neighbor in self._crashed_set:
+                corpse = self._nodes[neighbor]
+                corpse._edge_outputs.pop(vertex, None)
+                corpse._edge_output_rounds.pop(vertex, None)
+            return
+        if self._nodes is not None and vertex in self._nodes[neighbor]._edge_outputs:
+            return
+        self._edge_decided[index] = 0
+        self._pending_edges += 1
+
     def node_crashed(self, vertex: int, committed: bool) -> None:
         """Excuse a crash-stop casualty from the completion requirements.
 
@@ -182,6 +227,7 @@ class _CompletionTracker:
         decided here also guards against a double decrement if the surviving
         endpoint commits the edge later).
         """
+        self._crashed_set.add(vertex)
         if self.labels_nodes and not committed:
             self._pending_nodes -= 1
         if self.labels_edges:
@@ -198,6 +244,52 @@ class _CompletionTracker:
         if not self.labels_nodes and not self.labels_edges:
             return unhalted == 0
         return True
+
+
+def _recovery_round_entry(
+    tracker: _CompletionTracker,
+    nodes: Tuple[NodeRuntime, ...],
+    network: Network,
+    problem: ProblemSpec,
+) -> Tuple[int, bool]:
+    """One ``(pending, valid)`` entry of a self-stabilising recovery timeline.
+
+    ``pending`` counts the required outputs still undecided among survivors
+    (straight off the tracker's counters); validity is only evaluated on
+    survivor-complete configurations, and strictly — on the induced survivor
+    subnetwork (:meth:`ProblemSpec.validate_induced`), so commitments of
+    crashed nodes never carry an epoch to "recovered".
+    """
+    pending = 0
+    if tracker.labels_nodes:
+        pending += tracker._pending_nodes
+    if tracker.labels_edges:
+        pending += tracker._pending_edges
+    if pending > 0:
+        return pending, False
+    n = network.n
+    node_slots: List[Any] = [MISSING] * n
+    for node in nodes:
+        if node._output_round is not None:
+            node_slots[node.vertex] = node._output
+    edge_slots: List[Any] = [MISSING] * network.m
+    packed = network._packed_edge_index()
+    for node in nodes:
+        outputs = node._edge_outputs
+        if not outputs:
+            continue
+        v = node.vertex
+        for u, value in outputs.items():
+            if not 0 <= u < n:
+                continue
+            key = v * n + u if v < u else u * n + v
+            i = packed.get(key)
+            if i is not None and edge_slots[i] is MISSING:
+                edge_slots[i] = value
+    result = problem.validate_induced(
+        network, node_slots, edge_slots, tracker._crashed_set
+    )
+    return 0, bool(result)
 
 
 class Runner:
@@ -302,6 +394,7 @@ class Runner:
         master_rng = random.Random(seed)
         tracker = _CompletionTracker(network, problem)
         nodes = self._acquire_nodes(network, master_rng, tracker)
+        tracker._nodes = nodes
 
         total_messages = 0
         max_message_bits = 0
@@ -461,6 +554,7 @@ class Runner:
         master_rng = random.Random(seed)
         tracker = _CompletionTracker(network, problem)
         nodes = self._acquire_nodes(network, master_rng, tracker)
+        tracker._nodes = nodes
 
         total_messages = 0
         max_message_bits = 0
@@ -486,8 +580,18 @@ class Runner:
         # before the next round's sends.
         delayed_messages: List[Tuple[int, int, Any]] = []
 
+        # Self-stabilising executions keep running until the last scheduled
+        # crash has landed (an output-complete configuration before that is
+        # not stable — the adversary will strike again), notify survivors of
+        # crashed neighbours, and record a per-round recovery timeline.
+        selfstab = bool(getattr(algorithm, "self_stabilizing", False))
+        final_crash = max(faults.crashes.values(), default=0) if selfstab else 0
+        crash_rounds: List[int] = []
+        recovery_pending: List[int] = []
+        recovery_valid: List[bool] = []
+
         rounds_executed = 0
-        completed = tracker.is_complete(len(active))
+        completed = tracker.is_complete(len(active)) and rounds_executed >= final_crash
         send = algorithm.send
         algorithm_type = type(algorithm)
         direct_outbox = (
@@ -507,12 +611,22 @@ class Runner:
             # is dead *during* the round (sends nothing, processes nothing).
             newly_crashed = faults.crashes_at(current_round)
             if newly_crashed:
+                crash_rounds.append(current_round)
                 for v in newly_crashed:
                     node = nodes[v]
                     if not node._crashed:
                         node._crashed = True
                         inbox_of[v] = None
                         tracker.node_crashed(v, node._output_round is not None)
+                if selfstab:
+                    # Survivors adjacent to a fresh casualty learn of the
+                    # crash before producing this round's messages; the hook
+                    # may revoke outputs and re-enter the protocol.
+                    for v in newly_crashed:
+                        for u in nodes[v].neighbors:
+                            survivor = nodes[u]
+                            if not survivor._crashed and not survivor._halted:
+                                algorithm.neighbor_crashed(survivor, v)
                 active = [node for node in active if not node._crashed]
 
             fault_events.extend(faults.round_events(current_round, edge_us, edge_vs))
@@ -633,7 +747,15 @@ class Runner:
                         still_active.append(node)
                 active = still_active
 
-            completed = tracker.is_complete(len(active))
+            completed = tracker.is_complete(len(active)) and (
+                not selfstab or rounds_executed >= final_crash
+            )
+            if selfstab:
+                pending, valid = _recovery_round_entry(
+                    tracker, nodes, network, problem
+                )
+                recovery_pending.append(pending)
+                recovery_valid.append(valid)
 
         if not completed and self.strict:
             raise RoundLimitExceeded(
@@ -641,6 +763,15 @@ class Runner:
                 f"n={network.n}, m={network.m} within {self.max_rounds} rounds"
             )
 
+        recovery = (
+            RecoveryTimeline(
+                crash_rounds=tuple(crash_rounds),
+                pending=tuple(recovery_pending),
+                valid=tuple(recovery_valid),
+            )
+            if selfstab
+            else None
+        )
         return self._collect_trace(
             algorithm,
             network,
@@ -653,6 +784,7 @@ class Runner:
             any_edge_commits=tracker.edge_commit_events > 0,
             fault_events=tuple(fault_events),
             crashed=faults.crashed_within(rounds_executed),
+            recovery=recovery,
         )
 
     # ------------------------------------------------------------------ #
@@ -723,6 +855,7 @@ class Runner:
         any_edge_commits: bool = True,
         fault_events: Tuple = (),
         crashed: Tuple[int, ...] = (),
+        recovery: Optional[RecoveryTimeline] = None,
     ) -> ExecutionTrace:
         # Outputs and commit rounds go straight into the trace's flat
         # per-slot arrays (-1 = never committed); the historical dict views
@@ -792,4 +925,5 @@ class Runner:
             algorithm_name=algorithm.name,
             fault_events=fault_events,
             crashed=crashed,
+            recovery=recovery,
         )

@@ -21,16 +21,21 @@ The cross-engine parity contract under faults is deliberately layered:
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
+import repro.local.faults as faults_module
 from repro.algorithms.matching.randomized import RandomizedMaximalMatching
 from repro.algorithms.mis.luby import LubyMIS
 from repro.core import problems
 from repro.core.errors import classify_failure
 from repro.core.problems import (
     MISSING,
+    csr_is_surviving_coloring,
     csr_is_surviving_maximal_matching,
     csr_is_surviving_mis,
+    csr_is_surviving_ruling_set,
+    csr_is_surviving_sinkless_orientation,
 )
 from repro.graphs import generators as gen
 from repro.local.algorithm import Broadcast
@@ -326,15 +331,17 @@ class TestCrossEngineContract:
                 Opaque(), k2(), problems.MIS, seed=0, faults=FaultSchedule(crashes={0: 1})
             )
 
-    def test_array_engine_rejects_delays(self):
-        with pytest.raises(ValueError, match="coroutine runner"):
-            ArrayEngine().run(
-                LubyMIS().as_array_algorithm(),
-                k2(),
-                problems.MIS,
-                seed=0,
-                faults=FaultSchedule(delay_rate=0.5),
-            )
+    def test_array_engine_accepts_delays(self):
+        """Delay schedules run on the array engine (late carry masks)."""
+        trace = ArrayEngine(strict=False, max_rounds=200).run(
+            LubyMIS().as_array_algorithm(),
+            pinned_network(),
+            problems.MIS,
+            seed=0,
+            faults=FaultSchedule(delay_rate=0.1, seed=2),
+        )
+        assert trace.completed
+        assert any(e[0] == "delay" for e in trace.fault_events)
 
 
 class TestSurvivingValidators:
@@ -388,6 +395,105 @@ class TestSurvivingValidators:
         verdict = csr_is_surviving_maximal_matching(net, values, frozenset())
         assert not verdict.valid
 
+    def test_coloring_monochromatic_only_on_surviving_edges(self):
+        net = p3()
+        values = [0, 0, 1]
+        assert not csr_is_surviving_coloring(net, values, frozenset()).valid
+        # Crashing one endpoint of the clashing edge removes it from the
+        # surviving subgraph...
+        assert csr_is_surviving_coloring(net, values, frozenset({0})).valid
+        # ...but an unrelated crash leaves the clash in force.
+        assert not csr_is_surviving_coloring(net, values, frozenset({2})).valid
+
+    def test_coloring_palette_only_binds_survivors(self):
+        net = p3()
+        values = [0, 5, 1]
+        assert not csr_is_surviving_coloring(net, values, frozenset(), num_colors=2).valid
+        # The out-of-palette colour belongs to a corpse: not held against
+        # the surviving configuration.
+        assert csr_is_surviving_coloring(net, values, frozenset({1}), num_colors=2).valid
+
+    def test_coloring_spec_registers_the_surviving_validator(self):
+        spec = problems.coloring(2)
+        verdict = spec.validate_surviving(net := p3(), {0: 0, 2: 1}, {}, crashed=[1])
+        assert verdict.valid
+        assert not spec.validate_surviving(net, {0: 0, 1: 0, 2: 1}, {}, crashed=[]).valid
+
+    def p4(self):
+        return Network.from_edge_list(4, [(0, 1), (1, 2), (2, 3)])
+
+    def test_ruling_set_domination_respects_the_horizon(self):
+        net = self.p4()
+        values = [True, False, False, False]
+        # Node 3 is at distance 3 > beta=2 from the only ruler.
+        assert not csr_is_surviving_ruling_set(net, values, frozenset(), 2, 2).valid
+        # Crashing it removes the only uncovered survivor.
+        assert csr_is_surviving_ruling_set(net, values, frozenset({3}), 2, 2).valid
+
+    def test_ruling_set_relays_must_be_alive(self):
+        net = self.p4()
+        values = [True, False, False, False]
+        # With 1 crashed, node 2's only path to the ruler relays through a
+        # corpse: coverage is gone even though dist(0, 2)=2 pre-crash.
+        assert not csr_is_surviving_ruling_set(
+            net, values, frozenset({1, 3}), 2, 2
+        ).valid
+
+    def test_ruling_set_crashed_committed_ruler_still_dominates(self):
+        net = self.p4()
+        values = [False, True, False, False]
+        # Ruler 1 died after committing: nodes 0 and 2 keep their coverage,
+        # and node 3 is reached through the *live* relay 2.
+        assert csr_is_surviving_ruling_set(net, values, frozenset({1}), 2, 2).valid
+
+    def test_ruling_set_independence_measured_through_survivors(self):
+        net = p3()
+        values = [True, False, True]
+        # alpha=3: rulers 0 and 2 are at distance 2 < 3 through node 1.
+        assert not csr_is_surviving_ruling_set(net, values, frozenset(), 3, 3).valid
+        # Once node 1 crashes, no surviving path connects them.
+        assert csr_is_surviving_ruling_set(net, values, frozenset({1}), 3, 3).valid
+
+    def test_ruling_set_spec_registers_the_surviving_validator(self):
+        spec = problems.ruling_set(2, 2)
+        net = self.p4()
+        assert spec.validate_surviving(
+            net, {0: True, 1: False, 2: False}, {}, crashed=[3]
+        ).valid
+
+    def star4(self):
+        return Network.from_edge_list(4, [(0, 1), (0, 2), (0, 3)])
+
+    def test_sinkless_sink_check_skips_crashed_nodes(self):
+        net = self.star4()
+        inward = [0, 0, 0]  # every edge points at the degree-3 centre
+        assert not csr_is_surviving_sinkless_orientation(net, inward, frozenset()).valid
+        assert csr_is_surviving_sinkless_orientation(net, inward, frozenset({0})).valid
+
+    def test_sinkless_outgoing_edge_towards_a_corpse_counts(self):
+        net = self.star4()
+        values = [1, 0, 0]  # centre's only outgoing edge points at node 1
+        assert csr_is_surviving_sinkless_orientation(net, values, frozenset({1})).valid
+        # If that commitment is missing (the edge died undecided), the
+        # surviving centre is a sink.
+        assert not csr_is_surviving_sinkless_orientation(
+            net, [MISSING, 0, 0], frozenset({1})
+        ).valid
+
+    def test_sinkless_malformed_head_fails_regardless_of_crashes(self):
+        net = self.star4()
+        assert not csr_is_surviving_sinkless_orientation(
+            net, [7, 0, 0], frozenset({1})
+        ).valid
+
+    def test_sinkless_spec_registers_the_surviving_validator(self):
+        spec = problems.SINKLESS_ORIENTATION
+        net = self.star4()
+        verdict = spec.validate_surviving(
+            net, {}, {(0, 1): 1, (0, 2): 0, (0, 3): 0}, crashed=[1]
+        )
+        assert verdict.valid
+
 
 class _GossipMax(CoroutineAlgorithm):
     """Delay-tolerant probe: flood the maximum identifier for a fixed horizon.
@@ -417,6 +523,62 @@ _GOSSIP = problems.ProblemSpec(
     labels_edges=False,
     validator=lambda graph, nodes_out, edges_out: problems.ValidationResult(True),
 )
+
+
+class _GossipMaxArray(ArrayAlgorithm):
+    """Array twin of :class:`_GossipMax` with a one-round delay carry buffer.
+
+    Deterministic (no RNG), single message type: the engines' outputs must be
+    **bit-identical** under any crash+drop+delay schedule, which makes this
+    the exact-parity leg of the delay-port differential tests.  The carry
+    buffer holds each node's previous-round payload; a late ``u → v``
+    arrival applies ``max`` with that stale payload.  (Gossip payloads only
+    grow, so fresh-overwrites-stale never changes the ``max`` — the carry
+    needs no overwrite bookkeeping here, unlike phase-alternating Luby.)
+    """
+
+    name = "gossip-max"
+    labels_nodes = True
+    supports_faults = True
+
+    def __init__(self, rounds: int) -> None:
+        self.rounds = rounds
+
+    def init_arrays(self, topology, rng):
+        state = ArrayState(topology.n, topology.m, nodes=True, edges=False)
+        state.node_values = topology.identifiers.copy()
+        state.extra["best"] = topology.identifiers.copy()
+        state.extra["prev_sent"] = None
+        return state
+
+    def step(self, round_index, state, topology, rng, faults=None):
+        best = state.extra["best"]
+        us, vs = topology.edge_us, topology.edge_vs
+        sent_now = best.copy()
+        if faults is None:
+            np.maximum.at(best, vs, sent_now[us])
+            np.maximum.at(best, us, sent_now[vs])
+            state.messages += int(2 * topology.m)
+        else:
+            dlv_uv, dlv_vu = faults.deliver_uv, faults.deliver_vu
+            np.maximum.at(best, vs[dlv_uv], sent_now[us[dlv_uv]])
+            np.maximum.at(best, us[dlv_vu], sent_now[vs[dlv_vu]])
+            prev = state.extra["prev_sent"]
+            if faults.late_uv is not None and prev is not None:
+                late_uv, late_vu = faults.late_uv, faults.late_vu
+                np.maximum.at(best, vs[late_uv], prev[us[late_uv]])
+                np.maximum.at(best, us[late_vu], prev[vs[late_vu]])
+            state.messages += int(
+                topology.degrees[faults.alive].sum()
+            )
+        state.extra["prev_sent"] = sent_now
+        if round_index == self.rounds:
+            commit = (
+                np.ones(topology.n, dtype=bool) if faults is None else faults.alive
+            )
+            state.node_values[commit] = best[commit]
+            state.node_rounds[commit] = round_index
+            state.halted |= commit
 
 
 class TestDelays:
@@ -462,3 +624,141 @@ class TestDelays:
                 LubyMIS(), pinned_network(), problems.MIS, seed=4, faults=fs
             )
         assert classify_failure(excinfo.value) == "exception:TypeError"
+
+    def test_array_cross_phase_straggler_raises_the_same_type(self):
+        """The array twin mirrors the straggler failure structurally: a
+        visible delayed announcement at a priority-round participant raises
+        ``TypeError`` (the seed at which it fires is engine-specific)."""
+        raised = 0
+        for seed in range(30):
+            fs = FaultSchedule(drop_rate=0.1, delay_rate=0.3, seed=seed)
+            try:
+                ArrayEngine(strict=False, max_rounds=100).run(
+                    LubyMIS().as_array_algorithm(),
+                    pinned_network(),
+                    problems.MIS,
+                    seed=seed,
+                    faults=fs,
+                )
+            except TypeError as error:
+                assert classify_failure(error) == "exception:TypeError"
+                raised += 1
+        assert raised > 0
+
+    def test_round_faults_late_masks(self):
+        net = pinned_network()
+        us, vs = np.asarray(net.edge_endpoints()[0]), np.asarray(net.edge_endpoints()[1])
+        fs = FaultSchedule(crashes={3: 2}, delay_rate=1.0, seed=0)
+        first = fs.round_faults(1, net.n, net.m, us, vs)
+        assert first.late_uv is None and first.late_vu is None
+        second = fs.round_faults(2, net.n, net.m, us, vs)
+        # Everything round 1 sent arrives late at round 2, except into the
+        # round-2 crash (node 3 is dead when the straggler would land).
+        assert (second.late_uv == (vs != 3)).all()
+        assert (second.late_vu == (us != 3)).all()
+        # From round 3 on, node 3 was already dead at send time too.
+        third = fs.round_faults(3, net.n, net.m, us, vs)
+        assert (third.late_uv == ((us != 3) & (vs != 3))).all()
+        # Crash-only schedules never build late masks.
+        crash_only = FaultSchedule(crashes={0: 1})
+        assert crash_only.round_faults(2, net.n, net.m, us, vs).late_uv is None
+
+
+class TestArrayDelayParity:
+    """The tentpole differential tests for the array-engine delay port."""
+
+    SCHEDULE = dict(crashes={2: 3, 9: 5}, drop_rate=0.1, delay_rate=0.15)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_gossip_outputs_bit_identical_under_crash_drop_delay(self, seed):
+        """Exact-parity leg: a deterministic single-message-type algorithm
+        must produce identical outputs, rounds and events on both engines
+        under any crash+drop+delay schedule."""
+        net = pinned_network()
+        fs = FaultSchedule(seed=seed, **self.SCHEDULE)
+        runner_trace = Runner(strict=False, max_rounds=50).run(
+            _GossipMax(8), net, _GOSSIP, seed=0, faults=fs
+        )
+        array_trace = ArrayEngine(strict=False, max_rounds=50).run(
+            _GossipMaxArray(8), net, _GOSSIP, seed=0, faults=fs
+        )
+        assert dict(runner_trace.node_outputs) == dict(array_trace.node_outputs)
+        assert runner_trace.rounds == array_trace.rounds
+        assert runner_trace.completed and array_trace.completed
+        assert runner_trace.fault_events == array_trace.fault_events
+        assert runner_trace.crashed == array_trace.crashed
+
+    def test_luby_fault_events_identical_across_twenty_seeds(self):
+        """Acceptance pin: engine-identical ``fault_events`` on all common
+        rounds of a crash+drop+delay schedule, over ≥ 20 fixed seeds.
+        Seeds where either engine hits the documented cross-phase-straggler
+        ``TypeError`` are skipped; at least 20 of the 40 must survive."""
+        net = pinned_network()
+        survived = 0
+        for seed in range(40):
+            fs = FaultSchedule(
+                crashes={seed % net.n: 1 + seed % 4},
+                drop_rate=0.05,
+                delay_rate=0.05,
+                seed=seed,
+            )
+            traces = []
+            for run in (
+                lambda: Runner(strict=False, max_rounds=200).run(
+                    LubyMIS(), net, problems.MIS, seed=seed, faults=fs
+                ),
+                lambda: ArrayEngine(strict=False, max_rounds=200).run(
+                    LubyMIS().as_array_algorithm(),
+                    net,
+                    problems.MIS,
+                    seed=seed,
+                    faults=fs,
+                ),
+            ):
+                try:
+                    traces.append(run())
+                except TypeError:
+                    traces.append(None)
+            if None in traces:
+                continue
+            survived += 1
+            runner_trace, array_trace = traces
+            common = min(runner_trace.rounds, array_trace.rounds)
+            runner_prefix = tuple(
+                e for e in runner_trace.fault_events if e[1] <= common
+            )
+            array_prefix = tuple(
+                e for e in array_trace.fault_events if e[1] <= common
+            )
+            assert runner_prefix == array_prefix, f"seed {seed}"
+        assert survived >= 20, f"only {survived} of 40 seeds completed on both engines"
+
+
+class TestMaskCacheLRU:
+    def test_memory_stays_flat_over_ten_thousand_faulted_rounds(self):
+        """Regression: the fate-mask cache is a bounded LRU, not one entry
+        per executed round (satellite of the delay port)."""
+        net = pinned_network()
+        us, vs = np.asarray(net.edge_endpoints()[0]), np.asarray(net.edge_endpoints()[1])
+        fs = FaultSchedule(drop_rate=0.1, delay_rate=0.1, seed=3)
+        for r in range(1, 10_001):
+            fs.round_faults(r, net.n, net.m, us, vs)
+            assert len(fs._mask_cache) <= faults_module._MASK_CACHE_SIZE
+
+    def test_eviction_recomputes_identical_fates(self):
+        fs = FaultSchedule(drop_rate=0.2, delay_rate=0.2, seed=11)
+        first = fs.directed_fates(1, 19).copy()
+        for r in range(2, 2 + 4 * faults_module._MASK_CACHE_SIZE):
+            fs.directed_fates(r, 19)
+        assert (1, 19) not in fs._mask_cache
+        assert (fs.directed_fates(1, 19) == first).all()
+
+    def test_lru_keeps_recently_used_entries(self):
+        fs = FaultSchedule(drop_rate=0.5, seed=0)
+        for r in range(1, faults_module._MASK_CACHE_SIZE + 1):
+            fs.directed_fates(r, 10)
+        # Touch round 1 so it is the most recently used, then overflow once.
+        fs.directed_fates(1, 10)
+        fs.directed_fates(faults_module._MASK_CACHE_SIZE + 1, 10)
+        assert (1, 10) in fs._mask_cache
+        assert (2, 10) not in fs._mask_cache

@@ -94,6 +94,65 @@ class TestSkeletonStructure:
         assert len(current) == expected
 
 
+class TestSkeletonEdgesAndAccessors:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_directed_edges_are_consistent_with_attachment(self, k):
+        """Each non-root node yields (parent→v, 2β^j), (v→parent, β^{j+1}), self-loop β^{j+1}."""
+        skeleton = ClusterTreeSkeleton(k)
+        edges = skeleton.directed_edges()
+        by_node = {}
+        for u, v, exponent, doubled in edges:
+            by_node.setdefault((u, v), []).append((exponent, doubled))
+        for node in skeleton.nodes:
+            if node.parent is None:
+                continue
+            j = node.attach_exponent
+            assert by_node[(node.parent, node.index)] == [(j, True)]
+            assert by_node[(node.index, node.parent)] == [(j + 1, False)]
+            assert by_node[(node.index, node.index)] == [(j + 1, False)]
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_out_label_counts_match_directed_edge_multiset(self, k):
+        """out_label_counts is the per-exponent tally of the directed edge list."""
+        skeleton = ClusterTreeSkeleton(k)
+        tallies = {v.index: {} for v in skeleton.nodes}
+        for u, v, exponent, doubled in skeleton.directed_edges():
+            tally = tallies[u]
+            tally[exponent] = tally.get(exponent, 0) + (2 if doubled else 1)
+        for v in range(len(skeleton)):
+            assert skeleton.out_label_counts(v) == tallies[v]
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_children_are_born_after_their_parent(self, k):
+        skeleton = ClusterTreeSkeleton(k)
+        for node in skeleton.nodes:
+            assert all(child > node.index for child in node.children)
+            if node.parent is not None:
+                assert skeleton.depth(node.index) == skeleton.depth(node.parent) + 1
+
+    def test_children_accessor_returns_a_copy(self):
+        skeleton = ClusterTreeSkeleton(2)
+        children = skeleton.children(skeleton.c0)
+        children.append(999)
+        assert 999 not in skeleton.children(skeleton.c0)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_population_recurrence(self, k):
+        """Internal nodes of CT_k are exactly the nodes of CT_{k-1}."""
+        prev = ClusterTreeSkeleton(k - 1)
+        current = ClusterTreeSkeleton(k)
+        assert len(current.internal_nodes()) == len(prev)
+        assert len(current.leaves()) == len(prev.internal_nodes()) + k * len(prev.leaves())
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_psi_range_partitions_leaves(self, k):
+        """Every leaf's self-loop exponent lies in 1..k+1, and each value occurs."""
+        skeleton = ClusterTreeSkeleton(k)
+        psis = [skeleton.psi(leaf) for leaf in skeleton.leaves()]
+        assert all(1 <= p <= k + 1 for p in psis)
+        assert set(psis) == set(range(1, k + 2))
+
+
 class TestBaseGraph:
     @pytest.mark.parametrize("k,beta", [(0, 2), (0, 4), (1, 4), (1, 6)])
     def test_biregular_degrees_hold_exactly(self, k, beta):

@@ -75,6 +75,54 @@ class TestRandomLift:
         assert lifted_fraction >= base_fraction
 
 
+class TestLiftDeterminismAndStructure:
+    def test_same_seed_reproduces_the_lift(self):
+        base = nx.random_regular_graph(3, 10, seed=8)
+        first, _ = random_lift(base, order=4, seed=9)
+        second, _ = random_lift(base, order=4, seed=9)
+        assert sorted(first.edges()) == sorted(second.edges())
+
+    def test_different_seeds_give_different_matchings(self):
+        base = nx.random_regular_graph(3, 10, seed=8)
+        first, _ = random_lift(base, order=7, seed=1)
+        second, _ = random_lift(base, order=7, seed=2)
+        assert sorted(first.edges()) != sorted(second.edges())
+
+    def test_edge_count_scales_with_the_order(self):
+        base = nx.random_regular_graph(4, 10, seed=3)
+        for order in (1, 2, 5):
+            lifted, _ = random_lift(base, order=order, seed=0)
+            assert lifted.number_of_edges() == order * base.number_of_edges()
+
+    def test_edgeless_base_lifts_to_isolated_fibers(self):
+        base = nx.empty_graph(4)
+        lifted, projection = random_lift(base, order=3, seed=0)
+        assert lifted.number_of_nodes() == 12
+        assert lifted.number_of_edges() == 0
+        assert len(projection) == 12
+
+    def test_cluster_lift_projection_respects_clusters(self):
+        """Every lifted vertex sits in the cluster of its base vertex."""
+        base = build_base_graph(1, 4)
+        lifted = lift_cluster_graph(base, order=2, seed=4)
+        _, projection = random_lift(base.graph, order=2, seed=4)
+        for cluster, members in lifted.clusters.items():
+            for v in members:
+                assert lifted.cluster_of[v] == cluster
+                assert base.cluster_of[projection[v]] == cluster
+
+    def test_cluster_lift_preserves_edge_labels(self):
+        """Lifted edges carry the label of the base edge they cover."""
+        base = build_base_graph(0, 4)
+        lifted = lift_cluster_graph(base, order=3, seed=5)
+        _, projection = random_lift(base.graph, order=3, seed=5)
+        checked = 0
+        for u, v in list(lifted.graph.edges())[:60]:
+            assert lifted.edge_label(u, v) == base.edge_label(projection[u], projection[v])
+            checked += 1
+        assert checked
+
+
 class TestTheorem11Isomorphism:
     @pytest.fixture(scope="class")
     def lifted_k1(self):
@@ -127,6 +175,64 @@ class TestTheorem11Isomorphism:
         instance, root0, _ = tree_view_instance(gk, gk.special_cluster(0)[0], gk.special_cluster(1)[0])
         labels = [instance.edge_label(root0, u)[0] for u in instance.graph.neighbors(root0)]
         assert sorted(set(labels)) == [0, 1]
+
+
+class TestVerifierRejectsCorruptMappings:
+    @pytest.fixture(scope="class")
+    def valid_pair(self):
+        gk = lift_cluster_graph(build_base_graph(1, 4), order=3, seed=1)
+        tree_like = nodes_with_tree_like_view(gk.graph, 1)
+        v0 = next(v for v in gk.special_cluster(0) if v in tree_like)
+        v1 = next(v for v in gk.special_cluster(1) if v in tree_like)
+        phi = find_isomorphism(gk, v0, v1)
+        assert verify_view_isomorphism(gk, phi, v0, v1)
+        return gk, phi, v0, v1
+
+    def test_rejects_wrong_centre(self, valid_pair):
+        gk, phi, v0, v1 = valid_pair
+        other = next(u for u in phi.values() if u != v1)
+        assert not verify_view_isomorphism(gk, phi, v0, other)
+
+    def test_rejects_non_injective_mapping(self, valid_pair):
+        gk, phi, v0, v1 = valid_pair
+        corrupt = dict(phi)
+        keys = [v for v in corrupt if v != v0]
+        corrupt[keys[0]] = corrupt[keys[1]]
+        assert not verify_view_isomorphism(gk, corrupt, v0, v1)
+
+    def test_rejects_partial_mapping(self, valid_pair):
+        gk, phi, v0, v1 = valid_pair
+        corrupt = dict(phi)
+        del corrupt[next(v for v in corrupt if v != v0)]
+        assert not verify_view_isomorphism(gk, corrupt, v0, v1)
+
+    def test_rejects_distance_breaking_swap(self, valid_pair):
+        gk, phi, v0, v1 = valid_pair
+        corrupt = dict(phi)
+        # Map a radius-1 node onto the centre's image: distances can no
+        # longer be preserved.
+        corrupt[next(v for v in corrupt if v != v0)] = v1
+        assert not verify_view_isomorphism(gk, corrupt, v0, v1)
+
+    def test_algorithm1_raises_on_cyclic_views(self):
+        """Non-tree-like centres make the lockstep pairing fail loudly.
+
+        On the unlifted base graph at k=2 the dense clusters put short
+        cycles inside the radius-2 views, so Algorithm 1's lockstep pairing
+        revisits nodes with conflicting partners and raises — it never
+        silently fabricates a mapping for a cyclic view.  (k=1 would be
+        vacuous: radius-1 views exclude boundary-boundary edges, so every
+        pair is star-isomorphic.)
+        """
+        gk = build_base_graph(2, 4)
+        tree_like = set(nodes_with_tree_like_view(gk.graph, 2))
+        cyclic_s0 = [v for v in gk.special_cluster(0) if v not in tree_like][:2]
+        cyclic_s1 = [v for v in gk.special_cluster(1) if v not in tree_like][:2]
+        assert cyclic_s0 and cyclic_s1
+        for v0 in cyclic_s0:
+            for v1 in cyclic_s1:
+                with pytest.raises(IsomorphismError):
+                    find_isomorphism(gk, v0, v1)
 
 
 class TestLowerBoundAnalysis:
