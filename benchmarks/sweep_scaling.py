@@ -1,16 +1,19 @@
 """Measure ``sweep(parallel=...)`` scaling and record it in BENCH_core.json.
 
-PR 1 left an open ROADMAP item: the parallel sweep path fans
-``(value, algorithm, trial)`` cells over a fork-based process pool with the
-deterministic ``trial_seed`` schedule, but the committed benchmark numbers
-were all single-process.  This script times the same sweep serially and with
-increasing worker counts, asserts that every configuration produces
-**identical measurements** (parallelism must never change results), and
-merges the outcome into ``BENCH_core.json`` under the ``parallel_sweep`` key
-(schema ``bench-core/v2``, see ``benchmarks/README.md``).
-
-The workload uses the direct edge-list generators, so workers re-creating
-their per-value networks never build a networkx graph.
+The parallel sweep path fans cells over a fork-based process pool with the
+deterministic ``trial_seed`` schedule.  Since PR 8 the pool workers no
+longer rebuild their per-value networks: the parent builds each network
+once, exports its immutable CSR arrays (``indptr`` / ``indices`` / edge
+endpoints / identifiers) into one ``multiprocessing.shared_memory`` segment
+per value, and workers reattach them zero-copy.  Multi-trial cells on the
+array engines additionally run **trial-batched** — one
+``(value, algorithm)`` group steps all its trials together through
+``ArrayEngine.run_batch``.  This script times the same sweep serially and
+with increasing worker counts, asserts that every configuration produces
+**identical measurements** (parallelism and batching must never change
+results), and merges the outcome into ``BENCH_core.json`` under the
+``parallel_sweep`` key (schema ``bench-core/v7``, see
+``benchmarks/README.md``).
 
 Usage::
 
@@ -109,13 +112,19 @@ def measure_scaling(
         "platform": platform.platform(),
         "python": platform.python_version(),
         "serial_wall_s": round(serial_s, 6),
+        "shared_memory_csr": True,
+        "batched_groups": True,
         "runs": runs,
         "notes": (
             "sweep(parallel=k) forks k pool workers over the deterministic "
-            "(value, algorithm, trial) cell schedule; rows are asserted "
-            "identical to the serial sweep before timing is recorded. "
-            "Speedups above 1 require host_cpus > 1 — on a single-CPU host "
-            "this records the pool's fork/IPC overhead instead."
+            "cell schedule; the parent exports each value's CSR arrays into "
+            "a shared-memory segment that workers attach zero-copy, and "
+            "multi-trial array cells run trial-batched as one "
+            "(value, algorithm) group through ArrayEngine.run_batch. Rows "
+            "are asserted identical to the serial sweep before timing is "
+            "recorded. Speedups above 1 require host_cpus > 1 — on a "
+            "single-CPU host this records the pool's fork/IPC overhead "
+            "instead (the committed numbers state the host CPU count)."
         ),
     }
 
@@ -139,7 +148,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.out.exists():
         document = json.loads(args.out.read_text())
     else:
-        document = {"schema": "bench-core/v2", "cells": []}
+        document = {"schema": "bench-core/v7", "cells": []}
     document["parallel_sweep"] = section
     args.out.write_text(json.dumps(document, indent=2) + "\n")
     print(f"wrote parallel_sweep section to {args.out}")

@@ -6,11 +6,14 @@ builder — cannot silently rot.  The quick cells are tiny (n ≈ 100–2000), s
 this stays well inside the tier-1 time budget; the speedup *values* are not
 asserted (meaningless at smoke sizes), only the invariants the harness is
 built on: both pipelines produce identical traces and measurements agreeing
-to ≤ 1e-12 relative, the v3 measure/generate, v4 build, v5 run and v6
-faulted_run cell kinds run, and the document has the ``bench-core/v6``
-shape.  A second test pins the
+to ≤ 1e-12 relative, the v3 measure/generate, v4 build, v5 run, v6
+faulted_run and v7 batched_run cell kinds run, and the document has the
+``bench-core/v7`` shape.  A second test pins the
 :class:`repro.core.experiment.Experiment` facade against the harness's
 hand-rolled plumbing: same seeds, bit-identical traces and measurement.
+A third runs a two-worker shared-memory sweep end to end and checks it
+against the serial result, so the parallel path stays covered by
+``make bench-smoke``.
 """
 
 from __future__ import annotations
@@ -40,6 +43,7 @@ def test_quick_suite_produces_identical_pipelines(tmp_path):
             "generate",
             "build",
             "run",
+            "batched_run",
             "faulted_run",
         )
         assert cell["seed"]["total_s"] > 0 and cell["new"]["total_s"] > 0
@@ -103,6 +107,25 @@ def test_quick_suite_produces_identical_pipelines(tmp_path):
         assert cell["run_speedup"] > 0
         assert cell["validated_outputs"] is True
         assert len(cell["seed_rounds"]) == cell["trials"]
+        assert cell["seed"]["runner_s"] > 0 and cell["new"]["runner_s"] > 0
+
+    # ... and the v7 cell kind: the trial-batching race inside the array
+    # engine.  Bit-identical batched-vs-single traces (batch-size
+    # invariance) are asserted inside _run_batched_cell; the flag records
+    # it in the committed document.
+    batched_cells = [cell for cell in cells if cell["kind"] == "batched_run"]
+    assert batched_cells, "quick suite lost its trial-batching cell"
+    assert {cell["algorithm"] for cell in batched_cells} >= {
+        "luby-mis",
+        "randomized-matching",
+    }
+    for cell in batched_cells:
+        assert cell["batched_speedup"] > 0
+        assert cell["identical_traces"] is True
+        assert cell["validated_outputs"] is True
+        assert cell["trials"] > 1
+        assert 1 <= cell["chunk"] <= cell["trials"]
+        assert len(cell["rounds"]) == cell["trials"]
         assert cell["seed"]["runner_s"] > 0 and cell["new"]["runner_s"] > 0
 
     # ... and the v6 cell kind: the fault-injected engine race on the
@@ -176,3 +199,41 @@ def test_experiment_facade_matches_harness_plumbing():
         t.node_commit_round for t in traces
     ]
     assert [t.rounds for t in run.traces] == [t.rounds for t in traces]
+
+
+@pytest.mark.bench_smoke
+def test_two_worker_shared_memory_sweep_matches_serial():
+    """A 2-worker sweep over shared-CSR segments equals the serial sweep.
+
+    The workers attach the parent's shared-memory CSR export instead of
+    rebuilding networks, and the parent must unlink every segment on the
+    way out — both contracts smoke-checked here so CI exercises the
+    multi-core path on every run.
+    """
+    import sys as _sys
+
+    from multiprocessing import shared_memory
+
+    from repro.algorithms.mis.luby import LubyMIS
+    from repro.core import problems
+    from repro.graphs import generators as gen
+
+    import repro.analysis.sweep  # noqa: F401
+
+    sweepmod = _sys.modules["repro.analysis.sweep"]
+
+    settings = dict(
+        parameter="n",
+        values=[16, 24],
+        graph_factory=gen.cycle_edges,
+        algorithms={"luby": (lambda net: LubyMIS(), lambda net: problems.MIS)},
+        trials=3,
+        seed=5,
+        engine="auto",
+    )
+    serial = sweepmod.sweep(**settings)
+    parallel = sweepmod.sweep(parallel=2, **settings)
+    assert parallel == serial
+    for name in sweepmod._LAST_SEGMENT_NAMES:
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)

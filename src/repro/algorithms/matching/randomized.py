@@ -26,14 +26,19 @@ Each iteration costs four communication rounds.
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, Set, Tuple
 
 import numpy as np
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.local.coroutine import CoroutineAlgorithm
-from repro.local.engine import ArrayAlgorithm, ArrayState, ArrayTopology
+from repro.local.engine import (
+    ArrayAlgorithm,
+    ArrayState,
+    ArrayTopology,
+    BatchState,
+)
 from repro.local.faults import RoundFaults
 from repro.local.node import NodeRuntime
 
@@ -177,6 +182,50 @@ class RandomizedMatchingArray(ArrayAlgorithm):
     name = "randomized-maximal-matching"
     labels_edges = True
     supports_faults = True
+    supports_batch = True
+
+    # One scratch set per (topology, trials) shape, reused across every
+    # run_batch chunk: the flat worklist double-buffers, gather/compress
+    # targets and node-mask scratch are multi-MB and would otherwise be
+    # mapped, faulted and zeroed afresh every iteration.  Identity compare
+    # is safe — ArrayTopology has no __eq__ and the engine caches it.
+    _scratch_for: Optional[Tuple[ArrayTopology, int]] = None
+    _scratch: Optional[dict] = None
+
+    def _batch_scratch(self, topology: ArrayTopology, trials: int) -> dict:
+        if self._scratch_for != (topology, trials):
+            n, m = topology.n, topology.m
+            flat = trials * m
+            # Flat indices are always int64: numpy's advanced-indexing fast
+            # path only fires for intp index arrays, and int32 gathers
+            # measure ~3× slower.
+            base_e = (np.arange(trials, dtype=np.int64) * m)[:, None]
+            base_n = (np.arange(trials, dtype=np.int64) * n)[:, None]
+            wl0_fe = (base_e + np.arange(m, dtype=np.int64)).ravel()
+            wl0_fu = (base_n + topology.edge_us).ravel()
+            wl0_fv = (base_n + topology.edge_vs).ravel()
+            for arr in (wl0_fe, wl0_fu, wl0_fv):
+                arr.setflags(write=False)
+            self._scratch = {
+                "wl0": (wl0_fe, wl0_fu, wl0_fv),
+                "wlA": tuple(np.empty(flat, dtype=np.int64) for _ in range(3)),
+                "wlB": tuple(np.empty(flat, dtype=np.int64) for _ in range(3)),
+                "du": np.empty(flat, dtype=np.int64),
+                "dv": np.empty(flat, dtype=np.int64),
+                "rate": np.empty(flat),
+                "draws": np.empty(flat),
+                "marked": np.empty(flat, dtype=bool),
+                "rem": np.empty(flat, dtype=bool),
+                # `nodes` and `mcount` carry an all-False / all-zero
+                # invariant between rounds: users reset exactly the
+                # entries they touched, so tail iterations with a handful
+                # of live edges never pay an O(trials·n) fill.
+                "nodes": np.zeros(trials * n, dtype=bool),
+                "mcount": np.zeros(trials * n, dtype=np.int64),
+                "deg": np.empty(trials * n, dtype=np.int64),
+            }
+            self._scratch_for = (topology, trials)
+        return self._scratch
 
     def __init__(self, marking_factor: float = 4.0) -> None:
         if marking_factor <= 0:
@@ -190,6 +239,152 @@ class RandomizedMatchingArray(ArrayAlgorithm):
         state.halted |= topology.degrees == 0
         state.extra["undecided"] = np.ones(topology.m, dtype=bool)
         return state
+
+    def init_batch(
+        self, topology: ArrayTopology, rngs: Sequence[np.random.Generator]
+    ) -> BatchState:
+        trials = len(rngs)
+        batch = BatchState(trials, topology.n, topology.m, nodes=False, edges=True)
+        batch.halted[:, topology.degrees == 0] = True
+        scratch = self._batch_scratch(topology, trials)
+        extra = batch.extra
+        extra["undecided"] = np.ones((trials, topology.m), dtype=bool)
+        # The worklist holds every still-undecided (trial, edge) as flat
+        # indices — edge slot (t·m+e) plus both endpoint slots (t·n+u,
+        # t·n+v) — trial-major with ascending edge slots inside each
+        # trial's segment.  Boolean compression preserves that order, so
+        # each trial's marking block stays in canonical slot order and the
+        # per-trial RNG streams match the single-trial engine bit for bit.
+        extra["wl"] = scratch["wl0"]
+        extra["wl_len"] = scratch["wl0"][0].size
+        extra["wl_slot"] = "A"
+        extra["counts"] = np.full(trials, topology.m, dtype=np.int64)
+        # Per-node undecided degrees, maintained incrementally: committed
+        # edges decrement both endpoints at the commit round, so the
+        # degree-exchange round reads them for free.
+        scratch["deg"].reshape(trials, topology.n)[:] = topology.degrees
+        extra["scratch"] = scratch
+        return batch
+
+    def batch_complete(self, batch: BatchState) -> np.ndarray:
+        # A trial is complete exactly when every edge committed, i.e. its
+        # undecided count hit zero — O(trials), vs. the engine's generic
+        # (trials, m) reduction.
+        return batch.extra["counts"] == 0
+
+    def step_batch(
+        self,
+        round_index: int,
+        batch: BatchState,
+        topology: ArrayTopology,
+        rngs: Sequence[np.random.Generator],
+        active: np.ndarray,
+    ) -> None:
+        extra = batch.extra
+        scratch = extra["scratch"]
+        trials, n, m = batch.trials, topology.n, topology.m
+        counts = extra["counts"]
+        wl_fe, wl_fu, wl_fv = extra["wl"]
+        length = extra["wl_len"]
+        phase = round_index % 4
+        if phase == 1:
+            # Degree exchange (4k−3): the worklist already equals the
+            # undecided edge set and the per-node undecided degrees are
+            # maintained incrementally at the commit rounds, so the
+            # snapshot is just a copy of the per-trial live counts
+            # (mutated at phase 3).
+            extra["iter_count"] = counts.copy()
+            batch.messages[active] += 2 * counts[active]
+        elif phase == 2:
+            # Marking (4k−2): rate from the snapshot degrees, then each
+            # active trial draws one contiguous uniform block over its
+            # worklist segment — the single-trial schedule exactly;
+            # inactive trials consume nothing.
+            deg = scratch["deg"]
+            du = np.take(deg, wl_fu[:length], out=scratch["du"][:length], mode="clip")
+            dv = np.take(deg, wl_fv[:length], out=scratch["dv"][:length], mode="clip")
+            np.add(du, dv, out=du)
+            rate = scratch["rate"][:length]
+            np.divide(1.0 / self.marking_factor, du, out=rate)
+            draws = scratch["draws"]
+            offsets = np.zeros(trials + 1, dtype=np.int64)
+            np.cumsum(counts, out=offsets[1:])
+            for t in np.flatnonzero(active):
+                size = int(counts[t])
+                if size:
+                    rngs[t].random(out=draws[offsets[t] : offsets[t] + size])
+            marked = scratch["marked"][:length]
+            np.less(draws[:length], rate, out=marked)
+            batch.messages[active] += 2 * extra["iter_count"][active]
+        elif phase == 3:
+            # Matching commits (4k−1): isolated marked edges join; their
+            # endpoints commit every live incident edge.  Everything runs
+            # over the compressed worklist, so per-round cost tracks the
+            # live edge sets, never (T, m).
+            # Marked edges are a small fraction of the worklist (the
+            # marking rate is 1/(factor·(d_u+d_v))), so they are pulled
+            # out with one boolean scan plus O(marked) gathers rather than
+            # full-length compress passes.
+            marked = scratch["marked"][:length]
+            midx = np.flatnonzero(marked)
+            mk_fe = wl_fe[midx]
+            mk_fu = wl_fu[midx]
+            mk_fv = wl_fv[midx]
+            mcount = scratch["mcount"]
+            np.add.at(mcount, mk_fu, 1)
+            np.add.at(mcount, mk_fv, 1)
+            isolated = (mcount[mk_fu] == 1) & (mcount[mk_fv] == 1)
+            mcount[mk_fu] = 0
+            mcount[mk_fv] = 0
+            mt_fe = mk_fe[isolated]
+            mt_fu = mk_fu[isolated]
+            mt_fv = mk_fv[isolated]
+            nodes = scratch["nodes"]
+            nodes[mt_fu] = True
+            nodes[mt_fv] = True
+            rem = np.take(nodes, wl_fu[:length], out=scratch["rem"][:length], mode="clip")
+            other = np.take(nodes, wl_fv[:length], out=marked, mode="clip")
+            rem |= other
+            nodes[mt_fu] = False
+            nodes[mt_fv] = False
+            ridx = np.flatnonzero(rem)
+            rm_count = ridx.size
+            extra["iter_matched"] = np.bincount(mt_fe // m, minlength=trials)
+            batch.messages[active] += 2 * extra["iter_count"][active]
+            if rm_count:
+                rm_fe = wl_fe[ridx]
+                batch.edge_rounds.reshape(-1)[rm_fe] = round_index
+                batch.edge_values.reshape(-1)[mt_fe] = True
+                extra["undecided"].reshape(-1)[rm_fe] = False
+                counts -= np.bincount(rm_fe // m, minlength=trials)
+                deg = scratch["deg"]
+                np.subtract.at(deg, wl_fu[ridx], 1)
+                np.subtract.at(deg, wl_fv[ridx], 1)
+                # Compress the worklist down to the surviving undecided
+                # edges (keep = ¬removed) into the idle buffer set.
+                keep = rem
+                np.logical_not(rem, out=keep)
+                kept = length - rm_count
+                slot = extra["wl_slot"]
+                out_fe, out_fu, out_fv = scratch["wl" + slot]
+                np.compress(keep, wl_fe[:length], out=out_fe[:kept])
+                np.compress(keep, wl_fu[:length], out=out_fu[:kept])
+                np.compress(keep, wl_fv[:length], out=out_fv[:kept])
+                extra["wl"] = (out_fe, out_fu, out_fv)
+                extra["wl_len"] = kept
+                extra["wl_slot"] = "B" if slot == "A" else "A"
+        else:
+            # Announcement (4k): no first-time commits.  A trial that
+            # completed at round 4k−1 exited the single-trial loop before
+            # this round, so its messages and halted mask stay untouched.
+            batch.messages[active] += (
+                2 * extra["iter_count"][active] - 2 * extra["iter_matched"][active]
+            )
+            # A node participates while it has an undecided incident edge,
+            # i.e. while its maintained undecided degree is nonzero — no
+            # worklist scatter needed.
+            deg_rows = scratch["deg"].reshape(trials, n)
+            batch.halted[active] = deg_rows[active] == 0
 
     def step(
         self,

@@ -20,13 +20,18 @@ phase, so no extra bookkeeping round is needed.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.local.algorithm import Broadcast
 from repro.local.coroutine import CoroutineAlgorithm
-from repro.local.engine import ArrayAlgorithm, ArrayState, ArrayTopology
+from repro.local.engine import (
+    ArrayAlgorithm,
+    ArrayState,
+    ArrayTopology,
+    BatchState,
+)
 from repro.local.faults import RoundFaults
 from repro.local.node import NodeRuntime
 
@@ -139,6 +144,10 @@ def _luby_joins_masked(
     return joins
 
 
+# Flat batch indices are always int64: numpy's advanced-indexing fast path
+# only fires for intp index arrays, and int32 gathers measure ~3× slower.
+
+
 class LubyMISArray(ArrayAlgorithm):
     """Array-engine twin of :class:`LubyMIS` (vectorised rounds over CSR).
 
@@ -191,6 +200,7 @@ class LubyMISArray(ArrayAlgorithm):
     name = "luby-mis"
     labels_nodes = True
     supports_faults = True
+    supports_batch = True
 
     def init_arrays(
         self, topology: ArrayTopology, rng: np.random.Generator
@@ -207,6 +217,238 @@ class LubyMISArray(ArrayAlgorithm):
         state.extra["phase_messages"] = 0
         state.extra["prev_senders"] = None
         return state
+
+    # Scratch buffers for the batched kernel, cached on the algorithm
+    # instance and reused across the chunks of a `run_batch` call (and
+    # across calls on the same topology/chunk shape).  Steady-state
+    # stepping then allocates nothing: every multi-megabyte temporary
+    # would otherwise cross the allocator's mmap threshold and be
+    # mapped, faulted and zeroed afresh on every round.
+    _scratch_for: Optional[Tuple[ArrayTopology, int]] = None
+    _scratch: Optional[dict] = None
+
+    def _batch_scratch(self, topology: ArrayTopology, trials: int) -> dict:
+        if self._scratch_for != (topology, trials):
+            n, m = topology.n, topology.m
+            flat_m = trials * m
+            flat_n = trials * n
+            # The initial worklist: flat block-diagonal endpoint indices
+            # (``t·n + u`` / ``t·n + v``), one entry per (trial, edge)
+            # pair, trial-major with ascending edge order inside each
+            # trial.  Edge endpoints are never isolated, so every edge is
+            # live at phase 1.  Shared read-only across chunks;
+            # compression writes into the double-buffered slots below.
+            base = (np.arange(trials, dtype=np.int64) * n)[:, None]
+            wl0_fu = (base + topology.edge_us).ravel()
+            wl0_fv = (base + topology.edge_vs).ravel()
+            wl0_fu.setflags(write=False)
+            wl0_fv.setflags(write=False)
+            self._scratch = {
+                "wl0_fu": wl0_fu,
+                "wl0_fv": wl0_fv,
+                "wlA_fu": np.empty(flat_m, dtype=np.int64),
+                "wlA_fv": np.empty(flat_m, dtype=np.int64),
+                "wlB_fu": np.empty(flat_m, dtype=np.int64),
+                "wlB_fv": np.empty(flat_m, dtype=np.int64),
+                "pu": np.empty(flat_m),
+                "pv": np.empty(flat_m),
+                "gu": np.empty(flat_m, dtype=bool),
+                "gv": np.empty(flat_m, dtype=bool),
+                "best": np.empty(flat_n),
+                "near": np.empty(flat_n, dtype=bool),
+                "joins": np.empty((trials, n), dtype=bool),
+                "ties": np.empty((trials, n), dtype=bool),
+                "priorities": np.empty((trials, n)),
+                "undecided": np.empty((trials, n), dtype=bool),
+            }
+            self._scratch_for = (topology, trials)
+        return self._scratch
+
+    def init_batch(
+        self, topology: ArrayTopology, rngs: Sequence[np.random.Generator]
+    ) -> BatchState:
+        # Round 0 draws no randomness, so the batched init is the
+        # single-trial init broadcast over the trial axis.
+        trials = len(rngs)
+        n = topology.n
+        batch = BatchState(trials, n, topology.m, nodes=True, edges=False)
+        isolated = topology.degrees == 0
+        if isolated.any():
+            batch.node_rounds[:, isolated] = 0
+            batch.node_values[:, isolated] = True
+            batch.halted[:, isolated] = True
+        scratch = self._batch_scratch(topology, trials)
+        undecided = scratch["undecided"]
+        undecided[:] = ~isolated
+        batch.extra["undecided"] = undecided
+        # Priorities persist across rounds with the invariant that decided
+        # (or never-participating) slots hold −1.0: a decided neighbour then
+        # contributes the neutral element to every max-reduction, which is
+        # exactly the coroutine's "decided neighbours are silent" rule and
+        # lets the worklist kernel skip explicit liveness masks.
+        priorities = scratch["priorities"]
+        priorities.fill(-1.0)
+        batch.extra["priorities"] = priorities
+        batch.extra["phase_joined"] = None
+        batch.extra["phase_messages"] = np.zeros(trials, dtype=np.int64)
+        # Summed degree of each trial's undecided set, maintained
+        # incrementally as nodes decide: the per-phase message count
+        # without a per-trial gather-and-sum in the RNG loop.  (A
+        # completed trial's sum has decayed to zero, so it accrues
+        # nothing — the single-trial early-exit semantics.)
+        batch.extra["live_degsum"] = np.full(
+            trials, int(topology.degrees.sum()), dtype=np.int64
+        )
+        # The round kernels run over a compressed worklist, one entry per
+        # still-live (trial, edge) pair, re-compressed each announcement
+        # round so kernel work tracks the shrinking live sets.
+        batch.extra["wl_fu"] = scratch["wl0_fu"]
+        batch.extra["wl_fv"] = scratch["wl0_fv"]
+        batch.extra["wl_slot"] = "A"
+        batch.extra["scratch"] = scratch
+        return batch
+
+    def batch_complete(self, batch: BatchState) -> np.ndarray:
+        # Every undecided node has degree ≥ 1 (isolated nodes commit at
+        # init), so a zero live-degree sum means the undecided set is
+        # empty, i.e. every node committed — O(trials), vs. the engine's
+        # generic (trials, n) reduction.
+        return batch.extra["live_degsum"] == 0
+
+    def step_batch(
+        self,
+        round_index: int,
+        batch: BatchState,
+        topology: ArrayTopology,
+        rngs: Sequence[np.random.Generator],
+        active: np.ndarray,
+    ) -> None:
+        extra = batch.extra
+        scratch = extra["scratch"]
+        undecided = extra["undecided"]
+        undec_flat = undecided.ravel()
+        trials, n = batch.trials, topology.n
+        priorities = extra["priorities"]
+        pri_flat = priorities.ravel()
+        wl_fu = extra["wl_fu"]
+        wl_fv = extra["wl_fv"]
+        live_count = wl_fu.size
+        degrees = topology.degrees
+        if round_index % 2 == 1:
+            # Priority round (2k−1).  Each *active* trial draws its own
+            # uniform block from its own generator — one per still-undecided
+            # vertex, ascending order — exactly the single-trial schedule;
+            # inactive trials consume nothing.  Decided slots hold −1.0 (the
+            # neutral element), so neighbourhood maxima need no liveness
+            # masks anywhere in the kernel.
+            phase_messages = extra["phase_messages"]
+            np.copyto(phase_messages, extra["live_degsum"])
+            for t in np.flatnonzero(active):
+                participants = np.flatnonzero(undecided[t])
+                priorities[t, participants] = rngs[t].random(participants.size)
+            # Scatter-max over the compressed worklist.  The announcement
+            # round already re-compressed it to exactly this phase's live
+            # edges (both endpoints still undecided), so every entry
+            # carries two fresh draws and no liveness pass is needed; a
+            # full reset of the scratch block is a streaming fill, far
+            # cheaper than tracking stale slots.
+            best = scratch["best"]
+            best.fill(-1.0)
+            pu = np.take(pri_flat, wl_fu, out=scratch["pu"][:live_count], mode="clip")
+            pv = np.take(pri_flat, wl_fv, out=scratch["pv"][:live_count], mode="clip")
+            np.maximum.at(best, wl_fu, pv)
+            np.maximum.at(best, wl_fv, pu)
+            best_rows = best.reshape(trials, n)
+            joins = scratch["joins"]
+            np.greater(priorities, best_rows, out=joins)
+            joins &= undecided
+            ties = scratch["ties"]
+            np.equal(priorities, best_rows, out=ties)
+            ties &= undecided
+            if ties.any():
+                # Exact priority tie against the neighbourhood maximum: the
+                # winner is the larger identifier among the tied
+                # (measure-zero for real draws; exercised by unit tests).
+                ids = topology.identifiers
+                best_id = np.full(trials * n, -1, dtype=np.int64)
+                tie_lo = pu == pv
+                tfu, tfv = wl_fu[tie_lo], wl_fv[tie_lo]
+                np.maximum.at(best_id, tfu, ids[tfv % n])
+                np.maximum.at(best_id, tfv, ids[tfu % n])
+                joins |= ties & (ids[None, :] > best_id.reshape(trials, n))
+            # Stamp through flat indices: one scan of the mask plus
+            # join-count-sized scatters beats four full-width boolean-mask
+            # assignments.
+            jidx = np.flatnonzero(joins)
+            batch.node_rounds.ravel()[jidx] = round_index
+            batch.node_values.ravel()[jidx] = True
+            undec_flat[jidx] = False
+            pri_flat[jidx] = -1.0
+            extra["live_degsum"] -= np.bincount(
+                jidx // n, weights=degrees[jidx % n], minlength=trials
+            ).astype(np.int64)
+            extra["phase_joined"] = joins
+            batch.messages += phase_messages
+        else:
+            # Announcement round (2k).  A trial that completed at round
+            # 2k−1 exited the single-trial loop before this round: its row
+            # must not execute it — no removals (self-gated: nothing is
+            # undecided) and, crucially, no second phase_messages accrual.
+            # The worklist still holds the phase's live edges (a joiner was
+            # undecided at phase start), so joiner neighbourhoods are two
+            # gathers plus two scatter-ORs; an edge to an already-decided
+            # neighbour is absent but irrelevant (removal is gated on
+            # ``undecided``).
+            joined_flat = extra["phase_joined"].ravel()
+            gu = np.take(joined_flat, wl_fu, out=scratch["gu"][:live_count], mode="clip")
+            gv = np.take(joined_flat, wl_fv, out=scratch["gv"][:live_count], mode="clip")
+            near = scratch["near"]
+            near.fill(False)
+            # Joiner-adjacency scatter via compress-then-assign (the idle
+            # worklist buffers serve as index scratch; they are rewritten
+            # by the compression below only after these reads are done) —
+            # `logical_or.at` computes the same thing an order of
+            # magnitude slower.
+            slot = extra["wl_slot"]
+            idle_fu = scratch["wl%s_fu" % slot]
+            idle_fv = scratch["wl%s_fv" % slot]
+            k = int(np.count_nonzero(gu))
+            near[np.compress(gu, wl_fv, out=idle_fu[:k])] = True
+            k = int(np.count_nonzero(gv))
+            near[np.compress(gv, wl_fu, out=idle_fv[:k])] = True
+            np.logical_and(near, undec_flat, out=near)
+            ridx = np.flatnonzero(near)
+            batch.node_rounds.ravel()[ridx] = round_index
+            # node_values stays False in removed slots.
+            undec_flat[ridx] = False
+            pri_flat[ridx] = -1.0
+            extra["live_degsum"] -= np.bincount(
+                ridx // n, weights=degrees[ridx % n], minlength=trials
+            ).astype(np.int64)
+            # Full-width halt refresh: completed rows are all-decided and
+            # unchanged, so overwriting every row is the same result
+            # without the fancy-indexed row copies.
+            np.logical_not(undecided, out=batch.halted)
+            batch.messages[active] += extra["phase_messages"][active]
+            # Re-compress the worklist against the post-removal undecided
+            # sets: entries that survive are exactly the next phase's live
+            # edges, so the priority round runs gather-scatter only, with
+            # no liveness bookkeeping of its own.  (Cheap here — two
+            # byte-sized gathers — where the priority round would need
+            # float passes.)  Output goes to the idle double-buffer slot;
+            # the live set only shrinks, so the buffers never overflow.
+            lu = np.take(undec_flat, wl_fu, out=scratch["gu"][:live_count], mode="clip")
+            lv = np.take(undec_flat, wl_fv, out=scratch["gv"][:live_count], mode="clip")
+            lu &= lv
+            kept = int(np.count_nonzero(lu))
+            if kept != live_count:
+                out_fu = idle_fu
+                out_fv = idle_fv
+                np.compress(lu, wl_fu, out=out_fu[:kept])
+                np.compress(lu, wl_fv, out=out_fv[:kept])
+                extra["wl_fu"] = out_fu[:kept]
+                extra["wl_fv"] = out_fv[:kept]
+                extra["wl_slot"] = "B" if slot == "A" else "A"
 
     @staticmethod
     def _visible_stale(

@@ -42,15 +42,17 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import warnings
 from array import array
 from dataclasses import dataclass, replace
+from multiprocessing import shared_memory
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import networkx as nx
 import numpy as np
 
 from repro.core.errors import WorkerCrashed, classify_failure
-from repro.core.experiment import resolve_network, run_trials, trial_seed
+from repro.core.experiment import _faults_active, resolve_network, run_trials, trial_seed
 from repro.core.metrics import ComplexityMeasurement, RecoveryTimeline, measure
 from repro.core.problems import ProblemSpec
 from repro.graphs.edgelist import EdgeArrays
@@ -280,9 +282,24 @@ def sweep(
     }
     workers = _resolve_workers(parallel)
     cells = len(values) * len(algorithms) * trials
+    fork_ok = _fork_available()
+    if workers > 1 and cells > 1 and not fork_ok:
+        # The silent serial fallback hid real throughput regressions (a sweep
+        # configured with parallel=8 quietly running on one core); surface it.
+        warnings.warn(
+            "parallel sweep requested but the 'fork' start method is not the "
+            f"platform default (got {multiprocessing.get_start_method(allow_none=True)!r}); "
+            "running serially — results are identical, only slower",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    # Effective parallelism is recorded in the checkpoint header (provenance
+    # only, never mismatch-enforced), so a journal written on a fork platform
+    # and resumed on a spawn platform still loads.
+    spec["parallel"] = bool(workers > 1 and cells > 1 and fork_ok)
     journal = _Checkpoint(checkpoint, spec) if checkpoint is not None else None
     try:
-        if workers > 1 and cells > 1 and _fork_available():
+        if spec["parallel"]:
             return _sweep_parallel(spec, min(workers, cells), journal)
         resilient = (
             journal is not None or on_error == "record" or cell_timeout is not None
@@ -369,32 +386,21 @@ def _cell_network(
 ) -> Network:
     network = cache.get(index)
     if network is None:
-        graph = spec["graph_factory"](spec["values"][index])  # type: ignore[operator, index]
-        network = network_from(graph, seed=int(spec["seed"]) + index)
+        # Pool workers first try to reassemble the network zero-copy from the
+        # shared CSR manifest published by the parent; outside a parallel
+        # sweep (or for indices the parent could not export) the factory
+        # rebuild below is the path, exactly as before.
+        network = _attach_shared_network(index)
+        if network is None:
+            graph = spec["graph_factory"](spec["values"][index])  # type: ignore[operator, index]
+            network = network_from(graph, seed=int(spec["seed"]) + index)
         cache[index] = network
     return network
 
 
-def _run_cell(
-    spec: Dict[str, object], index: int, name: str, trial: int, cache: Dict[int, Network]
+def _ok_row(
+    network: Network, problem: ProblemSpec, index: int, name: str, trial: int, trace
 ) -> Dict[str, object]:
-    """Execute one cell and return its ``ok`` row."""
-    network = _cell_network(spec, index, cache)
-    algorithm_factory, problem_factory = spec["algorithms"][name]  # type: ignore[index]
-    problem = problem_factory(network)
-    traces = run_trials(
-        lambda: algorithm_factory(network),
-        network,
-        problem,
-        trials=1,
-        seed=_cell_seed(spec, index, trial),
-        runner=Runner(max_rounds=int(spec["max_rounds"])),  # type: ignore[arg-type]
-        validate=bool(spec["validate"]),
-        engine=str(spec["engine"]),
-        faults=spec["faults"],  # type: ignore[arg-type]
-        timeout_s=spec["cell_timeout"],  # type: ignore[arg-type]
-    )
-    trace = traces[0]
     row = {
         "status": "ok",
         "index": index,
@@ -422,6 +428,106 @@ def _run_cell(
             "valid": list(recovery.valid),
         }
     return row
+
+
+def _run_cell(
+    spec: Dict[str, object], index: int, name: str, trial: int, cache: Dict[int, Network]
+) -> Dict[str, object]:
+    """Execute one cell and return its ``ok`` row."""
+    network = _cell_network(spec, index, cache)
+    algorithm_factory, problem_factory = spec["algorithms"][name]  # type: ignore[index]
+    problem = problem_factory(network)
+    traces = run_trials(
+        lambda: algorithm_factory(network),
+        network,
+        problem,
+        trials=1,
+        seed=_cell_seed(spec, index, trial),
+        runner=Runner(max_rounds=int(spec["max_rounds"])),  # type: ignore[arg-type]
+        validate=bool(spec["validate"]),
+        engine=str(spec["engine"]),
+        faults=spec["faults"],  # type: ignore[arg-type]
+        timeout_s=spec["cell_timeout"],  # type: ignore[arg-type]
+    )
+    return _ok_row(network, problem, index, name, trial, traces[0])
+
+
+def _grouped_execution(spec: Dict[str, object]) -> bool:
+    """Whether a cell's remaining trials may run as one batched ``run_trials``.
+
+    Grouping hands all remaining trials of a ``(value, algorithm)`` cell to a
+    single :func:`run_trials` call, which on the array engines steps them as
+    one trial-batched execution (:meth:`ArrayEngine.run_batch`) — same traces,
+    far fewer passes over the topology.  It is restricted to configurations
+    where per-trial semantics cannot be observed to differ: no ``cell_timeout``
+    (the budget is defined per trial), no fault schedules (faulted runs are
+    per-trial by construction), and an array-capable engine (under ``"node"``
+    grouping would only coarsen parallel load-balancing for no gain).
+    """
+    return (
+        int(spec["trials"]) > 1
+        and spec["cell_timeout"] is None
+        and str(spec["engine"]) in ("array", "auto")
+        and not _faults_active(spec["faults"])  # type: ignore[arg-type]
+    )
+
+
+def _group_cells(keys: Sequence[CellKey]) -> List[Tuple[Tuple[int, str], List[int]]]:
+    """Group cell keys by ``(index, name)``, preserving iteration order."""
+    groups: Dict[Tuple[int, str], List[int]] = {}
+    for index, name, trial in keys:
+        groups.setdefault((index, name), []).append(trial)
+    return list(groups.items())
+
+
+def _contiguous_runs(trials: Sequence[int]) -> List[List[int]]:
+    """Split sorted trial numbers into maximal runs of consecutive integers."""
+    runs: List[List[int]] = []
+    for trial in sorted(trials):
+        if runs and trial == runs[-1][-1] + 1:
+            runs[-1].append(trial)
+        else:
+            runs.append([trial])
+    return runs
+
+
+def _run_cell_group(
+    spec: Dict[str, object],
+    index: int,
+    name: str,
+    trials_group: Sequence[int],
+    cache: Dict[int, Network],
+) -> List[Dict[str, object]]:
+    """Execute several trials of one cell as batched runs; one row per trial.
+
+    The per-trial seed schedule is arithmetic (``_cell_seed`` is
+    ``base + trial``), so a maximal run of consecutive trial numbers maps
+    onto one ``run_trials(trials=k, seed=_cell_seed(.., run[0]))`` call whose
+    trial ``i`` receives exactly the seed the per-cell path would have used
+    for trial ``run[0] + i``.  Non-consecutive remainders (a checkpoint
+    resumed mid-cell) split into several runs — batch-size invariance of the
+    array engine makes the rows identical either way.
+    """
+    network = _cell_network(spec, index, cache)
+    algorithm_factory, problem_factory = spec["algorithms"][name]  # type: ignore[index]
+    problem = problem_factory(network)
+    runner = Runner(max_rounds=int(spec["max_rounds"]))  # type: ignore[arg-type]
+    rows: List[Dict[str, object]] = []
+    for run in _contiguous_runs(trials_group):
+        traces = run_trials(
+            lambda: algorithm_factory(network),
+            network,
+            problem,
+            trials=len(run),
+            seed=_cell_seed(spec, index, run[0]),
+            runner=runner,
+            validate=bool(spec["validate"]),
+            engine=str(spec["engine"]),
+            faults=spec["faults"],  # type: ignore[arg-type]
+        )
+        for trial, trace in zip(run, traces):
+            rows.append(_ok_row(network, problem, index, name, trial, trace))
+    return rows
 
 
 def _failure_row(
@@ -599,6 +705,12 @@ class _Checkpoint:
             "trials": spec["trials"],
             "seed": spec["seed"],
             "engine": spec["engine"],
+            # Provenance only: whether the writing run actually fanned out.
+            # Deliberately absent from _load's mismatch list — the per-cell
+            # seed schedule makes serial and parallel rows identical, so a
+            # journal may be written parallel and resumed serial (or on a
+            # platform without fork) and still agree cell-exactly.
+            "parallel": bool(spec.get("parallel", False)),
         }
 
     def _load(self, path: str, header: Dict[str, object]) -> None:
@@ -672,10 +784,13 @@ def _sweep_serial_resilient(
 ) -> SweepResult:
     rows: Dict[CellKey, Dict[str, object]] = dict(journal.rows) if journal else {}
     cache: Dict[int, Network] = {}
-    for key in _cell_keys(spec):
-        index, name, trial = key
-        if journal is not None and journal.finished(key):
-            continue
+
+    def record(row: Dict[str, object]) -> None:
+        rows[(row["index"], row["name"], row["trial"])] = row  # type: ignore[index]
+        if journal is not None:
+            journal.record(row)
+
+    def run_one(index: int, name: str, trial: int) -> None:
         try:
             row = _run_cell(spec, index, name, trial, cache)
         except KeyboardInterrupt:
@@ -688,9 +803,35 @@ def _sweep_serial_resilient(
                 if journal is not None:
                     journal.record(row)
                 raise
-        rows[key] = row
-        if journal is not None:
-            journal.record(row)
+        record(row)
+
+    remaining = [
+        key
+        for key in _cell_keys(spec)
+        if journal is None or not journal.finished(key)
+    ]
+    if _grouped_execution(spec):
+        for (index, name), trials_group in _group_cells(remaining):
+            group_rows: Optional[List[Dict[str, object]]] = None
+            if len(trials_group) > 1:
+                try:
+                    group_rows = _run_cell_group(spec, index, name, trials_group, cache)
+                except KeyboardInterrupt:
+                    raise
+                except Exception:
+                    # A batched run cannot attribute its failure to one trial;
+                    # re-run the group per cell so the failure row (or the
+                    # raised error) carries the exact trial and seed.
+                    group_rows = None
+            if group_rows is not None:
+                for row in group_rows:
+                    record(row)
+            else:
+                for trial in trials_group:
+                    run_one(index, name, trial)
+    else:
+        for index, name, trial in remaining:
+            run_one(index, name, trial)
     return _collect(spec, rows)
 
 
@@ -702,25 +843,163 @@ def _sweep_serial_resilient(
 # closures or lambdas, which cannot be pickled.  The pool therefore uses the
 # `fork` start method and the workers read the sweep specification from a
 # module global inherited from the parent process at fork time; the task
-# tuples sent through the pool are plain picklable (index, name, trial)
-# triples, and the results are plain row dicts.
+# tuples sent through the pool are plain picklable (index, name, trials)
+# groups, and the results are lists of plain row dicts.
+#
+# Network topology travels through ``multiprocessing.shared_memory`` rather
+# than per-task rebuilds: the parent constructs each value's network once,
+# copies its immutable CSR arrays (indptr / indices / edge endpoints /
+# identifiers) into one shared segment per value, and publishes a manifest of
+# segment names and offsets.  Workers attach the segment and reassemble a
+# :class:`Network` around read-only zero-copy views
+# (:meth:`Network._from_csr_arrays`) — ``graph_factory`` runs once per value
+# in the parent instead of once per worker, and the array data is mapped, not
+# copied, into every worker.  The parent owns the segment lifecycle: the
+# segments are unlinked in a ``finally`` after the pool is torn down, so they
+# are reclaimed even when a worker was SIGKILLed mid-task.  Indices missing
+# from the manifest (the factory raised in the parent) fall back to the
+# historical in-worker ``graph_factory`` rebuild so the failure surfaces as
+# per-cell rows exactly like before.
 
 _PARALLEL_SPEC: Optional[Dict[str, object]] = None
 _WORKER_NETWORKS: Dict[int, Network] = {}
+#: Manifest of shared CSR segments, set in the parent just before the pool
+#: forks: ``{value index: {"name", "n", "m", "max_degree", "min_degree",
+#: "arrays": [(field, offset, count), ...]}}``.
+_SHARED_MANIFEST: Optional[Dict[int, Dict[str, object]]] = None
+#: Worker-side attached segments, keyed by segment *name* (unique per
+#: export — an index key would let a stale segment from an earlier sweep in
+#: the same process shadow the current manifest).  Keeps the mmap alive for
+#: as long as the reassembled networks hold views into it.
+_WORKER_SEGMENTS: Dict[str, shared_memory.SharedMemory] = {}
+#: Test seam: segment names created by the most recent parallel sweep, so
+#: lifecycle tests can assert they were unlinked after the sweep returned.
+_LAST_SEGMENT_NAMES: List[str] = []
+
+#: Field order of the int64 arrays packed into each shared segment.
+_SHARED_FIELDS = ("indptr", "indices", "edge_us", "edge_vs", "ids")
 
 
-def _parallel_worker(task: CellKey) -> Dict[str, object]:
-    index, name, trial = task
+def _network_csr_arrays(network: Network) -> Dict[str, np.ndarray]:
+    """The network's immutable topology as int64 arrays (zero-copy views)."""
+    us, vs = network.edge_endpoints()
+    return {
+        "indptr": np.frombuffer(network.indptr, dtype=np.int64),
+        "indices": np.frombuffer(network.indices, dtype=np.int64),
+        "edge_us": np.asarray(us, dtype=np.int64),
+        "edge_vs": np.asarray(vs, dtype=np.int64),
+        "ids": np.asarray(network.identifiers, dtype=np.int64),
+    }
+
+
+def _export_shared_networks(
+    spec: Dict[str, object], indices: Sequence[int]
+) -> Tuple[
+    Dict[int, Dict[str, object]],
+    List[shared_memory.SharedMemory],
+    Dict[int, Network],
+]:
+    """Build each value's network in the parent and export its CSR to shm.
+
+    Returns the manifest for the workers, the created segments (the caller
+    must unlink them when the pool is done), and the parent-side network
+    cache (reused verbatim by the lost-worker serial retry).
+    """
+    manifest: Dict[int, Dict[str, object]] = {}
+    segments: List[shared_memory.SharedMemory] = []
+    networks: Dict[int, Network] = {}
+    for index in indices:
+        try:
+            network = _cell_network(spec, index, networks)
+        except Exception:
+            # Leave the index out of the manifest: the workers rebuild via
+            # graph_factory and report the failure per cell, as they always
+            # did when the factory was broken.
+            continue
+        arrays = _network_csr_arrays(network)
+        layout: List[Tuple[str, int, int]] = []
+        offset = 0
+        for field in _SHARED_FIELDS:
+            layout.append((field, offset, int(arrays[field].size)))
+            offset += arrays[field].nbytes
+        segment = shared_memory.SharedMemory(create=True, size=max(offset, 8))
+        segments.append(segment)
+        for field, start, count in layout:
+            if count:
+                view = np.frombuffer(
+                    segment.buf, dtype=np.int64, count=count, offset=start
+                )
+                view[:] = arrays[field]
+        manifest[index] = {
+            "name": segment.name,
+            "n": network.n,
+            "m": network.m,
+            "max_degree": network.max_degree(),
+            "min_degree": network.min_degree(),
+            "arrays": layout,
+        }
+    return manifest, segments, networks
+
+
+def _attach_shared_network(index: int) -> Optional[Network]:
+    """Reassemble the network for ``index`` from its shared CSR segment."""
+    manifest = _SHARED_MANIFEST
+    entry = manifest.get(index) if manifest is not None else None
+    if entry is None:
+        return None
+    name = str(entry["name"])
+    segment = _WORKER_SEGMENTS.get(name)
+    if segment is None:
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except FileNotFoundError:  # pragma: no cover - parent died mid-sweep
+            return None
+        _WORKER_SEGMENTS[name] = segment
+    views: Dict[str, np.ndarray] = {}
+    for field, offset, count in entry["arrays"]:  # type: ignore[union-attr]
+        view = np.frombuffer(segment.buf, dtype=np.int64, count=count, offset=offset)
+        view.setflags(write=False)
+        views[field] = view
+    return Network._from_csr_arrays(
+        n=int(entry["n"]),  # type: ignore[arg-type]
+        m=int(entry["m"]),  # type: ignore[arg-type]
+        indptr=views["indptr"],
+        indices=views["indices"],
+        edge_us=views["edge_us"],
+        edge_vs=views["edge_vs"],
+        ids=views["ids"],
+        max_degree=int(entry["max_degree"]),  # type: ignore[arg-type]
+        min_degree=int(entry["min_degree"]),  # type: ignore[arg-type]
+    )
+
+
+GroupTask = Tuple[int, str, Tuple[int, ...]]
+
+
+def _parallel_worker(task: GroupTask) -> List[Dict[str, object]]:
+    index, name, trials_group = task
     spec = _PARALLEL_SPEC
     assert spec is not None, "worker forked without a sweep specification"
-    try:
-        return _run_cell(spec, index, name, trial, _WORKER_NETWORKS)
-    except Exception as error:
-        if spec["on_error"] == "raise":
-            raise
-        return _failure_row(
-            spec, index, name, trial, classify_failure(error), str(error)
-        )
+    if len(trials_group) > 1:
+        try:
+            return _run_cell_group(
+                spec, index, name, list(trials_group), _WORKER_NETWORKS
+            )
+        except Exception:
+            pass  # re-run per trial below for exact failure attribution
+    rows: List[Dict[str, object]] = []
+    for trial in trials_group:
+        try:
+            rows.append(_run_cell(spec, index, name, trial, _WORKER_NETWORKS))
+        except Exception as error:
+            if spec["on_error"] == "raise":
+                raise
+            rows.append(
+                _failure_row(
+                    spec, index, name, trial, classify_failure(error), str(error)
+                )
+            )
+    return rows
 
 
 def _stall_timeout(spec: Dict[str, object]) -> float:
@@ -733,14 +1012,21 @@ def _stall_timeout(spec: Dict[str, object]) -> float:
 def _sweep_parallel(
     spec: Dict[str, object], workers: int, journal: Optional[_Checkpoint]
 ) -> SweepResult:
-    global _PARALLEL_SPEC
+    global _PARALLEL_SPEC, _SHARED_MANIFEST
     rows: Dict[CellKey, Dict[str, object]] = dict(journal.rows) if journal else {}
-    tasks = [
+    remaining = [
         key
         for key in _cell_keys(spec)
         if journal is None or not journal.finished(key)
     ]
-    pending = set(tasks)
+    if _grouped_execution(spec):
+        tasks: List[GroupTask] = [
+            (index, name, tuple(trials_group))
+            for (index, name), trials_group in _group_cells(remaining)
+        ]
+    else:
+        tasks = [(index, name, (trial,)) for index, name, trial in remaining]
+    pending = set(remaining)
 
     def take(row: Dict[str, object]) -> None:
         key = (row["index"], row["name"], row["trial"])
@@ -752,53 +1038,75 @@ def _sweep_parallel(
     if tasks:
         context = multiprocessing.get_context("fork")
         previous_spec = _PARALLEL_SPEC
+        previous_manifest = _SHARED_MANIFEST
+        manifest, segments, parent_networks = _export_shared_networks(
+            spec, sorted({index for index, _, _ in remaining})
+        )
+        _LAST_SEGMENT_NAMES[:] = [segment.name for segment in segments]
         _PARALLEL_SPEC = spec
-        stall = _stall_timeout(spec)
+        _SHARED_MANIFEST = manifest
+        # A grouped task reports once per *group*, so the lost-worker stall
+        # window scales with the largest group (a batch of k trials may
+        # legitimately stay silent k times longer than a single cell).
+        stall = _stall_timeout(spec) * max(len(task[2]) for task in tasks)
         stalled = False
         try:
-            # Pool.__exit__ terminates the pool, which is exactly the clean
-            # teardown both the KeyboardInterrupt and the lost-worker paths
-            # need (never join a pool whose worker was SIGKILLed mid-task —
-            # the task is lost and the join would hang forever).
-            with context.Pool(processes=workers) as pool:
-                results = pool.imap_unordered(_parallel_worker, tasks)
-                while pending:
-                    try:
-                        row = results.next(timeout=stall)
-                    except StopIteration:  # pragma: no cover - pending guards this
-                        break
-                    except multiprocessing.TimeoutError:
-                        # No result for a full stall window: a worker died
-                        # without reporting (OOM killer).  Fall back to the
-                        # parent for every unfinished cell.
-                        stalled = True
-                        break
-                    take(row)
-        except KeyboardInterrupt:
-            if journal is not None:
-                journal.close()
-            raise
-        finally:
-            _PARALLEL_SPEC = previous_spec
+            try:
+                # Pool.__exit__ terminates the pool, which is exactly the clean
+                # teardown both the KeyboardInterrupt and the lost-worker paths
+                # need (never join a pool whose worker was SIGKILLed mid-task —
+                # the task is lost and the join would hang forever).
+                with context.Pool(processes=min(workers, len(tasks))) as pool:
+                    results = pool.imap_unordered(_parallel_worker, tasks)
+                    while pending:
+                        try:
+                            task_rows = results.next(timeout=stall)
+                        except StopIteration:  # pragma: no cover - pending guards this
+                            break
+                        except multiprocessing.TimeoutError:
+                            # No result for a full stall window: a worker died
+                            # without reporting (OOM killer).  Fall back to the
+                            # parent for every unfinished cell.
+                            stalled = True
+                            break
+                        for row in task_rows:
+                            take(row)
+            except KeyboardInterrupt:
+                if journal is not None:
+                    journal.close()
+                raise
+            finally:
+                _PARALLEL_SPEC = previous_spec
+                _SHARED_MANIFEST = previous_manifest
 
-        if stalled and pending:
-            cache: Dict[int, Network] = {}
-            for key in sorted(pending):
-                index, name, trial = key
+            if stalled and pending:
+                for key in sorted(pending):
+                    index, name, trial = key
+                    try:
+                        row = _run_cell(spec, index, name, trial, parent_networks)
+                    except Exception as retry_error:
+                        message = (
+                            f"pool worker was lost (no result within {stall:.0f}s) and "
+                            f"the serial re-run failed: {retry_error}"
+                        )
+                        row = _failure_row(
+                            spec, index, name, trial, WorkerCrashed.kind, message
+                        )
+                        if spec["on_error"] == "raise":
+                            if journal is not None:
+                                journal.record(row)
+                            raise WorkerCrashed(message) from retry_error
+                    take(row)
+        finally:
+            # Parent-owned lifecycle: reclaim the shared segments no matter
+            # how the pool went down (clean drain, stall teardown, Ctrl-C, or
+            # a SIGKILLed worker — the kernel frees the mapping with the
+            # process; the name is removed here).
+            for segment in segments:
                 try:
-                    row = _run_cell(spec, index, name, trial, cache)
-                except Exception as retry_error:
-                    message = (
-                        f"pool worker was lost (no result within {stall:.0f}s) and "
-                        f"the serial re-run failed: {retry_error}"
-                    )
-                    row = _failure_row(
-                        spec, index, name, trial, WorkerCrashed.kind, message
-                    )
-                    if spec["on_error"] == "raise":
-                        if journal is not None:
-                            journal.record(row)
-                        raise WorkerCrashed(message) from retry_error
-                take(row)
+                    segment.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+                segment.close()
 
     return _collect(spec, rows)

@@ -80,6 +80,8 @@ __all__ = [
     "csr_is_sinkless_orientation",
     "csr_is_surviving_mis",
     "csr_is_surviving_maximal_matching",
+    "csr_is_induced_mis",
+    "csr_is_induced_maximal_matching",
     "csr_is_surviving_coloring",
     "csr_is_surviving_ruling_set",
     "csr_is_surviving_sinkless_orientation",
@@ -144,6 +146,16 @@ class ProblemSpec:
             MIS survivor covered by a crashed-but-committed ``True``
             neighbour).  When ``None``, :meth:`validate_surviving` falls
             back to strict validation on the induced survivor subnetwork.
+        induced_validator: vectorised fast path for
+            :meth:`validate_induced`, signature ``(network, node_values,
+            node_committed, edge_values, edge_committed, crashed) ->
+            ValidationResult`` where the value/committed pairs are numpy
+            bool arrays (values of uncommitted slots are ignored).  Must
+            agree verdict-for-verdict with the strict
+            induced-survivor-subnetwork fallback; it exists because that
+            fallback (subnetwork build + relabel dicts per call) dominated
+            the per-round recovery check of faulted runs on both engines.
+            When ``None``, :meth:`validate_induced` uses the fallback.
     """
 
     name: str
@@ -156,6 +168,9 @@ class ProblemSpec:
     ] = None
     surviving_validator: Optional[
         Callable[[Any, Sequence[Any], Sequence[Any], "frozenset[int]"], ValidationResult]
+    ] = None
+    induced_validator: Optional[
+        Callable[[Any, Any, Any, Any, Any, "frozenset[int]"], ValidationResult]
     ] = None
 
     def validate(
@@ -298,6 +313,9 @@ class ProblemSpec:
         node_outputs: "Optional[Union[Mapping[int, Any], Sequence[Any]]]" = None,
         edge_outputs: "Optional[Union[Mapping[Edge, Any], Sequence[Any]]]" = None,
         crashed: Sequence[int] = (),
+        *,
+        node_committed: Optional[Any] = None,
+        edge_committed: Optional[Any] = None,
     ) -> ValidationResult:
         """Strictly validate outputs on the induced survivor subnetwork.
 
@@ -307,8 +325,29 @@ class ProblemSpec:
         induced subgraph.  Self-stabilisation metrics use this form — a
         recovered configuration must be valid *for the survivors alone*, or
         "recovery" would be vacuously credited to pre-crash commitments.
+
+        ``node_committed`` / ``edge_committed`` are optional numpy bool
+        masks accompanying array-form outputs (slot committed iff the mask
+        is True; values of uncommitted slots are ignored).  The array
+        engine passes its state arrays this way so per-round recovery
+        checks of problems with an :attr:`induced_validator` stay fully
+        vectorised — no ``MISSING``-marked Python list is ever built.
         """
         crashed_set = frozenset(crashed)
+        if crashed_set and self.induced_validator is not None:
+            node_values, node_mask = _commit_arrays(
+                network.n, network, node_outputs, node_committed, nodes=True
+            )
+            edge_values, edge_mask = _commit_arrays(
+                network.m, network, edge_outputs, edge_committed, nodes=False
+            )
+            return self.induced_validator(
+                network, node_values, node_mask, edge_values, edge_mask, crashed_set
+            )
+        if node_committed is not None:
+            node_outputs = _masked_slots(node_outputs, node_committed)
+        if edge_committed is not None:
+            edge_outputs = _masked_slots(edge_outputs, edge_committed)
         if not crashed_set:
             return self.validate_network(network, node_outputs, edge_outputs)
         node_values = _node_slots(network, node_outputs)
@@ -413,6 +452,52 @@ def _edge_slots(
     if len(values) != m:
         raise ValueError(f"expected {m} edge output slots, got {len(values)}")
     return values, []
+
+
+def _masked_slots(outputs: Optional[Any], committed: Any) -> List[Any]:
+    """``MISSING``-marked slot list from an array + committed-mask pair."""
+    count = len(committed)
+    if outputs is None:
+        return [MISSING] * count
+    slots: List[Any] = list(outputs)
+    for i in range(count):
+        if not committed[i]:
+            slots[i] = MISSING
+    return slots
+
+
+def _commit_arrays(
+    count: int,
+    network: Any,
+    outputs: Optional[Any],
+    committed: Optional[Any],
+    *,
+    nodes: bool,
+) -> Tuple[Any, Any]:
+    """``(values, committed)`` bool-array pair for an induced validator.
+
+    Array-form inputs (``committed`` mask given) pass through as numpy
+    views; mapping / ``MISSING``-marked sequence inputs are normalised
+    through the usual slot helpers first.  Values are coerced to bool —
+    induced validators are registered only for boolean-output problems.
+    """
+    import numpy as np
+
+    if committed is not None:
+        mask = np.asarray(committed, dtype=bool)
+        if outputs is None:
+            return np.zeros(count, dtype=bool), mask
+        return np.asarray(outputs, dtype=bool), mask
+    if outputs is None:
+        return np.zeros(count, dtype=bool), np.zeros(count, dtype=bool)
+    slots = (
+        _node_slots(network, outputs) if nodes else _edge_slots(network, outputs)[0]
+    )
+    mask = np.fromiter((v is not MISSING for v in slots), dtype=bool, count=count)
+    values = np.fromiter(
+        (v is not MISSING and bool(v) for v in slots), dtype=bool, count=count
+    )
+    return values, mask
 
 
 def _slots_to_mapping_nodes(
@@ -769,6 +854,56 @@ def csr_is_surviving_mis(
     return ValidationResult(True)
 
 
+def csr_is_induced_mis(
+    network: Any, node_values: Any, node_committed: Any, crashed: "frozenset[int]"
+) -> ValidationResult:
+    """MIS strictly validated on the induced survivor subgraph, vectorised.
+
+    Verdict-identical to rebuilding ``network.subnetwork(survivors)`` and
+    re-validating (the :meth:`ProblemSpec.validate_induced` fallback), but
+    expressed as a handful of fancy-indexed array operations over the
+    endpoint arrays — no subnetwork, no relabel dicts, no per-node loop:
+
+    * crashed commitments are discarded (a dead ``True`` covers nobody),
+    * every survivor must have committed,
+    * independence is required over alive–alive edges,
+    * every unselected survivor needs an alive selected neighbour.
+    """
+    import numpy as np
+
+    n = network.n
+    alive = np.ones(n, dtype=bool)
+    if crashed:
+        alive[list(crashed)] = False
+    committed = np.asarray(node_committed, dtype=bool)
+    missing = alive & ~committed
+    if missing.any():
+        bad = np.flatnonzero(missing)[:5].tolist()
+        return ValidationResult(False, f"missing node outputs for survivors {bad}")
+    selected = alive & committed & np.asarray(node_values, dtype=bool)
+    us, vs = network.edge_endpoints()
+    us = np.asarray(us)
+    vs = np.asarray(vs)
+    live = alive[us] & alive[vs]
+    conflict = live & selected[us] & selected[vs]
+    if conflict.any():
+        i = int(np.flatnonzero(conflict)[0])
+        return ValidationResult(
+            False,
+            f"surviving edge ({int(us[i])}, {int(vs[i])}) has both endpoints selected",
+        )
+    covered = np.zeros(n, dtype=bool)
+    covered[us[live & selected[vs]]] = True
+    covered[vs[live & selected[us]]] = True
+    uncovered = alive & ~selected & ~covered
+    if uncovered.any():
+        v = int(np.flatnonzero(uncovered)[0])
+        return ValidationResult(
+            False, f"surviving node {v} is uncovered (not maximal)"
+        )
+    return ValidationResult(True)
+
+
 def _mis_validator(
     graph: nx.Graph, node_outputs: Mapping[int, Any], _: Mapping[Edge, Any]
 ) -> ValidationResult:
@@ -793,6 +928,17 @@ def _mis_surviving_validator(
     return csr_is_surviving_mis(network, node_values, crashed)
 
 
+def _mis_induced_validator(
+    network: Any,
+    node_values: Any,
+    node_committed: Any,
+    _edge_values: Any,
+    _edge_committed: Any,
+    crashed: "frozenset[int]",
+) -> ValidationResult:
+    return csr_is_induced_mis(network, node_values, node_committed, crashed)
+
+
 MIS = ProblemSpec(
     name="maximal-independent-set",
     labels_nodes=True,
@@ -800,6 +946,7 @@ MIS = ProblemSpec(
     validator=_mis_validator,
     csr_validator=_mis_csr_validator,
     surviving_validator=_mis_surviving_validator,
+    induced_validator=_mis_induced_validator,
 )
 
 
@@ -955,6 +1102,55 @@ def csr_is_surviving_maximal_matching(
     return ValidationResult(True)
 
 
+def csr_is_induced_maximal_matching(
+    network: Any, edge_values: Any, edge_committed: Any, crashed: "frozenset[int]"
+) -> ValidationResult:
+    """Maximal matching strictly validated on the induced survivor subgraph.
+
+    The vectorised twin of re-validating on ``network.subnetwork``
+    (:meth:`ProblemSpec.validate_induced` fallback): commitments on edges
+    with a crashed endpoint are discarded, every alive–alive edge must have
+    committed, the selected alive–alive edges must form a matching, and
+    every unselected alive–alive edge needs an endpoint matched by a
+    selected alive–alive edge.
+    """
+    import numpy as np
+
+    n = network.n
+    alive = np.ones(n, dtype=bool)
+    if crashed:
+        alive[list(crashed)] = False
+    us, vs = network.edge_endpoints()
+    us = np.asarray(us)
+    vs = np.asarray(vs)
+    live = alive[us] & alive[vs]
+    committed = np.asarray(edge_committed, dtype=bool)
+    missing = live & ~committed
+    if missing.any():
+        i = int(np.flatnonzero(missing)[0])
+        return ValidationResult(
+            False,
+            f"missing edge outputs for surviving edges "
+            f"[({int(us[i])}, {int(vs[i])})]",
+        )
+    selected = live & committed & np.asarray(edge_values, dtype=bool)
+    matched_degree = np.bincount(us[selected], minlength=n) + np.bincount(
+        vs[selected], minlength=n
+    )
+    if (matched_degree > 1).any():
+        return ValidationResult(False, "selected edges are not a matching")
+    matched = matched_degree > 0
+    addable = live & ~selected & ~matched[us] & ~matched[vs]
+    if addable.any():
+        i = int(np.flatnonzero(addable)[0])
+        return ValidationResult(
+            False,
+            f"surviving edge ({int(us[i])}, {int(vs[i])}) could be added "
+            f"(not maximal)",
+        )
+    return ValidationResult(True)
+
+
 def _matching_validator(
     graph: nx.Graph, _: Mapping[int, Any], edge_outputs: Mapping[Edge, Any]
 ) -> ValidationResult:
@@ -979,6 +1175,17 @@ def _matching_surviving_validator(
     return csr_is_surviving_maximal_matching(network, edge_values, crashed)
 
 
+def _matching_induced_validator(
+    network: Any,
+    _node_values: Any,
+    _node_committed: Any,
+    edge_values: Any,
+    edge_committed: Any,
+    crashed: "frozenset[int]",
+) -> ValidationResult:
+    return csr_is_induced_maximal_matching(network, edge_values, edge_committed, crashed)
+
+
 MAXIMAL_MATCHING = ProblemSpec(
     name="maximal-matching",
     labels_nodes=False,
@@ -986,6 +1193,7 @@ MAXIMAL_MATCHING = ProblemSpec(
     validator=_matching_validator,
     csr_validator=_matching_csr_validator,
     surviving_validator=_matching_surviving_validator,
+    induced_validator=_matching_induced_validator,
 )
 
 

@@ -181,9 +181,17 @@ class ExecutionTrace:
         trace._node_commit_round = None
         trace._edge_outputs = None
         trace._edge_commit_round = None
-        trace._node_values = node_values
+        # Value slots are stored as tuples: CPython's GC permanently
+        # untracks a tuple of atomic values the first time a collection
+        # sees it, whereas a list is re-scanned by every gen-2 collection
+        # for as long as it lives.  With thousands of traces held by a
+        # sweep or a batched run, list-backed slots turn each full
+        # collection into a walk of 10⁷+ pointers and dominate the trial
+        # loop; tuple-backed slots make held traces GC-inert.  (Round
+        # buffers — ``array('q')`` — and numpy arrays are atomic already.)
+        trace._node_values = tuple(node_values)
         trace._node_rounds = node_rounds
-        trace._edge_values = edge_values
+        trace._edge_values = tuple(edge_values)
         trace._edge_rounds = edge_rounds
         return trace
 

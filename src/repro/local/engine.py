@@ -54,18 +54,26 @@ when ``algorithm.as_array_algorithm()`` returns one.
 from __future__ import annotations
 
 from array import array
-from typing import Any, List, Optional, Tuple
+from collections import OrderedDict
+from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.errors import RoundLimitExceeded
 from repro.core.metrics import RecoveryTimeline
-from repro.core.problems import MISSING, ProblemSpec
+from repro.core.problems import ProblemSpec
 from repro.core.trace import ExecutionTrace
 from repro.local.faults import FaultSchedule, RoundFaults
 from repro.local.network import Network
 
-__all__ = ["ArrayAlgorithm", "ArrayState", "ArrayTopology", "ArrayEngine"]
+__all__ = [
+    "ArrayAlgorithm",
+    "ArrayState",
+    "ArrayTopology",
+    "ArrayEngine",
+    "BatchState",
+    "batch_chunk",
+]
 
 
 class ArrayTopology:
@@ -145,6 +153,73 @@ class ArrayState:
         self.extra: dict = {}
 
 
+class BatchState:
+    """Batched per-run state: ``T`` independent trials stepped in lockstep.
+
+    The batched twin of :class:`ArrayState`: every per-entity array gains a
+    leading trial axis (``(T, n)`` / ``(T, m)``), ``messages`` becomes a
+    per-trial int64 vector, and row ``t`` of every array is *exactly* the
+    state the single-trial engine would hold for trial ``t`` — batch
+    execution is a layout change, not a semantics change.  Algorithms
+    allocate one in :meth:`ArrayAlgorithm.init_batch` and mutate it in
+    :meth:`ArrayAlgorithm.step_batch`; private scratch hangs off ``extra``.
+    """
+
+    __slots__ = (
+        "trials",
+        "node_rounds",
+        "node_values",
+        "edge_rounds",
+        "edge_values",
+        "halted",
+        "messages",
+        "extra",
+    )
+
+    def __init__(
+        self, trials: int, n: int, m: int, *, nodes: bool, edges: bool
+    ) -> None:
+        self.trials = trials
+        self.node_rounds = np.full((trials, n), -1, dtype=np.int64)
+        self.node_values: Optional[np.ndarray] = (
+            np.zeros((trials, n), dtype=bool) if nodes else None
+        )
+        self.edge_rounds = np.full((trials, m), -1, dtype=np.int64)
+        self.edge_values: Optional[np.ndarray] = (
+            np.zeros((trials, m), dtype=bool) if edges else None
+        )
+        self.halted = np.zeros((trials, n), dtype=bool)
+        self.messages = np.zeros(trials, dtype=np.int64)
+        self.extra: dict = {}
+
+
+#: Byte budget for one batched chunk's working state (arrays + scratch).
+#: Tuned to keep the chunk's gather/scatter targets cache-resident rather
+#: than merely fitting RAM: measured throughput at n = 10⁴ / m = 5·10⁴
+#: peaks around 8 trials per chunk and at n = 10⁵ around 1–2, both of
+#: which this budget reproduces under the 48-bytes-per-slot model.
+#: Chunking cannot change results because every trial owns an independent
+#: PCG64 stream.
+_BATCH_BYTE_BUDGET = 24 * 2**20
+
+
+def batch_chunk(
+    n: int, m: int, trials: int, budget_bytes: int = _BATCH_BYTE_BUDGET
+) -> int:
+    """Cost model: how many trials of an ``(n, m)`` cell to batch per chunk.
+
+    Estimates the batched working set at ~48 bytes per node slot and per
+    edge slot per trial (int64 rounds, bool values/masks, one float64
+    scratch block, and the transient ``nonzero`` index arrays) and returns
+    the largest chunk that fits ``budget_bytes``, clamped to
+    ``[1, trials]``.  The same model backs ``engine="auto"`` batch routing
+    in ``run_trials`` / :class:`~repro.core.experiment.Experiment` and the
+    sweep's batched task groups.
+    """
+    per_trial = 48 * (max(n, 1) + max(m, 1))
+    return max(1, min(int(trials), int(budget_bytes // per_trial) or 1))
+
+
 class ArrayAlgorithm:
     """Protocol for algorithms executable by the :class:`ArrayEngine`.
 
@@ -177,6 +252,13 @@ class ArrayAlgorithm:
     #: algorithms that do not opt in.
     supports_faults: bool = False
 
+    #: Whether the algorithm implements the batched protocol
+    #: (:meth:`init_batch` / :meth:`step_batch`): ``T`` independent trials
+    #: stepped together over ``(T, n)`` / ``(T, m)`` arrays, each trial
+    #: drawing from its own per-trial generator so every row stays
+    #: bit-identical to the single-trial engine (batch-size invariance).
+    supports_batch: bool = False
+
     #: Self-stabilising array algorithms detect crashed neighbours straight
     #: from the round view's ``newly_crashed`` (no engine callback needed,
     #: unlike the coroutine runner's ``neighbor_crashed`` hook) and restart
@@ -202,6 +284,49 @@ class ArrayAlgorithm:
         """Execute synchronous round ``round_index`` (1-based) in place."""
         raise NotImplementedError
 
+    def init_batch(
+        self, topology: ArrayTopology, rngs: Sequence[np.random.Generator]
+    ) -> BatchState:
+        """Allocate batched state for ``len(rngs)`` trials (round 0 included).
+
+        Row ``t`` must equal what :meth:`init_arrays` would produce with
+        ``rngs[t]``; algorithms whose round 0 draws no randomness (both
+        current implementations) simply broadcast the single-trial init.
+        """
+        raise NotImplementedError
+
+    def step_batch(
+        self,
+        round_index: int,
+        batch: BatchState,
+        topology: ArrayTopology,
+        rngs: Sequence[np.random.Generator],
+        active: np.ndarray,
+    ) -> None:
+        """Execute round ``round_index`` for every trial flagged in ``active``.
+
+        ``active[t]`` is False once trial ``t`` completed: such rows must
+        not mutate state, must not accrue messages and — crucially for
+        batch-size invariance — must not consume randomness from
+        ``rngs[t]``, exactly as the single-trial loop exits before
+        executing further rounds.
+        """
+        raise NotImplementedError
+
+    def batch_complete(self, batch: "BatchState") -> Optional[np.ndarray]:
+        """Optional O(trials) per-trial completion mask.
+
+        The engine's generic completion check reduces over every
+        ``(trials, n)`` / ``(trials, m)`` round array after *every* round,
+        which dominates batched cells with long completion tails.  An
+        algorithm that already tracks per-trial liveness (undecided
+        counts, degree sums) can return the equivalent boolean mask here;
+        returning ``None`` (the default) falls back to the generic
+        reduction.  The mask must match the generic check exactly — it is
+        a fast path, not a different contract.
+        """
+        return None
+
 
 class ArrayEngine:
     """Drives an :class:`ArrayAlgorithm` and assembles the execution trace.
@@ -210,25 +335,39 @@ class ArrayEngine:
     knobs (``max_rounds``, ``strict``), same completion semantics (node- /
     edge-labelling problems complete when every node / edge committed,
     problems labelling neither when every node halted), same strict-mode
-    :class:`~repro.local.runner.RoundLimitExceeded`.  The per-network
-    :class:`ArrayTopology` is cached single-entry, like the runner's node
-    pool, so trial loops on one network pay the (cheap, mostly zero-copy)
-    view construction once.
+    :class:`~repro.local.runner.RoundLimitExceeded`.  Per-network
+    :class:`ArrayTopology` views are cached in a small LRU (like
+    :class:`~repro.local.faults.FaultSchedule`'s mask cache), so trial
+    loops — including sweeps alternating between a handful of networks —
+    pay the (cheap, mostly zero-copy) view construction once per network.
     """
+
+    _TOPOLOGY_CACHE_SIZE = 8
 
     def __init__(self, max_rounds: int = 10_000, strict: bool = True) -> None:
         if max_rounds < 0:
             raise ValueError("max_rounds must be non-negative")
         self.max_rounds = max_rounds
         self.strict = strict
-        self._pool_network: Optional[Network] = None
-        self._pool_topology: Optional[ArrayTopology] = None
+        self._topology_cache: "OrderedDict[int, Tuple[Network, ArrayTopology]]" = (
+            OrderedDict()
+        )
 
     def _topology(self, network: Network) -> ArrayTopology:
-        if self._pool_network is not network:
-            self._pool_topology = ArrayTopology(network)
-            self._pool_network = network
-        return self._pool_topology
+        # Keyed by id() with the network held strongly in the entry: the
+        # stored reference keeps the id from being reused while cached, and
+        # the identity check guards against a stale hit regardless.
+        key = id(network)
+        entry = self._topology_cache.get(key)
+        if entry is not None and entry[0] is network:
+            self._topology_cache.move_to_end(key)
+            return entry[1]
+        topology = ArrayTopology(network)
+        self._topology_cache[key] = (network, topology)
+        self._topology_cache.move_to_end(key)
+        while len(self._topology_cache) > self._TOPOLOGY_CACHE_SIZE:
+            self._topology_cache.popitem(last=False)
+        return topology
 
     def run(
         self,
@@ -279,6 +418,129 @@ class ArrayEngine:
         return self._collect_trace(
             algorithm, network, problem, state, rounds, completed
         )
+
+    def run_batch(
+        self,
+        algorithm: ArrayAlgorithm,
+        network: Network,
+        problem: ProblemSpec,
+        seeds: Sequence[Optional[int]],
+        faults: Optional[FaultSchedule] = None,
+    ) -> List[ExecutionTrace]:
+        """Execute one trial per entry of ``seeds``, batched in lockstep.
+
+        Trial ``t`` draws from its own ``PCG64(seeds[t])`` generator —
+        the identical stream the single-trial :meth:`run` would use with
+        ``seed=seeds[t]`` — and completed trials stop stepping, stop
+        accruing messages and stop consuming randomness, so every returned
+        trace is **bit-identical** to the corresponding single-trial run
+        (batch-size invariance; pinned in ``tests/local/test_batch.py``).
+        Large cells are stepped in chunks sized by :func:`batch_chunk`,
+        which cannot change results because the per-trial streams are
+        independent.
+
+        Fault schedules are per-trial-timeline constructs; batched runs
+        refuse them (route faulted trials through :meth:`run`).
+        """
+        if faults is not None and (faults.crashes or faults.has_message_faults):
+            raise TypeError(
+                "batched execution does not support fault schedules; "
+                "run faulted trials one at a time (ArrayEngine.run)"
+            )
+        if not getattr(algorithm, "supports_batch", False):
+            raise TypeError(
+                f"{algorithm.name} has no batched array implementation; "
+                f"run trials singly (ArrayEngine.run)"
+            )
+        topology = self._topology(network)
+        seeds = list(seeds)
+        traces: List[ExecutionTrace] = []
+        chunk = batch_chunk(topology.n, topology.m, len(seeds))
+        for start in range(0, len(seeds), chunk):
+            traces.extend(
+                self._run_batch_chunk(
+                    algorithm, network, problem, topology, seeds[start : start + chunk]
+                )
+            )
+        return traces
+
+    def _run_batch_chunk(
+        self,
+        algorithm: ArrayAlgorithm,
+        network: Network,
+        problem: ProblemSpec,
+        topology: ArrayTopology,
+        seeds: Sequence[Optional[int]],
+    ) -> List[ExecutionTrace]:
+        rngs = [np.random.Generator(np.random.PCG64(s)) for s in seeds]
+        trials = len(rngs)
+        batch = algorithm.init_batch(topology, rngs)
+
+        def completion() -> np.ndarray:
+            mask = algorithm.batch_complete(batch)
+            if mask is None:
+                mask = self._batch_complete(batch, problem)
+            return mask
+
+        trial_rounds = np.zeros(trials, dtype=np.int64)
+        complete = completion()
+        active = ~complete
+        rounds = 0
+        while active.any() and rounds < self.max_rounds:
+            rounds += 1
+            algorithm.step_batch(rounds, batch, topology, rngs, active)
+            complete = completion()
+            trial_rounds[active & complete] = rounds
+            active &= ~complete
+
+        if active.any():
+            trial_rounds[active] = rounds
+            if self.strict:
+                raise RoundLimitExceeded(
+                    f"{algorithm.name} did not finish {problem.name} on a graph "
+                    f"with n={network.n}, m={network.m} within "
+                    f"{self.max_rounds} rounds"
+                )
+
+        traces = []
+        for t in range(trials):
+            state = ArrayState.__new__(ArrayState)
+            state.node_rounds = batch.node_rounds[t]
+            state.node_values = (
+                None if batch.node_values is None else batch.node_values[t]
+            )
+            state.edge_rounds = batch.edge_rounds[t]
+            state.edge_values = (
+                None if batch.edge_values is None else batch.edge_values[t]
+            )
+            state.halted = batch.halted[t]
+            state.messages = int(batch.messages[t])
+            state.extra = {}
+            traces.append(
+                self._collect_trace(
+                    algorithm,
+                    network,
+                    problem,
+                    state,
+                    int(trial_rounds[t]),
+                    bool(complete[t]),
+                )
+            )
+        return traces
+
+    @staticmethod
+    def _batch_complete(batch: BatchState, problem: ProblemSpec) -> np.ndarray:
+        """Per-trial completion mask (row-wise :meth:`_is_complete`)."""
+        # min-reductions rather than `(rounds < 0).any(axis=1)`: one pass,
+        # no (trials, n) boolean temporary — this runs every round.
+        complete = np.ones(batch.trials, dtype=bool)
+        if problem.labels_nodes and batch.node_rounds.size:
+            complete &= batch.node_rounds.min(axis=1) >= 0
+        if problem.labels_edges and batch.edge_rounds.size:
+            complete &= batch.edge_rounds.min(axis=1) >= 0
+        if not problem.labels_nodes and not problem.labels_edges:
+            complete &= batch.halted.all(axis=1)
+        return complete
 
     def _run_faulted(
         self,
@@ -425,9 +687,18 @@ class ArrayEngine:
             )
         if pending > 0:
             return pending, False
-        node_slots = _missing_slots(state.node_values, state.node_rounds)
-        edge_slots = _missing_slots(state.edge_values, state.edge_rounds)
-        result = problem.validate_induced(network, node_slots, edge_slots, crashed)
+        # State arrays go to the validator as (values, committed-mask)
+        # pairs: problems with a vectorised induced_validator never see a
+        # MISSING-marked Python list (the per-round list build + subnetwork
+        # fallback used to dominate the whole faulted round loop).
+        result = problem.validate_induced(
+            network,
+            state.node_values,
+            state.edge_values,
+            crashed,
+            node_committed=state.node_rounds >= 0,
+            edge_committed=state.edge_rounds >= 0,
+        )
         return 0, bool(result)
 
     @staticmethod
@@ -467,22 +738,16 @@ class ArrayEngine:
         )
 
 
-def _value_slots(values: Optional[np.ndarray], rounds: np.ndarray) -> List[Any]:
-    """Per-slot value list for the trace: ``None`` where never committed."""
+def _value_slots(values: Optional[np.ndarray], rounds: np.ndarray) -> Tuple[Any, ...]:
+    """Per-slot value tuple for the trace: ``None`` where never committed.
+
+    A tuple rather than a list so ``ExecutionTrace.from_arrays`` can adopt
+    it without copying (``tuple(t)`` returns ``t`` itself).
+    """
     if values is None:
-        return [None] * len(rounds)
+        return (None,) * len(rounds)
     slots: List[Any] = values.tolist()
     if (rounds < 0).any():
         for i in np.flatnonzero(rounds < 0).tolist():
             slots[i] = None
-    return slots
-
-
-def _missing_slots(values: Optional[np.ndarray], rounds: np.ndarray) -> List[Any]:
-    """Per-slot value list for validators: ``MISSING`` where never committed."""
-    if values is None:
-        return [MISSING] * len(rounds)
-    slots: List[Any] = values.tolist()
-    for i in np.flatnonzero(rounds < 0).tolist():
-        slots[i] = MISSING
-    return slots
+    return tuple(slots)

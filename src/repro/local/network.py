@@ -411,6 +411,48 @@ class Network:
         return net
 
     @classmethod
+    def _from_csr_arrays(
+        cls,
+        n: int,
+        m: int,
+        indptr,
+        indices,
+        edge_us,
+        edge_vs,
+        ids,
+        max_degree: int,
+        min_degree: int,
+    ) -> "Network":
+        """Reassemble a network from externally held CSR arrays — zero copy.
+
+        Trusted constructor for the shared-memory sweep path: the arrays must
+        be exactly an existing network's :attr:`indptr` / :attr:`indices` /
+        :meth:`edge_endpoints` / :attr:`identifiers` views, typically
+        re-attached across a process boundary.  No validation, sorting, or
+        copying happens here — the arrays are adopted as-is, so they may be
+        (read-only) views into a ``multiprocessing.shared_memory`` buffer
+        that outlives the constructed network.
+        """
+        net = cls.__new__(cls)
+        net._original_labels = None
+        net.n = int(n)
+        net.m = int(m)
+        net._edges_cache = None
+        net._edge_index = None
+        net._packed_index = None
+        net._rows = None
+        net._indptr = indptr
+        net._indices = indices
+        net._edge_us = edge_us
+        net._edge_vs = edge_vs
+        net._nx_export = None
+        net._max_degree = int(max_degree)
+        net._min_degree = int(min_degree)
+        net._ids = tuple(int(i) for i in ids)
+        net._id_bits = max((int(i).bit_length() for i in net._ids), default=0)
+        return net
+
+    @classmethod
     def from_edge_arrays(
         cls,
         edge_arrays,

@@ -1,0 +1,222 @@
+"""Batch-size invariance of :meth:`ArrayEngine.run_batch`.
+
+The contract under test: stepping ``T`` trials together over ``(T, n)`` /
+``(T, m)`` state arrays is a *layout* change, not a semantics change.  Trial
+``t`` of a batch draws from its own ``PCG64(seeds[t])`` stream — the same
+stream the single-trial engine uses — and completed trials stop mutating
+state, stop accruing messages, and stop consuming randomness.  Every trace a
+batch returns must therefore be bit-identical to the corresponding
+single-trial run, for every batch size.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.algorithms.matching.randomized import RandomizedMaximalMatching
+from repro.algorithms.mis.luby import LubyMIS
+from repro.core import problems
+from repro.core.experiment import Experiment, run_trials, trial_seed
+from repro.graphs import generators as gen
+from repro.local.engine import ArrayEngine, batch_chunk
+from repro.local.faults import FaultSchedule
+from repro.local.network import Network
+from repro.local.runner import Runner
+
+engine_module = sys.modules["repro.local.engine"]
+
+BATCH_SIZES = (1, 2, 7, 64)
+SEEDS = list(range(100, 164))
+
+
+def cycle_network(n: int = 48) -> Network:
+    return Network.from_edges(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def gnp_network(n: int = 40, seed: int = 5) -> Network:
+    return Network.from_endpoint_arrays(
+        *_gnp_arrays(n, seed), id_scheme="sequential"
+    )
+
+
+def _gnp_arrays(n: int, seed: int):
+    rng = np.random.Generator(np.random.PCG64(seed))
+    us, vs = np.triu_indices(n, k=1)
+    keep = rng.random(us.size) < 0.12
+    return n, us[keep], vs[keep]
+
+
+ALGORITHMS = [
+    ("luby", lambda: LubyMIS().as_array_algorithm(), problems.MIS),
+    (
+        "matching",
+        lambda: RandomizedMaximalMatching().as_array_algorithm(),
+        problems.MAXIMAL_MATCHING,
+    ),
+]
+
+
+def assert_traces_identical(got, want):
+    assert got.rounds == want.rounds
+    assert got.completed == want.completed
+    assert got.total_messages == want.total_messages
+    assert bytes(got.node_completion_array().tobytes()) == bytes(
+        want.node_completion_array().tobytes()
+    )
+    assert bytes(got.edge_completion_array().tobytes()) == bytes(
+        want.edge_completion_array().tobytes()
+    )
+    assert got.node_outputs == want.node_outputs
+    assert got.edge_outputs == want.edge_outputs
+
+
+class TestBatchSizeInvariance:
+    @pytest.mark.parametrize("name,factory,problem", ALGORITHMS)
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_batched_traces_match_single_trial_runs(
+        self, name, factory, problem, batch_size
+    ):
+        network = gnp_network()
+        engine = ArrayEngine()
+        seeds = SEEDS[:batch_size]
+        singles = [
+            engine.run(factory(), network, problem, seed=seed) for seed in seeds
+        ]
+        batched = engine.run_batch(factory(), network, problem, seeds)
+        assert len(batched) == batch_size
+        for got, want in zip(batched, singles):
+            assert_traces_identical(got, want)
+
+    @pytest.mark.parametrize("name,factory,problem", ALGORITHMS)
+    def test_batched_traces_validate(self, name, factory, problem):
+        network = cycle_network()
+        engine = ArrayEngine()
+        for trace in engine.run_batch(factory(), network, problem, SEEDS[:8]):
+            trace.require_valid()
+
+    @pytest.mark.parametrize("name,factory,problem", ALGORITHMS)
+    def test_trials_of_one_batch_are_independent(self, name, factory, problem):
+        # The same seed at different batch positions produces the same trace:
+        # position in the batch must not leak into any trial's randomness.
+        network = gnp_network(seed=9)
+        engine = ArrayEngine()
+        lone = engine.run_batch(factory(), network, problem, [SEEDS[3]])[0]
+        crowded = engine.run_batch(factory(), network, problem, SEEDS[:8])[3]
+        assert_traces_identical(crowded, lone)
+
+
+class TestRunBatchGuards:
+    def test_fault_schedules_are_refused(self):
+        engine = ArrayEngine()
+        with pytest.raises(TypeError, match="fault schedules"):
+            engine.run_batch(
+                LubyMIS().as_array_algorithm(),
+                cycle_network(8),
+                problems.MIS,
+                [1, 2],
+                faults=FaultSchedule(crashes={0: 1}),
+            )
+
+    def test_algorithms_without_batched_twin_are_refused(self):
+        algorithm = LubyMIS().as_array_algorithm()
+        algorithm.supports_batch = False  # shadow the class attribute
+        with pytest.raises(TypeError, match="no batched array implementation"):
+            ArrayEngine().run_batch(algorithm, cycle_network(8), problems.MIS, [1])
+
+
+class TestChunking:
+    def test_batch_chunk_respects_budget(self):
+        per_trial = 48 * (1000 + 2000)
+        assert batch_chunk(1000, 2000, 10, budget_bytes=per_trial * 4) == 4
+        assert batch_chunk(1000, 2000, 3, budget_bytes=per_trial * 4) == 3
+
+    def test_batch_chunk_never_returns_zero(self):
+        assert batch_chunk(10**6, 10**7, 100, budget_bytes=1) == 1
+        assert batch_chunk(0, 0, 5) == 5
+
+    @pytest.mark.parametrize("name,factory,problem", ALGORITHMS)
+    def test_chunked_execution_is_invariant(
+        self, name, factory, problem, monkeypatch
+    ):
+        # Force run_batch to split 10 seeds into chunks of 3; the per-trial
+        # streams are independent, so the traces cannot change.
+        network = gnp_network()
+        engine = ArrayEngine()
+        whole = engine.run_batch(factory(), network, problem, SEEDS[:10])
+        monkeypatch.setattr(engine_module, "batch_chunk", lambda *a, **k: 3)
+        chunked = engine.run_batch(factory(), network, problem, SEEDS[:10])
+        for got, want in zip(chunked, whole):
+            assert_traces_identical(got, want)
+
+
+class TestBatchRouting:
+    """run_trials / Experiment route multi-trial array cells through run_batch."""
+
+    def test_run_trials_array_engine_matches_per_trial_calls(self):
+        network = cycle_network(30)
+        runner = Runner(max_rounds=10_000)
+        batched = run_trials(
+            LubyMIS,
+            network,
+            problems.MIS,
+            trials=5,
+            seed=11,
+            runner=runner,
+            engine="array",
+        )
+        for trial, trace in enumerate(batched):
+            single = run_trials(
+                LubyMIS,
+                network,
+                problems.MIS,
+                trials=1,
+                seed=trial_seed(11, trial),
+                runner=runner,
+                engine="array",
+            )[0]
+            assert_traces_identical(trace, single)
+
+    def test_run_trials_invokes_factory_once_per_trial(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return LubyMIS()
+
+        run_trials(
+            factory,
+            cycle_network(16),
+            problems.MIS,
+            trials=4,
+            seed=2,
+            runner=Runner(max_rounds=10_000),
+            engine="auto",
+        )
+        assert len(calls) == 4
+
+    def test_experiment_auto_engine_matches_node_free_batching(self):
+        network = cycle_network(24)
+        batched = Experiment(
+            problem=problems.MIS,
+            algorithm=LubyMIS,
+            graphs=network,
+            trials=4,
+            seed=7,
+            engine="array",
+        ).run()
+        singles = [
+            Experiment(
+                problem=problems.MIS,
+                algorithm=LubyMIS,
+                graphs=network,
+                seeds=[trial_seed(7, trial)],
+                engine="array",
+            ).run()
+            for trial in range(4)
+        ]
+        assert batched.ok
+        for trial, trace in enumerate(batched.run.traces):
+            assert_traces_identical(trace, singles[trial].run.traces[0])

@@ -127,9 +127,27 @@ class TestEngineBasics:
     def test_topology_is_pooled_per_network(self, engine):
         net = Network.from_edge_list(*gen.cycle_edges(10))
         engine.run(LubyMISArray(), net, problems.MIS, seed=0)
-        topo = engine._pool_topology
+        topo = engine._topology(net)
         engine.run(LubyMISArray(), net, problems.MIS, seed=1)
-        assert engine._pool_topology is topo
+        assert engine._topology(net) is topo
+
+    def test_topology_cache_keeps_alternating_networks(self, engine):
+        # Regression: the cache used to hold a single entry, so a sweep
+        # alternating two networks rebuilt ArrayTopology on every call.
+        nets = [Network.from_edge_list(*gen.cycle_edges(10 + i)) for i in range(4)]
+        topos = [engine._topology(net) for net in nets]
+        for net, topo in zip(nets, topos):
+            assert engine._topology(net) is topo
+
+    def test_topology_cache_evicts_least_recently_used(self, engine):
+        cap = ArrayEngine._TOPOLOGY_CACHE_SIZE
+        nets = [Network.from_edge_list(*gen.cycle_edges(8 + i)) for i in range(cap + 1)]
+        topos = [engine._topology(net) for net in nets]
+        # The oldest entry fell out; everything younger survived.
+        assert len(engine._topology_cache) == cap
+        assert engine._topology(nets[0]) is not topos[0]
+        for net, topo in zip(nets[2:], topos[2:]):
+            assert engine._topology(net) is topo
 
     def test_works_on_tuple_and_array_built_networks(self, engine):
         n, edges = gen.erdos_renyi_edges(50, 4.0, seed=9)
