@@ -4,11 +4,12 @@
 #   make bench-smoke  perf-harness self-check (tiny sizes, asserts invariants)
 #   make bench        full perf suite -> BENCH_core.json (+ parallel sweep section)
 #   make example      the 10^5-10^6-node scaling tour (skip the finale: EXAMPLE_FLAGS=--no-million)
+#   make serve-smoke  experiment-service smoke: submit/schedule/SIGKILL-resume/HTTP round trip
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench example
+.PHONY: test bench-smoke bench example serve-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q $(PYTEST_FLAGS)
@@ -22,3 +23,6 @@ bench:
 
 example:
 	$(PYTHON) examples/scaling_to_100k.py $(EXAMPLE_FLAGS)
+
+serve-smoke:
+	$(PYTHON) examples/service_quickstart.py

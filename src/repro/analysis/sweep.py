@@ -51,7 +51,12 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Un
 import networkx as nx
 import numpy as np
 
-from repro.core.errors import WorkerCrashed, classify_failure
+from repro.core.errors import CheckpointLocked, WorkerCrashed, classify_failure
+
+try:  # POSIX: kernel-held lock, auto-released when the holder dies
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback uses a sidecar
+    fcntl = None  # type: ignore[assignment]
 from repro.core.experiment import _faults_active, resolve_network, run_trials, trial_seed
 from repro.core.metrics import ComplexityMeasurement, RecoveryTimeline, measure
 from repro.core.problems import ProblemSpec
@@ -68,6 +73,8 @@ __all__ = [
     "CHECKPOINT_FORMAT",
     "sweep",
     "network_from",
+    "read_checkpoint",
+    "collect_rows",
 ]
 
 AlgorithmFactory = Callable[[Network], NodeAlgorithm]
@@ -196,6 +203,7 @@ def sweep(
     cell_timeout: Optional[float] = None,
     checkpoint: Optional[str] = None,
     on_error: str = "raise",
+    batch_budget_bytes: Optional[int] = None,
 ) -> "SweepResult":
     """Run a one-dimensional parameter sweep.
 
@@ -258,6 +266,12 @@ def sweep(
         on_error: ``"raise"`` (default) propagates the first broken cell's
             exception; ``"record"`` converts broken cells into
             :class:`CellFailure` rows on the result and keeps sweeping.
+        batch_budget_bytes: optional override of the trial-batched array
+            engine's chunk byte budget
+            (:func:`repro.local.engine.batch_chunk`; the engine's 24 MiB
+            cache-residency default when ``None``).  Recorded in the
+            checkpoint header as provenance; batch-size invariance makes it
+            a pure throughput knob — rows are identical for every budget.
 
     Returns:
         A :class:`SweepResult` (a ``list`` of one :class:`SweepPoint` per
@@ -279,6 +293,7 @@ def sweep(
         "faults": faults,
         "cell_timeout": cell_timeout,
         "on_error": on_error,
+        "batch_budget": batch_budget_bytes,
     }
     workers = _resolve_workers(parallel)
     cells = len(values) * len(algorithms) * trials
@@ -329,6 +344,7 @@ def sweep(
                 validate=validate,
                 engine=engine,
                 faults=faults,
+                batch_budget_bytes=batch_budget_bytes,
             )
             measurement = measure(traces)
             # Attach the display name chosen by the caller rather than the
@@ -448,6 +464,7 @@ def _run_cell(
         engine=str(spec["engine"]),
         faults=spec["faults"],  # type: ignore[arg-type]
         timeout_s=spec["cell_timeout"],  # type: ignore[arg-type]
+        batch_budget_bytes=spec.get("batch_budget"),  # type: ignore[arg-type]
     )
     return _ok_row(network, problem, index, name, trial, traces[0])
 
@@ -524,6 +541,7 @@ def _run_cell_group(
             validate=bool(spec["validate"]),
             engine=str(spec["engine"]),
             faults=spec["faults"],  # type: ignore[arg-type]
+            batch_budget_bytes=spec.get("batch_budget"),  # type: ignore[arg-type]
         )
         for trial, trace in zip(run, traces):
             rows.append(_ok_row(network, problem, index, name, trial, trace))
@@ -669,6 +687,66 @@ def _collect(spec: Dict[str, object], rows: Dict[CellKey, Dict[str, object]]) ->
 # ---------------------------------------------------------------------- #
 
 
+def read_checkpoint(
+    path: str,
+) -> Tuple[Dict[str, object], Dict[CellKey, Dict[str, object]]]:
+    """Read a ``sweep-checkpoint/v1`` journal: ``(header, rows)``.
+
+    The read-only half of the journal protocol, shared by checkpoint resume
+    and the experiment service's journal → store adapter.  ``rows`` maps
+    ``(value index, algorithm name, trial)`` to the journaled row dict; a
+    later row for the same cell wins (failure retries), and a truncated
+    trailing line (the writer died mid-write) is ignored.  No lock is taken
+    — readers never conflict with a live writer because rows are appended
+    whole lines and flushed.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    try:
+        header = json.loads(lines[0])
+    except (json.JSONDecodeError, IndexError):
+        raise ValueError(f"{path} is not a {CHECKPOINT_FORMAT} checkpoint file")
+    if header.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(
+            f"{path} has checkpoint format {header.get('format')!r}, "
+            f"expected {CHECKPOINT_FORMAT!r}"
+        )
+    rows: Dict[CellKey, Dict[str, object]] = {}
+    for line in lines[1:]:
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue  # truncated trailing line from a killed process
+        rows[(row["index"], row["name"], row["trial"])] = row
+    return header, rows
+
+
+def collect_rows(
+    parameter: str,
+    values: Sequence[object],
+    algorithms: Sequence[str],
+    trials: int,
+    rows: Dict[CellKey, Dict[str, object]],
+) -> SweepResult:
+    """Aggregate journaled cell rows into a :class:`SweepResult`.
+
+    The public face of the row-aggregation step: given the sweep's identity
+    (parameter, values, algorithm display names, trial count) and a row
+    mapping as returned by :func:`read_checkpoint`, produce exactly the
+    points and failures ``sweep()`` itself would return for those rows —
+    same iteration order, same ``measure()`` arithmetic, hence bit-identical
+    measurements.  This is what lets the experiment service re-aggregate a
+    stored journal without re-running a single cell.
+    """
+    spec: Dict[str, object] = {
+        "parameter": parameter,
+        "values": list(values),
+        "algorithms": {name: None for name in algorithms},
+        "trials": int(trials),
+    }
+    return _collect(spec, rows)
+
+
 class _Checkpoint:
     """JSON-lines journal of finished cells (format ``sweep-checkpoint/v1``).
 
@@ -681,19 +759,81 @@ class _Checkpoint:
     the current sweep, finished ``ok`` rows are skipped by the caller, and
     failure rows are retried (a later row for the same cell wins).  A
     truncated trailing line (the process died mid-write) is ignored.
+
+    The journal is single-writer: opening takes an exclusive lock (``flock``
+    where available, else an ``O_EXCL`` pid sidecar) and a second live
+    writer gets a :class:`~repro.core.errors.CheckpointLocked` error instead
+    of silently interleaving rows.  The ``flock`` dies with its holder and
+    the sidecar is stolen when its pid is gone, so a SIGKILLed writer never
+    wedges the journal.
     """
 
     def __init__(self, path: str, spec: Dict[str, object]) -> None:
         self.path = path
         self.rows: Dict[CellKey, Dict[str, object]] = {}
+        self._lock_sidecar: Optional[str] = None
         header = self._header(spec)
-        if os.path.exists(path) and os.path.getsize(path) > 0:
-            self._load(path, header)
-            self._fh = open(path, "a", encoding="utf-8")
-        else:
-            self._fh = open(path, "w", encoding="utf-8")
-            self._fh.write(json.dumps(header, sort_keys=True) + "\n")
-            self._fh.flush()
+        # Open in append mode first (creating the file if new), take the
+        # exclusive writer lock, and only then read/validate/write — so two
+        # concurrent openers serialise on the lock before either can decide
+        # the file is "theirs".
+        self._fh = open(path, "a", encoding="utf-8")
+        self._acquire_lock()
+        try:
+            if os.path.getsize(path) > 0:
+                self._load(path, header)
+            else:
+                self._fh.write(json.dumps(header, sort_keys=True) + "\n")
+                self._fh.flush()
+        except BaseException:
+            self.close()
+            raise
+
+    def _acquire_lock(self) -> None:
+        if fcntl is not None:
+            try:
+                fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                self._fh.close()
+                raise CheckpointLocked(
+                    f"checkpoint {self.path} is locked by another live writer; "
+                    "two sweeps must never share one journal — pass a "
+                    "distinct checkpoint path"
+                ) from None
+            return
+        # Non-POSIX fallback: O_EXCL sidecar holding the writer's pid.  A
+        # sidecar whose pid no longer exists is stale (the writer was killed
+        # before close()) and is stolen.
+        sidecar = self.path + ".lock"
+        for _ in range(2):
+            try:
+                fd = os.open(sidecar, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                try:
+                    with open(sidecar, "r", encoding="utf-8") as fh:
+                        holder = int(fh.read().strip() or "-1")
+                except (OSError, ValueError):
+                    holder = -1
+                if holder > 0 and _pid_alive(holder):
+                    self._fh.close()
+                    raise CheckpointLocked(
+                        f"checkpoint {self.path} is locked by live writer "
+                        f"pid {holder}; two sweeps must never share one "
+                        "journal — pass a distinct checkpoint path"
+                    ) from None
+                try:
+                    os.unlink(sidecar)  # stale: holder is gone
+                except FileNotFoundError:
+                    pass
+            else:
+                os.write(fd, str(os.getpid()).encode())
+                os.close(fd)
+                self._lock_sidecar = sidecar
+                return
+        self._fh.close()
+        raise CheckpointLocked(
+            f"could not acquire the writer lock on checkpoint {self.path}"
+        )
 
     @staticmethod
     def _header(spec: Dict[str, object]) -> Dict[str, object]:
@@ -711,20 +851,14 @@ class _Checkpoint:
             # journal may be written parallel and resumed serial (or on a
             # platform without fork) and still agree cell-exactly.
             "parallel": bool(spec.get("parallel", False)),
+            # Provenance only, same reasoning: batch-size invariance makes
+            # rows identical under every chunk budget, so a journal written
+            # under one budget may be resumed under another.
+            "batch_budget": spec.get("batch_budget"),
         }
 
     def _load(self, path: str, header: Dict[str, object]) -> None:
-        with open(path, "r", encoding="utf-8") as fh:
-            lines = fh.read().splitlines()
-        try:
-            existing = json.loads(lines[0])
-        except (json.JSONDecodeError, IndexError):
-            raise ValueError(f"{path} is not a {CHECKPOINT_FORMAT} checkpoint file")
-        if existing.get("format") != CHECKPOINT_FORMAT:
-            raise ValueError(
-                f"{path} has checkpoint format {existing.get('format')!r}, "
-                f"expected {CHECKPOINT_FORMAT!r}"
-            )
+        existing, rows = read_checkpoint(path)
         mismatched = [
             key
             for key in ("parameter", "values", "algorithms", "trials", "seed", "engine")
@@ -736,12 +870,7 @@ class _Checkpoint:
                 f"(mismatched {', '.join(mismatched)}); delete it or pass "
                 "another path"
             )
-        for line in lines[1:]:
-            try:
-                row = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # truncated trailing line from a killed process
-            self.rows[(row["index"], row["name"], row["trial"])] = row
+        self.rows.update(rows)
 
     def finished(self, key: CellKey) -> Optional[Dict[str, object]]:
         """The journaled ``ok`` row for ``key``, if any (failures are retried)."""
@@ -762,7 +891,24 @@ class _Checkpoint:
     def close(self) -> None:
         if not self._fh.closed:
             self._fh.flush()
-            self._fh.close()
+            self._fh.close()  # releases the flock with the descriptor
+        if self._lock_sidecar is not None:
+            try:
+                os.unlink(self._lock_sidecar)
+            except FileNotFoundError:  # pragma: no cover - already stolen
+                pass
+            self._lock_sidecar = None
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):  # pragma: no cover - exists, not ours
+        return True
+    return True
 
 
 # ---------------------------------------------------------------------- #

@@ -36,7 +36,10 @@ __all__ = [
     "CellTimeout",
     "WorkerCrashed",
     "ValidationFailed",
+    "CheckpointLocked",
     "classify_failure",
+    "is_retryable",
+    "RETRYABLE_KINDS",
     "cell_deadline",
 ]
 
@@ -80,6 +83,20 @@ class ValidationFailed(ReproError, AssertionError):
     kind = "validation-failed"
 
 
+class CheckpointLocked(ReproError):
+    """A sweep checkpoint journal is already held by another live writer.
+
+    Raised when a second writer opens a journal whose exclusive lock is
+    held — two service workers interleaving rows into one journal would be
+    silent corruption, so the collision is a clear, immediate error instead.
+    The lock dies with its holder (``flock``, or a pid-checked sidecar), so
+    a SIGKILLed worker never wedges the journal: the retry reopens and
+    resumes cell-exactly.
+    """
+
+    kind = "checkpoint-locked"
+
+
 def classify_failure(error: BaseException) -> str:
     """Stable ``kind`` slug for an arbitrary exception (for failure rows)."""
     if isinstance(error, ReproError):
@@ -89,6 +106,23 @@ def classify_failure(error: BaseException) -> str:
     if isinstance(error, TimeoutError):
         return CellTimeout.kind
     return f"exception:{type(error).__name__}"
+
+
+#: Failure kinds the experiment service's queue retries with backoff.
+#: Transient, environment-shaped failures retry (a lost worker, an expired
+#: wall-clock budget, a journal briefly held by a dying writer); everything
+#: deterministic — an invalid solution, a round-limit overrun, an arbitrary
+#: exception from the algorithm or factories — would fail identically on
+#: every attempt (the per-cell seed schedule replays the exact execution)
+#: and fails the job permanently instead.
+RETRYABLE_KINDS = frozenset(
+    {WorkerCrashed.kind, CellTimeout.kind, CheckpointLocked.kind}
+)
+
+
+def is_retryable(kind: str) -> bool:
+    """Whether a :func:`classify_failure` slug warrants a retry with backoff."""
+    return kind in RETRYABLE_KINDS
 
 
 def _deadline_supported() -> bool:

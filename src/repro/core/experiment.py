@@ -66,6 +66,7 @@ __all__ = [
     "run_trials",
     "evaluate",
     "trial_seed",
+    "seed_schedule",
     "resolve_network",
     "resolve_engine",
     "Experiment",
@@ -134,6 +135,16 @@ def trial_seed(base_seed: int, trial: int) -> int:
     return base_seed + trial
 
 
+def seed_schedule(base_seed: int, trials: int) -> List[int]:
+    """The explicit per-trial seed list derived from ``(base_seed, trials)``.
+
+    Exactly the seeds :func:`run_trials` uses — the serialisable form of the
+    schedule, recorded verbatim by the experiment service's provenance rows
+    so a stored result names every seed that produced it.
+    """
+    return [trial_seed(base_seed, i) for i in range(trials)]
+
+
 def run_trials(
     algorithm_factory: AlgorithmFactory,
     network: Network,
@@ -145,6 +156,7 @@ def run_trials(
     engine: str = "node",
     faults: Optional[FaultSchedule] = None,
     timeout_s: Optional[float] = None,
+    batch_budget_bytes: Optional[int] = None,
 ) -> List[ExecutionTrace]:
     """Run ``trials`` independent executions and return their traces.
 
@@ -177,6 +189,11 @@ def run_trials(
         timeout_s: optional wall-clock budget in seconds for the whole batch
             of trials; on expiry a :class:`~repro.core.errors.CellTimeout`
             is raised (main-thread POSIX only — a no-op elsewhere).
+        batch_budget_bytes: optional override of the trial-batched engine's
+            chunk byte budget (:func:`repro.local.engine.batch_chunk`;
+            default the engine's 24 MiB cache-residency model).  Batch-size
+            invariance makes this a pure throughput knob — traces are
+            bit-identical for every budget.
 
     Returns:
         One :class:`ExecutionTrace` per trial.
@@ -222,7 +239,12 @@ def run_trials(
                 and getattr(twins[0], "supports_batch", False)
             ):
                 traces = array_engine.run_batch(
-                    twins[0], network, problem, seeds, faults=faults
+                    twins[0],
+                    network,
+                    problem,
+                    seeds,
+                    faults=faults,
+                    budget_bytes=batch_budget_bytes,
                 )
                 if validate:
                     for trace in traces:
@@ -258,6 +280,7 @@ def evaluate(
     engine: str = "node",
     faults: Optional[FaultSchedule] = None,
     timeout_s: Optional[float] = None,
+    batch_budget_bytes: Optional[int] = None,
 ) -> ComplexityMeasurement:
     """Run trials and aggregate them into a single complexity measurement."""
     traces = run_trials(
@@ -271,6 +294,7 @@ def evaluate(
         engine=engine,
         faults=faults,
         timeout_s=timeout_s,
+        batch_budget_bytes=batch_budget_bytes,
     )
     return measure(traces)
 
@@ -483,6 +507,9 @@ class Experiment:
             ``False``, invalid trials are only recorded in ``verdicts``.
         quantiles: completion-time quantile levels for the measurement
             (default :data:`DEFAULT_QUANTILES`; pass ``None`` to skip).
+        batch_budget_bytes: optional override of the trial-batched engine's
+            chunk byte budget (see :func:`run_trials`); a pure throughput
+            knob — batch-size invariance keeps traces bit-identical.
 
     ``run()`` executes the whole pipeline and returns an
     :class:`ExperimentResult`; the builder itself is reusable (every call
@@ -507,6 +534,7 @@ class Experiment:
         timeout_s: Optional[float] = None,
         require_valid: bool = True,
         quantiles: Optional[Sequence[float]] = DEFAULT_QUANTILES,
+        batch_budget_bytes: Optional[int] = None,
     ) -> None:
         if engine not in ENGINES:
             raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
@@ -548,6 +576,7 @@ class Experiment:
         self._timeout_s = timeout_s
         self._require_valid = require_valid
         self._quantiles = quantiles
+        self._batch_budget_bytes = batch_budget_bytes
 
     def run(self) -> ExperimentResult:
         """Execute every (graph, seed) cell and return the structured results."""
@@ -604,6 +633,7 @@ class Experiment:
                                 problem,
                                 list(self._seeds),
                                 faults=self._faults,
+                                budget_bytes=self._batch_budget_bytes,
                             )
                         )
                     else:

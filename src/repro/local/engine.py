@@ -426,6 +426,7 @@ class ArrayEngine:
         problem: ProblemSpec,
         seeds: Sequence[Optional[int]],
         faults: Optional[FaultSchedule] = None,
+        budget_bytes: Optional[int] = None,
     ) -> List[ExecutionTrace]:
         """Execute one trial per entry of ``seeds``, batched in lockstep.
 
@@ -437,7 +438,10 @@ class ArrayEngine:
         (batch-size invariance; pinned in ``tests/local/test_batch.py``).
         Large cells are stepped in chunks sized by :func:`batch_chunk`,
         which cannot change results because the per-trial streams are
-        independent.
+        independent.  ``budget_bytes`` overrides the default
+        :data:`_BATCH_BYTE_BUDGET` cost-model budget (``None`` keeps it);
+        because of batch-size invariance the override is purely a
+        throughput/footprint knob, never a results knob.
 
         Fault schedules are per-trial-timeline constructs; batched runs
         refuse them (route faulted trials through :meth:`run`).
@@ -455,7 +459,12 @@ class ArrayEngine:
         topology = self._topology(network)
         seeds = list(seeds)
         traces: List[ExecutionTrace] = []
-        chunk = batch_chunk(topology.n, topology.m, len(seeds))
+        chunk = batch_chunk(
+            topology.n,
+            topology.m,
+            len(seeds),
+            _BATCH_BYTE_BUDGET if budget_bytes is None else int(budget_bytes),
+        )
         for start in range(0, len(seeds), chunk):
             traces.extend(
                 self._run_batch_chunk(

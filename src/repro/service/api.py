@@ -1,0 +1,245 @@
+"""Minimal JSON-over-HTTP frontend (standard library only).
+
+Exposes the service verbs on a :class:`ThreadingHTTPServer`:
+
+========  ===========================  =====================================
+Method    Path                         Meaning
+========  ===========================  =====================================
+GET       ``/v1/healthz``              liveness + schema/format identifiers
+GET       ``/v1/jobs``                 job list (queue counts included)
+POST      ``/v1/jobs``                 submit — body is a ``sweep-spec/v1``
+                                       object, optionally wrapped as
+                                       ``{"spec": {...}, "max_attempts": k}``
+GET       ``/v1/jobs/<id>``            one job: status, attempts, error,
+                                       provenance
+GET       ``/v1/jobs/<id>/results``    stored points + failure cells
+POST      ``/v1/jobs/<id>/cancel``     cancel a queued job
+========  ===========================  =====================================
+
+The API is deliberately a thin mirror of :class:`~repro.service.queue.
+JobQueue` / :class:`~repro.service.store.ResultStore`: it never executes
+jobs itself — pair it with a scheduler (``python -m repro.service serve``
+runs both).  Each request opens its own store handle, so the threaded
+server needs no connection sharing; sqlite's WAL mode handles the
+concurrent readers.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+
+from repro.service.queue import JobQueue
+from repro.service.specs import SPEC_FORMAT, SweepSpec
+from repro.service.store import RESULT_STORE_SCHEMA, ResultStore
+
+__all__ = ["ServiceAPI", "job_payload", "results_payload"]
+
+
+def job_payload(store: ResultStore, job_id: int) -> Dict[str, object]:
+    """The JSON view of one job row (spec + lifecycle + provenance)."""
+    record = store.experiment(job_id)
+    return {
+        "id": record["id"],
+        "name": record["name"],
+        "status": record["status"],
+        "spec": record["spec"],
+        "spec_digest": record["spec_digest"],
+        "attempts": record["attempts"],
+        "max_attempts": record["max_attempts"],
+        "not_before": record["not_before"],
+        "error_kind": record["error_kind"],
+        "error_message": record["error_message"],
+        "submitted_at": record["submitted_at"],
+        "started_at": record["started_at"],
+        "finished_at": record["finished_at"],
+        "provenance": record["provenance"] or None,
+    }
+
+
+def results_payload(store: ResultStore, job_id: int) -> Dict[str, object]:
+    """The JSON view of a job's stored results (points + failures)."""
+    record = store.experiment(job_id)
+    failures = [
+        {
+            "value_index": cell["value_index"],
+            "algorithm": cell["algorithm"],
+            "trial": cell["trial"],
+            "seed": cell["seed"],
+            "kind": cell["kind"],
+            "message": cell["message"],
+        }
+        for cell in store.failures(job_id)
+    ]
+    return {
+        "id": record["id"],
+        "status": record["status"],
+        "points": store.points(job_id),
+        "failures": failures,
+        "provenance": record["provenance"] or None,
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes ``/v1/...`` requests onto a per-request store handle."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+
+    def log_message(self, fmt: str, *args: object) -> None:
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(fmt, *args)
+
+    def _send(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send(status, {"error": message})
+
+    def _read_body(self) -> Optional[Dict[str, object]]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        try:
+            payload = json.loads(self.rfile.read(length).decode())
+        except (ValueError, UnicodeDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _route(self) -> Tuple[str, Optional[int], Optional[str]]:
+        """``(head, job_id, tail)`` of ``/v1/jobs/<id>/<tail>`` style paths."""
+        parts = [p for p in self.path.split("?")[0].split("/") if p]
+        if len(parts) >= 2 and parts[0] == "v1":
+            head = parts[1]
+            if len(parts) == 2:
+                return head, None, None
+            try:
+                job_id = int(parts[2])
+            except ValueError:
+                return head, None, "bad-id"
+            return head, job_id, parts[3] if len(parts) > 3 else None
+        return "", None, None
+
+    # ------------------------------------------------------------------ #
+    # Verbs
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server convention
+        head, job_id, tail = self._route()
+        if head == "healthz":
+            self._send(
+                200,
+                {
+                    "status": "ok",
+                    "schema": RESULT_STORE_SCHEMA,
+                    "spec_format": SPEC_FORMAT,
+                },
+            )
+            return
+        if head != "jobs" or tail == "bad-id":
+            self._error(404, f"no such resource: {self.path}")
+            return
+        with ResultStore(self.server.db_path) as store:
+            if job_id is None:
+                queue = JobQueue(store)
+                self._send(
+                    200,
+                    {
+                        "jobs": store.list_experiments(),
+                        "counts": queue.counts(),
+                    },
+                )
+                return
+            try:
+                if tail is None:
+                    self._send(200, job_payload(store, job_id))
+                elif tail == "results":
+                    self._send(200, results_payload(store, job_id))
+                else:
+                    self._error(404, f"no such resource: {self.path}")
+            except KeyError:
+                self._error(404, f"no job with id {job_id}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server convention
+        head, job_id, tail = self._route()
+        if head != "jobs" or tail == "bad-id":
+            self._error(404, f"no such resource: {self.path}")
+            return
+        if job_id is None and tail is None:
+            body = self._read_body()
+            if body is None:
+                self._error(400, "request body must be a JSON object")
+                return
+            # Accept both the bare spec object and the {"spec": ...} wrapper.
+            spec_data = body.get("spec", body)
+            max_attempts = int(body.get("max_attempts", 3)) if "spec" in body else 3
+            try:
+                spec = SweepSpec.from_dict(spec_data)
+            except (TypeError, ValueError) as error:
+                self._error(400, f"invalid spec: {error}")
+                return
+            with ResultStore(self.server.db_path) as store:
+                queue_id = JobQueue(store).submit(spec, max_attempts=max_attempts)
+                self._send(201, job_payload(store, queue_id))
+            return
+        if job_id is not None and tail == "cancel":
+            with ResultStore(self.server.db_path) as store:
+                try:
+                    cancelled = JobQueue(store).cancel(job_id)
+                    self._send(200, job_payload(store, job_id) | {
+                        "cancelled": cancelled,
+                    })
+                except KeyError:
+                    self._error(404, f"no job with id {job_id}")
+            return
+        self._error(404, f"no such resource: {self.path}")
+
+
+class ServiceAPI:
+    """The HTTP frontend bound to one service database.
+
+    ``port=0`` binds an ephemeral port (read it back from ``address``) —
+    the form the tests and the smoke example use.
+    """
+
+    def __init__(
+        self,
+        db_path: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ) -> None:
+        # Create/upgrade the database up front so the first request can't
+        # race the schema bootstrap.
+        ResultStore(db_path).close()
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.db_path = str(db_path)
+        self._server.verbose = verbose
+        self._server.daemon_threads = True
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)``."""
+        return self._server.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:  # pragma: no cover - blocking loop
+        self._server.serve_forever()
+
+    def shutdown(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()

@@ -1,0 +1,348 @@
+"""The ``python -m repro.service`` command line (standard library only).
+
+Verbs::
+
+    python -m repro.service --db runs.db submit --spec spec.json [--run]
+    python -m repro.service --db runs.db submit --parameter n --values 8,12 \\
+        --family cycle --algorithms luby_mis --trials 3
+    python -m repro.service --db runs.db status [JOB_ID] [--json]
+    python -m repro.service --db runs.db results JOB_ID [--json]
+    python -m repro.service --db runs.db cancel JOB_ID
+    python -m repro.service --db runs.db work [--max-jobs N] [--workers W]
+    python -m repro.service --db runs.db serve [--port P] [--workers W]
+
+``submit`` accepts either a ``sweep-spec/v1`` JSON file (``--spec``, ``-``
+for stdin) or the inline flags; ``--run`` drains the queue in-process after
+submitting, which is the one-shot batch mode.  ``work`` runs a scheduler
+until the queue is empty; ``serve`` runs the HTTP API with a background
+scheduler thread, which is the long-lived service mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from repro.service.api import ServiceAPI, job_payload, results_payload
+from repro.service.queue import JobQueue
+from repro.service.scheduler import Scheduler
+from repro.service.specs import ALGORITHMS, GRAPH_FAMILIES, SweepSpec
+from repro.service.store import ResultStore
+
+__all__ = ["main"]
+
+
+def _parse_values(text: str) -> List[object]:
+    """Comma-separated sweep values; each token parsed as JSON when possible."""
+    values: List[object] = []
+    for token in text.split(","):
+        token = token.strip()
+        try:
+            values.append(json.loads(token))
+        except ValueError:
+            values.append(token)
+    return values
+
+
+def _parse_family_params(pairs: Sequence[str]) -> Dict[str, object]:
+    params: Dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"--family-param expects key=value, got {pair!r}")
+        key, _, raw = pair.partition("=")
+        try:
+            params[key] = json.loads(raw)
+        except ValueError:
+            params[key] = raw
+    return params
+
+
+def _spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    if args.spec:
+        stream = sys.stdin if args.spec == "-" else open(args.spec)
+        with stream:
+            data = json.load(stream)
+        spec = SweepSpec.from_dict(data)
+        return spec.with_name(args.name) if args.name else spec
+    missing = [
+        flag
+        for flag, value in (
+            ("--parameter", args.parameter),
+            ("--values", args.values),
+            ("--family", args.family),
+            ("--algorithms", args.algorithms),
+        )
+        if not value
+    ]
+    if missing:
+        raise SystemExit(
+            "submit needs --spec FILE or all of: " + ", ".join(missing)
+        )
+    return SweepSpec(
+        parameter=args.parameter,
+        values=tuple(_parse_values(args.values)),
+        family=args.family,
+        algorithms=tuple(a.strip() for a in args.algorithms.split(",")),
+        family_params=_parse_family_params(args.family_param),
+        trials=args.trials,
+        seed=args.seed,
+        max_rounds=args.max_rounds,
+        validate=not args.no_validate,
+        engine=args.engine,
+        cell_timeout=args.cell_timeout,
+        batch_budget_bytes=args.batch_budget_bytes,
+        name=args.name or "",
+    )
+
+
+def _print(payload: object) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True, default=str))
+
+
+def _job_line(row: Dict[str, object]) -> str:
+    error = f"  [{row['error_kind']}]" if row.get("error_kind") else ""
+    name = f"  {row['name']}" if row.get("name") else ""
+    return (
+        f"job {row['id']:>4}  {row['status']:<9} "
+        f"attempts {row['attempts']}/{row['max_attempts']}{name}{error}"
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Verbs
+# ---------------------------------------------------------------------- #
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    with ResultStore(args.db) as store:
+        job_id = JobQueue(store).submit(spec, max_attempts=args.max_attempts)
+    print(f"submitted job {job_id} (spec {spec.digest()[:12]}) to {args.db}")
+    if args.run:
+        scheduler = Scheduler(args.db, max_workers=args.workers, poll_s=0.05)
+        try:
+            scheduler.drain()
+            job = scheduler.queue.job(job_id)
+        finally:
+            scheduler.close()
+        print(f"job {job_id} finished with status {job.status}")
+        return 0 if job.status == "done" else 1
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    with ResultStore(args.db) as store:
+        if args.job_id is not None:
+            payload = job_payload(store, args.job_id)
+            if args.json:
+                _print(payload)
+            else:
+                print(_job_line(payload))
+                if payload["error_message"]:
+                    print(f"  error: {payload['error_message']}")
+            return 0
+        queue = JobQueue(store)
+        rows = store.list_experiments()
+        counts = queue.counts()
+        if args.json:
+            _print({"jobs": rows, "counts": counts})
+            return 0
+        for row in rows:
+            print(_job_line(row))
+        print(
+            "totals: "
+            + "  ".join(f"{status}={n}" for status, n in counts.items() if n)
+        )
+    return 0
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    with ResultStore(args.db) as store:
+        payload = results_payload(store, args.job_id)
+    if args.json:
+        _print(payload)
+        return 0
+    print(f"job {args.job_id}: {payload['status']}, "
+          f"{len(payload['points'])} points, "
+          f"{len(payload['failures'])} failed cells")
+    for point in payload["points"]:
+        m = point["measurement"]
+        print(
+            f"  {point['parameter']}={point['value']!r:<8} "
+            f"{point['algorithm']:<24} "
+            f"node-avg={m['node_averaged']:.3f} "
+            f"worst={m['worst_case']:.3f} "
+            f"(n={m['n']}, trials={m['trials']})"
+        )
+    for failure in payload["failures"]:
+        print(
+            f"  FAILED value_index={failure['value_index']} "
+            f"{failure['algorithm']} trial={failure['trial']} "
+            f"[{failure['kind']}] {failure['message']}"
+        )
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    with ResultStore(args.db) as store:
+        cancelled = JobQueue(store).cancel(args.job_id)
+    if cancelled:
+        print(f"job {args.job_id} cancelled")
+        return 0
+    print(f"job {args.job_id} was not queued (already running or finished)")
+    return 1
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    scheduler = Scheduler(args.db, max_workers=args.workers, poll_s=args.poll)
+    try:
+        launched = scheduler.drain(max_jobs=args.max_jobs)
+        counts = scheduler.queue.counts()
+    finally:
+        scheduler.close()
+    print(
+        f"ran {len(launched)} job attempt(s); "
+        + "  ".join(f"{status}={n}" for status, n in counts.items() if n)
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:  # pragma: no cover - loop
+    api = ServiceAPI(args.db, host=args.host, port=args.port, verbose=True)
+    workers: Optional[Scheduler] = None
+    if args.workers > 0:
+        workers = Scheduler(args.db, max_workers=args.workers, poll_s=args.poll)
+        thread = threading.Thread(target=workers.serve_forever, daemon=True)
+        thread.start()
+    print(f"serving {args.db} on {api.url} "
+          f"({args.workers} worker slot(s))")
+    try:
+        api.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        api.shutdown()
+        if workers is not None:
+            workers.close()
+    return 0
+
+
+def _cmd_registry(args: argparse.Namespace) -> int:
+    _print(
+        {
+            "families": sorted(GRAPH_FAMILIES),
+            "algorithms": sorted(ALGORITHMS),
+        }
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# Parser
+# ---------------------------------------------------------------------- #
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Submit, schedule and query persistent sweep experiments.",
+    )
+    parser.add_argument(
+        "--db",
+        default="repro-service.db",
+        help="service database path (default: %(default)s)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    submit = sub.add_parser("submit", help="enqueue a sweep spec as a job")
+    submit.add_argument("--spec", help="sweep-spec/v1 JSON file ('-' = stdin)")
+    submit.add_argument("--parameter")
+    submit.add_argument("--values", help="comma-separated swept values")
+    submit.add_argument("--family", help="registered graph family name")
+    submit.add_argument("--algorithms", help="comma-separated algorithm names")
+    submit.add_argument(
+        "--family-param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="graph family parameter (repeatable)",
+    )
+    submit.add_argument("--trials", type=int, default=3)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--max-rounds", type=int, default=20_000)
+    submit.add_argument("--no-validate", action="store_true")
+    submit.add_argument("--engine", default="auto")
+    submit.add_argument("--cell-timeout", type=float, default=None)
+    submit.add_argument(
+        "--batch-budget-bytes",
+        type=int,
+        default=None,
+        help="array-engine batch memory budget override (bytes)",
+    )
+    submit.add_argument("--name", default="")
+    submit.add_argument("--max-attempts", type=int, default=3)
+    submit.add_argument(
+        "--run",
+        action="store_true",
+        help="drain the queue in-process after submitting (one-shot mode)",
+    )
+    submit.add_argument("--workers", type=int, default=1)
+    submit.set_defaults(func=_cmd_submit)
+
+    status = sub.add_parser("status", help="queue overview or one job's state")
+    status.add_argument("job_id", nargs="?", type=int, default=None)
+    status.add_argument("--json", action="store_true")
+    status.set_defaults(func=_cmd_status)
+
+    results = sub.add_parser("results", help="stored results of a job")
+    results.add_argument("job_id", type=int)
+    results.add_argument("--json", action="store_true")
+    results.set_defaults(func=_cmd_results)
+
+    cancel = sub.add_parser("cancel", help="cancel a queued job")
+    cancel.add_argument("job_id", type=int)
+    cancel.set_defaults(func=_cmd_cancel)
+
+    work = sub.add_parser("work", help="run a scheduler until the queue drains")
+    work.add_argument("--max-jobs", type=int, default=None)
+    work.add_argument("--workers", type=int, default=1)
+    work.add_argument("--poll", type=float, default=0.1)
+    work.set_defaults(func=_cmd_work)
+
+    serve = sub.add_parser("serve", help="HTTP API + background scheduler")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="scheduler worker slots (0 = API only)",
+    )
+    serve.add_argument("--poll", type=float, default=0.2)
+    serve.set_defaults(func=_cmd_serve)
+
+    registry = sub.add_parser(
+        "registry", help="list registered graph families and algorithms"
+    )
+    registry.set_defaults(func=_cmd_registry)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,538 @@
+"""The persistent result store (sqlite, schema ``result-store/v1``).
+
+One sqlite database holds everything the service knows:
+
+* ``experiments`` — one row per submitted job: the canonical spec JSON and
+  its digest, the queue state machine (status / attempts / backoff), the
+  error trail, and — once the job finishes — the full provenance record
+  (seed schedule, per-value graph provenance from ``EdgeArrays.meta`` or
+  the cache key, engine and batch-chunk choice, and the sweep checkpoint
+  header).
+* ``cells`` — one row per ``(value index, algorithm, trial)`` cell, exactly
+  the journal's row payload: completion-time buffers as raw int64 BLOBs for
+  ``ok`` rows (verdicts are implied — a validated sweep only journals cells
+  whose solutions passed), failure slug/seed/message for ``failure`` rows,
+  and the recovery timeline JSON when the run was self-stabilising.
+* ``points`` — the aggregated per-``(value, algorithm)`` measurements, at
+  full float precision (the exact ``ComplexityMeasurement`` fields, not the
+  rounded table form), re-aggregated through the same
+  :func:`repro.analysis.sweep.collect_rows` arithmetic as an in-process
+  sweep — stored results are bit-identical to in-process ones.
+* ``graph_cache`` — the content-addressed CSR cache: keyed on the complete
+  build recipe (:meth:`repro.service.specs.SweepSpec.graph_key`), a row
+  holds the network's packed int64 CSR arrays.  A claim protocol
+  (``INSERT OR IGNORE`` of a ``building`` row) guarantees that N concurrent
+  jobs needing the same network perform **exactly one** build; the
+  ``builds`` counter records it, and a claim whose holder died is stolen
+  after a staleness window.
+
+Writers from many processes are expected (CLI submitters, scheduler,
+workers): the store opens every connection in WAL mode with a busy
+timeout, and every multi-statement mutation runs inside
+``BEGIN IMMEDIATE`` so readers never observe half-written jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.sweep import CellKey, collect_rows
+from repro.local.network import Network
+
+__all__ = ["RESULT_STORE_SCHEMA", "ResultStore"]
+
+#: Identifier of the on-disk schema (recorded in the ``meta`` table).
+RESULT_STORE_SCHEMA = "result-store/v1"
+
+#: Field order of the int64 arrays packed into a graph-cache payload —
+#: deliberately the same layout as the parallel sweep's shared-memory
+#: manifest, because both feed :meth:`Network._from_csr_arrays`.
+_CSR_FIELDS = ("indptr", "indices", "edge_us", "edge_vs", "ids")
+
+#: Seconds after which a ``building`` graph-cache claim whose writer has
+#: stopped refreshing is considered dead and may be stolen.
+_CLAIM_STALE_S = 300.0
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS experiments (
+    id            INTEGER PRIMARY KEY AUTOINCREMENT,
+    name          TEXT NOT NULL DEFAULT '',
+    spec          TEXT NOT NULL,
+    spec_digest   TEXT NOT NULL,
+    status        TEXT NOT NULL DEFAULT 'queued',
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    max_attempts  INTEGER NOT NULL DEFAULT 3,
+    not_before    REAL NOT NULL DEFAULT 0,
+    worker_pid    INTEGER,
+    error_kind    TEXT,
+    error_message TEXT,
+    submitted_at  REAL NOT NULL,
+    started_at    REAL,
+    finished_at   REAL,
+    provenance    TEXT
+);
+CREATE INDEX IF NOT EXISTS experiments_status ON experiments(status, not_before);
+CREATE TABLE IF NOT EXISTS cells (
+    experiment_id  INTEGER NOT NULL REFERENCES experiments(id),
+    value_index    INTEGER NOT NULL,
+    algorithm      TEXT NOT NULL,
+    trial          INTEGER NOT NULL,
+    status         TEXT NOT NULL,
+    n              INTEGER,
+    m              INTEGER,
+    problem        TEXT,
+    algorithm_name TEXT,
+    node_times     BLOB,
+    edge_times     BLOB,
+    recovery       TEXT,
+    seed           INTEGER,
+    kind           TEXT,
+    message        TEXT,
+    PRIMARY KEY (experiment_id, value_index, algorithm, trial)
+);
+CREATE TABLE IF NOT EXISTS points (
+    experiment_id INTEGER NOT NULL REFERENCES experiments(id),
+    idx           INTEGER NOT NULL,
+    parameter     TEXT NOT NULL,
+    value         TEXT NOT NULL,
+    algorithm     TEXT NOT NULL,
+    measurement   TEXT NOT NULL,
+    PRIMARY KEY (experiment_id, idx)
+);
+CREATE TABLE IF NOT EXISTS graph_cache (
+    key        TEXT PRIMARY KEY,
+    recipe     TEXT NOT NULL,
+    status     TEXT NOT NULL DEFAULT 'building',
+    n          INTEGER,
+    m          INTEGER,
+    max_degree INTEGER,
+    min_degree INTEGER,
+    layout     TEXT,
+    payload    BLOB,
+    builds     INTEGER NOT NULL DEFAULT 0,
+    hits       INTEGER NOT NULL DEFAULT 0,
+    claimed_by INTEGER,
+    claimed_at REAL,
+    built_at   REAL
+);
+"""
+
+
+def _network_csr_arrays(network: Network) -> Dict[str, np.ndarray]:
+    """The network's immutable topology as int64 arrays (mirrors the
+    parallel sweep's shared-memory export)."""
+    us, vs = network.edge_endpoints()
+    return {
+        "indptr": np.frombuffer(network.indptr, dtype=np.int64),
+        "indices": np.frombuffer(network.indices, dtype=np.int64),
+        "edge_us": np.asarray(us, dtype=np.int64),
+        "edge_vs": np.asarray(vs, dtype=np.int64),
+        "ids": np.asarray(network.identifiers, dtype=np.int64),
+    }
+
+
+class ResultStore:
+    """Handle on one service database (safe to hold one per process).
+
+    ``ResultStore(path)`` creates the schema on first use and validates the
+    schema version afterwards.  All public methods are safe under
+    concurrent access from other processes holding their own stores on the
+    same path.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        self._db = sqlite3.connect(self.path, timeout=30.0)
+        self._db.row_factory = sqlite3.Row
+        self._db.execute("PRAGMA journal_mode=WAL")
+        self._db.execute("PRAGMA synchronous=NORMAL")
+        self._db.execute("PRAGMA busy_timeout=30000")
+        with self._db:
+            self._db.executescript(_DDL)
+            self._db.execute(
+                "INSERT OR IGNORE INTO meta(key, value) VALUES ('schema', ?)",
+                (RESULT_STORE_SCHEMA,),
+            )
+        schema = self._db.execute(
+            "SELECT value FROM meta WHERE key = 'schema'"
+        ).fetchone()[0]
+        if schema != RESULT_STORE_SCHEMA:
+            raise ValueError(
+                f"{self.path} uses result-store schema {schema!r}, this code "
+                f"speaks {RESULT_STORE_SCHEMA!r}"
+            )
+
+    def close(self) -> None:
+        self._db.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Experiments (rows are managed by JobQueue; read here)
+    # ------------------------------------------------------------------ #
+
+    def experiment(self, job_id: int) -> Dict[str, object]:
+        row = self._db.execute(
+            "SELECT * FROM experiments WHERE id = ?", (job_id,)
+        ).fetchone()
+        if row is None:
+            raise KeyError(f"no experiment with id {job_id}")
+        record = dict(row)
+        record["spec"] = json.loads(record["spec"])
+        if record["provenance"]:
+            record["provenance"] = json.loads(record["provenance"])
+        return record
+
+    def list_experiments(self) -> List[Dict[str, object]]:
+        rows = self._db.execute(
+            "SELECT id, name, spec_digest, status, attempts, max_attempts, "
+            "error_kind, submitted_at, started_at, finished_at "
+            "FROM experiments ORDER BY id"
+        ).fetchall()
+        return [dict(row) for row in rows]
+
+    # ------------------------------------------------------------------ #
+    # Results
+    # ------------------------------------------------------------------ #
+
+    def record_results(
+        self,
+        job_id: int,
+        rows: Mapping[CellKey, Mapping[str, object]],
+        provenance: Mapping[str, object],
+    ) -> None:
+        """Persist a finished job's cells, aggregated points, and provenance.
+
+        ``rows`` is the journal's row mapping (:func:`read_checkpoint`);
+        the points are re-aggregated here through
+        :func:`repro.analysis.sweep.collect_rows`, i.e. through the exact
+        arithmetic of the in-process sweep, and stored at full float
+        precision.  Idempotent per job: re-recording replaces the previous
+        rows (the retry path after a worker died mid-record).
+        """
+        experiment = self.experiment(job_id)
+        spec = experiment["spec"]
+        result = collect_rows(
+            parameter=str(spec["parameter"]),
+            values=list(spec["values"]),
+            algorithms=list(spec["algorithms"]),
+            trials=int(spec["trials"]),
+            rows=dict(rows),
+        )
+        point_rows = []
+        for idx, point in enumerate(result):
+            measurement = dict(point.measurement.__dict__)
+            point_rows.append(
+                (
+                    job_id,
+                    idx,
+                    point.parameter,
+                    json.dumps(point.value),
+                    point.measurement.algorithm,
+                    json.dumps(measurement),
+                )
+            )
+        cell_rows = []
+        for (index, name, trial), row in sorted(rows.items()):
+            if row["status"] == "ok":
+                node = np.asarray(row["node_times"], dtype=np.int64)
+                edge = np.asarray(row["edge_times"], dtype=np.int64)
+                recovery = row.get("recovery")
+                cell_rows.append(
+                    (
+                        job_id,
+                        index,
+                        name,
+                        trial,
+                        "ok",
+                        int(row["n"]),
+                        int(row["m"]),
+                        str(row["problem"]),
+                        str(row["algorithm"]),
+                        node.tobytes(),
+                        edge.tobytes(),
+                        json.dumps(recovery) if recovery is not None else None,
+                        None,
+                        None,
+                        None,
+                    )
+                )
+            else:
+                cell_rows.append(
+                    (
+                        job_id,
+                        index,
+                        name,
+                        trial,
+                        "failure",
+                        None,
+                        None,
+                        None,
+                        None,
+                        None,
+                        None,
+                        None,
+                        int(row["seed"]),
+                        str(row["failure"]),
+                        str(row["message"]),
+                    )
+                )
+        with self._db:
+            self._db.execute("DELETE FROM cells WHERE experiment_id = ?", (job_id,))
+            self._db.execute("DELETE FROM points WHERE experiment_id = ?", (job_id,))
+            self._db.executemany(
+                "INSERT INTO cells VALUES (?,?,?,?,?,?,?,?,?,?,?,?,?,?,?)",
+                cell_rows,
+            )
+            self._db.executemany(
+                "INSERT INTO points VALUES (?,?,?,?,?,?)", point_rows
+            )
+            self._db.execute(
+                "UPDATE experiments SET provenance = ? WHERE id = ?",
+                (json.dumps(dict(provenance)), job_id),
+            )
+
+    def points(self, job_id: int) -> List[Dict[str, object]]:
+        """The stored per-(value, algorithm) measurements, in sweep order.
+
+        Each entry carries ``parameter`` / ``value`` / ``algorithm`` plus
+        the full-precision ``measurement`` mapping (every
+        ``ComplexityMeasurement`` field, quantile and recovery extras
+        included).
+        """
+        rows = self._db.execute(
+            "SELECT * FROM points WHERE experiment_id = ? ORDER BY idx",
+            (job_id,),
+        ).fetchall()
+        out = []
+        for row in rows:
+            out.append(
+                {
+                    "parameter": row["parameter"],
+                    "value": json.loads(row["value"]),
+                    "algorithm": row["algorithm"],
+                    "measurement": json.loads(row["measurement"]),
+                }
+            )
+        return out
+
+    def cells(self, job_id: int) -> List[Dict[str, object]]:
+        """The stored per-trial cells; completion times as int64 arrays."""
+        rows = self._db.execute(
+            "SELECT * FROM cells WHERE experiment_id = ? "
+            "ORDER BY value_index, algorithm, trial",
+            (job_id,),
+        ).fetchall()
+        out = []
+        for row in rows:
+            record = dict(row)
+            if record["status"] == "ok":
+                record["node_times"] = np.frombuffer(
+                    record["node_times"], dtype=np.int64
+                )
+                record["edge_times"] = np.frombuffer(
+                    record["edge_times"], dtype=np.int64
+                )
+                if record["recovery"]:
+                    record["recovery"] = json.loads(record["recovery"])
+            out.append(record)
+        return out
+
+    def failures(self, job_id: int) -> List[Dict[str, object]]:
+        """The stored failure cells (kind / seed / message) of a job."""
+        return [c for c in self.cells(job_id) if c["status"] == "failure"]
+
+    # ------------------------------------------------------------------ #
+    # Content-addressed graph cache
+    # ------------------------------------------------------------------ #
+
+    def cached_network(self, key: str) -> Optional[Network]:
+        """The ready network stored under ``key``, or ``None``.
+
+        Reassembles through :meth:`Network._from_csr_arrays` on zero-copy
+        views of the payload bytes — the same trusted constructor the
+        parallel sweep's shared-memory path uses, so a cache-hit network is
+        indistinguishable from the freshly built original.
+        """
+        row = self._db.execute(
+            "SELECT * FROM graph_cache WHERE key = ? AND status = 'ready'",
+            (key,),
+        ).fetchone()
+        if row is None:
+            return None
+        self._db.execute(
+            "UPDATE graph_cache SET hits = hits + 1 WHERE key = ?", (key,)
+        )
+        self._db.commit()
+        layout = json.loads(row["layout"])
+        payload = row["payload"]
+        views: Dict[str, np.ndarray] = {}
+        for field, offset, count in layout:
+            view = np.frombuffer(
+                payload, dtype=np.int64, count=count, offset=offset
+            )
+            view.setflags(write=False)
+            views[field] = view
+        return Network._from_csr_arrays(
+            n=int(row["n"]),
+            m=int(row["m"]),
+            indptr=views["indptr"],
+            indices=views["indices"],
+            edge_us=views["edge_us"],
+            edge_vs=views["edge_vs"],
+            ids=views["ids"],
+            max_degree=int(row["max_degree"]),
+            min_degree=int(row["min_degree"]),
+        )
+
+    def claim_graph_build(self, key: str, recipe: Mapping[str, object]) -> bool:
+        """Try to claim the (single) build of ``key``; True when claimed.
+
+        Exactly one concurrent claimant wins the atomic
+        ``INSERT OR IGNORE``; losers should poll :meth:`cached_network` (or
+        call :meth:`network_for`, which wraps the whole protocol).  A
+        ``building`` claim whose holder died (pid gone, or the claim is
+        older than the staleness window) is stolen.
+        """
+        now = time.time()
+        with self._db:
+            cursor = self._db.execute(
+                "INSERT OR IGNORE INTO graph_cache "
+                "(key, recipe, status, claimed_by, claimed_at) "
+                "VALUES (?, ?, 'building', ?, ?)",
+                (key, json.dumps(dict(recipe)), os.getpid(), now),
+            )
+            if cursor.rowcount:
+                return True
+            row = self._db.execute(
+                "SELECT status, claimed_by, claimed_at FROM graph_cache "
+                "WHERE key = ?",
+                (key,),
+            ).fetchone()
+            if row is None or row["status"] == "ready":
+                return False
+            holder = row["claimed_by"]
+            stale = (
+                row["claimed_at"] is None
+                or now - float(row["claimed_at"]) > _CLAIM_STALE_S
+                or (holder is not None and not _pid_alive(int(holder)))
+            )
+            if not stale:
+                return False
+            cursor = self._db.execute(
+                "UPDATE graph_cache SET claimed_by = ?, claimed_at = ? "
+                "WHERE key = ? AND status = 'building' AND claimed_at = ?",
+                (os.getpid(), now, key, row["claimed_at"]),
+            )
+            return bool(cursor.rowcount)
+
+    def store_network(self, key: str, network: Network) -> None:
+        """Fill a claimed cache row with the built network's CSR payload."""
+        arrays = _network_csr_arrays(network)
+        layout: List[Tuple[str, int, int]] = []
+        chunks: List[bytes] = []
+        offset = 0
+        for field in _CSR_FIELDS:
+            data = np.ascontiguousarray(arrays[field], dtype=np.int64)
+            layout.append((field, offset, int(data.size)))
+            chunks.append(data.tobytes())
+            offset += data.nbytes
+        with self._db:
+            self._db.execute(
+                "UPDATE graph_cache SET status = 'ready', n = ?, m = ?, "
+                "max_degree = ?, min_degree = ?, layout = ?, payload = ?, "
+                "builds = builds + 1, built_at = ? WHERE key = ?",
+                (
+                    network.n,
+                    network.m,
+                    network.max_degree(),
+                    network.min_degree(),
+                    json.dumps(layout),
+                    b"".join(chunks),
+                    time.time(),
+                    key,
+                ),
+            )
+
+    def release_graph_claim(self, key: str) -> None:
+        """Drop an unfilled claim (the build raised); unblocks other waiters."""
+        with self._db:
+            self._db.execute(
+                "DELETE FROM graph_cache WHERE key = ? AND status = 'building'",
+                (key,),
+            )
+
+    def network_for(
+        self,
+        key: str,
+        recipe: Mapping[str, object],
+        build: Callable[[], Network],
+        poll_s: float = 0.05,
+        timeout_s: float = 120.0,
+    ) -> Network:
+        """The network for ``key``: cache hit, else claim-build-store, else wait.
+
+        The full dedup protocol: whoever claims the row builds once and
+        publishes; everyone else polls until the payload is ready.  If the
+        wait times out (a wedged builder just inside the staleness window),
+        the caller builds locally without publishing — correctness over
+        dedup.
+        """
+        network = self.cached_network(key)
+        if network is not None:
+            return network
+        deadline = time.time() + timeout_s
+        while True:
+            if self.claim_graph_build(key, recipe):
+                try:
+                    network = build()
+                except BaseException:
+                    self.release_graph_claim(key)
+                    raise
+                self.store_network(key, network)
+                return network
+            network = self.cached_network(key)
+            if network is not None:
+                return network
+            if time.time() >= deadline:
+                return build()
+            time.sleep(poll_s)
+
+    def graph_cache_stats(self) -> List[Dict[str, object]]:
+        """Per-key cache accounting (builds / hits / sizes), for tests & ops."""
+        rows = self._db.execute(
+            "SELECT key, recipe, status, n, m, builds, hits FROM graph_cache "
+            "ORDER BY key"
+        ).fetchall()
+        out = []
+        for row in rows:
+            record = dict(row)
+            record["recipe"] = json.loads(record["recipe"])
+            out.append(record)
+        return out
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):  # pragma: no cover - exists, not ours
+        return True
+    return True

@@ -1,0 +1,149 @@
+"""Tests for the checkpoint journal's single-writer guarantee.
+
+Two concurrent sweeps pointed at one journal must not silently interleave
+rows: the second writer gets a clean ``CheckpointLocked`` error.  The lock
+must also die with its holder (flock) or be stealable (stale pid sidecar),
+so a SIGKILLed writer never wedges the journal for the resuming retry.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+from repro.algorithms.mis.luby import LubyMIS
+from repro.core import problems
+from repro.core.errors import CheckpointLocked, is_retryable
+from repro.graphs import generators as gen
+
+import repro.analysis.sweep  # noqa: F401  (loads the module into sys.modules)
+
+sweepmod = sys.modules["repro.analysis.sweep"]
+sweep = sweepmod.sweep
+
+
+def luby_algorithms():
+    return {"luby": (lambda net: LubyMIS(), lambda net: problems.MIS)}
+
+
+def sweep_settings(**overrides):
+    settings = dict(
+        parameter="n",
+        values=[8, 10],
+        graph_factory=gen.cycle_edges,
+        algorithms=luby_algorithms(),
+        trials=2,
+        seed=3,
+    )
+    settings.update(overrides)
+    return settings
+
+
+def sweep_spec(**overrides):
+    """The internal spec dict `_Checkpoint` validates its header against."""
+    settings = sweep_settings(**overrides)
+    return {
+        "parameter": settings["parameter"],
+        "values": settings["values"],
+        "algorithms": settings["algorithms"],
+        "trials": settings["trials"],
+        "seed": settings["seed"],
+        "engine": "node",  # sweep()'s default, so headers agree on resume
+        "batch_budget": None,
+    }
+
+
+class TestExclusiveWriter:
+    def test_second_writer_is_rejected(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        first = sweepmod._Checkpoint(path, sweep_spec())
+        try:
+            with pytest.raises(CheckpointLocked, match="distinct checkpoint"):
+                sweepmod._Checkpoint(path, sweep_spec())
+        finally:
+            first.close()
+
+    def test_lock_is_released_on_close(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        sweepmod._Checkpoint(path, sweep_spec()).close()
+        second = sweepmod._Checkpoint(path, sweep_spec())
+        second.close()
+
+    def test_concurrent_sweep_raises_cleanly(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        holder = sweepmod._Checkpoint(path, sweep_spec())
+        try:
+            with pytest.raises(CheckpointLocked):
+                sweep(**sweep_settings(), checkpoint=path)
+        finally:
+            holder.close()
+        # The journal was not corrupted: the held journal still resumes.
+        result = sweep(**sweep_settings(), checkpoint=path)
+        assert result == sweep(**sweep_settings())
+
+    def test_checkpoint_locked_is_retryable(self):
+        # The service retries a locked journal (the holder may be a dying
+        # predecessor whose lock the kernel is about to drop).
+        assert is_retryable(CheckpointLocked.kind)
+
+
+@pytest.fixture
+def sidecar_mode(monkeypatch):
+    """Force the non-POSIX O_EXCL pid-sidecar fallback."""
+    monkeypatch.setattr(sweepmod, "fcntl", None)
+
+
+class TestSidecarFallback:
+    def test_sidecar_excludes_live_writers(self, tmp_path, sidecar_mode):
+        path = str(tmp_path / "journal.jsonl")
+        first = sweepmod._Checkpoint(path, sweep_spec())
+        try:
+            assert os.path.exists(path + ".lock")
+            with pytest.raises(CheckpointLocked, match="live writer"):
+                sweepmod._Checkpoint(path, sweep_spec())
+        finally:
+            first.close()
+        assert not os.path.exists(path + ".lock")
+
+    def test_stale_sidecar_is_stolen(self, tmp_path, sidecar_mode):
+        path = str(tmp_path / "journal.jsonl")
+        first = sweepmod._Checkpoint(path, sweep_spec())
+        first.close()
+        # Simulate a SIGKILLed writer: plant a sidecar owned by a pid that
+        # cannot be alive.
+        with open(path + ".lock", "w", encoding="utf-8") as fh:
+            fh.write("999999999")
+        second = sweepmod._Checkpoint(path, sweep_spec())
+        second.close()
+
+    def test_unreadable_sidecar_is_treated_as_stale(self, tmp_path, sidecar_mode):
+        path = str(tmp_path / "journal.jsonl")
+        with open(path + ".lock", "w", encoding="utf-8") as fh:
+            fh.write("not-a-pid")
+        checkpoint = sweepmod._Checkpoint(path, sweep_spec())
+        checkpoint.close()
+
+
+class TestLockAndResume:
+    def test_lock_does_not_break_interrupt_resume(self, tmp_path, monkeypatch):
+        """Interrupt a checkpointed sweep, then resume under the lock."""
+        path = str(tmp_path / "journal.jsonl")
+
+        class Stop(Exception):
+            pass
+
+        rows = []
+
+        def hook(row):
+            rows.append(row)
+            if len(rows) == 2:
+                raise Stop()
+
+        monkeypatch.setattr(sweepmod, "_test_hook", hook)
+        with pytest.raises(Stop):
+            sweep(**sweep_settings(), checkpoint=path)
+        monkeypatch.setattr(sweepmod, "_test_hook", None)
+        resumed = sweep(**sweep_settings(), checkpoint=path)
+        assert resumed == sweep(**sweep_settings())

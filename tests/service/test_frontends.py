@@ -1,0 +1,184 @@
+"""Tests for the CLI (`python -m repro.service`) and the HTTP JSON API."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service.api import ServiceAPI
+from repro.service.cli import main
+from repro.service.queue import JobQueue
+from repro.service.scheduler import Scheduler
+from repro.service.specs import SPEC_FORMAT, SweepSpec
+from repro.service.store import RESULT_STORE_SCHEMA, ResultStore
+
+
+def make_spec(**overrides):
+    settings = dict(
+        parameter="n",
+        values=(8, 10),
+        family="cycle",
+        algorithms=("luby_mis",),
+        trials=1,
+        seed=3,
+    )
+    settings.update(overrides)
+    return SweepSpec(**settings)
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "cli.db")
+
+
+class TestCLI:
+    def test_submit_run_status_results(self, db_path, capsys):
+        code = main(
+            [
+                "--db", db_path, "submit",
+                "--parameter", "n", "--values", "8,10",
+                "--family", "cycle", "--algorithms", "luby_mis",
+                "--trials", "1", "--seed", "3",
+                "--run",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "submitted job 1" in out
+        assert "status done" in out
+
+        assert main(["--db", db_path, "status"]) == 0
+        out = capsys.readouterr().out
+        assert "done" in out
+        assert "totals:" in out
+
+        assert main(["--db", db_path, "results", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "2 points" in out
+        assert "n=8" in out and "n=10" in out
+
+        assert main(["--db", db_path, "results", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "done"
+        assert len(payload["points"]) == 2
+        assert payload["provenance"]["seed_schedule"]["seed"] == 3
+
+    def test_submit_from_spec_file(self, db_path, tmp_path, capsys):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps(make_spec().to_dict()))
+        assert main(["--db", db_path, "submit", "--spec", str(spec_file)]) == 0
+        assert "submitted job 1" in capsys.readouterr().out
+        with ResultStore(db_path) as store:
+            job = JobQueue(store).job(1)
+        assert job.status == "queued"
+        assert job.spec == make_spec()
+
+    def test_submit_requires_a_complete_inline_spec(self, db_path):
+        with pytest.raises(SystemExit, match="--family"):
+            main(["--db", db_path, "submit", "--parameter", "n",
+                  "--values", "8", "--algorithms", "luby_mis"])
+
+    def test_cancel(self, db_path, capsys):
+        main(["--db", db_path, "submit", "--parameter", "n", "--values", "8",
+              "--family", "cycle", "--algorithms", "luby_mis"])
+        capsys.readouterr()
+        assert main(["--db", db_path, "cancel", "1"]) == 0
+        assert "cancelled" in capsys.readouterr().out
+        # Cancelling again reports failure (exit 1).
+        assert main(["--db", db_path, "cancel", "1"]) == 1
+
+    def test_work_drains_the_queue(self, db_path, capsys):
+        main(["--db", db_path, "submit", "--parameter", "n", "--values", "8",
+              "--family", "cycle", "--algorithms", "luby_mis", "--trials", "1"])
+        capsys.readouterr()
+        assert main(["--db", db_path, "work", "--poll", "0.02"]) == 0
+        assert "done=1" in capsys.readouterr().out
+
+    def test_unknown_job_is_a_clean_error(self, db_path, capsys):
+        assert main(["--db", db_path, "status", "99"]) == 2
+        assert "no experiment" in capsys.readouterr().err
+
+    def test_registry_lists_names(self, db_path, capsys):
+        assert main(["--db", db_path, "registry"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "cycle" in payload["families"]
+        assert "luby_mis" in payload["algorithms"]
+
+
+@pytest.fixture
+def api(tmp_path):
+    api = ServiceAPI(str(tmp_path / "api.db"))
+    thread = threading.Thread(target=api.serve_forever, daemon=True)
+    thread.start()
+    yield api
+    api.shutdown()
+
+
+def _get(api, path):
+    with urllib.request.urlopen(api.url + path, timeout=10) as response:
+        return json.load(response)
+
+
+def _post(api, path, payload):
+    request = urllib.request.Request(
+        api.url + path,
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.load(response)
+
+
+class TestAPI:
+    def test_healthz(self, api):
+        payload = _get(api, "/v1/healthz")
+        assert payload["status"] == "ok"
+        assert payload["schema"] == RESULT_STORE_SCHEMA
+        assert payload["spec_format"] == SPEC_FORMAT
+
+    def test_submit_execute_and_read_results(self, api):
+        created = _post(api, "/v1/jobs", make_spec().to_dict())
+        assert created["status"] == "queued"
+        job_id = created["id"]
+
+        scheduler = Scheduler(api._server.db_path, poll_s=0.02)
+        try:
+            scheduler.drain()
+        finally:
+            scheduler.close()
+
+        job = _get(api, f"/v1/jobs/{job_id}")
+        assert job["status"] == "done"
+        assert job["provenance"]["spec_digest"] == make_spec().digest()
+
+        results = _get(api, f"/v1/jobs/{job_id}/results")
+        assert len(results["points"]) == 2
+        assert results["failures"] == []
+        listing = _get(api, "/v1/jobs")
+        assert listing["counts"]["done"] == 1
+
+    def test_submit_with_wrapper_and_cancel(self, api):
+        created = _post(
+            api,
+            "/v1/jobs",
+            {"spec": make_spec().to_dict(), "max_attempts": 2},
+        )
+        assert created["max_attempts"] == 2
+        cancelled = _post(api, f"/v1/jobs/{created['id']}/cancel", {})
+        assert cancelled["cancelled"] is True
+        assert cancelled["status"] == "cancelled"
+
+    def test_error_paths(self, api):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(api, "/v1/jobs/999")
+        assert err.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(api, "/v1/jobs", {"format": "sweep-spec/v1", "bogus": 1})
+        assert err.value.code == 400
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(api, "/v1/nothing")
+        assert err.value.code == 404

@@ -1,0 +1,175 @@
+"""Tests for the sqlite result store and its content-addressed graph cache.
+
+The central invariant: the service is a persistence layer, never a results
+layer.  Measurements read back from the store are bit-identical to what the
+in-process ``sweep()`` computes, and a cache-hit network is indistinguishable
+from the freshly built original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import sweep
+from repro.service.scheduler import Scheduler
+from repro.service.specs import SweepSpec
+from repro.service.store import (
+    RESULT_STORE_SCHEMA,
+    ResultStore,
+    _network_csr_arrays,
+)
+
+
+def make_spec(**overrides):
+    settings = dict(
+        parameter="n",
+        values=(8, 10),
+        family="cycle",
+        algorithms=("luby_mis",),
+        trials=2,
+        seed=3,
+    )
+    settings.update(overrides)
+    return SweepSpec(**settings)
+
+
+def run_one(db_path, spec):
+    """Submit + drain one job; returns its id."""
+    scheduler = Scheduler(str(db_path), poll_s=0.02, backoff_base_s=0.01)
+    try:
+        job_id = scheduler.queue.submit(spec)
+        scheduler.drain()
+        assert scheduler.queue.job(job_id).status == "done"
+    finally:
+        scheduler.close()
+    return job_id
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "service.db")
+
+
+class TestSchema:
+    def test_schema_version_is_stamped(self, db_path):
+        with ResultStore(db_path) as store:
+            row = store._db.execute(
+                "SELECT value FROM meta WHERE key = 'schema'"
+            ).fetchone()
+            assert row["value"] == RESULT_STORE_SCHEMA
+
+    def test_reopening_an_existing_store_is_idempotent(self, db_path):
+        ResultStore(db_path).close()
+        with ResultStore(db_path) as store:
+            assert store.list_experiments() == []
+
+
+class TestBitIdentity:
+    def test_stored_points_match_the_in_process_sweep_exactly(self, db_path):
+        spec = make_spec()
+        job_id = run_one(db_path, spec)
+        live = sweep(**spec.sweep_kwargs())
+        with ResultStore(db_path) as store:
+            stored = store.points(job_id)
+        assert len(stored) == len(live)
+        for row, point in zip(stored, live):
+            assert row["value"] == point.value
+            assert row["algorithm"] == point.measurement.algorithm
+            # Full float64 precision, field for field — not the rounded
+            # ``as_dict`` presentation form.
+            live_fields = {
+                key: list(value) if isinstance(value, tuple) else value
+                for key, value in point.measurement.__dict__.items()
+            }
+            assert row["measurement"] == live_fields
+
+    def test_stored_cells_carry_exact_completion_times(self, db_path):
+        spec = make_spec(values=(8,), trials=1)
+        job_id = run_one(db_path, spec)
+        with ResultStore(db_path) as store:
+            cells = store.cells(job_id)
+        assert len(cells) == 1
+        cell = cells[0]
+        assert cell["status"] == "ok"
+        assert cell["node_times"].dtype == np.int64
+        assert len(cell["node_times"]) == 8
+        assert len(cell["edge_times"]) == 8  # cycle: m == n
+        assert int(cell["node_times"].max()) >= 1
+
+    def test_record_results_is_idempotent(self, db_path):
+        spec = make_spec(values=(8,), trials=1)
+        job_id = run_one(db_path, spec)
+        import repro.service.scheduler as sched
+
+        with ResultStore(db_path) as store:
+            before = store.points(job_id)
+            # Re-record the same journal: rows replaced, not duplicated.
+            header, rows = sched.sweepmod.read_checkpoint(
+                sched.journal_path(db_path, job_id)
+            )
+            provenance = store.experiment(job_id)["provenance"]
+            store.record_results(job_id, rows, provenance)
+            assert store.points(job_id) == before
+            assert len(store.cells(job_id)) == 1
+
+
+class TestGraphCache:
+    def test_network_round_trips_through_the_cache(self, db_path):
+        from repro.analysis.sweep import network_from
+
+        spec = make_spec()
+        with ResultStore(db_path) as store:
+            network = network_from(spec.graph_source(8), seed=spec.network_seed(0))
+            key = spec.graph_key(0)
+            assert store.cached_network(key) is None
+            assert store.claim_graph_build(key, {"family": "cycle"})
+            store.store_network(key, network)
+            cached = store.cached_network(key)
+        assert cached.n == network.n
+        assert cached.m == network.m
+        original = _network_csr_arrays(network)
+        restored = _network_csr_arrays(cached)
+        for field in original:
+            assert np.array_equal(original[field], restored[field])
+        assert cached.identifiers == network.identifiers
+        assert cached.max_degree() == network.max_degree()
+
+    def test_claim_is_exclusive_until_released(self, db_path):
+        with ResultStore(db_path) as store:
+            assert store.claim_graph_build("k1", {"r": 1})
+            assert not store.claim_graph_build("k1", {"r": 1})
+            store.release_graph_claim("k1")
+            assert store.claim_graph_build("k1", {"r": 1})
+
+    def test_network_for_counts_builds_and_hits(self, db_path):
+        from repro.analysis.sweep import network_from
+
+        spec = make_spec()
+        key = spec.graph_key(0)
+        builds = []
+
+        def build():
+            builds.append(1)
+            return network_from(spec.graph_source(8), seed=spec.network_seed(0))
+
+        with ResultStore(db_path) as store:
+            first = store.network_for(key, {"r": 1}, build)
+            second = store.network_for(key, {"r": 1}, build)
+            stats = store.graph_cache_stats()
+        assert len(builds) == 1
+        assert first.n == second.n == 8
+        assert len(stats) == 1
+        assert stats[0]["builds"] == 1
+        assert stats[0]["hits"] == 1
+
+    def test_cache_hit_network_runs_identically(self, db_path):
+        # A sweep fed cache-hit networks equals one that builds afresh.
+        spec = make_spec()
+        job_id = run_one(db_path, spec)  # populates the cache
+        job_id_2 = run_one(db_path, spec.with_name("rerun"))  # pure cache hits
+        with ResultStore(db_path) as store:
+            assert store.points(job_id) == store.points(job_id_2)
+            stats = store.graph_cache_stats()
+        assert all(row["builds"] == 1 for row in stats)
+        assert all(row["hits"] >= 1 for row in stats)
