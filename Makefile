@@ -1,18 +1,28 @@
-# Entry points for the test and benchmark harnesses.
-#
-#   make test         tier-1 suite (the gate every PR must keep green)
-#   make bench-smoke  perf-harness self-check (tiny sizes, asserts invariants)
-#   make bench        full perf suite -> BENCH_core.json (+ parallel sweep section)
-#   make example      the 10^5-10^6-node scaling tour (skip the finale: EXAMPLE_FLAGS=--no-million)
-#   make serve-smoke  experiment-service smoke: submit/schedule/SIGKILL-resume/HTTP round trip
+# Entry points for the test, lint and benchmark harnesses (`make help`).
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench example serve-smoke
+.PHONY: help test lint bench-smoke bench example serve-smoke
+
+help:
+	@echo "make test         tier-1 suite (the gate every PR must keep green)"
+	@echo "make lint         repro.lint invariant checker (+ ruff when installed)"
+	@echo "make bench-smoke  perf-harness self-check (tiny sizes, asserts invariants)"
+	@echo "make bench        full perf suite -> BENCH_core.json (+ parallel sweep section)"
+	@echo "make example      the 10^5-10^6-node scaling tour (skip the finale: EXAMPLE_FLAGS=--no-million)"
+	@echo "make serve-smoke  experiment-service smoke: submit/schedule/SIGKILL-resume/HTTP round trip"
 
 test:
 	$(PYTHON) -m pytest -x -q $(PYTEST_FLAGS)
+
+lint:
+	$(PYTHON) -m repro.lint --baseline lint-baseline.json --strict-baseline
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check .; \
+	else \
+		echo "ruff not installed; skipped (CI pins ruff==0.8.4 — see docs/lint.md)"; \
+	fi
 
 bench-smoke:
 	$(PYTHON) -m pytest -m bench_smoke -q

@@ -129,7 +129,7 @@ from repro.algorithms.matching.randomized import RandomizedMaximalMatching
 from repro.algorithms.mis.luby import LubyMIS
 from repro.algorithms.orientation.randomized import RandomizedSinklessOrientation
 from repro.algorithms.selfstab import SelfStabilizingLubyMIS
-from repro.core import problems
+from repro.core import problems, schemas
 from repro.core.experiment import trial_seed
 from repro.core.metrics import measure
 from repro.graphs import generators as gen
@@ -141,7 +141,7 @@ from repro.local.network import Network
 from repro.local.runner import Runner
 
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_core.json"
-SCHEMA = "bench-core/v7"
+SCHEMA = schemas.BENCH_CORE
 ID_SEED = 7
 MAX_ROUNDS = 20_000
 #: Relative tolerance for seed-vs-new measurement agreement (see module doc).

@@ -44,6 +44,7 @@ if str(SRC) not in sys.path:
 
 from repro.algorithms.mis.luby import LubyMIS
 from repro.analysis.sweep import sweep
+from repro.core import schemas
 from repro.core import problems
 from repro.graphs import generators as gen
 
@@ -148,7 +149,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.out.exists():
         document = json.loads(args.out.read_text())
     else:
-        document = {"schema": "bench-core/v7", "cells": []}
+        document = {"schema": schemas.BENCH_CORE, "cells": []}
     document["parallel_sweep"] = section
     args.out.write_text(json.dumps(document, indent=2) + "\n")
     print(f"wrote parallel_sweep section to {args.out}")

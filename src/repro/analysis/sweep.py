@@ -51,7 +51,13 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Un
 import networkx as nx
 import numpy as np
 
-from repro.core.errors import CheckpointLocked, WorkerCrashed, classify_failure
+from repro.core import schemas
+from repro.core.errors import (
+    CheckpointLocked,
+    ReproError,
+    WorkerCrashed,
+    classify_failure,
+)
 
 try:  # POSIX: kernel-held lock, auto-released when the holder dies
     import fcntl
@@ -88,8 +94,9 @@ GraphLike = Union[
     nx.Graph, Network, EdgeArrays, Tuple[int, Sequence[Tuple[int, int]]]
 ]
 
-#: Identifier of the checkpoint file format written by ``checkpoint=``.
-CHECKPOINT_FORMAT = "sweep-checkpoint/v1"
+#: Identifier of the checkpoint file format written by ``checkpoint=``;
+#: spelled out once in :mod:`repro.core.schemas`.
+CHECKPOINT_FORMAT = schemas.SWEEP_CHECKPOINT
 
 #: Result-stall window (seconds) used to detect lost pool workers when no
 #: ``cell_timeout`` bounds the cells.  With a ``cell_timeout``, the window is
@@ -1054,36 +1061,54 @@ def _export_shared_networks(
     manifest: Dict[int, Dict[str, object]] = {}
     segments: List[shared_memory.SharedMemory] = []
     networks: Dict[int, Network] = {}
-    for index in indices:
-        try:
-            network = _cell_network(spec, index, networks)
-        except Exception:
-            # Leave the index out of the manifest: the workers rebuild via
-            # graph_factory and report the failure per cell, as they always
-            # did when the factory was broken.
-            continue
-        arrays = _network_csr_arrays(network)
-        layout: List[Tuple[str, int, int]] = []
-        offset = 0
-        for field in _SHARED_FIELDS:
-            layout.append((field, offset, int(arrays[field].size)))
-            offset += arrays[field].nbytes
-        segment = shared_memory.SharedMemory(create=True, size=max(offset, 8))
-        segments.append(segment)
-        for field, start, count in layout:
-            if count:
-                view = np.frombuffer(
-                    segment.buf, dtype=np.int64, count=count, offset=start
-                )
-                view[:] = arrays[field]
-        manifest[index] = {
-            "name": segment.name,
-            "n": network.n,
-            "m": network.m,
-            "max_degree": network.max_degree(),
-            "min_degree": network.min_degree(),
-            "arrays": layout,
-        }
+    try:
+        for index in indices:
+            try:
+                network = _cell_network(spec, index, networks)
+            except Exception:
+                # Leave the index out of the manifest: the workers rebuild via
+                # graph_factory and report the failure per cell, as they always
+                # did when the factory was broken.
+                continue
+            arrays = _network_csr_arrays(network)
+            layout: List[Tuple[str, int, int]] = []
+            offset = 0
+            for field in _SHARED_FIELDS:
+                layout.append((field, offset, int(arrays[field].size)))
+                offset += arrays[field].nbytes
+            segment = shared_memory.SharedMemory(create=True, size=max(offset, 8))
+            segments.append(segment)
+            for field, start, count in layout:
+                if count:
+                    view = np.frombuffer(
+                        segment.buf, dtype=np.int64, count=count, offset=start
+                    )
+                    view[:] = arrays[field]
+            manifest[index] = {
+                "name": segment.name,
+                "n": network.n,
+                "m": network.m,
+                "max_degree": network.max_degree(),
+                "min_degree": network.min_degree(),
+                "arrays": layout,
+            }
+    except BaseException:
+        # Segments created so far would outlive the raising call with no
+        # owner to reclaim them (the caller only sees segments it received),
+        # so /dev/shm names would pile up run over run.  Reclaim and re-raise.
+        for segment in segments:
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            try:
+                segment.close()
+            except BufferError:
+                # A CSR view in this frame still pins the mapping; the
+                # unlink above already reclaimed the name, and the mapping
+                # dies with the process.
+                pass
+        raise
     return manifest, segments, networks
 
 
@@ -1097,6 +1122,9 @@ def _attach_shared_network(index: int) -> Optional[Network]:
     segment = _WORKER_SEGMENTS.get(name)
     if segment is None:
         try:
+            # Worker-lifetime cache: the attached segment is reused for every
+            # cell this fork worker runs; the parent owns the unlink.
+            # repro-lint: allow[REP005] released by _sweep_parallel's finally
             segment = shared_memory.SharedMemory(name=name)
         except FileNotFoundError:  # pragma: no cover - parent died mid-sweep
             return None
@@ -1125,7 +1153,8 @@ GroupTask = Tuple[int, str, Tuple[int, ...]]
 def _parallel_worker(task: GroupTask) -> List[Dict[str, object]]:
     index, name, trials_group = task
     spec = _PARALLEL_SPEC
-    assert spec is not None, "worker forked without a sweep specification"
+    if spec is None:
+        raise ReproError("worker forked without a sweep specification")
     if len(trials_group) > 1:
         try:
             return _run_cell_group(

@@ -1,0 +1,67 @@
+"""The single home of every versioned schema/format identifier.
+
+Every on-disk or over-the-wire artifact this repo produces carries a
+``name/vN`` schema string so readers can refuse payloads they don't speak:
+the service's job language and sqlite store, the resilient sweep's
+checkpoint journal, the benchmark documents, and the lint baseline itself.
+Those strings are *contracts* — a drifted literal silently breaks resume,
+store validation, or harness comparison without failing a unit test.
+
+This module is therefore the only place in ``src/repro`` allowed to spell
+a schema literal out; everything else imports the constant.  The rule is
+machine-enforced by ``repro.lint`` rule **REP004** (see ``docs/lint.md``),
+which flags any ``name/vN`` string constant elsewhere under ``src/repro``.
+
+Bumping a version is a deliberate act: change it here, update the readers
+and writers in the same commit, and document the migration in
+``benchmarks/README.md`` (benchmark schemas) or ``docs/service.md``
+(service schemas).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+__all__ = [
+    "SWEEP_SPEC",
+    "RESULT_STORE",
+    "SWEEP_CHECKPOINT",
+    "BENCH_CORE",
+    "LINT_BASELINE",
+    "LINT_REPORT",
+    "ALL_SCHEMAS",
+]
+
+#: Serialisable sweep-job language accepted by the experiment service
+#: (:mod:`repro.service.specs`).
+SWEEP_SPEC = "sweep-spec/v1"
+
+#: Sqlite schema of the persistent result store
+#: (:mod:`repro.service.store`).
+RESULT_STORE = "result-store/v1"
+
+#: JSON-lines journal of finished sweep cells
+#: (:mod:`repro.analysis.sweep`).
+SWEEP_CHECKPOINT = "sweep-checkpoint/v1"
+
+#: Benchmark document written by ``benchmarks/core_perf.py`` /
+#: ``benchmarks/sweep_scaling.py`` into ``BENCH_core.json``.
+BENCH_CORE = "bench-core/v7"
+
+#: Grandfathered-findings file consumed by ``python -m repro.lint``
+#: (:mod:`repro.lint.baseline`).
+LINT_BASELINE = "lint-baseline/v1"
+
+#: JSON report emitted by ``python -m repro.lint --format=json``
+#: (:mod:`repro.lint.cli`).
+LINT_REPORT = "lint-report/v1"
+
+#: Every schema identifier this code base speaks, keyed by a short slug.
+ALL_SCHEMAS: Mapping[str, str] = {
+    "sweep_spec": SWEEP_SPEC,
+    "result_store": RESULT_STORE,
+    "sweep_checkpoint": SWEEP_CHECKPOINT,
+    "bench_core": BENCH_CORE,
+    "lint_baseline": LINT_BASELINE,
+    "lint_report": LINT_REPORT,
+}

@@ -158,6 +158,7 @@ class EdgeArrays:
 
     def as_edge_list(self) -> Tuple[int, List[Edge]]:
         """The legacy ``(n, edges)`` pair consumed by tuple-era call sites."""
+        # repro-lint: allow[REP002] this IS the documented compat wrapper
         return self.n, self.as_pairs()
 
     def with_meta(self, **meta: object) -> "EdgeArrays":
@@ -183,6 +184,7 @@ def as_edge_arrays(source: object) -> EdgeArrays:
         return EdgeArrays.from_pairs(int(n), edges)
     number_of_nodes = getattr(source, "number_of_nodes", None)
     if callable(number_of_nodes):
+        # repro-lint: allow[REP002] nx-graph coercion boundary (cold path)
         return EdgeArrays.from_pairs(int(number_of_nodes()), list(source.edges()))
     raise TypeError(
         f"cannot interpret {type(source).__name__!r} as an edge-array graph source"

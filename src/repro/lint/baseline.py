@@ -1,0 +1,132 @@
+"""Versioned baseline of grandfathered findings (format ``lint-baseline/v1``).
+
+A baseline lets a new rule land strict without first rewriting every
+pre-existing violation: known findings are committed with a justification
+and stop failing the build, while *new* occurrences of the same pattern
+still do.  Matching keys on ``(rule, path, stripped source line)`` — not
+the line number — so entries survive unrelated edits and expire exactly
+when the offending line changes or disappears.  Expired entries are
+reported (and fail ``--strict-baseline``) so the file can only shrink as
+debt is paid down, never silently rot.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core import schemas
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "BaselineEntry"]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding plus the reason it is tolerated."""
+
+    rule: str
+    path: str
+    snippet: str
+    line: int = 0  # informational; matching ignores it
+    justification: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.snippet)
+
+    def to_row(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "snippet": self.snippet,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    """The committed set of grandfathered findings."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+        fmt = document.get("format")
+        if fmt != schemas.LINT_BASELINE:
+            raise ValueError(
+                f"{path} has baseline format {fmt!r}, this checker speaks "
+                f"{schemas.LINT_BASELINE!r}"
+            )
+        entries = [
+            BaselineEntry(
+                rule=str(row["rule"]),
+                path=str(row["path"]),
+                snippet=str(row["snippet"]),
+                line=int(row.get("line", 0)),
+                justification=str(row.get("justification", "")),
+            )
+            for row in document.get("entries", [])
+        ]
+        return cls(entries=entries)
+
+    def save(self, path: str) -> None:
+        document = {
+            "format": schemas.LINT_BASELINE,
+            "entries": [entry.to_row() for entry in sorted(
+                self.entries, key=lambda e: (e.path, e.line, e.rule)
+            )],
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], justification: str = ""
+    ) -> "Baseline":
+        """Grandfather ``findings`` wholesale (``--write-baseline``)."""
+        return cls(
+            entries=[
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    snippet=finding.snippet,
+                    line=finding.line,
+                    justification=justification,
+                )
+                for finding in findings
+            ]
+        )
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], int, List[BaselineEntry]]:
+        """Split findings into (new, baselined-count, expired-entries).
+
+        Multiset semantics: each entry absorbs at most one finding with the
+        same key, so adding a *second* copy of a grandfathered pattern on a
+        new line still fails the build.
+        """
+        budget = Counter(entry.key() for entry in self.entries)
+        new: List[Finding] = []
+        baselined = 0
+        for finding in findings:
+            key = finding.key()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined += 1
+            else:
+                new.append(finding)
+        expired: List[BaselineEntry] = []
+        remaining = dict(budget)
+        for entry in self.entries:
+            key = entry.key()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                expired.append(entry)
+        return new, baselined, expired

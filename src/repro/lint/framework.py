@@ -1,0 +1,246 @@
+"""The checker framework: parsed modules, the rule protocol, dispatch.
+
+One :class:`ModuleSource` is built per file (source text, split lines, the
+``ast`` tree with parent links annotated).  A :class:`LintRunner` walks the
+tree **once** per file and dispatches each node to the rules that declared
+interest in its type (``Rule.interests``); rules with whole-module logic
+additionally get a ``finish(module)`` call.  Findings whose physical line —
+or the line immediately above — carries a ``# repro-lint: allow[RULE]``
+comment are suppressed at the framework layer, so every rule gets the
+escape hatch for free.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.lint.findings import Finding
+
+__all__ = [
+    "ModuleSource",
+    "Rule",
+    "LintRunner",
+    "lint_paths",
+    "iter_python_files",
+    "PARENT_FIELD",
+]
+
+#: Attribute name under which a node's parent is annotated on the tree.
+PARENT_FIELD = "_repro_lint_parent"
+
+#: ``# repro-lint: allow[REP001]`` or ``# repro-lint: allow[REP001,REP005] why``.
+_ALLOW_RE = re.compile(r"#\s*repro-lint:\s*allow\[([A-Z0-9,\s]+)\]")
+
+
+@dataclass
+class ModuleSource:
+    """One parsed Python file, ready for rule dispatch.
+
+    ``logical_path`` is the repo-relative POSIX path rules match against;
+    tests lint fixture files under a pretend location by overriding it.
+    """
+
+    path: str
+    logical_path: str
+    source: str
+    lines: List[str] = field(default_factory=list)
+    tree: Optional[ast.Module] = None
+
+    @classmethod
+    def parse(
+        cls, path: str, root: str, logical_path: Optional[str] = None
+    ) -> "ModuleSource":
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        relative = logical_path or os.path.relpath(path, root).replace(os.sep, "/")
+        tree = ast.parse(source, filename=relative)
+        annotate_parents(tree)
+        return cls(
+            path=path,
+            logical_path=relative,
+            source=source,
+            lines=source.splitlines(),
+            tree=tree,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Helpers rules lean on
+    # ------------------------------------------------------------------ #
+
+    def line_text(self, lineno: int) -> str:
+        """The physical source line (1-indexed; empty when out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def allowed_rules(self, lineno: int) -> Iterator[str]:
+        """Rule ids allow-listed on ``lineno`` or the line directly above."""
+        for text in (self.line_text(lineno), self.line_text(lineno - 1)):
+            match = _ALLOW_RE.search(text)
+            if match:
+                for rule_id in match.group(1).split(","):
+                    yield rule_id.strip()
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=self.logical_path,
+            line=lineno,
+            col=col,
+            rule=rule,
+            message=message,
+            snippet=self.line_text(lineno).strip(),
+        )
+
+
+def annotate_parents(tree: ast.AST) -> None:
+    """Attach a parent pointer to every node (rules need enclosing context)."""
+    for parent in ast.walk(tree):
+        for child in ast.iter_child_nodes(parent):
+            setattr(child, PARENT_FIELD, parent)
+
+
+def parent_of(node: ast.AST) -> Optional[ast.AST]:
+    return getattr(node, PARENT_FIELD, None)
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    """The chain of enclosing nodes, innermost first."""
+    current = parent_of(node)
+    while current is not None:
+        yield current
+        current = parent_of(current)
+
+
+def enclosing_function(
+    node: ast.AST,
+) -> Optional[ast.AST]:
+    """The nearest enclosing ``def``/``async def`` (``None`` at module level)."""
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return ancestor
+    return None
+
+
+def enclosing_class(node: ast.AST) -> Optional[ast.ClassDef]:
+    """The nearest enclosing class definition, if any."""
+    for ancestor in ancestors(node):
+        if isinstance(ancestor, ast.ClassDef):
+            return ancestor
+    return None
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def is_docstring(node: ast.AST) -> bool:
+    """Whether ``node`` is the docstring constant of its enclosing scope."""
+    if not (isinstance(node, ast.Constant) and isinstance(node.value, str)):
+        return False
+    expr = parent_of(node)
+    if not isinstance(expr, ast.Expr):
+        return False
+    scope = parent_of(expr)
+    if not isinstance(
+        scope, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+    ):
+        return False
+    return bool(scope.body) and scope.body[0] is expr
+
+
+class Rule:
+    """Base class of every checker rule.
+
+    Subclasses declare an :attr:`id`, a one-line :attr:`title`, the node
+    types they want dispatched (:attr:`interests`), and the path predicate
+    :meth:`applies_to`.  Per-node logic goes in :meth:`visit`; whole-module
+    logic (cross-referencing classes, for example) goes in :meth:`finish`.
+    """
+
+    id: str = "REP000"
+    title: str = ""
+    #: Node types to dispatch to :meth:`visit`; empty = finish-only rule.
+    interests: Tuple[Type[ast.AST], ...] = ()
+
+    def applies_to(self, logical_path: str) -> bool:  # pragma: no cover - trivial
+        return True
+
+    def visit(self, node: ast.AST, module: ModuleSource) -> Iterator[Finding]:
+        return iter(())
+
+    def finish(self, module: ModuleSource) -> Iterator[Finding]:
+        return iter(())
+
+
+class LintRunner:
+    """Runs a rule set over files: one tree walk per file, typed dispatch."""
+
+    def __init__(self, rules: Sequence[Rule]) -> None:
+        self.rules = list(rules)
+
+    def lint_module(self, module: ModuleSource) -> List[Finding]:
+        active = [rule for rule in self.rules if rule.applies_to(module.logical_path)]
+        if not active or module.tree is None:
+            return []
+        by_type: Dict[Type[ast.AST], List[Rule]] = {}
+        for rule in active:
+            for node_type in rule.interests:
+                by_type.setdefault(node_type, []).append(rule)
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            for rule in by_type.get(type(node), ()):
+                findings.extend(rule.visit(node, module))
+        for rule in active:
+            findings.extend(rule.finish(module))
+        return [
+            finding
+            for finding in findings
+            if finding.rule not in set(module.allowed_rules(finding.line))
+        ]
+
+    def lint_file(
+        self, path: str, root: str, logical_path: Optional[str] = None
+    ) -> List[Finding]:
+        return self.lint_module(ModuleSource.parse(path, root, logical_path))
+
+
+def iter_python_files(paths: Iterable[str], root: str) -> Iterator[str]:
+    """Expand files/directories into sorted ``.py`` file paths."""
+    for raw in paths:
+        path = raw if os.path.isabs(raw) else os.path.join(root, raw)
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        yield os.path.join(dirpath, name)
+        elif path.endswith(".py"):
+            yield path
+
+
+def lint_paths(
+    paths: Iterable[str], root: str, rules: Sequence[Rule]
+) -> List[Finding]:
+    """Lint every ``.py`` file under ``paths``; findings sorted by location."""
+    runner = LintRunner(rules)
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths, root):
+        findings.extend(runner.lint_file(file_path, root))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))

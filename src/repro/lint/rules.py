@@ -1,0 +1,574 @@
+"""The repo-specific rule suite (REP001–REP006).
+
+Each rule machine-enforces one of the contracts the reproduction's
+correctness rests on; ``docs/lint.md`` states the invariant behind each
+one and links back to ROADMAP's standing-invariants item and the seed
+schedules in ``benchmarks/README.md``.  Rules are deliberately syntactic
+and conservative: they flag the patterns that have actually bitten (or
+nearly bitten) this code base, and the ``# repro-lint: allow[...]``
+comment plus the committed baseline absorb the documented exceptions.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.framework import (
+    ModuleSource,
+    Rule,
+    ancestors,
+    dotted_name,
+    enclosing_class,
+    enclosing_function,
+    is_docstring,
+    parent_of,
+)
+
+__all__ = ["DEFAULT_RULES", "rule_by_id"]
+
+
+def _logical(path: str) -> str:
+    """Normalise ``src/repro/...`` and ``repro/...`` to the latter."""
+    return path[4:] if path.startswith("src/") else path
+
+
+def _under(path: str, prefixes: Sequence[str]) -> bool:
+    logical = _logical(path)
+    return any(logical.startswith(prefix) for prefix in prefixes)
+
+
+# --------------------------------------------------------------------- #
+# REP001 — determinism
+# --------------------------------------------------------------------- #
+
+#: Packages whose code feeds seeded executions; everything here must draw
+#: randomness from an explicitly seeded generator and never read the clock.
+_DETERMINISM_SCOPE = (
+    "repro/local/",
+    "repro/algorithms/",
+    "repro/graphs/",
+    "repro/core/",
+)
+
+#: RNG constructors that take their seed as the first argument / ``seed=``.
+_SEEDED_CONSTRUCTORS = {"Random", "PCG64", "default_rng", "SeedSequence"}
+
+#: Wall-clock reads (monotonic timers like ``perf_counter`` stay legal:
+#: they time phases, they never influence a result).
+_WALL_CLOCK = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+
+class DeterminismRule(Rule):
+    """REP001: no unseeded randomness or wall-clock reads in seeded code."""
+
+    id = "REP001"
+    title = "determinism: unseeded randomness / wall-clock read in seeded code"
+    interests = (ast.Call,)
+
+    def applies_to(self, logical_path: str) -> bool:
+        return _under(logical_path, _DETERMINISM_SCOPE)
+
+    def visit(self, node: ast.AST, module: ModuleSource) -> Iterator[Finding]:
+        if not isinstance(node, ast.Call):
+            return
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        parts = name.split(".")
+        last = parts[-1]
+
+        # random.shuffle(...) / random.random() / ... — process-global RNG.
+        if len(parts) == 2 and parts[0] == "random" and last not in (
+            _SEEDED_CONSTRUCTORS
+        ):
+            yield module.finding(
+                node,
+                self.id,
+                f"random.{last}() draws from the process-global RNG; build a "
+                "seeded random.Random(seed) (see the documented seed schedules)",
+            )
+            return
+
+        # Random()/PCG64()/default_rng()/SeedSequence() without a seed.
+        if last in _SEEDED_CONSTRUCTORS and self._seedless(node):
+            yield module.finding(
+                node,
+                self.id,
+                f"{last}() without an explicit seed pulls OS entropy; pass the "
+                "seed from the documented schedule (block-PCG64 helpers are "
+                "allow-listed where sanctioned)",
+            )
+            return
+
+        # time.time() / datetime.now() — wall clock influencing seeded code.
+        if len(parts) >= 2 and (parts[-2], last) in _WALL_CLOCK:
+            yield module.finding(
+                node,
+                self.id,
+                f"{name}() reads the wall clock inside seeded code; use a "
+                "monotonic timer for phase timings and never let time reach "
+                "a result",
+            )
+
+    @staticmethod
+    def _seedless(node: ast.Call) -> bool:
+        if not node.args and not node.keywords:
+            return True
+        if node.args:
+            first = node.args[0]
+            return isinstance(first, ast.Constant) and first.value is None
+        for keyword in node.keywords:
+            if keyword.arg == "seed":
+                value = keyword.value
+                return isinstance(value, ast.Constant) and value.value is None
+        return True  # only non-seed keywords were given
+
+
+# --------------------------------------------------------------------- #
+# REP002 — hot-path purity
+# --------------------------------------------------------------------- #
+
+#: Modules on the per-round/per-trial hot path: one Python object per edge
+#: here undoes the array-engine speedups (benchmarks bench-core/v5+).
+_HOT_PATH_MODULES = {
+    "repro/local/engine.py",
+    "repro/local/runner.py",
+    "repro/core/metrics.py",
+    "repro/graphs/edgelist.py",
+}
+
+#: Calls that materialise a Python object per edge (or the nx graph).
+_MATERIALISERS = {"to_networkx", "as_edge_list", "as_pairs"}
+
+
+class HotPathRule(Rule):
+    """REP002: no tuple-edge materialisation or per-edge loops on hot paths."""
+
+    id = "REP002"
+    title = "hot-path purity: per-edge Python work in a hot-path module"
+    interests = (
+        ast.Call,
+        ast.For,
+        ast.ListComp,
+        ast.SetComp,
+        ast.DictComp,
+        ast.GeneratorExp,
+    )
+
+    def applies_to(self, logical_path: str) -> bool:
+        return _logical(logical_path) in _HOT_PATH_MODULES
+
+    def visit(self, node: ast.AST, module: ModuleSource) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MATERIALISERS
+            ):
+                yield module.finding(
+                    node,
+                    self.id,
+                    f".{node.func.attr}() materialises a Python object per "
+                    "edge; hot paths must stay on the CSR/endpoint arrays",
+                )
+            elif (
+                isinstance(node.func, ast.Name)
+                and node.func.id in {"list", "tuple", "sorted"}
+                and len(node.args) == 1
+                and self._is_edges_call(node.args[0])
+            ):
+                yield module.finding(
+                    node,
+                    self.id,
+                    f"{node.func.id}(…edges()) materialises the tuple edge "
+                    "view; use Network.edge_endpoints() arrays instead",
+                )
+        elif isinstance(node, ast.For):
+            if self._is_edges_call(node.iter):
+                yield module.finding(
+                    node,
+                    self.id,
+                    "per-edge Python for-loop over edges(); vectorise over "
+                    "edge_endpoints() arrays instead",
+                )
+        else:  # comprehensions
+            for generator in node.generators:  # type: ignore[union-attr]
+                if self._is_edges_call(generator.iter):
+                    yield module.finding(
+                        node,
+                        self.id,
+                        "per-edge comprehension over edges(); vectorise over "
+                        "edge_endpoints() arrays instead",
+                    )
+                    break
+
+    @staticmethod
+    def _is_edges_call(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "edges"
+        )
+
+
+# --------------------------------------------------------------------- #
+# REP003 — array-algorithm protocol conformance
+# --------------------------------------------------------------------- #
+
+_BATCH_TRIO = ("init_batch", "step_batch", "batch_complete")
+
+
+class ProtocolRule(Rule):
+    """REP003: array-algorithm twins implement the full protocol.
+
+    The engine duck-types (:class:`repro.local.engine.ArrayAlgorithm` is a
+    Protocol), so a half-implemented twin only explodes at run time, deep
+    in a sweep.  Three conformance checks, all syntactic:
+
+    * a class defining ``init_arrays`` must define ``step`` (and vice
+      versa when any batch method marks the class as an array algorithm);
+    * the batch protocol is all-or-nothing: any of
+      ``init_batch``/``step_batch``/``batch_complete`` requires all three;
+    * a class whose ``as_array_algorithm`` returns an instance of a class
+      defined in the same module requires that class to implement
+      ``init_arrays``/``step`` (returning ``None`` — coroutine-only — is
+      always legal).
+    """
+
+    id = "REP003"
+    title = "protocol conformance: incomplete array-algorithm implementation"
+
+    def applies_to(self, logical_path: str) -> bool:
+        return _under(logical_path, ("repro/",))
+
+    def finish(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        classes: Dict[str, ast.ClassDef] = {
+            node.name: node
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        for cls in classes.values():
+            methods = self._methods(cls, classes)
+            own = {
+                stmt.name
+                for stmt in cls.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            batch_present = [name for name in _BATCH_TRIO if name in methods]
+            if batch_present and len(batch_present) < len(_BATCH_TRIO):
+                missing = sorted(set(_BATCH_TRIO) - set(batch_present))
+                yield module.finding(
+                    cls,
+                    self.id,
+                    f"class {cls.name} defines {'/'.join(batch_present)} but "
+                    f"not {'/'.join(missing)}; the batch protocol is "
+                    "all-or-nothing",
+                )
+            is_array_algorithm = "init_arrays" in methods or bool(batch_present)
+            if is_array_algorithm:
+                missing = sorted({"init_arrays", "step"} - methods)
+                if missing:
+                    yield module.finding(
+                        cls,
+                        self.id,
+                        f"class {cls.name} looks like an array algorithm but "
+                        f"lacks {'/'.join(missing)}; the engine requires the "
+                        "single-trial protocol (init_arrays/step)",
+                    )
+            if "as_array_algorithm" in own:
+                yield from self._check_advertisement(cls, classes, module)
+
+    def _check_advertisement(
+        self,
+        cls: ast.ClassDef,
+        classes: Dict[str, ast.ClassDef],
+        module: ModuleSource,
+    ) -> Iterator[Finding]:
+        advert = next(
+            stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name == "as_array_algorithm"
+        )
+        for node in ast.walk(advert):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            value = node.value
+            if isinstance(value, ast.Constant) and value.value is None:
+                continue  # coroutine-only algorithms opt out with None
+            target: Optional[str] = None
+            if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+                target = value.func.id
+            elif isinstance(value, ast.Name):
+                target = value.id
+            if target is None or target not in classes:
+                continue  # imported twin — out of this module's sight
+            twin_methods = self._methods(classes[target], classes)
+            missing = sorted({"init_arrays", "step"} - twin_methods)
+            if missing:
+                yield module.finding(
+                    node,
+                    self.id,
+                    f"{cls.name}.as_array_algorithm() advertises {target}, "
+                    f"which lacks {'/'.join(missing)}",
+                )
+
+    @staticmethod
+    def _methods(
+        cls: ast.ClassDef, classes: Dict[str, ast.ClassDef]
+    ) -> Set[str]:
+        """Method names of ``cls`` including same-module base classes."""
+        names: Set[str] = set()
+        seen: Set[str] = set()
+        stack: List[ast.ClassDef] = [cls]
+        while stack:
+            current = stack.pop()
+            if current.name in seen:
+                continue
+            seen.add(current.name)
+            for stmt in current.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    names.add(stmt.name)
+            for base in current.bases:
+                if isinstance(base, ast.Name) and base.id in classes:
+                    stack.append(classes[base.id])
+        return names
+
+
+# --------------------------------------------------------------------- #
+# REP004 — schema literals
+# --------------------------------------------------------------------- #
+
+_SCHEMA_LITERAL = re.compile(r"[a-z][a-z0-9_-]*/v[0-9]+")
+
+#: The one module allowed to spell schema strings out.
+_SCHEMAS_MODULE = "repro/core/schemas.py"
+
+
+class SchemaLiteralRule(Rule):
+    """REP004: ``name/vN`` schema strings live only in repro.core.schemas."""
+
+    id = "REP004"
+    title = "schema literal outside repro.core.schemas"
+    interests = (ast.Constant,)
+
+    def applies_to(self, logical_path: str) -> bool:
+        return (
+            _under(logical_path, ("repro/",))
+            and _logical(logical_path) != _SCHEMAS_MODULE
+        )
+
+    def visit(self, node: ast.AST, module: ModuleSource) -> Iterator[Finding]:
+        if not isinstance(node, ast.Constant) or not isinstance(node.value, str):
+            return
+        if not _SCHEMA_LITERAL.fullmatch(node.value):
+            return
+        if is_docstring(node):
+            return
+        yield module.finding(
+            node,
+            self.id,
+            f"schema literal {node.value!r} must come from repro.core.schemas "
+            "so readers and writers can never drift",
+        )
+
+
+# --------------------------------------------------------------------- #
+# REP005 — resource hygiene
+# --------------------------------------------------------------------- #
+
+_RESOURCE_SCOPE = ("repro/service/", "repro/analysis/")
+
+
+class ResourceRule(Rule):
+    """REP005: sqlite/SharedMemory/file handles are closed on all paths.
+
+    Flow-insensitive approximation of "closed on all paths": a risky
+    acquisition is clean when it is (a) the context expression of a
+    ``with``, (b) assigned to ``self.X`` on a class that defines ``close``
+    or ``__exit__``, or (c) assigned to a local whose ``.close()`` /
+    ``.unlink()`` runs inside a ``finally`` block or ``except`` handler of
+    the same function.  Ownership transfers (returning the live handle)
+    need an ``allow`` comment naming the releasing site.
+    """
+
+    id = "REP005"
+    title = "resource hygiene: handle not provably closed on all paths"
+    interests = (ast.Call,)
+
+    def applies_to(self, logical_path: str) -> bool:
+        return _under(logical_path, _RESOURCE_SCOPE)
+
+    def visit(self, node: ast.AST, module: ModuleSource) -> Iterator[Finding]:
+        if not isinstance(node, ast.Call):
+            return
+        resource = self._resource_kind(node)
+        if resource is None:
+            return
+        parent = parent_of(node)
+        if isinstance(parent, ast.withitem) and parent.context_expr is node:
+            return
+        while isinstance(parent, ast.IfExp):  # x = a if cond else open(...)
+            parent = parent_of(parent)
+        if isinstance(parent, (ast.Assign, ast.AnnAssign, ast.NamedExpr)):
+            targets = (
+                parent.targets
+                if isinstance(parent, ast.Assign)
+                else [parent.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    cls = enclosing_class(node)
+                    if cls is not None and self._has_releaser(cls):
+                        return
+                    yield module.finding(
+                        node,
+                        self.id,
+                        f"{resource} stored on self in a class without "
+                        "close()/__exit__(); the handle outlives every scope "
+                        "that could release it",
+                    )
+                    return
+                if isinstance(target, ast.Name):
+                    scope = enclosing_function(node) or module.tree
+                    if scope is not None and self._cleaned_up(
+                        scope, target.id
+                    ):
+                        return
+                    yield module.finding(
+                        node,
+                        self.id,
+                        f"{resource} assigned to {target.id!r} with no "
+                        ".close()/.unlink() in a finally/except of this "
+                        "function; an error path leaks the handle",
+                    )
+                    return
+            return
+        yield module.finding(
+            node,
+            self.id,
+            f"{resource} acquired without a with-statement or owning "
+            "variable; nothing can close it on an error path",
+        )
+
+    @staticmethod
+    def _resource_kind(node: ast.Call) -> Optional[str]:
+        name = dotted_name(node.func)
+        if name == "sqlite3.connect":
+            return "sqlite3.connect()"
+        if name is not None and name.split(".")[-1] == "SharedMemory":
+            return "SharedMemory()"
+        if isinstance(node.func, ast.Name) and node.func.id == "open":
+            return "open()"
+        return None
+
+    @staticmethod
+    def _has_releaser(cls: ast.ClassDef) -> bool:
+        return any(
+            isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and stmt.name in {"close", "__exit__", "__del__"}
+            for stmt in cls.body
+        )
+
+    @staticmethod
+    def _cleaned_up(scope: ast.AST, name: str) -> bool:
+        """Whether ``name`` is entered as a ``with`` context or has
+        ``.close()``/``.unlink()`` run in a finally/except."""
+        for with_node in ast.walk(scope):
+            if isinstance(with_node, (ast.With, ast.AsyncWith)) and any(
+                isinstance(item.context_expr, ast.Name)
+                and item.context_expr.id == name
+                for item in with_node.items
+            ):
+                return True
+        for try_node in ast.walk(scope):
+            if not isinstance(try_node, ast.Try):
+                continue
+            regions: List[ast.AST] = list(try_node.finalbody)
+            for handler in try_node.handlers:
+                regions.extend(handler.body)
+            for region in regions:
+                for sub in ast.walk(region):
+                    if (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr in {"close", "unlink"}
+                        and isinstance(sub.func.value, ast.Name)
+                        and sub.func.value.id == name
+                    ):
+                        return True
+        return False
+
+
+# --------------------------------------------------------------------- #
+# REP006 — error taxonomy
+# --------------------------------------------------------------------- #
+
+
+class ErrorTaxonomyRule(Rule):
+    """REP006: runtime failures raise repro.core.errors kinds, not
+    ``raise Exception``/``assert``."""
+
+    id = "REP006"
+    title = "error taxonomy: bare Exception/assert for a runtime failure"
+    interests = (ast.Raise, ast.Assert)
+
+    def applies_to(self, logical_path: str) -> bool:
+        return _under(logical_path, ("repro/",))
+
+    def visit(self, node: ast.AST, module: ModuleSource) -> Iterator[Finding]:
+        if isinstance(node, ast.Raise):
+            exc = node.exc
+            target = exc.func if isinstance(exc, ast.Call) else exc
+            if isinstance(target, ast.Name) and target.id in {
+                "Exception",
+                "BaseException",
+            }:
+                yield module.finding(
+                    node,
+                    self.id,
+                    f"raise {target.id} defeats classify_failure()'s "
+                    "structured failure rows; raise a repro.core.errors kind "
+                    "(or at least a typed exception)",
+                )
+        elif isinstance(node, ast.Assert):
+            yield module.finding(
+                node,
+                self.id,
+                "assert vanishes under python -O and raises an untyped "
+                "AssertionError; raise a repro.core.errors kind (or "
+                "ValidationFailed) for runtime failures",
+            )
+
+
+DEFAULT_RULES: Tuple[Rule, ...] = (
+    DeterminismRule(),
+    HotPathRule(),
+    ProtocolRule(),
+    SchemaLiteralRule(),
+    ResourceRule(),
+    ErrorTaxonomyRule(),
+)
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    """The default-suite rule with ``rule_id`` (KeyError when unknown)."""
+    for rule in DEFAULT_RULES:
+        if rule.id == rule_id:
+            return rule
+    raise KeyError(rule_id)

@@ -38,7 +38,7 @@ from repro.algorithms.matching.randomized import RandomizedMaximalMatching
 from repro.algorithms.mis.luby import LubyMIS
 from repro.algorithms.coloring import RandomizedColoring
 from repro.algorithms.ruling_set import RandomizedTwoTwoRulingSet
-from repro.core import problems
+from repro.core import problems, schemas
 from repro.graphs import generators as gen
 
 __all__ = [
@@ -51,8 +51,8 @@ __all__ = [
 ]
 
 #: Identifier of the serialised spec format (the ``format`` key of
-#: :meth:`SweepSpec.to_dict`).
-SPEC_FORMAT = "sweep-spec/v1"
+#: :meth:`SweepSpec.to_dict`); spelled out once in :mod:`repro.core.schemas`.
+SPEC_FORMAT = schemas.SWEEP_SPEC
 
 #: The benchmark ID-scheme convention, fixed service-wide so the cache key
 #: and the in-process ``network_from`` default can never drift.

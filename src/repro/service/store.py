@@ -43,12 +43,14 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.analysis.sweep import CellKey, collect_rows
+from repro.core import schemas
 from repro.local.network import Network
 
 __all__ = ["RESULT_STORE_SCHEMA", "ResultStore"]
 
-#: Identifier of the on-disk schema (recorded in the ``meta`` table).
-RESULT_STORE_SCHEMA = "result-store/v1"
+#: Identifier of the on-disk schema (recorded in the ``meta`` table);
+#: spelled out once in :mod:`repro.core.schemas`.
+RESULT_STORE_SCHEMA = schemas.RESULT_STORE
 
 #: Field order of the int64 arrays packed into a graph-cache payload —
 #: deliberately the same layout as the parallel sweep's shared-memory
@@ -155,24 +157,31 @@ class ResultStore:
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
         self._db = sqlite3.connect(self.path, timeout=30.0)
-        self._db.row_factory = sqlite3.Row
-        self._db.execute("PRAGMA journal_mode=WAL")
-        self._db.execute("PRAGMA synchronous=NORMAL")
-        self._db.execute("PRAGMA busy_timeout=30000")
-        with self._db:
-            self._db.executescript(_DDL)
-            self._db.execute(
-                "INSERT OR IGNORE INTO meta(key, value) VALUES ('schema', ?)",
-                (RESULT_STORE_SCHEMA,),
-            )
-        schema = self._db.execute(
-            "SELECT value FROM meta WHERE key = 'schema'"
-        ).fetchone()[0]
-        if schema != RESULT_STORE_SCHEMA:
-            raise ValueError(
-                f"{self.path} uses result-store schema {schema!r}, this code "
-                f"speaks {RESULT_STORE_SCHEMA!r}"
-            )
+        try:
+            self._db.row_factory = sqlite3.Row
+            self._db.execute("PRAGMA journal_mode=WAL")
+            self._db.execute("PRAGMA synchronous=NORMAL")
+            self._db.execute("PRAGMA busy_timeout=30000")
+            with self._db:
+                self._db.executescript(_DDL)
+                self._db.execute(
+                    "INSERT OR IGNORE INTO meta(key, value) VALUES ('schema', ?)",
+                    (RESULT_STORE_SCHEMA,),
+                )
+            schema = self._db.execute(
+                "SELECT value FROM meta WHERE key = 'schema'"
+            ).fetchone()[0]
+            if schema != RESULT_STORE_SCHEMA:
+                raise ValueError(
+                    f"{self.path} uses result-store schema {schema!r}, this "
+                    f"code speaks {RESULT_STORE_SCHEMA!r}"
+                )
+        except BaseException:
+            # A handle abandoned by a failed __init__ (foreign schema, DDL
+            # error) has no owner to close it; sqlite keeps the file locked
+            # until the connection is garbage-collected.
+            self._db.close()
+            raise
 
     def close(self) -> None:
         self._db.close()

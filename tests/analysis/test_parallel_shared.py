@@ -234,3 +234,42 @@ class TestParallelProvenance:
         with open(path, "w", encoding="utf-8") as fh:
             fh.write("\n".join(lines) + "\n")
         assert run_sweep(checkpoint=path) == first
+
+
+class TestExportErrorPath:
+    # The orphaned segment object is collected with a CSR view still live
+    # (the raising frame survives in the traceback); its __del__ close()
+    # then raises BufferError.  Expected here: the unlink is the contract.
+    @pytest.mark.filterwarnings("ignore::pytest.PytestUnraisableExceptionWarning")
+    def test_segments_created_before_a_failure_are_unlinked(self, monkeypatch):
+        # Regression (REP005): an exception mid-export used to leak every
+        # segment already created — the caller only unlinks segments it
+        # *received*, and the raising call returned nothing.
+        spec = {"graph_factory": gen.cycle_edges, "values": [12, 14], "seed": 3}
+        created = []
+        real_shm = shared_memory.SharedMemory
+
+        def recording_shm(*args, **kwargs):
+            segment = real_shm(*args, **kwargs)
+            if kwargs.get("create"):
+                created.append(segment.name)
+            return segment
+
+        calls = {"n": 0}
+        real_arrays = sweepmod._network_csr_arrays
+
+        def failing_arrays(network):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("export broke mid-loop")
+            return real_arrays(network)
+
+        monkeypatch.setattr(sweepmod.shared_memory, "SharedMemory", recording_shm)
+        monkeypatch.setattr(sweepmod, "_network_csr_arrays", failing_arrays)
+        with pytest.raises(RuntimeError, match="mid-loop"):
+            sweepmod._export_shared_networks(spec, [0, 1])
+
+        assert len(created) == 1  # the first value's segment was live...
+        for name in created:  # ...and the error path reclaimed it
+            with pytest.raises(FileNotFoundError):
+                real_shm(name=name)

@@ -1,0 +1,20 @@
+# lint-fixture: src/repro/local/fixture_determinism.py
+"""Bad REP001 fixture: every documented unseeded-randomness pattern."""
+
+import random
+import time
+from datetime import datetime
+
+from numpy.random import PCG64, SeedSequence, default_rng
+
+
+def unseeded(values):
+    random.shuffle(values)  # expect[REP001]
+    rng = random.Random()  # expect[REP001]
+    gen = default_rng()  # expect[REP001]
+    bits = PCG64(None)  # expect[REP001]
+    seq = SeedSequence()  # expect[REP001]
+    stamp = time.time()  # expect[REP001]
+    tick = time.time_ns()  # expect[REP001]
+    now = datetime.now()  # expect[REP001]
+    return rng, gen, bits, seq, stamp, tick, now

@@ -1,0 +1,18 @@
+# lint-fixture: src/repro/local/fixture_determinism.py
+"""Good REP001 fixture: seeded constructions and monotonic timing."""
+
+import random
+import time
+
+from numpy.random import PCG64, SeedSequence, default_rng
+
+
+def seeded(seed):
+    rng = random.Random(seed)
+    rng.shuffle([1, 2, 3])
+    gen = default_rng(seed)
+    bits = PCG64(seed)
+    seq = SeedSequence([seed, 3])
+    elapsed = time.perf_counter()
+    sanctioned = default_rng()  # repro-lint: allow[REP001] sanctioned helper
+    return rng, gen, bits, seq, elapsed, sanctioned

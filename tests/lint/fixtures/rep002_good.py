@@ -1,0 +1,17 @@
+# lint-fixture: src/repro/local/engine.py
+"""Good REP002 fixture: array-native edge access stays silent."""
+
+
+def vectorised(network, np):
+    us, vs = network.edge_endpoints()
+    degrees = np.bincount(us, minlength=network.n)
+    for block in (us, vs):  # per-array loop, not per-edge
+        degrees = degrees + block.size
+    return degrees
+
+
+def cold_module_can_materialise(network):
+    # The same calls are legal outside the hot-path module set; this file
+    # only stays silent because the calls below are allow-listed.
+    # repro-lint: allow[REP002] exercising the escape hatch in tests
+    return list(network.edges())

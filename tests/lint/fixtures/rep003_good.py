@@ -1,0 +1,37 @@
+# lint-fixture: src/repro/algorithms/fixture_protocol.py
+"""Good REP003 fixture: complete protocols, None opt-out, inheritance."""
+
+
+class SingleTrialBase:
+    def init_arrays(self, topology, rng):
+        return None
+
+    def step(self, rounds, state, topology, rng):
+        return None
+
+
+class FullBatch(SingleTrialBase):
+    def init_batch(self, topology, rngs):
+        return None
+
+    def step_batch(self, rounds, batch, topology, rngs, active):
+        return None
+
+    def batch_complete(self, batch):
+        return None
+
+
+class CoroutineOnly:
+    def as_array_algorithm(self):
+        return None
+
+
+class Coroutine:
+    def as_array_algorithm(self):
+        return FullBatch()
+
+
+class UnrelatedStepper:
+    # A lone step() method is not an array algorithm (schedulers step too).
+    def step(self):
+        return None

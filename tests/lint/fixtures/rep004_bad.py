@@ -1,0 +1,9 @@
+# lint-fixture: src/repro/service/fixture_schemas.py
+"""Bad REP004 fixture: schema literals spelled outside repro.core.schemas."""
+
+FORMAT = "sweep-spec/v1"  # expect[REP004]
+
+
+def stamp(document):
+    document["schema"] = "bench-core/v7"  # expect[REP004]
+    return document.get("format") == "result-store/v1"  # expect[REP004]

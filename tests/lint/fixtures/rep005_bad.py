@@ -1,0 +1,26 @@
+# lint-fixture: src/repro/service/fixture_resources.py
+"""Bad REP005 fixture: handles that leak on at least one path."""
+
+import sqlite3
+from multiprocessing import shared_memory
+
+
+def never_closed(path):
+    db = sqlite3.connect(path)  # expect[REP005]
+    return db.execute("SELECT 1").fetchone()
+
+
+def bare_open(path):
+    return open(path).read()  # expect[REP005]
+
+
+def happy_path_close_only(name):
+    segment = shared_memory.SharedMemory(name=name)  # expect[REP005]
+    value = bytes(segment.buf[:8])
+    segment.close()  # skipped whenever the read above raises
+    return value
+
+
+class NoCloser:
+    def __init__(self, path):
+        self._db = sqlite3.connect(path)  # expect[REP005]

@@ -1,0 +1,12 @@
+# lint-fixture: src/repro/core/fixture_errors.py
+"""Good REP006 fixture: taxonomy kinds and typed exceptions."""
+
+from repro.core.errors import ValidationFailed, WorkerCrashed
+
+
+def runtime_checks(flag, verdict):
+    if not verdict:
+        raise ValidationFailed("execution produced an invalid solution")
+    if flag is None:
+        raise WorkerCrashed("pool worker died")
+    raise ValueError("typed exceptions classify as exception:<Type>")

@@ -1,0 +1,84 @@
+"""Baseline semantics: add/expire round-trip, multiset matching, format."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import schemas
+from repro.lint.baseline import Baseline, BaselineEntry
+from repro.lint.findings import Finding
+
+
+def finding(rule="REP006", path="src/repro/core/x.py", line=3, snippet="assert x"):
+    return Finding(
+        path=path, line=line, col=0, rule=rule, message="m", snippet=snippet
+    )
+
+
+class TestRoundTrip:
+    def test_add_then_reload_absorbs_everything(self, tmp_path):
+        findings = [finding(line=3), finding(line=9, snippet="assert y")]
+        target = tmp_path / "baseline.json"
+        Baseline.from_findings(findings, justification="seed debt").save(
+            str(target)
+        )
+        document = json.loads(target.read_text())
+        assert document["format"] == schemas.LINT_BASELINE
+        assert all(
+            row["justification"] == "seed debt" for row in document["entries"]
+        )
+
+        loaded = Baseline.load(str(target))
+        new, baselined, expired = loaded.apply(findings)
+        assert new == [] and baselined == 2 and expired == []
+
+    def test_entry_expires_when_the_line_is_fixed(self, tmp_path):
+        findings = [finding(line=3), finding(line=9, snippet="assert y")]
+        target = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(str(target))
+
+        # The 'assert y' violation is fixed: its entry must surface as stale.
+        remaining = [finding(line=3)]
+        new, baselined, expired = Baseline.load(str(target)).apply(remaining)
+        assert new == [] and baselined == 1
+        assert [entry.snippet for entry in expired] == ["assert y"]
+
+    def test_matching_survives_line_drift(self):
+        baseline = Baseline(
+            entries=[BaselineEntry(rule="REP006", path="p.py", snippet="assert x")]
+        )
+        drifted = [finding(path="p.py", line=400)]
+        new, baselined, expired = baseline.apply(drifted)
+        assert new == [] and baselined == 1 and expired == []
+
+
+class TestMultisetSemantics:
+    def test_second_copy_of_a_grandfathered_pattern_still_fails(self):
+        baseline = Baseline(
+            entries=[BaselineEntry(rule="REP006", path="p.py", snippet="assert x")]
+        )
+        duplicated = [finding(path="p.py", line=3), finding(path="p.py", line=8)]
+        new, baselined, _ = baseline.apply(duplicated)
+        assert baselined == 1
+        assert [f.line for f in new] == [8]
+
+    def test_duplicate_entries_absorb_duplicate_findings(self):
+        entry = BaselineEntry(rule="REP006", path="p.py", snippet="assert x")
+        baseline = Baseline(entries=[entry, entry])
+        duplicated = [finding(path="p.py", line=3), finding(path="p.py", line=8)]
+        new, baselined, expired = baseline.apply(duplicated)
+        assert new == [] and baselined == 2 and expired == []
+
+
+class TestFormat:
+    def test_foreign_format_is_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"format": "lint-baseline/v99", "entries": []}))
+        with pytest.raises(ValueError, match="lint-baseline/v1"):
+            Baseline.load(str(target))
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Baseline.load(str(tmp_path / "absent.json"))

@@ -1,0 +1,108 @@
+"""CLI contract: exit codes, JSON report schema, baseline workflow."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import schemas
+from repro.lint.cli import main
+from repro.lint.rules import DEFAULT_RULES
+
+VIOLATION = "def f(x):\n    assert x\n    return x\n"
+CLEAN = "def f(x):\n    return x\n"
+
+
+@pytest.fixture
+def repo(tmp_path):
+    """A miniature repo root with one (violating) module under src/repro."""
+    module_dir = tmp_path / "src" / "repro" / "core"
+    module_dir.mkdir(parents=True)
+    (module_dir / "mod.py").write_text(VIOLATION, encoding="utf-8")
+    return tmp_path
+
+
+def run(repo, *argv):
+    return main(["--root", str(repo), *argv])
+
+
+class TestExitCodes:
+    def test_findings_exit_1(self, repo):
+        assert run(repo) == 1
+
+    def test_clean_tree_exits_0(self, repo):
+        (repo / "src" / "repro" / "core" / "mod.py").write_text(CLEAN)
+        assert run(repo) == 0
+
+    def test_baselined_findings_exit_0(self, repo):
+        assert run(repo, "--write-baseline") == 0
+        assert run(repo, "--baseline") == 0
+
+    def test_stale_baseline_is_tolerated_unless_strict(self, repo):
+        run(repo, "--write-baseline")
+        (repo / "src" / "repro" / "core" / "mod.py").write_text(CLEAN)
+        assert run(repo, "--baseline") == 0
+        assert run(repo, "--baseline", "--strict-baseline") == 1
+
+    def test_missing_baseline_is_a_usage_error(self, repo):
+        with pytest.raises(SystemExit) as excinfo:
+            run(repo, "--baseline", "nope.json")
+        assert excinfo.value.code == 2
+
+    def test_unknown_rule_id_is_a_usage_error(self, repo):
+        with pytest.raises(SystemExit) as excinfo:
+            run(repo, "--rules", "REP999")
+        assert excinfo.value.code == 2
+
+
+class TestJsonReport:
+    def read_report(self, capsys):
+        return json.loads(capsys.readouterr().out)
+
+    def test_schema_and_finding_rows(self, repo, capsys):
+        assert run(repo, "--format=json") == 1
+        report = self.read_report(capsys)
+        assert report["format"] == schemas.LINT_REPORT
+        assert set(report) == {"format", "rules", "findings", "baselined", "expired"}
+        assert set(report["rules"]) == {rule.id for rule in DEFAULT_RULES}
+        (row,) = report["findings"]
+        assert set(row) == {"rule", "path", "line", "col", "message", "snippet"}
+        assert row["rule"] == "REP006"
+        assert row["path"] == "src/repro/core/mod.py"
+        assert row["line"] == 2
+        assert row["snippet"] == "assert x"
+
+    def test_baselined_and_expired_counts(self, repo, capsys):
+        run(repo, "--write-baseline")
+        capsys.readouterr()
+        assert run(repo, "--baseline", "--format=json") == 0
+        report = self.read_report(capsys)
+        assert report["findings"] == [] and report["baselined"] == 1
+
+        (repo / "src" / "repro" / "core" / "mod.py").write_text(CLEAN)
+        assert run(repo, "--baseline", "--format=json") == 0
+        report = self.read_report(capsys)
+        assert report["baselined"] == 0
+        (expired,) = report["expired"]
+        assert expired["snippet"] == "assert x"
+        assert set(expired) == {"rule", "path", "line", "snippet", "justification"}
+
+
+class TestSelection:
+    def test_rules_filter(self, repo):
+        assert run(repo, "--rules", "REP001") == 0  # REP006 not selected
+        assert run(repo, "--rules", "REP006,REP001") == 1
+
+    def test_list_rules(self, repo, capsys):
+        assert run(repo, "--list-rules") == 0
+        out = capsys.readouterr().out
+        for rule in DEFAULT_RULES:
+            assert rule.id in out
+
+    def test_explicit_paths(self, repo):
+        clean_dir = repo / "src" / "repro" / "graphs"
+        clean_dir.mkdir()
+        (clean_dir / "ok.py").write_text(CLEAN, encoding="utf-8")
+        assert run(repo, "src/repro/graphs") == 0
+        assert run(repo, "src/repro/core") == 1

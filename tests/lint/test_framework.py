@@ -1,0 +1,120 @@
+"""Framework behaviour: allow comments, dispatch, helpers, file discovery."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.lint.findings import Finding
+from repro.lint.framework import (
+    LintRunner,
+    ModuleSource,
+    dotted_name,
+    enclosing_class,
+    enclosing_function,
+    is_docstring,
+    iter_python_files,
+)
+from repro.lint.rules import rule_by_id
+
+
+def module_from(source: str, logical: str, tmp_path) -> ModuleSource:
+    path = tmp_path / "mod.py"
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return ModuleSource.parse(str(path), str(tmp_path), logical_path=logical)
+
+
+class TestAllowComments:
+    LOGICAL = "src/repro/core/mod.py"
+
+    def run(self, source, tmp_path):
+        module = module_from(source, self.LOGICAL, tmp_path)
+        return LintRunner([rule_by_id("REP006")]).lint_module(module)
+
+    def test_same_line_allow_suppresses(self, tmp_path):
+        findings = self.run(
+            "assert True  # repro-lint: allow[REP006] documented\n", tmp_path
+        )
+        assert findings == []
+
+    def test_preceding_line_allow_suppresses(self, tmp_path):
+        findings = self.run(
+            "# repro-lint: allow[REP006] documented\nassert True\n", tmp_path
+        )
+        assert findings == []
+
+    def test_multi_rule_allow(self, tmp_path):
+        findings = self.run(
+            "assert True  # repro-lint: allow[REP001, REP006]\n", tmp_path
+        )
+        assert findings == []
+
+    def test_allow_for_other_rule_does_not_suppress(self, tmp_path):
+        findings = self.run(
+            "assert True  # repro-lint: allow[REP001]\n", tmp_path
+        )
+        assert [finding.rule for finding in findings] == ["REP006"]
+
+    def test_two_lines_below_does_not_suppress(self, tmp_path):
+        findings = self.run(
+            "# repro-lint: allow[REP006]\n\nassert True\n", tmp_path
+        )
+        assert [finding.rule for finding in findings] == ["REP006"]
+
+
+class TestHelpers:
+    def test_dotted_name(self):
+        call = ast.parse("a.b.c()").body[0].value
+        assert dotted_name(call.func) == "a.b.c"
+        subscripted = ast.parse("a[0].c()").body[0].value
+        assert dotted_name(subscripted.func) is None
+
+    def test_enclosing_scopes(self, tmp_path):
+        module = module_from(
+            """
+            class Box:
+                def method(self):
+                    x = 1
+                    return x
+            """,
+            "src/repro/core/mod.py",
+            tmp_path,
+        )
+        assign = module.tree.body[0].body[0].body[0]
+        assert enclosing_function(assign).name == "method"
+        assert enclosing_class(assign).name == "Box"
+        assert enclosing_function(module.tree.body[0]) is None
+
+    def test_is_docstring(self, tmp_path):
+        module = module_from(
+            '"""doc"""\nx = "not-a-doc"\n', "src/repro/core/mod.py", tmp_path
+        )
+        doc = module.tree.body[0].value
+        other = module.tree.body[1].value
+        assert is_docstring(doc)
+        assert not is_docstring(other)
+
+    def test_finding_snippet_and_render(self, tmp_path):
+        module = module_from("assert True\n", "src/repro/core/mod.py", tmp_path)
+        finding = module.finding(module.tree.body[0], "REP006", "msg")
+        assert finding.snippet == "assert True"
+        assert finding.render() == "src/repro/core/mod.py:1:0: REP006 msg"
+        assert isinstance(finding, Finding)
+
+
+class TestFileDiscovery:
+    def test_walks_directories_and_skips_pycache(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "notes.txt").write_text("skip\n")
+        files = list(iter_python_files(["pkg"], str(tmp_path)))
+        assert [f.replace(str(tmp_path) + "/", "") for f in files] == ["pkg/a.py"]
+
+    def test_accepts_single_file(self, tmp_path):
+        target = tmp_path / "one.py"
+        target.write_text("x = 1\n")
+        assert list(iter_python_files([str(target)], str(tmp_path))) == [
+            str(target)
+        ]

@@ -1,0 +1,49 @@
+"""Regression tests for handle hygiene on the store's error paths (REP005).
+
+A ``ResultStore.__init__`` that fails after ``sqlite3.connect`` (foreign
+schema version, broken DDL) used to abandon the live connection: nothing
+owned it, so sqlite kept the database locked until garbage collection got
+around to it.  The fix closes the handle before re-raising.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.service.store import RESULT_STORE_SCHEMA, ResultStore
+
+
+def test_init_failure_closes_the_connection(tmp_path, monkeypatch):
+    path = tmp_path / "results.sqlite"
+    with ResultStore(str(path)):
+        pass  # create a valid store, then corrupt its schema marker
+    db = sqlite3.connect(str(path))
+    with db:
+        db.execute(
+            "UPDATE meta SET value = 'result-store/v999' WHERE key = 'schema'"
+        )
+    db.close()
+
+    connections = []
+    real_connect = sqlite3.connect
+
+    def recording_connect(*args, **kwargs):
+        connection = real_connect(*args, **kwargs)
+        connections.append(connection)
+        return connection
+
+    monkeypatch.setattr(sqlite3, "connect", recording_connect)
+    with pytest.raises(ValueError, match=RESULT_STORE_SCHEMA):
+        ResultStore(str(path))
+
+    (connection,) = connections
+    with pytest.raises(sqlite3.ProgrammingError, match="closed"):
+        connection.execute("SELECT 1")
+
+
+def test_valid_store_still_opens_after_recording(tmp_path):
+    path = tmp_path / "results.sqlite"
+    with ResultStore(str(path)) as store:
+        assert store.path == str(path)
